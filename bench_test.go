@@ -1,0 +1,425 @@
+// Package sensoragg's root benchmark harness: one benchmark family per
+// experiment in DESIGN.md's index (E1–E10). Each benchmark reports the
+// paper's complexity measure — max bits sent+received by any node — as the
+// custom metric "bits/node" alongside wall-clock cost, so
+// `go test -bench=. -benchmem` regenerates the cost side of every table.
+package sensoragg
+
+import (
+	"fmt"
+	"testing"
+
+	"sensoragg/internal/agg"
+	"sensoragg/internal/baseline"
+	"sensoragg/internal/core"
+	"sensoragg/internal/distinct"
+	"sensoragg/internal/gk"
+	"sensoragg/internal/gossip"
+	"sensoragg/internal/loglog"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/sampling"
+	"sensoragg/internal/singlehop"
+	"sensoragg/internal/spantree"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/wire"
+	"sensoragg/internal/workload"
+)
+
+func gridNet(n int, wl workload.Kind, seed uint64, opts ...agg.Option) *agg.Net {
+	side := 1
+	for (side+1)*(side+1) <= n {
+		side++
+	}
+	g := topology.Grid(side, side)
+	maxX := uint64(4 * n)
+	values := workload.Generate(wl, g.N(), maxX, seed)
+	nw := netsim.New(g, values, maxX, netsim.WithSeed(seed))
+	return agg.NewNet(spantree.NewFast(nw), opts...)
+}
+
+func reportBits(b *testing.B, nw *netsim.Network, before netsim.Snapshot) {
+	b.Helper()
+	d := nw.Meter.Since(before)
+	b.ReportMetric(float64(d.MaxPerNode)/float64(b.N), "bits/node")
+	b.ReportMetric(float64(d.TotalBits)/float64(b.N)/1000, "Kb-total")
+}
+
+// BenchmarkPrimitives — E1 (Fact 2.1): MIN/MAX, COUNT, SUM at O(log N).
+func BenchmarkPrimitives(b *testing.B) {
+	for _, n := range []int{1024, 16384} {
+		net := gridNet(n, workload.Uniform, 1)
+		nw := net.Network()
+		b.Run(fmt.Sprintf("minmax/N=%d", nw.N()), func(b *testing.B) {
+			before := nw.Meter.Snapshot()
+			for i := 0; i < b.N; i++ {
+				net.MinMax(core.Linear)
+			}
+			reportBits(b, nw, before)
+		})
+		b.Run(fmt.Sprintf("count/N=%d", nw.N()), func(b *testing.B) {
+			before := nw.Meter.Snapshot()
+			for i := 0; i < b.N; i++ {
+				net.Count(core.Linear, wire.True())
+			}
+			reportBits(b, nw, before)
+		})
+		b.Run(fmt.Sprintf("sum/N=%d", nw.N()), func(b *testing.B) {
+			before := nw.Meter.Snapshot()
+			for i := 0; i < b.N; i++ {
+				net.Sum(core.Linear, wire.True())
+			}
+			reportBits(b, nw, before)
+		})
+	}
+}
+
+// BenchmarkApxCount — E2 (Fact 2.2): one α-counting instance per m.
+func BenchmarkApxCount(b *testing.B) {
+	for _, p := range []int{4, 8, 10} {
+		net := gridNet(4096, workload.Uniform, 2, agg.WithSketchP(p))
+		nw := net.Network()
+		b.Run(fmt.Sprintf("m=%d", 1<<p), func(b *testing.B) {
+			before := nw.Meter.Snapshot()
+			for i := 0; i < b.N; i++ {
+				net.ApxCount(core.Linear, wire.True())
+			}
+			reportBits(b, nw, before)
+		})
+	}
+}
+
+// BenchmarkMedianDet — E3 (Theorem 3.2): exact median, O((log N)^2).
+func BenchmarkMedianDet(b *testing.B) {
+	for _, n := range []int{1024, 16384, 65536} {
+		net := gridNet(n, workload.Uniform, 3)
+		nw := net.Network()
+		b.Run(fmt.Sprintf("N=%d", nw.N()), func(b *testing.B) {
+			before := nw.Meter.Snapshot()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Median(net); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportBits(b, nw, before)
+		})
+	}
+}
+
+// BenchmarkOrderStat — E4 (§3.4): arbitrary ranks cost the same.
+func BenchmarkOrderStat(b *testing.B) {
+	net := gridNet(4096, workload.Zipf, 4)
+	nw := net.Network()
+	for _, k := range []uint64{1, 1024, 4095} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			before := nw.Meter.Snapshot()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.OrderStatistic(net, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportBits(b, nw, before)
+		})
+	}
+}
+
+// BenchmarkApxMedian — E5 (Theorem 4.5).
+func BenchmarkApxMedian(b *testing.B) {
+	for _, eps := range []float64{0.5, 0.25} {
+		net := gridNet(4096, workload.Uniform, 5)
+		nw := net.Network()
+		b.Run(fmt.Sprintf("eps=%.2f", eps), func(b *testing.B) {
+			before := nw.Meter.Snapshot()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ApxMedian(net, core.ApxParams{Epsilon: eps}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportBits(b, nw, before)
+		})
+	}
+}
+
+// BenchmarkApxMedian2 — E6 (Theorem 4.7/Corollary 4.8): the bits/node
+// metric should stay near-flat across the N sub-benchmarks.
+func BenchmarkApxMedian2(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384} {
+		net := gridNet(n, workload.Uniform, 6)
+		nw := net.Network()
+		b.Run(fmt.Sprintf("N=%d", nw.N()), func(b *testing.B) {
+			before := nw.Meter.Snapshot()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ApxMedian2(net, core.Apx2Params{Beta: 1.0 / 16, Epsilon: 0.25}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportBits(b, nw, before)
+		})
+	}
+}
+
+// BenchmarkCountDistinct — E7 (§5): exact vs sketch.
+func BenchmarkCountDistinct(b *testing.B) {
+	for _, n := range []int{1024, 8192} {
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		g := topology.Grid(side, side)
+		maxX := uint64(8 * n)
+		values := workload.Generate(workload.Uniform, g.N(), maxX, 7)
+		b.Run(fmt.Sprintf("exact/N=%d", g.N()), func(b *testing.B) {
+			nw := netsim.New(g, values, maxX)
+			ops := spantree.NewFast(nw)
+			before := nw.Meter.Snapshot()
+			for i := 0; i < b.N; i++ {
+				if _, err := distinct.Exact(ops); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportBits(b, nw, before)
+		})
+		b.Run(fmt.Sprintf("sketch/N=%d", g.N()), func(b *testing.B) {
+			nw := netsim.New(g, values, maxX)
+			ops := spantree.NewFast(nw)
+			before := nw.Meter.Snapshot()
+			for i := 0; i < b.N; i++ {
+				if _, err := distinct.Approximate(ops, 6, loglog.EstHLL, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportBits(b, nw, before)
+		})
+	}
+}
+
+// BenchmarkDisjointness — E8 (Theorem 5.1): cut bits via the reduction.
+func BenchmarkDisjointness(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("exact/n=%d", n), func(b *testing.B) {
+			var cut int64
+			for i := 0; i < b.N; i++ {
+				h := distinct.DisjointnessHarness{SetSize: n, SketchP: -1, Seed: uint64(i)}
+				run, err := h.Run(i%2 == 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut += run.CutBits
+			}
+			b.ReportMetric(float64(cut)/float64(b.N), "cut-bits")
+		})
+	}
+}
+
+// BenchmarkMedianShootout — E9 (§1): every median protocol on one input.
+func BenchmarkMedianShootout(b *testing.B) {
+	const n = 4096
+	g := topology.Grid(64, 64)
+	maxX := uint64(4 * n)
+	values := workload.Generate(workload.Uniform, g.N(), maxX, 9)
+	fresh := func() *netsim.Network { return netsim.New(g, values, maxX, netsim.WithSeed(9)) }
+
+	b.Run("collectall", func(b *testing.B) {
+		nw := fresh()
+		ops := spantree.NewFast(nw)
+		before := nw.Meter.Snapshot()
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.CollectAllMedian(ops); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportBits(b, nw, before)
+	})
+	b.Run("fig1-det", func(b *testing.B) {
+		nw := fresh()
+		net := agg.NewNet(spantree.NewFast(nw))
+		before := nw.Meter.Snapshot()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Median(net); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportBits(b, nw, before)
+	})
+	b.Run("gk", func(b *testing.B) {
+		nw := fresh()
+		ops := spantree.NewFast(nw)
+		before := nw.Meter.Snapshot()
+		for i := 0; i < b.N; i++ {
+			if _, err := gk.MedianProtocol(ops, 24); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportBits(b, nw, before)
+	})
+	b.Run("sampling", func(b *testing.B) {
+		nw := fresh()
+		ops := spantree.NewFast(nw)
+		before := nw.Meter.Snapshot()
+		for i := 0; i < b.N; i++ {
+			if _, err := sampling.Median(ops, 128, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportBits(b, nw, before)
+	})
+	b.Run("gossip", func(b *testing.B) {
+		nw := fresh()
+		before := nw.Meter.Snapshot()
+		for i := 0; i < b.N; i++ {
+			if _, err := gossip.Median(nw, gossip.Params{Rounds: 384}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportBits(b, nw, before)
+	})
+	b.Run("fig2-apx", func(b *testing.B) {
+		nw := fresh()
+		net := agg.NewNet(spantree.NewFast(nw))
+		before := nw.Meter.Snapshot()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ApxMedian(net, core.ApxParams{Epsilon: 0.25}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportBits(b, nw, before)
+	})
+	b.Run("fig4-apx2", func(b *testing.B) {
+		nw := fresh()
+		net := agg.NewNet(spantree.NewFast(nw))
+		before := nw.Meter.Snapshot()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ApxMedian2(net, core.Apx2Params{Beta: 1.0 / 16, Epsilon: 0.25}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportBits(b, nw, before)
+	})
+}
+
+// BenchmarkDuplication — E10 ([2],[10]): honest per-edge sketches under
+// link duplication.
+func BenchmarkDuplication(b *testing.B) {
+	const n = 1024
+	g := topology.Grid(32, 32)
+	maxX := uint64(4 * n)
+	values := workload.Generate(workload.Uniform, g.N(), maxX, 10)
+	for _, dup := range []float64{0, 0.2} {
+		b.Run(fmt.Sprintf("dup=%.1f", dup), func(b *testing.B) {
+			nw := netsim.New(g, values, maxX, netsim.WithSeed(10))
+			net := agg.NewNet(spantree.NewFastFaulty(nw, spantree.FaultPlan{DupProb: dup}), agg.WithHonestSketches())
+			before := nw.Meter.Snapshot()
+			for i := 0; i < b.N; i++ {
+				net.ApxCount(core.Linear, wire.True())
+			}
+			reportBits(b, nw, before)
+		})
+	}
+}
+
+// BenchmarkEngines compares the two tree-execution engines on the same
+// convergecast workload (goroutine-per-node dataflow vs level-order).
+func BenchmarkEngines(b *testing.B) {
+	const n = 4096
+	g := topology.Grid(64, 64)
+	maxX := uint64(4 * n)
+	values := workload.Generate(workload.Uniform, g.N(), maxX, 11)
+	for _, engine := range []string{"fast", "goroutine"} {
+		b.Run(engine, func(b *testing.B) {
+			nw := netsim.New(g, values, maxX, netsim.WithSeed(11))
+			var ops spantree.Ops
+			if engine == "fast" {
+				ops = spantree.NewFast(nw)
+			} else {
+				ops = spantree.NewGoroutine(nw)
+			}
+			net := agg.NewNet(ops)
+			for i := 0; i < b.N; i++ {
+				net.Count(core.Linear, wire.True())
+			}
+		})
+	}
+}
+
+// BenchmarkSingleHop — E11 ([14]): exact selection in the all-hear-all
+// radio model; the custom metrics separate transmit-only from the paper's
+// send+receive measure.
+func BenchmarkSingleHop(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		g := topology.Complete(n)
+		maxX := uint64(4 * n)
+		values := workload.Generate(workload.Uniform, n, maxX, 12)
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			var tx, total int64
+			for i := 0; i < b.N; i++ {
+				nw := netsim.New(g, values, maxX, netsim.WithSeed(12))
+				res, err := singlehop.Median(nw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tx += res.MaxTransmitBits
+				total += res.Comm.MaxPerNode
+			}
+			b.ReportMetric(float64(tx)/float64(b.N), "tx-bits/node")
+			b.ReportMetric(float64(total)/float64(b.N), "bits/node")
+		})
+	}
+}
+
+// BenchmarkAblations — E12: the degree-bound and repetition-reading
+// ablations as cost benchmarks.
+func BenchmarkAblations(b *testing.B) {
+	const n = 1024
+	maxX := uint64(4 * n)
+	values := workload.Generate(workload.Uniform, n, maxX, 13)
+	for _, bound := range []int{0, 8} {
+		label := fmt.Sprintf("star-count/maxChildren=%d", bound)
+		if bound == 0 {
+			label = "star-count/unbounded"
+		}
+		b.Run(label, func(b *testing.B) {
+			nw := netsim.New(topology.Star(n), values, maxX, netsim.WithSeed(13), netsim.WithMaxChildren(bound))
+			net := agg.NewNet(spantree.NewFast(nw))
+			before := nw.Meter.Snapshot()
+			for i := 0; i < b.N; i++ {
+				net.Count(core.Linear, wire.True())
+			}
+			reportBits(b, nw, before)
+		})
+	}
+	for _, scale := range []float64{6, 32} {
+		b.Run(fmt.Sprintf("apxmedian-repscale=%g", scale), func(b *testing.B) {
+			g := topology.Grid(32, 32)
+			nw := netsim.New(g, values, maxX, netsim.WithSeed(13))
+			net := agg.NewNet(spantree.NewFast(nw))
+			before := nw.Meter.Snapshot()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ApxMedian(net, core.ApxParams{Epsilon: 0.25, RepScaleIter: scale}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportBits(b, nw, before)
+		})
+	}
+}
+
+// BenchmarkTreeBuild measures the distributed BFS construction protocol —
+// the setup cost TAG-era systems amortize across queries.
+func BenchmarkTreeBuild(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		g := topology.RandomGeometric(n, 0, 14)
+		maxX := uint64(4 * n)
+		values := workload.Generate(workload.Uniform, g.N(), maxX, 14)
+		b.Run(fmt.Sprintf("rgg/N=%d", n), func(b *testing.B) {
+			var perNode int64
+			for i := 0; i < b.N; i++ {
+				nw := netsim.New(g, values, maxX, netsim.WithSeed(uint64(i)))
+				res, err := spantree.BuildBFS(nw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				perNode += res.Comm.MaxPerNode
+			}
+			b.ReportMetric(float64(perNode)/float64(b.N), "bits/node")
+		})
+	}
+}

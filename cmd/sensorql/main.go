@@ -1,0 +1,133 @@
+// Command sensorql is an interactive console for the TAG-style query
+// language over a simulated sensor network: type SQL-ish aggregate
+// statements, get answers plus the paper's per-node communication cost.
+//
+//	$ go run ./cmd/sensorql -topology rgg -n 2048 -workload drift
+//	> SELECT median(value)
+//	> SELECT quantile(value, 0.99) WHERE value >= 100
+//	> SELECT distinct(value) USING sketch=1, m=256
+//
+// Statements are read line by line from stdin, so the console scripts
+// cleanly: `echo "SELECT median(value)" | go run ./cmd/sensorql`.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"sensoragg/internal/agg"
+	"sensoragg/internal/energy"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/query"
+	"sensoragg/internal/spantree"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/workload"
+)
+
+func main() {
+	topo := flag.String("topology", "grid", "line|ring|star|grid|torus|complete|btree|rgg")
+	n := flag.Int("n", 1024, "number of nodes")
+	wl := flag.String("workload", "uniform", "input distribution")
+	maxX := flag.Uint64("maxx", 0, "value domain bound X (default 4·n)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := run(*topo, *n, *wl, *maxX, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "sensorql: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(topo string, n int, wl string, maxX, seed uint64) error {
+	if maxX == 0 {
+		maxX = uint64(4 * n)
+	}
+	g, err := buildGraph(topo, n, seed)
+	if err != nil {
+		return err
+	}
+	values := workload.Generate(workload.Kind(wl), g.N(), maxX, seed)
+	nw := netsim.New(g, values, maxX, netsim.WithSeed(seed))
+	net := agg.NewNet(spantree.NewFast(nw))
+	model := energy.MoteDefaults()
+
+	fmt.Printf("sensorql — %s, N=%d, X=%d, workload %s\n", g.Name, g.N(), maxX, wl)
+	fmt.Println(`type a statement (e.g. SELECT median(value)), "help", or "quit"`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch strings.ToLower(line) {
+		case "":
+		case "quit", "exit", "\\q":
+			return nil
+		case "help", "\\h":
+			printHelp()
+		default:
+			res, err := query.Exec(net, line)
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				break
+			}
+			value := formatValue(res.Value)
+			fmt.Printf("%s   (%s)\n", value, res.Detail)
+			perQuery := float64(res.Comm.MaxPerNode)
+			fmt.Printf("cost: %d bits/node (max), %d total bits — ≈ %s on the hottest node\n",
+				res.Comm.MaxPerNode, res.Comm.TotalBits,
+				energy.FormatJoules(perQuery*(model.TxPerBit+model.RxPerBit)/2))
+		}
+		fmt.Print("> ")
+	}
+	return scanner.Err()
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func printHelp() {
+	fmt.Println(`aggregates:
+  min(value) max(value) count(value) sum(value) avg(value)      Fact 2.1
+  median(value)                                  exact, Thm 3.2
+  quantile(value, PHI)                           exact k-order statistic, §3.4
+  apxmedian(value)  [USING eps=E]                randomized, Thm 4.5
+  apxmedian2(value) [USING eps=E, beta=B]        polyloglog, Cor 4.8
+  apxcount(value)                                one α-counting instance, Fact 2.2
+  distinct(value) [USING sketch=1, m=M]          §5: exact or sketch
+  f2(value) [USING rows=R, cols=C]               AMS [1] second frequency moment
+clauses:
+  WHERE value < C | value >= C | value BETWEEN A AND B | ... AND ...
+  USING key=value, ...`)
+}
+
+func buildGraph(topo string, n int, seed uint64) (*topology.Graph, error) {
+	side := int(math.Sqrt(float64(n)))
+	switch topo {
+	case "line":
+		return topology.Line(n), nil
+	case "ring":
+		return topology.Ring(n), nil
+	case "star":
+		return topology.Star(n), nil
+	case "grid":
+		return topology.Grid(side, side), nil
+	case "torus":
+		return topology.Torus(side, side), nil
+	case "complete":
+		return topology.Complete(n), nil
+	case "btree":
+		return topology.BinaryTree(n), nil
+	case "rgg":
+		return topology.RandomGeometric(n, 0, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topo)
+	}
+}

@@ -1,0 +1,72 @@
+// Continuous monitoring: the TAG operating mode the paper's protocols live
+// inside. A standing median query re-runs every epoch over a drifting
+// temperature field (a warm front passing through the deployment), while
+// the base station tracks the hottest node's battery. The run shows the
+// paper's point operationally: the per-epoch cost of the exact median is
+// small and flat, so the standing query survives thousands of epochs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sensoragg/internal/agg"
+	"sensoragg/internal/energy"
+	"sensoragg/internal/epoch"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/spantree"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/workload"
+)
+
+func main() {
+	const maxX = 1023 // tenths of °C above -20
+	g := topology.RandomGeometric(1500, 0, 21)
+	values := workload.Generate(workload.Drift, g.N(), maxX, 21)
+	nw := netsim.New(g, values, maxX, netsim.WithSeed(21))
+
+	// A warm front: a sinusoidal bump sweeping across node indices over the
+	// day, on top of each node's base reading (non-cumulative).
+	base := append([]uint64(nil), values...)
+	front := func(e int, node topology.NodeID, prev uint64) uint64 {
+		phase := 2 * math.Pi * (float64(e)/48 - float64(node)/float64(g.N()))
+		bump := 120 * math.Max(0, math.Sin(phase))
+		return base[node] + uint64(bump)
+	}
+
+	model := energy.MoteDefaults()
+	runner := &epoch.Runner{
+		Net:       agg.NewNet(spantree.NewFast(nw)),
+		Statement: "SELECT median(value)",
+		Update:    front,
+		Model:     model,
+	}
+
+	const epochs = 48 // one day at 30-minute epochs
+	records, err := runner.Run(epochs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	toC := func(v float64) float64 { return v/10 - 20 }
+	fmt.Printf("standing query %q over %d sensors, %d epochs (30 min each)\n\n",
+		runner.Statement, g.N(), len(records))
+	fmt.Printf("%-8s %12s %14s %16s\n", "epoch", "median °C", "b/node", "hottest J used")
+	for _, rec := range records {
+		if rec.Epoch%8 != 0 {
+			continue
+		}
+		fmt.Printf("%-8d %12.1f %14d %16s\n",
+			rec.Epoch, toC(rec.Value), rec.MaxPerNode, energy.FormatJoules(rec.HottestEnergy))
+	}
+
+	last := records[len(records)-1]
+	perEpoch := last.HottestEnergy / float64(len(records))
+	lifetimeEpochs := model.Battery / perEpoch
+	fmt.Printf("\nhottest node spends %s per epoch → the standing query survives ≈ %.0f epochs",
+		energy.FormatJoules(perEpoch), lifetimeEpochs)
+	fmt.Printf(" (≈ %.1f years at this rate).\n", energy.Years(lifetimeEpochs, 1800))
+	fmt.Println("The median tracks the warm front with a flat per-epoch cost — the (log N)² bound")
+	fmt.Println("does not depend on what the sensors read (Theorem 3.2 is worst-case).")
+}

@@ -1,0 +1,233 @@
+// Package agg implements TAG-style in-network aggregation [9] over the
+// spanning tree, and adapts it to the paper's primitive-protocol interface
+// (core.Net): MIN, MAX, COUNT/COUNTP (Fact 2.1, §3.1) and the α-counting
+// protocol APX COUNT (Fact 2.2) as sketch convergecasts.
+package agg
+
+import (
+	"fmt"
+
+	"sensoragg/internal/bitio"
+	"sensoragg/internal/core"
+	"sensoragg/internal/loglog"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/spantree"
+	"sensoragg/internal/wire"
+)
+
+// domainValue returns the item's value in domain d.
+func domainValue(it netsim.Item, d core.Domain) uint64 {
+	if d == core.LogDomain {
+		return core.Log2Floor(it.Cur)
+	}
+	return it.Cur
+}
+
+// minMaxPartial is the convergecast state for the combined MIN/MAX
+// protocol.
+type minMaxPartial struct {
+	has    bool
+	lo, hi uint64
+}
+
+// minMaxCombiner computes MIN and MAX over active items in one
+// convergecast; each message carries a presence bit plus two fixed-width
+// values — O(log X) bits, matching Fact 2.1.
+type minMaxCombiner struct {
+	domain core.Domain
+	width  int
+}
+
+var _ spantree.Combiner = minMaxCombiner{}
+
+func (c minMaxCombiner) Local(n *netsim.Node) any {
+	var p minMaxPartial
+	for _, it := range n.Items {
+		if !it.Active {
+			continue
+		}
+		v := domainValue(it, c.domain)
+		if !p.has {
+			p = minMaxPartial{has: true, lo: v, hi: v}
+			continue
+		}
+		if v < p.lo {
+			p.lo = v
+		}
+		if v > p.hi {
+			p.hi = v
+		}
+	}
+	return p
+}
+
+func (c minMaxCombiner) Merge(acc, child any) any {
+	a, b := acc.(minMaxPartial), child.(minMaxPartial)
+	if !b.has {
+		return a
+	}
+	if !a.has {
+		return b
+	}
+	if b.lo < a.lo {
+		a.lo = b.lo
+	}
+	if b.hi > a.hi {
+		a.hi = b.hi
+	}
+	return a
+}
+
+func (c minMaxCombiner) Encode(p any) wire.Payload {
+	mm := p.(minMaxPartial)
+	w := bitio.NewWriter(1 + 2*c.width)
+	w.WriteBool(mm.has)
+	if mm.has {
+		w.WriteBits(mm.lo, c.width)
+		w.WriteBits(mm.hi, c.width)
+	}
+	return wire.FromWriter(w)
+}
+
+func (c minMaxCombiner) Decode(pl wire.Payload) (any, error) {
+	r := pl.Reader()
+	has, err := r.ReadBool()
+	if err != nil {
+		return nil, fmt.Errorf("agg: minmax presence: %w", err)
+	}
+	if !has {
+		return minMaxPartial{}, nil
+	}
+	lo, err := r.ReadBits(c.width)
+	if err != nil {
+		return nil, fmt.Errorf("agg: minmax lo: %w", err)
+	}
+	hi, err := r.ReadBits(c.width)
+	if err != nil {
+		return nil, fmt.Errorf("agg: minmax hi: %w", err)
+	}
+	return minMaxPartial{has: true, lo: lo, hi: hi}, nil
+}
+
+// countCombiner implements COUNTP (§3.1): a gamma-coded count of active
+// items satisfying the predicate. Partial counts are at most N, so messages
+// are O(log N) bits.
+type countCombiner struct {
+	domain core.Domain
+	pred   wire.Pred
+}
+
+var _ spantree.Combiner = countCombiner{}
+
+func (c countCombiner) Local(n *netsim.Node) any {
+	var count uint64
+	for _, it := range n.Items {
+		if it.Active && c.pred.Eval(domainValue(it, c.domain)) {
+			count++
+		}
+	}
+	return count
+}
+
+func (c countCombiner) Merge(acc, child any) any {
+	return acc.(uint64) + child.(uint64)
+}
+
+func (c countCombiner) Encode(p any) wire.Payload {
+	v := p.(uint64)
+	w := bitio.NewWriter(bitio.GammaWidth(v))
+	w.WriteGamma(v)
+	return wire.FromWriter(w)
+}
+
+func (c countCombiner) Decode(pl wire.Payload) (any, error) {
+	v, err := pl.Reader().ReadGamma()
+	if err != nil {
+		return nil, fmt.Errorf("agg: count: %w", err)
+	}
+	return v, nil
+}
+
+// sumCombiner aggregates the SUM of active item values (TAG's SUM; also the
+// numerator of AVERAGE). Gamma-coded: partial sums are ≤ N·X, so messages
+// are O(log N + log X) bits.
+type sumCombiner struct {
+	domain core.Domain
+	pred   wire.Pred
+}
+
+var _ spantree.Combiner = sumCombiner{}
+
+func (c sumCombiner) Local(n *netsim.Node) any {
+	var sum uint64
+	for _, it := range n.Items {
+		if it.Active && c.pred.Eval(domainValue(it, c.domain)) {
+			sum += domainValue(it, c.domain)
+		}
+	}
+	return sum
+}
+
+func (c sumCombiner) Merge(acc, child any) any {
+	return acc.(uint64) + child.(uint64)
+}
+
+func (c sumCombiner) Encode(p any) wire.Payload {
+	v := p.(uint64)
+	w := bitio.NewWriter(bitio.GammaWidth(v))
+	w.WriteGamma(v)
+	return wire.FromWriter(w)
+}
+
+func (c sumCombiner) Decode(pl wire.Payload) (any, error) {
+	v, err := pl.Reader().ReadGamma()
+	if err != nil {
+		return nil, fmt.Errorf("agg: sum: %w", err)
+	}
+	return v, nil
+}
+
+// keyedSketch runs one APX COUNT instance (Fact 2.2): every node folds its
+// matching items' hashed keys into a LogLog sketch; messages carry the m
+// fixed-width registers — O(m · log log N) bits.
+type keyedSketch struct {
+	net      *Net
+	domain   core.Domain
+	pred     wire.Pred
+	instance uint64
+}
+
+var _ spantree.Combiner = keyedSketch{}
+
+func (c keyedSketch) Local(n *netsim.Node) any {
+	sk := loglog.New(c.net.sketchP)
+	h := c.net.instanceHasher(c.instance)
+	base := c.net.keyBase[n.ID]
+	for idx, it := range n.Items {
+		if it.Active && c.pred.Eval(domainValue(it, c.domain)) {
+			sk.AddKey(h, base+uint64(idx))
+		}
+	}
+	return sk
+}
+
+func (c keyedSketch) Merge(acc, child any) any {
+	a := acc.(*loglog.Sketch)
+	a.Merge(child.(*loglog.Sketch))
+	return a
+}
+
+func (c keyedSketch) Encode(p any) wire.Payload {
+	sk := p.(*loglog.Sketch)
+	w := bitio.NewWriter(sk.EncodedBits())
+	sk.AppendTo(w)
+	return wire.FromWriter(w)
+}
+
+func (c keyedSketch) Decode(pl wire.Payload) (any, error) {
+	sk, err := loglog.DecodeSketch(pl.Reader(), c.net.sketchP)
+	if err != nil {
+		return nil, fmt.Errorf("agg: sketch: %w", err)
+	}
+	return sk, nil
+}

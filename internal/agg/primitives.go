@@ -1,0 +1,58 @@
+package agg
+
+import (
+	"fmt"
+
+	"sensoragg/internal/bitio"
+	"sensoragg/internal/core"
+	"sensoragg/internal/wire"
+)
+
+// This file provides the TAG-style aggregate queries of Fact 2.1 as
+// stand-alone protocols: the E1 experiment measures their per-node
+// communication directly, and the examples use them as the "easy"
+// aggregates the paper contrasts the median with.
+
+// Sum runs the SUM aggregate over active items matching pred in domain d.
+func (n *Net) Sum(d core.Domain, pred wire.Pred) uint64 {
+	vw := n.valueWidth(d)
+	w := bitio.NewWriter(opBits + 1 + pred.EncodedBits(vw))
+	header(w, opSum, d)
+	pred.AppendTo(w, vw)
+	n.ops.Broadcast(wire.FromWriter(w), nil)
+	out, err := n.ops.Convergecast(sumCombiner{domain: d, pred: pred})
+	if err != nil {
+		panic(fmt.Sprintf("agg: sum convergecast: %v", err))
+	}
+	return out.(uint64)
+}
+
+// Min runs the MIN aggregate (Fact 2.1) over active items in domain d.
+// It returns ok=false for an empty active set.
+func (n *Net) Min(d core.Domain) (uint64, bool) {
+	lo, _, ok := n.MinMax(d)
+	return lo, ok
+}
+
+// Max runs the MAX aggregate (Fact 2.1) over active items in domain d.
+func (n *Net) Max(d core.Domain) (uint64, bool) {
+	_, hi, ok := n.MinMax(d)
+	return hi, ok
+}
+
+// Average runs TAG's AVERAGE: a SUM and a COUNT protocol, divided at the
+// root. ok is false when no items match.
+func (n *Net) Average(d core.Domain, pred wire.Pred) (float64, bool) {
+	sum := n.Sum(d, pred)
+	count := n.Count(d, pred)
+	if count == 0 {
+		return 0, false
+	}
+	return float64(sum) / float64(count), true
+}
+
+// ApxCount runs a single α-counting instance (Fact 2.2) and returns the
+// estimate.
+func (n *Net) ApxCount(d core.Domain, pred wire.Pred) float64 {
+	return n.ApxCountRep(d, pred, 1)[0]
+}

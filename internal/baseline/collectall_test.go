@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"testing"
+
+	"sensoragg/internal/core"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/spantree"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/workload"
+)
+
+const maxX = 1 << 12
+
+func TestCollectAllMedianExact(t *testing.T) {
+	for _, kind := range workload.Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			g := topology.Grid(8, 8)
+			values := workload.Generate(kind, g.N(), maxX, 17)
+			nw := netsim.New(g, values, maxX)
+			res, err := CollectAllMedian(spantree.NewFast(nw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := core.TrueMedian(core.SortedCopy(values))
+			if res.Value != want {
+				t.Errorf("median = %d, want %d", res.Value, want)
+			}
+			if res.Items != g.N() {
+				t.Errorf("items = %d, want %d", res.Items, g.N())
+			}
+		})
+	}
+}
+
+func TestCollectAllOrderStatistic(t *testing.T) {
+	g := topology.Line(20)
+	values := workload.Generate(workload.Zipf, g.N(), maxX, 4)
+	sorted := core.SortedCopy(values)
+	nw := netsim.New(g, values, maxX)
+	ops := spantree.NewFast(nw)
+	for _, k := range []int{1, 5, 10, 20} {
+		res, err := CollectAllOrderStatistic(ops, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := core.TrueOrderStatistic(sorted, k); res.Value != want {
+			t.Errorf("k=%d: %d, want %d", k, res.Value, want)
+		}
+	}
+}
+
+func TestCollectAllDistinct(t *testing.T) {
+	g := topology.Ring(50)
+	values := workload.Generate(workload.FewDistinct, g.N(), maxX, 8)
+	nw := netsim.New(g, values, maxX)
+	res, err := CollectAllDistinct(spantree.NewFast(nw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(core.TrueDistinct(values)); res.Value != want {
+		t.Errorf("distinct = %d, want %d", res.Value, want)
+	}
+}
+
+// TestLinearRootCost verifies TAG's "holistic" classification empirically:
+// the root's inbound traffic grows linearly with N.
+func TestLinearRootCost(t *testing.T) {
+	cost := func(n int) int64 {
+		g := topology.Line(n)
+		// Scale the domain with N (the paper's log X = Θ(log N) regime) so
+		// the delta-gamma coding's per-item cost stays constant and the
+		// linear item count is what the measurement sees.
+		domain := uint64(32 * n)
+		values := workload.Generate(workload.Uniform, n, domain, 3)
+		nw := netsim.New(g, values, domain)
+		res, err := CollectAllMedian(spantree.NewFast(nw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Comm.MaxPerNode
+	}
+	c128, c512 := cost(128), cost(512)
+	if ratio := float64(c512) / float64(c128); ratio < 3 || ratio > 5.5 {
+		t.Errorf("4x items changed max-per-node by %.2fx, want ≈ 4x (linear)", ratio)
+	}
+}
+
+func TestCollectAllGoroutineEngineAgrees(t *testing.T) {
+	g := topology.Grid(6, 6)
+	values := workload.Generate(workload.Gaussian, g.N(), maxX, 12)
+	a := netsim.New(g, values, maxX)
+	b := netsim.New(g, values, maxX)
+	ra, err := CollectAllMedian(spantree.NewFast(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := CollectAllMedian(spantree.NewGoroutine(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Value != rb.Value || ra.Comm.TotalBits != rb.Comm.TotalBits {
+		t.Errorf("engines disagree: %+v vs %+v", ra, rb)
+	}
+}

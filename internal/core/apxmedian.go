@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sensoragg/internal/wire"
+)
+
+// ApxResult reports an approximate selection run (Fig. 2).
+type ApxResult struct {
+	// Value is the selected approximate order statistic, in the domain the
+	// search ran over.
+	Value uint64
+	// Iterations is the number of tolerant-binary-search iterations.
+	Iterations int
+	// HaltedEarly reports a Line 4.2.1 halt: the estimated count landed
+	// inside the acceptance band before the search interval collapsed.
+	HaltedEarly bool
+	// Instances is the number of α-counting instances consumed.
+	Instances int
+	// EstimatedN is the REP COUNTP estimate of the active multiset size.
+	EstimatedN float64
+}
+
+// ApxParams tunes the Fig. 2 search. Zero fields take defaults.
+type ApxParams struct {
+	// Epsilon is the desired failure probability ε (default 0.25).
+	Epsilon float64
+	// RepScaleInit scales the Line 2 repetition count: r = ⌈RepScaleInit·q⌉
+	// with q = log(M−m)/ε. Corollary 4.2's proof uses r = 2q (default 2).
+	RepScaleInit float64
+	// RepScaleIter scales the Line 4.1 repetition count. The conference
+	// text renders it "⌈32q⌉"; Lemma 4.3's bound of 1/(6q) is exactly
+	// Lemma 4.1 with r = 6q and t = σ, so we read it as 3·2q = 6q
+	// (default 6). Raising it only sharpens the guarantee.
+	RepScaleIter float64
+}
+
+func (p ApxParams) withDefaults() ApxParams {
+	if p.Epsilon <= 0 {
+		p.Epsilon = 0.25
+	}
+	if p.RepScaleInit <= 0 {
+		p.RepScaleInit = 2
+	}
+	if p.RepScaleIter <= 0 {
+		p.RepScaleIter = 6
+	}
+	return p
+}
+
+// ApxMedian computes an (α, β)-median (Definition 2.4) with α = 3σ and
+// β = 1/N, with probability at least 1−ε (Theorem 4.5). Requires the net's
+// α-counting protocol to satisfy α_c < σ/2.
+func ApxMedian(net Net, params ApxParams) (ApxResult, error) {
+	return apxSelect(net, Linear, params, medianRank)
+}
+
+// ApxOrderStatistic computes a k (α, β)-order statistic (Theorem 4.6):
+// Fig. 2 with the "1/2" expressions replaced by k/N. k is a real rank in
+// [1, N] — real because APX MEDIAN2 adjusts k by approximate counts.
+func ApxOrderStatistic(net Net, params ApxParams, k float64) (ApxResult, error) {
+	if k < 0 {
+		return ApxResult{}, fmt.Errorf("core: negative rank %g", k)
+	}
+	return apxSelect(net, Linear, params, k)
+}
+
+// apxOrderStatisticIn runs the Fig. 2 search over the chosen domain —
+// APX MEDIAN2 uses the log domain (X̂ values).
+func apxOrderStatisticIn(net Net, d Domain, params ApxParams, k float64) (ApxResult, error) {
+	return apxSelect(net, d, params, k)
+}
+
+// medianRank asks apxSelect for the N/2 rank without needing N.
+const medianRank = -1
+
+// errBandTooWide reports σ too large for the Fig. 2 decision thresholds.
+var errBandTooWide = errors.New("core: α_c+σ ≥ 1/2 — increase sketch registers (the Fig. 2 band must leave room below the target fraction)")
+
+func apxSelect(net Net, d Domain, params ApxParams, k float64) (ApxResult, error) {
+	params = params.withDefaults()
+	var res ApxResult
+	sigma := net.ApxSigma()
+	alphaC := net.ApxAlpha()
+	if alphaC >= sigma/2 {
+		return res, fmt.Errorf("core: α_c=%g not < σ/2=%g (Section 4 requirement)", alphaC, sigma/2)
+	}
+	band := alphaC + sigma
+
+	// Line 1: MIN and MAX protocols.
+	lo, hi, ok := net.MinMax(d)
+	if !ok {
+		return res, ErrEmpty
+	}
+	if lo == hi {
+		res.Value = lo
+		return res, nil
+	}
+
+	// Line 2: q ← log(M−m)/ε; n ← REP COUNTP(⌈2q⌉, TRUE).
+	q := math.Log2(float64(hi-lo)) / params.Epsilon
+	if q < 1 {
+		q = 1
+	}
+	rInit := int(math.Ceil(params.RepScaleInit * q))
+	rIter := int(math.Ceil(params.RepScaleIter * q))
+	n := RepCount(net, d, wire.True(), rInit)
+	res.Instances += rInit
+	res.EstimatedN = n
+	if n <= 0 {
+		return res, ErrEmpty
+	}
+
+	// Target fraction: 1/2 for the median, k/N for order statistics
+	// (Theorem 4.6 replaces the "1/2" expressions by k/N).
+	frac := 0.5
+	if k != medianRank {
+		frac = k / n
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+	}
+	if frac-band < 0 && frac+band > 1 {
+		return res, errBandTooWide
+	}
+
+	// Line 3: y ← (M+m)/2; z ← 2^(⌈log(M−m)⌉−1). Doubled arithmetic as in
+	// the deterministic search.
+	y2 := int64(lo) + int64(hi)
+	z2 := int64(1) << ceilLog2(hi-lo)
+
+	// Line 4: tolerant binary search.
+	for z2 > 1 {
+		res.Iterations++
+		c := repCountLess(net, d, y2, rIter)
+		res.Instances += rIter
+		switch {
+		case c < n*(frac-band): // Line 4.2
+			y2 += z2 / 2
+		case c >= n*(frac+band): // Line 4.2.1 step
+			y2 -= z2 / 2
+		default: // Line 4.2.1 halt: estimate inside the acceptance band
+			res.HaltedEarly = true
+			res.Value = clampValue(floorDiv(y2, 2))
+			return res, nil
+		}
+		z2 /= 2 // Line 4.3
+	}
+
+	// Line 5: output ⌊y⌋.
+	res.Value = clampValue(floorDiv(y2, 2))
+	return res, nil
+}
+
+// repCountLess estimates ℓ(y) for doubled midpoint y2 via REP COUNTP with r
+// repetitions (same threshold normalization and domain clamping as the
+// deterministic search).
+func repCountLess(net Net, d Domain, y2 int64, r int) float64 {
+	t := floorDiv(y2+1, 2)
+	if t <= 0 {
+		return 0
+	}
+	// In the log domain thresholds range over [0, log2(X)+1].
+	max := int64(net.MaxX()) + 1
+	if d == LogDomain {
+		max = int64(Log2Floor(net.MaxX())) + 1
+	}
+	if t > max {
+		t = max
+	}
+	return RepCount(net, d, wire.Less(uint64(t)), r)
+}

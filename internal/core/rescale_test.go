@@ -1,0 +1,95 @@
+package core
+
+import (
+	randv1 "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Properties of the Fig. 4 line 3.2 stretch, which Theorem 4.7's precision
+// argument rests on ("the difference between any two distinct values is at
+// least doubled with each additional iteration").
+
+func TestRescaleValueRange(t *testing.T) {
+	// Outputs stay in [1, X] for inputs within the window.
+	check := func(xSeed, loSeed uint16, widthSeed uint8, maxXSeed uint16) bool {
+		maxX := uint64(maxXSeed) + 2
+		width := uint64(widthSeed) % maxX
+		lo := uint64(loSeed)
+		x := lo + uint64(xSeed)%(width+1) // x in [lo, lo+width]
+		got := RescaleValue(x, lo, width, maxX)
+		return got >= 1 && got <= maxX
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: randv1.New(randv1.NewSource(21))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRescaleValueMonotone(t *testing.T) {
+	// Order-preserving: the rank structure the k-adjustment depends on.
+	check := func(aSeed, bSeed uint16, widthSeed uint8, maxXSeed uint16) bool {
+		maxX := uint64(maxXSeed) + 2
+		width := uint64(widthSeed) % maxX
+		lo := uint64(1000)
+		a := lo + uint64(aSeed)%(width+1)
+		b := lo + uint64(bSeed)%(width+1)
+		if a > b {
+			a, b = b, a
+		}
+		return RescaleValue(a, lo, width, maxX) <= RescaleValue(b, lo, width, maxX)
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: randv1.New(randv1.NewSource(22))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRescaleValueGapGrowth(t *testing.T) {
+	// When the window is a binade (width 2^µ̂−1 ≤ (X−1)/2, which holds for
+	// every binade below the top of the domain), distinct values move at
+	// least twice as far apart — the doubling step of the Theorem 4.7
+	// precision argument.
+	const maxX = 1 << 20
+	for _, width := range []uint64{1, 3, 255, maxX/2 - 1} {
+		lo := uint64(777)
+		for a := lo; a < lo+width; a += width/7 + 1 {
+			b := a + 1
+			ra := RescaleValue(a, lo, width, maxX)
+			rb := RescaleValue(b, lo, width, maxX)
+			if rb < ra+2 {
+				t.Errorf("width %d: gap(%d,%d) -> (%d,%d) did not double", width, a, b, ra, rb)
+			}
+		}
+	}
+}
+
+func TestRescaleValueInjectiveOnWindow(t *testing.T) {
+	const maxX = 4096
+	lo, width := uint64(512), uint64(511)
+	seen := make(map[uint64]uint64)
+	for x := lo; x <= lo+width; x++ {
+		y := RescaleValue(x, lo, width, maxX)
+		if prev, ok := seen[y]; ok {
+			t.Fatalf("collision: %d and %d both map to %d", prev, x, y)
+		}
+		seen[y] = x
+	}
+}
+
+func TestRescaleValueZeroWidth(t *testing.T) {
+	if got := RescaleValue(5, 5, 0, 100); got != 1 {
+		t.Errorf("zero-width window: got %d, want 1", got)
+	}
+}
+
+func TestRescaleEndpoints(t *testing.T) {
+	const maxX = 1 << 12
+	lo, width := uint64(64), uint64(63) // binade [64, 127]
+	if got := RescaleValue(lo, lo, width, maxX); got != 1 {
+		t.Errorf("window low end: got %d, want 1", got)
+	}
+	if got := RescaleValue(lo+width, lo, width, maxX); got != maxX {
+		t.Errorf("window high end: got %d, want %d", got, maxX)
+	}
+}

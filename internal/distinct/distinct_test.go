@@ -1,0 +1,174 @@
+package distinct
+
+import (
+	"math"
+	"testing"
+
+	"sensoragg/internal/core"
+	"sensoragg/internal/loglog"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/spantree"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/workload"
+)
+
+const maxX = 1 << 12
+
+func TestExactMatchesGroundTruth(t *testing.T) {
+	for _, kind := range []workload.Kind{workload.Uniform, workload.FewDistinct, workload.Constant} {
+		t.Run(string(kind), func(t *testing.T) {
+			g := topology.Grid(10, 10)
+			values := workload.Generate(kind, g.N(), maxX, 3)
+			nw := netsim.New(g, values, maxX)
+			res, err := Exact(spantree.NewFast(nw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := uint64(core.TrueDistinct(values)); res.Distinct != want {
+				t.Errorf("distinct = %d, want %d", res.Distinct, want)
+			}
+		})
+	}
+}
+
+func TestInsertUnique(t *testing.T) {
+	set := []uint64{}
+	for _, v := range []uint64{5, 1, 9, 5, 1, 3} {
+		set = insertUnique(set, v)
+	}
+	want := []uint64{1, 3, 5, 9}
+	if len(set) != len(want) {
+		t.Fatalf("set = %v", set)
+	}
+	for i := range want {
+		if set[i] != want[i] {
+			t.Fatalf("set = %v, want %v", set, want)
+		}
+	}
+}
+
+func TestApproximateAccuracy(t *testing.T) {
+	g := topology.Grid(32, 32)
+	values := workload.Generate(workload.Uniform, g.N(), 1<<20, 5)
+	truth := float64(core.TrueDistinct(values))
+	nw := netsim.New(g, values, 1<<20)
+	res, err := Approximate(spantree.NewFast(nw), 8, loglog.EstHLL, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Estimate-truth)/truth > 4*res.Sigma {
+		t.Errorf("estimate %.0f vs truth %.0f beyond 4σ (σ=%.3f)", res.Estimate, truth, res.Sigma)
+	}
+}
+
+func TestApproximateDuplicateHeavy(t *testing.T) {
+	// 16 distinct values among 400 items: small-range correction territory.
+	g := topology.Grid(20, 20)
+	values := workload.Generate(workload.FewDistinct, g.N(), maxX, 6)
+	truth := float64(core.TrueDistinct(values))
+	nw := netsim.New(g, values, maxX)
+	res, err := Approximate(spantree.NewFast(nw), 8, loglog.EstHLL, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Estimate-truth) > 6 {
+		t.Errorf("duplicate-heavy estimate %.1f vs truth %.0f", res.Estimate, truth)
+	}
+}
+
+// TestExactCostLinearApproxFlat is the Section 5 dichotomy: exact cost per
+// node grows linearly in n, sketch cost stays flat.
+func TestExactCostLinearApproxFlat(t *testing.T) {
+	perNode := func(n int, sketchP int) int64 {
+		g := topology.Line(n)
+		values := make([]uint64, n)
+		for i := range values {
+			values[i] = uint64(i) // all distinct: worst case for exact
+		}
+		nw := netsim.New(g, values, uint64(n))
+		if sketchP < 0 {
+			res, err := Exact(spantree.NewFast(nw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = res
+		} else {
+			if _, err := Approximate(spantree.NewFast(nw), sketchP, loglog.EstHLL, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return nw.Meter.MaxPerNode()
+	}
+	e128, e512 := perNode(128, -1), perNode(512, -1)
+	if ratio := float64(e512) / float64(e128); ratio < 3 {
+		t.Errorf("exact cost ratio %.2f, want ≈ 4 (linear)", ratio)
+	}
+	a128, a512 := perNode(128, 6), perNode(512, 6)
+	if ratio := float64(a512) / float64(a128); ratio > 1.3 {
+		t.Errorf("sketch cost ratio %.2f, want ≈ 1 (flat)", ratio)
+	}
+}
+
+func TestDisjointnessExactAlwaysCorrect(t *testing.T) {
+	h := DisjointnessHarness{SetSize: 64, SketchP: -1, Seed: 11}
+	acc, cut, err := h.Accuracy(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Errorf("exact protocol accuracy %.2f, want 1", acc)
+	}
+	if cut == 0 {
+		t.Error("no cut communication measured")
+	}
+}
+
+func TestDisjointnessExactCutGrowsLinearly(t *testing.T) {
+	cut := func(n int) float64 {
+		h := DisjointnessHarness{SetSize: n, SketchP: -1, Seed: 3}
+		_, c, err := h.Accuracy(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c64, c256 := cut(64), cut(256)
+	if ratio := c256 / c64; ratio < 3 {
+		t.Errorf("cut bits ratio %.2f for 4x n, want ≈ 4 (Theorem 5.1)", ratio)
+	}
+}
+
+func TestDisjointnessSketchCheapButUnreliable(t *testing.T) {
+	// The approximate protocol pushes O(m log log n) bits across the cut —
+	// but cannot separate 2n from 2n−1, so its decisions approach chance on
+	// one side. (This is the Section 5 closing remark: an approximation
+	// that is exact with significant probability would still need Ω(n).)
+	h := DisjointnessHarness{SetSize: 512, SketchP: 4, Seed: 7}
+	exact := DisjointnessHarness{SetSize: 512, SketchP: -1, Seed: 7}
+	_, sketchCut, err := h.Accuracy(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, exactCut, err := exact.Accuracy(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sketchCut*4 > exactCut {
+		t.Errorf("sketch cut %.0f not ≪ exact cut %.0f", sketchCut, exactCut)
+	}
+	// Run many instances: the sketch must misdecide a nontrivial fraction.
+	acc, _, err := h.Accuracy(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc > 0.9 {
+		t.Errorf("sketch decided 2SD with accuracy %.2f — should be near chance on the 1-element gap", acc)
+	}
+}
+
+func TestHarnessValidation(t *testing.T) {
+	h := DisjointnessHarness{SetSize: 1, SketchP: -1}
+	if _, err := h.Run(true); err == nil {
+		t.Error("tiny set size accepted")
+	}
+}

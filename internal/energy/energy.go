@@ -1,0 +1,110 @@
+// Package energy converts the simulator's bit meters into battery terms —
+// the paper's opening motivation made quantitative: "the largest power
+// consumption is due to communication (sending or receiving a small message
+// may consume as much power as a thousand processing cycles)" (§1).
+//
+// The model is deliberately simple and standard for mote-class hardware:
+// a per-bit energy for transmit and receive plus a per-message overhead
+// (preamble/turnaround), applied to each node's meter. Network lifetime is
+// measured the way the sensor literature does: queries until the first
+// node (usually the one next to the root) exhausts its budget.
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/topology"
+)
+
+// Model holds the radio energy parameters.
+type Model struct {
+	// TxPerBit and RxPerBit are joules per bit sent / received.
+	TxPerBit float64
+	// PerMessage is the fixed per-transmission overhead in joules
+	// (preamble, radio wake/turnaround).
+	RxPerBit   float64
+	PerMessage float64
+	// Battery is each node's energy budget in joules.
+	Battery float64
+}
+
+// MoteDefaults returns parameters in the range of classic mote radios
+// (CC2420-class: ~230 nJ/bit at 250 kbps for both directions, ~0.1 mJ
+// per-message overhead) with a 2×AA-class 10 kJ battery derated to a 1%
+// radio duty budget.
+func MoteDefaults() Model {
+	return Model{
+		TxPerBit:   230e-9,
+		RxPerBit:   230e-9,
+		PerMessage: 1e-4,
+		Battery:    100, // joules available for the radio
+	}
+}
+
+// NodeEnergy returns the energy node u has spent according to the meter.
+func (m Model) NodeEnergy(meter *netsim.Meter, u topology.NodeID) float64 {
+	return float64(meter.SentBits[u])*m.TxPerBit +
+		float64(meter.RecvBits[u])*m.RxPerBit +
+		float64(meter.Messages[u])*m.PerMessage
+}
+
+// Hottest returns the node spending the most energy and its expenditure.
+func (m Model) Hottest(meter *netsim.Meter) (topology.NodeID, float64) {
+	var worst topology.NodeID
+	var max float64
+	for u := range meter.SentBits {
+		if e := m.NodeEnergy(meter, topology.NodeID(u)); e > max {
+			max = e
+			worst = topology.NodeID(u)
+		}
+	}
+	return worst, max
+}
+
+// Lifetime estimates how many repetitions of the metered workload the
+// network survives before the hottest node's battery is exhausted. The
+// meter should contain exactly one query (snapshot/diff by the caller).
+func (m Model) Lifetime(meter *netsim.Meter) (queries float64, bottleneck topology.NodeID, err error) {
+	u, perQuery := m.Hottest(meter)
+	if perQuery <= 0 {
+		return 0, 0, fmt.Errorf("energy: meter records no communication")
+	}
+	return m.Battery / perQuery, u, nil
+}
+
+// TotalEnergy returns the network-wide energy of the metered traffic.
+func (m Model) TotalEnergy(meter *netsim.Meter) float64 {
+	var total float64
+	for u := range meter.SentBits {
+		total += m.NodeEnergy(meter, topology.NodeID(u))
+	}
+	return total
+}
+
+// FormatJoules renders an energy value with a sensible SI prefix.
+func FormatJoules(j float64) string {
+	switch {
+	case j <= 0:
+		return "0 J"
+	case j < 1e-6:
+		return fmt.Sprintf("%.1f nJ", j*1e9)
+	case j < 1e-3:
+		return fmt.Sprintf("%.1f µJ", j*1e6)
+	case j < 1:
+		return fmt.Sprintf("%.1f mJ", j*1e3)
+	default:
+		return fmt.Sprintf("%.1f J", j)
+	}
+}
+
+// Years converts a query budget at a fixed query period into years of
+// operation (for lifetime reports).
+func Years(queries float64, periodSeconds float64) float64 {
+	const secondsPerYear = 365.25 * 24 * 3600
+	if math.IsInf(queries, 1) {
+		return math.Inf(1)
+	}
+	return queries * periodSeconds / secondsPerYear
+}

@@ -1,0 +1,161 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"sensoragg/internal/agg"
+	"sensoragg/internal/baseline"
+	"sensoragg/internal/core"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/spantree"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/workload"
+)
+
+func TestNodeEnergyArithmetic(t *testing.T) {
+	m := Model{TxPerBit: 2, RxPerBit: 3, PerMessage: 10, Battery: 1000}
+	meter := netsim.NewMeter(3)
+	meter.Charge(0, 1, 5) // node0: 5 tx bits + 1 msg; node1: 5 rx bits
+	if got := m.NodeEnergy(meter, 0); got != 5*2+10 {
+		t.Errorf("sender energy = %g, want 20", got)
+	}
+	if got := m.NodeEnergy(meter, 1); got != 5*3 {
+		t.Errorf("receiver energy = %g, want 15", got)
+	}
+	if got := m.TotalEnergy(meter); got != 20+15 {
+		t.Errorf("total = %g", got)
+	}
+}
+
+func TestHottestAndLifetime(t *testing.T) {
+	m := Model{TxPerBit: 1, RxPerBit: 1, PerMessage: 0, Battery: 100}
+	meter := netsim.NewMeter(3)
+	meter.Charge(0, 1, 10)
+	meter.Charge(2, 1, 30) // node1 receives 40 total: hottest
+	u, e := m.Hottest(meter)
+	if u != 1 || e != 40 {
+		t.Fatalf("hottest = node %d at %g", u, e)
+	}
+	q, b, err := m.Lifetime(meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 1 || q != 100.0/40 {
+		t.Errorf("lifetime = %g queries at node %d", q, b)
+	}
+}
+
+func TestLifetimeEmptyMeter(t *testing.T) {
+	m := MoteDefaults()
+	if _, _, err := m.Lifetime(netsim.NewMeter(2)); err == nil {
+		t.Error("empty meter should error")
+	}
+}
+
+// lifetimeOf runs one query of the chosen protocol and returns the model's
+// query budget until first node death.
+func lifetimeOf(t *testing.T, m Model, n int, collectAll bool) float64 {
+	t.Helper()
+	side := 1
+	for (side+1)*(side+1) <= n {
+		side++
+	}
+	g := topology.Grid(side, side)
+	maxX := uint64(4 * n)
+	values := workload.Generate(workload.Uniform, g.N(), maxX, 7)
+	nw := netsim.New(g, values, maxX, netsim.WithSeed(7))
+	if collectAll {
+		if _, err := baseline.CollectAllMedian(spantree.NewFast(nw)); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		net := agg.NewNet(spantree.NewFast(nw))
+		if _, err := core.Median(net); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, _, err := m.Lifetime(nw.Meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestMedianOutlivesCollectAll: the paper's pitch in battery units under
+// the paper's own cost model (bits dominate; no per-message overhead) —
+// the Fig. 1 median sustains more queries before first node death than raw
+// collection, and the gap grows with N.
+func TestMedianOutlivesCollectAll(t *testing.T) {
+	m := MoteDefaults()
+	m.PerMessage = 0 // the paper's §2.1 measure: bits only
+	for _, n := range []int{256, 4096} {
+		med := lifetimeOf(t, m, n, false)
+		all := lifetimeOf(t, m, n, true)
+		if med <= all {
+			t.Errorf("N=%d: median lifetime %.0f not above collect-all %.0f", n, med, all)
+		}
+	}
+	r256 := lifetimeOf(t, m, 256, false) / lifetimeOf(t, m, 256, true)
+	r4096 := lifetimeOf(t, m, 4096, false) / lifetimeOf(t, m, 4096, true)
+	if r4096 <= r256 {
+		t.Errorf("lifetime advantage did not grow: %.2fx at 256 vs %.2fx at 4096", r256, r4096)
+	}
+}
+
+// TestPerMessageOverheadShiftsCrossover documents a real deployment effect
+// the paper's bit-only measure abstracts away: with a mote-class
+// per-message overhead (preamble/turnaround), the multi-pass binary
+// search's many small messages cost more than its bit savings at small N —
+// message-count efficiency is a separate axis from bit efficiency.
+func TestPerMessageOverheadShiftsCrossover(t *testing.T) {
+	m := MoteDefaults() // PerMessage = 0.1 mJ
+	med := lifetimeOf(t, m, 256, false)
+	all := lifetimeOf(t, m, 256, true)
+	if med >= all {
+		t.Skipf("overhead did not dominate at N=256 on this parameterization (median %.0f vs collect-all %.0f)", med, all)
+	}
+	// With overhead zeroed the ordering must flip back.
+	m.PerMessage = 0
+	med0 := lifetimeOf(t, m, 256, false)
+	all0 := lifetimeOf(t, m, 256, true)
+	if med0 <= all0 {
+		t.Errorf("bits-only model: median %.0f should outlive collect-all %.0f", med0, all0)
+	}
+}
+
+func TestFormatJoules(t *testing.T) {
+	tests := []struct {
+		j    float64
+		want string
+	}{
+		{0, "0 J"},
+		{5e-9, "5.0 nJ"},
+		{2.5e-6, "2.5 µJ"},
+		{3e-3, "3.0 mJ"},
+		{7, "7.0 J"},
+	}
+	for _, tt := range tests {
+		if got := FormatJoules(tt.j); got != tt.want {
+			t.Errorf("FormatJoules(%g) = %q, want %q", tt.j, got, tt.want)
+		}
+	}
+}
+
+func TestYears(t *testing.T) {
+	// 1 query/hour, budget of 365.25*24 queries = 1 year.
+	q := 365.25 * 24
+	if y := Years(q, 3600); y < 0.99 || y > 1.01 {
+		t.Errorf("Years = %g, want 1", y)
+	}
+}
+
+func TestMoteDefaultsSane(t *testing.T) {
+	m := MoteDefaults()
+	if m.TxPerBit <= 0 || m.RxPerBit <= 0 || m.Battery <= 0 {
+		t.Error("defaults must be positive")
+	}
+	if s := FormatJoules(m.TxPerBit); !strings.Contains(s, "nJ") {
+		t.Errorf("per-bit energy should be nanojoule-scale, got %s", s)
+	}
+}

@@ -1,0 +1,103 @@
+// Package epoch runs continuous queries — the TAG [9] operating mode the
+// paper's one-shot protocols slot into: the root re-evaluates a standing
+// query every epoch while the sensed values drift, and the per-epoch
+// communication drains each node's battery. The runner re-samples item
+// values between epochs, executes the standing statement, and tracks
+// cumulative energy against the radio model, reporting when (and where)
+// the network would die.
+package epoch
+
+import (
+	"fmt"
+
+	"sensoragg/internal/agg"
+	"sensoragg/internal/energy"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/query"
+	"sensoragg/internal/topology"
+)
+
+// UpdateFunc produces node u's fresh reading for an epoch, given its
+// previous reading — the sensor drift model.
+type UpdateFunc func(epoch int, node topology.NodeID, prev uint64) uint64
+
+// Record is one epoch's outcome.
+type Record struct {
+	Epoch int
+	// Value is the query answer this epoch.
+	Value float64
+	// MaxPerNode is the epoch's communication, paper measure.
+	MaxPerNode int64
+	// HottestEnergy is the cumulative energy of the most-drained node.
+	HottestEnergy float64
+}
+
+// Runner executes a standing query across epochs.
+type Runner struct {
+	// Net is the network's primitive-protocol provider.
+	Net *agg.Net
+	// Statement is the standing query (parsed once).
+	Statement string
+	// Update refreshes readings between epochs; nil keeps values fixed.
+	Update UpdateFunc
+	// Model prices the communication; zero value uses MoteDefaults.
+	Model energy.Model
+}
+
+// Run executes `epochs` rounds and returns the per-epoch records. It stops
+// early with the records so far if the hottest node's battery is exhausted.
+func (r *Runner) Run(epochs int) ([]Record, error) {
+	if r.Net == nil {
+		return nil, fmt.Errorf("epoch: Runner.Net is nil")
+	}
+	model := r.Model
+	if model == (energy.Model{}) {
+		model = energy.MoteDefaults()
+	}
+	q, err := query.Parse(r.Statement)
+	if err != nil {
+		return nil, fmt.Errorf("epoch: parsing standing query: %w", err)
+	}
+	nw := r.Net.Network()
+	records := make([]Record, 0, epochs)
+
+	for e := 0; e < epochs; e++ {
+		if r.Update != nil {
+			r.applyUpdate(nw, e)
+		}
+		before := nw.Meter.Snapshot()
+		res, err := query.Run(r.Net, q)
+		if err != nil {
+			return records, fmt.Errorf("epoch %d: %w", e, err)
+		}
+		d := nw.Meter.Since(before)
+		_, hottest := model.Hottest(nw.Meter)
+		records = append(records, Record{
+			Epoch:         e,
+			Value:         res.Value,
+			MaxPerNode:    d.MaxPerNode,
+			HottestEnergy: hottest,
+		})
+		if hottest >= model.Battery {
+			break // first node death: the network partition event
+		}
+	}
+	return records, nil
+}
+
+// applyUpdate refreshes every node's readings in place. New readings are
+// sensing, not communication: no charge.
+func (r *Runner) applyUpdate(nw *netsim.Network, e int) {
+	for _, nd := range nw.Nodes {
+		for i := range nd.Items {
+			it := &nd.Items[i]
+			next := r.Update(e, nd.ID, it.Orig)
+			if next > nw.MaxX {
+				next = nw.MaxX
+			}
+			it.Orig = next
+			it.Cur = next
+			it.Active = true
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package epoch
+
+import (
+	"testing"
+
+	"sensoragg/internal/agg"
+	"sensoragg/internal/core"
+	"sensoragg/internal/energy"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/spantree"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/workload"
+)
+
+func runner(t *testing.T, stmt string, update UpdateFunc) (*Runner, *netsim.Network) {
+	t.Helper()
+	const maxX = 1 << 10
+	g := topology.Grid(8, 8)
+	values := workload.Generate(workload.Uniform, g.N(), maxX, 3)
+	nw := netsim.New(g, values, maxX, netsim.WithSeed(3))
+	return &Runner{
+		Net:       agg.NewNet(spantree.NewFast(nw)),
+		Statement: stmt,
+		Update:    update,
+	}, nw
+}
+
+func TestRunStaticValues(t *testing.T) {
+	r, nw := runner(t, "SELECT median(value)", nil)
+	records, err := r.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 5 {
+		t.Fatalf("got %d records", len(records))
+	}
+	want := float64(core.TrueMedian(core.SortedCopy(nw.AllItems())))
+	for _, rec := range records {
+		if rec.Value != want {
+			t.Errorf("epoch %d: value %g, want %g", rec.Epoch, rec.Value, want)
+		}
+		if rec.MaxPerNode == 0 {
+			t.Errorf("epoch %d charged nothing", rec.Epoch)
+		}
+	}
+	// Energy accumulates monotonically.
+	for i := 1; i < len(records); i++ {
+		if records[i].HottestEnergy <= records[i-1].HottestEnergy {
+			t.Errorf("energy did not accumulate: %g then %g",
+				records[i-1].HottestEnergy, records[i].HottestEnergy)
+		}
+	}
+}
+
+func TestRunWithDrift(t *testing.T) {
+	// Every epoch adds 50 to every reading: the median must track it.
+	r, _ := runner(t, "SELECT median(value)", func(e int, node topology.NodeID, prev uint64) uint64 {
+		return prev + 50
+	})
+	records, err := r.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(records); i++ {
+		if records[i].Value <= records[i-1].Value {
+			t.Errorf("median did not drift upward: %g then %g", records[i-1].Value, records[i].Value)
+		}
+	}
+}
+
+func TestRunStopsAtFirstNodeDeath(t *testing.T) {
+	r, _ := runner(t, "SELECT count(value)", nil)
+	r.Model = energy.MoteDefaults()
+	r.Model.Battery = 1e-3 // tiny: dies within a couple of epochs
+	records, err := r.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) >= 1000 {
+		t.Errorf("runner did not stop at battery exhaustion (%d epochs)", len(records))
+	}
+	last := records[len(records)-1]
+	if last.HottestEnergy < r.Model.Battery {
+		t.Errorf("stopped early at %g J with battery %g J", last.HottestEnergy, r.Model.Battery)
+	}
+}
+
+func TestRunBadStatement(t *testing.T) {
+	r, _ := runner(t, "SELECT nope(value)", nil)
+	if _, err := r.Run(1); err == nil {
+		t.Error("bad statement should error")
+	}
+}
+
+func TestRunNilNet(t *testing.T) {
+	r := &Runner{Statement: "SELECT count(value)"}
+	if _, err := r.Run(1); err == nil {
+		t.Error("nil net should error")
+	}
+}
+
+func TestUpdateClampsToDomain(t *testing.T) {
+	r, nw := runner(t, "SELECT max(value)", func(e int, node topology.NodeID, prev uint64) uint64 {
+		return 1 << 60 // way out of domain: must clamp to maxX
+	})
+	records, err := r.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records[0].Value != float64(nw.MaxX) {
+		t.Errorf("max = %g, want clamped %d", records[0].Value, nw.MaxX)
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sensoragg/internal/agg"
+	"sensoragg/internal/baseline"
+	"sensoragg/internal/core"
+	"sensoragg/internal/energy"
+	"sensoragg/internal/gk"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/qdigest"
+	"sensoragg/internal/sampling"
+	"sensoragg/internal/spantree"
+	"sensoragg/internal/stats"
+	"sensoragg/internal/workload"
+)
+
+// Lifetime is experiment E13 — the paper's §1 motivation in battery units:
+// queries until the first node dies (the hot node next to the root), per
+// median protocol, under a mote-class radio model. Two columns, because
+// the cost model matters: bits-only (the paper's measure) and with a
+// per-message preamble overhead, which penalizes multi-pass protocols.
+func Lifetime(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		ID:     "E13",
+		Title:  "Network lifetime: queries until first node death (mote radio model)",
+		Header: []string{"protocol", "N", "queries (bits-only)", "queries (+msg overhead)", "bottleneck node"},
+	}
+	ns := sizes(cfg, []int{1024, 16384}, 1024)
+	bitsOnly := energy.MoteDefaults()
+	bitsOnly.PerMessage = 0
+	withOverhead := energy.MoteDefaults()
+
+	type protocol struct {
+		name string
+		run  func(nw *netsim.Network) error
+	}
+	protocols := []protocol{
+		{"median (Fig.1)", func(nw *netsim.Network) error {
+			_, err := core.Median(agg.NewNet(spantree.NewFast(nw)))
+			return err
+		}},
+		{"collect-all", func(nw *netsim.Network) error {
+			_, err := baseline.CollectAllMedian(spantree.NewFast(nw))
+			return err
+		}},
+		{"gk-summary(s=24)", func(nw *netsim.Network) error {
+			_, err := gk.MedianProtocol(spantree.NewFast(nw), 24)
+			return err
+		}},
+		{"q-digest(k=16)", func(nw *netsim.Network) error {
+			_, err := qdigest.MedianProtocol(spantree.NewFast(nw), 16)
+			return err
+		}},
+		{"sampling(k=128)", func(nw *netsim.Network) error {
+			_, err := sampling.Median(spantree.NewFast(nw), 128, cfg.Seed)
+			return err
+		}},
+	}
+
+	for _, n := range ns {
+		g := buildGraph(topoGrid, n, cfg.Seed)
+		maxX := uint64(4 * n)
+		values := workload.Generate(workload.Uniform, g.N(), maxX, cfg.Seed)
+		for _, p := range protocols {
+			nw := netsim.New(g, values, maxX, netsim.WithSeed(cfg.Seed))
+			if err := p.run(nw); err != nil {
+				return nil, fmt.Errorf("%s at N=%d: %w", p.name, n, err)
+			}
+			qBits, node, err := bitsOnly.Lifetime(nw.Meter)
+			if err != nil {
+				return nil, fmt.Errorf("%s lifetime: %w", p.name, err)
+			}
+			qOver, _, err := withOverhead.Lifetime(nw.Meter)
+			if err != nil {
+				return nil, fmt.Errorf("%s lifetime: %w", p.name, err)
+			}
+			t.AddRow(p.name, g.N(), qBits, qOver, fmt.Sprintf("node %d", node))
+		}
+	}
+	t.AddNote("Bits-only is the paper's §2.1 measure: the one-pass summaries and Fig. 1 dominate collect-all, and the gap widens with N.")
+	t.AddNote("With a 0.1 mJ per-message preamble, message *count* matters too: the multi-pass Fig. 1 search pays ~2·⌈log X⌉ messages per node per query, which the paper's bit measure abstracts away — an honest limitation of bit-only accounting on real radios.")
+	return t, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"sensoragg/internal/core"
+	"sensoragg/internal/stats"
+	"sensoragg/internal/wire"
+	"sensoragg/internal/workload"
+)
+
+// Primitives is experiment E1 — Fact 2.1: MAX, MIN, COUNT (and TAG's SUM)
+// cost O(log N) bits per node on a bounded-degree spanning tree. The table
+// sweeps N and topology and reports max-per-node bits for each primitive;
+// the fitted (log N)-exponent should be ≈ 1.
+func Primitives(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		ID:     "E1",
+		Title:  "Primitive aggregates (Fact 2.1): bits/node vs N",
+		Header: []string{"topology", "N", "minmax b/node", "count b/node", "sum b/node", "count result"},
+	}
+	ns := sizes(cfg, []int{256, 1024, 4096, 16384, 65536}, 1024)
+	const maxX = 1 << 16
+
+	for _, kind := range []topoKind{topoLine, topoGrid, topoRGG} {
+		var xs, countBits []float64
+		for _, n := range ns {
+			net := simNet(kind, n, workload.Uniform, maxX, cfg.Seed+uint64(n))
+			nw := net.Network()
+			realN := nw.N()
+
+			before := nw.Meter.Snapshot()
+			net.MinMax(core.Linear)
+			mmBits := nw.Meter.Since(before).MaxPerNode
+
+			before = nw.Meter.Snapshot()
+			count := net.Count(core.Linear, wire.True())
+			cBits := nw.Meter.Since(before).MaxPerNode
+
+			before = nw.Meter.Snapshot()
+			net.Sum(core.Linear, wire.True())
+			sBits := nw.Meter.Since(before).MaxPerNode
+
+			if count != uint64(realN) {
+				t.AddNote("FAIL: COUNT on %s N=%d returned %d", kind, realN, count)
+			}
+			t.AddRow(string(kind), realN, mmBits, cBits, sBits, count)
+			xs = append(xs, float64(realN))
+			countBits = append(countBits, float64(cBits))
+		}
+		if len(xs) >= 3 {
+			t.AddNote("%s: COUNT (log N)-exponent ≈ %.2f (Fact 2.1 predicts ≈ 1)",
+				kind, stats.FitPolyLog(xs, countBits))
+		}
+	}
+	t.AddNote("Expected shape: per-node bits grow logarithmically in N on every topology.")
+	return t, nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sensoragg/internal/core"
+	"sensoragg/internal/stats"
+	"sensoragg/internal/workload"
+)
+
+// DeterministicMedian is experiment E3 — Theorem 3.2: the Fig. 1 binary
+// search computes the exact median with O((log N)^2) bits per node. The
+// sweep varies N and the input distribution; exactness must be 100% and
+// the fitted (log N)-exponent ≈ 2.
+func DeterministicMedian(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		ID:     "E3",
+		Title:  "Deterministic median (Theorem 3.2): bits/node vs N, exactness",
+		Header: []string{"workload", "N", "b/node", "total Kb", "iterations", "exact"},
+	}
+	ns := sizes(cfg, []int{256, 1024, 4096, 16384, 65536, 262144}, 1024)
+	wls := []workload.Kind{workload.Uniform, workload.Zipf, workload.Bimodal, workload.FewDistinct}
+	if cfg.Quick {
+		wls = wls[:2]
+	}
+
+	exactAll := true
+	for _, wl := range wls {
+		var xs, bits []float64
+		for _, n := range ns {
+			// Domain grows with N per the §2.1 assumption log X = O(log N).
+			maxX := uint64(4 * n)
+			net := simNet(topoGrid, n, wl, maxX, cfg.Seed+uint64(n))
+			nw := net.Network()
+
+			before := nw.Meter.Snapshot()
+			res, err := core.Median(net)
+			if err != nil {
+				return nil, fmt.Errorf("median on %s N=%d: %w", wl, n, err)
+			}
+			d := nw.Meter.Since(before)
+
+			sorted := core.SortedCopy(nw.AllItems())
+			exact := core.IsMedian(sorted, res.Value) && res.Value == core.TrueMedian(sorted)
+			exactAll = exactAll && exact
+			t.AddRow(string(wl), nw.N(), d.MaxPerNode, float64(d.TotalBits)/1000, res.Iterations, exact)
+			xs = append(xs, float64(nw.N()))
+			bits = append(bits, float64(d.MaxPerNode))
+		}
+		if len(xs) >= 3 {
+			t.AddNote("%s: (log N)-exponent ≈ %.2f (Theorem 3.2 predicts ≈ 2)", wl, stats.FitPolyLog(xs, bits))
+		}
+	}
+	if exactAll {
+		t.AddNote("Exactness: 100%% across all runs, as the theorem requires.")
+	} else {
+		t.AddNote("FAIL: some runs returned a non-median value.")
+	}
+	return t, nil
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"sensoragg/internal/agg"
+	"sensoragg/internal/baseline"
+	"sensoragg/internal/core"
+	"sensoragg/internal/gk"
+	"sensoragg/internal/gossip"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/qdigest"
+	"sensoragg/internal/sampling"
+	"sensoragg/internal/spantree"
+	"sensoragg/internal/stats"
+	"sensoragg/internal/workload"
+)
+
+// MedianShootout is experiment E9 — the paper's Section 1 comparison as a
+// measured table: every median protocol in the repository on the same
+// input. The shape to verify: collect-all is the per-node-cost outlier
+// (linear); the paper's deterministic search beats the one-pass GK summary
+// for exactness at lower cost; sampling and gossip land in between with
+// approximate answers; APX MEDIAN/APX MEDIAN2 trade enormous constants for
+// N-independence (their asymptotic win — see E6 for the scaling evidence).
+func MedianShootout(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		ID:     "E9",
+		Title:  "Median protocol shoot-out (§1): same input, every protocol",
+		Header: []string{"protocol", "value", "rank err (α)", "exact", "b/node", "total Kb", "paper ref"},
+	}
+	n := 4096
+	if cfg.Quick {
+		n = 1024
+	}
+	maxX := uint64(4 * n)
+	g := buildGraph(topoGrid, n, cfg.Seed)
+	values := workload.Generate(workload.Uniform, g.N(), maxX, cfg.Seed)
+	sorted := core.SortedCopy(values)
+	med := core.TrueMedian(sorted)
+	kMedian := float64(len(values)) / 2
+
+	fresh := func() *netsim.Network {
+		return netsim.New(g, values, maxX, netsim.WithSeed(cfg.Seed+77))
+	}
+	addRow := func(name string, value uint64, d netsim.Delta, ref string) {
+		alpha := core.AlphaNeeded(sorted, kMedian, value)
+		t.AddRow(name, value, alpha, value == med, d.MaxPerNode, float64(d.TotalBits)/1000, ref)
+	}
+
+	// 1. Collect-all (TAG holistic baseline).
+	{
+		nw := fresh()
+		res, err := baseline.CollectAllMedian(spantree.NewFast(nw))
+		if err != nil {
+			return nil, fmt.Errorf("collect-all: %w", err)
+		}
+		addRow("collect-all", res.Value, res.Comm, "TAG [9]")
+	}
+	// 2. Deterministic binary search (the paper, Fig. 1).
+	{
+		nw := fresh()
+		net := agg.NewNet(spantree.NewFast(nw))
+		before := nw.Meter.Snapshot()
+		res, err := core.Median(net)
+		if err != nil {
+			return nil, fmt.Errorf("det median: %w", err)
+		}
+		addRow("median (Fig.1)", res.Value, nw.Meter.Since(before), "Thm 3.2")
+	}
+	// 3. GK summary aggregation.
+	{
+		nw := fresh()
+		res, err := gk.MedianProtocol(spantree.NewFast(nw), 24)
+		if err != nil {
+			return nil, fmt.Errorf("gk: %w", err)
+		}
+		addRow("gk-summary(s=24)", res.Value, res.Comm, "GK [4]")
+	}
+	// 3b. q-digest aggregation (Shrivastava et al., SenSys 2004).
+	{
+		nw := fresh()
+		res, err := qdigest.MedianProtocol(spantree.NewFast(nw), 16)
+		if err != nil {
+			return nil, fmt.Errorf("qdigest: %w", err)
+		}
+		addRow("q-digest(k=16)", res.Value, res.Comm, "SBAS'04")
+	}
+	// 4. Bottom-k sampling.
+	{
+		nw := fresh()
+		res, err := sampling.Median(spantree.NewFast(nw), 128, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("sampling: %w", err)
+		}
+		addRow("sampling(k=128)", res.Value, res.Comm, "Nath [10]")
+	}
+	// 5. Gossip push-sum binary search (on the same grid: mixing is slow,
+	// so give it diameter-scaled rounds).
+	{
+		nw := fresh()
+		rounds := 6 * int(math.Sqrt(float64(g.N())))
+		res, err := gossip.Median(nw, gossip.Params{Rounds: rounds})
+		if err != nil {
+			return nil, fmt.Errorf("gossip: %w", err)
+		}
+		addRow("gossip push-sum", res.Value, res.Comm, "Kempe [6]")
+	}
+	// 6. APX MEDIAN (Fig. 2).
+	{
+		nw := fresh()
+		net := agg.NewNet(spantree.NewFast(nw))
+		before := nw.Meter.Snapshot()
+		res, err := core.ApxMedian(net, core.ApxParams{Epsilon: 0.25})
+		if err != nil {
+			return nil, fmt.Errorf("apx median: %w", err)
+		}
+		addRow("apx-median (Fig.2)", res.Value, nw.Meter.Since(before), "Thm 4.5")
+	}
+	// 7. APX MEDIAN2 (Fig. 4).
+	{
+		nw := fresh()
+		net := agg.NewNet(spantree.NewFast(nw))
+		before := nw.Meter.Snapshot()
+		res, err := core.ApxMedian2(net, core.Apx2Params{Beta: 1.0 / 16, Epsilon: 0.25})
+		if err != nil {
+			return nil, fmt.Errorf("apx median2: %w", err)
+		}
+		addRow("apx-median2 (Fig.4)", res.Value, nw.Meter.Since(before), "Cor 4.8")
+	}
+
+	t.AddNote("True median: %d (N=%d, uniform over [0,%d], grid topology).", med, g.N(), maxX)
+	t.AddNote("Collect-all's b/node is the linear outlier; Fig. 1 is exact at polylog cost; the randomized protocols' constants dominate at this N — their asymptotic advantage is the flatness shown in E6.")
+	return t, nil
+}

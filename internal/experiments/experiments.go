@@ -1,0 +1,157 @@
+// Package experiments regenerates the paper's "evaluation": the paper is a
+// theory note whose results are complexity theorems, so each experiment
+// measures the corresponding protocol on the simulator and checks the
+// predicted *shape* — growth exponents, who wins, where crossovers fall.
+// The experiment IDs (E1–E10) are indexed in DESIGN.md; cmd/experiments
+// renders all tables for EXPERIMENTS.md, and bench_test.go exposes each as
+// a benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"sensoragg/internal/agg"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/spantree"
+	"sensoragg/internal/stats"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/workload"
+)
+
+// Config scales the experiment suite.
+type Config struct {
+	// Quick trims sweeps and trial counts for CI-speed runs.
+	Quick bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Runner produces one experiment table.
+type Runner func(cfg Config) (*stats.Table, error)
+
+// registry maps experiment IDs to runners, in report order.
+var registry = []struct {
+	ID     string
+	Runner Runner
+}{
+	{"E1", Primitives},
+	{"E2", ApxCountAccuracy},
+	{"E3", DeterministicMedian},
+	{"E4", OrderStatistics},
+	{"E5", ApxMedianGuarantee},
+	{"E6", ApxMedian2Scaling},
+	{"E7", CountDistinct},
+	{"E8", Disjointness},
+	{"E9", MedianShootout},
+	{"E10", Duplication},
+	{"E11", SingleHop},
+	{"E12", Ablations},
+	{"E13", Lifetime},
+}
+
+// IDs returns the experiment IDs in report order.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// Lookup returns the runner for an ID (case-sensitive).
+func Lookup(id string) (Runner, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Runner, true
+		}
+	}
+	return nil, false
+}
+
+// RunAll executes every experiment and returns the tables in report order.
+func RunAll(cfg Config) ([]*stats.Table, error) {
+	tables := make([]*stats.Table, 0, len(registry))
+	for _, e := range registry {
+		t, err := e.Runner(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// topoKind names the network shapes the sweeps use.
+type topoKind string
+
+const (
+	topoLine topoKind = "line"
+	topoGrid topoKind = "grid"
+	topoRGG  topoKind = "rgg"
+)
+
+// buildGraph constructs a graph of the given kind with ~n nodes.
+func buildGraph(kind topoKind, n int, seed uint64) *topology.Graph {
+	switch kind {
+	case topoLine:
+		return topology.Line(n)
+	case topoGrid:
+		side := intSqrt(n)
+		return topology.Grid(side, side)
+	case topoRGG:
+		return topology.RandomGeometric(n, 0, seed)
+	default:
+		panic(fmt.Sprintf("experiments: unknown topology %q", kind))
+	}
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+// simNet assembles a simulated network + primitive-protocol provider.
+func simNet(kind topoKind, n int, wl workload.Kind, maxX uint64, seed uint64, opts ...agg.Option) *agg.Net {
+	g := buildGraph(kind, n, seed)
+	values := workload.Generate(wl, g.N(), maxX, seed)
+	nw := netsim.New(g, values, maxX, netsim.WithSeed(seed))
+	return agg.NewNet(spantree.NewFast(nw), opts...)
+}
+
+// sizes returns the N sweep for an experiment: quick mode caps the range.
+func sizes(cfg Config, full []int, quickMax int) []int {
+	if !cfg.Quick {
+		return full
+	}
+	out := make([]int, 0, len(full))
+	for _, n := range full {
+		if n <= quickMax {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, quickMax)
+	}
+	return out
+}
+
+func trials(cfg Config, full, quick int) int {
+	if cfg.Quick {
+		return quick
+	}
+	return full
+}
+
+// sortedFloats converts and sorts uint64 values for ground-truth checks.
+func sortedFloats(values []uint64) []float64 {
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = float64(v)
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment in quick mode end-to-end:
+// each must produce a well-formed table with rows and no FAIL notes.
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1}
+	tables, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(IDs()) {
+		t.Fatalf("got %d tables, want %d", len(tables), len(IDs()))
+	}
+	for i, table := range tables {
+		if table.ID != IDs()[i] {
+			t.Errorf("table %d has ID %s, want %s", i, table.ID, IDs()[i])
+		}
+		if len(table.Rows) == 0 {
+			t.Errorf("%s: no rows", table.ID)
+		}
+		for _, row := range table.Rows {
+			if len(row) != len(table.Header) {
+				t.Errorf("%s: row width %d != header width %d", table.ID, len(row), len(table.Header))
+			}
+		}
+		for _, note := range table.Notes {
+			if strings.Contains(note, "FAIL") {
+				t.Errorf("%s: %s", table.ID, note)
+			}
+		}
+		var sb strings.Builder
+		if err := table.Render(&sb); err != nil {
+			t.Errorf("%s: render: %v", table.ID, err)
+		}
+		if !strings.Contains(sb.String(), table.Title) {
+			t.Errorf("%s: rendered output missing title", table.ID)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, id := range IDs() {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%s) failed", id)
+		}
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Error("Lookup(E99) should fail")
+	}
+}
+
+func TestBuildGraphKinds(t *testing.T) {
+	for _, kind := range []topoKind{topoLine, topoGrid, topoRGG} {
+		g := buildGraph(kind, 100, 1)
+		if g.N() == 0 || !g.Connected() {
+			t.Errorf("%s: bad graph", kind)
+		}
+	}
+}
+
+func TestSizesQuickCaps(t *testing.T) {
+	full := []int{256, 1024, 4096}
+	got := sizes(Config{Quick: true}, full, 1024)
+	for _, n := range got {
+		if n > 1024 {
+			t.Errorf("quick mode produced size %d", n)
+		}
+	}
+	if len(sizes(Config{}, full, 1024)) != 3 {
+		t.Error("full mode truncated sweep")
+	}
+}

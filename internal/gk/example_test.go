@@ -1,0 +1,36 @@
+package gk_test
+
+import (
+	"fmt"
+
+	"sensoragg/internal/gk"
+)
+
+// ExampleStream: the classic streaming summary answering quantiles within
+// εn rank error using sublinear space.
+func ExampleStream() {
+	s := gk.NewStream(0.01)
+	for i := uint64(1); i <= 10_000; i++ {
+		s.Insert(i)
+	}
+	med, err := s.Median()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(med >= 4900 && med <= 5100, s.Size() < 1000)
+	// Output: true true
+}
+
+// ExampleMerge: mergeable rank-interval summaries — merging exact
+// summaries is lossless, pruning trades entries for bounded rank gap.
+func ExampleMerge() {
+	a := gk.FromValues([]uint64{1, 5, 9})
+	b := gk.FromValues([]uint64{2, 6})
+	m := gk.Merge(a, b)
+	med, err := m.Median()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.N, med, m.MaxGap())
+	// Output: 5 5 1
+}

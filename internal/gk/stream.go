@@ -1,0 +1,112 @@
+package gk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream is the classic Greenwald–Khanna streaming ε-approximate quantile
+// summary (SIGMOD 2001): tuples (v, g, Δ) with Σg = n, supporting Insert
+// and Quantile with rank error at most εn using O((1/ε)·log(εn)) space.
+// The zero value is not usable; call NewStream.
+type Stream struct {
+	eps     float64
+	n       uint64
+	tuples  []gkTuple
+	pending int // inserts since last compress
+}
+
+type gkTuple struct {
+	v     uint64
+	g     uint64
+	delta uint64
+}
+
+// NewStream returns an empty GK summary with rank-error parameter eps.
+func NewStream(eps float64) *Stream {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("gk: eps %g out of (0,1)", eps))
+	}
+	return &Stream{eps: eps}
+}
+
+// N returns the number of inserted items.
+func (s *Stream) N() uint64 { return s.n }
+
+// Size returns the number of stored tuples.
+func (s *Stream) Size() int { return len(s.tuples) }
+
+// Insert adds v to the summary.
+func (s *Stream) Insert(v uint64) {
+	idx := sort.Search(len(s.tuples), func(i int) bool { return s.tuples[i].v >= v })
+	var delta uint64
+	if idx != 0 && idx != len(s.tuples) {
+		delta = uint64(math.Floor(2 * s.eps * float64(s.n)))
+	}
+	t := gkTuple{v: v, g: 1, delta: delta}
+	s.tuples = append(s.tuples, gkTuple{})
+	copy(s.tuples[idx+1:], s.tuples[idx:])
+	s.tuples[idx] = t
+	s.n++
+	s.pending++
+	if s.pending >= int(1.0/(2.0*s.eps)) {
+		s.compress()
+		s.pending = 0
+	}
+}
+
+// compress merges adjacent tuples whose combined uncertainty stays within
+// the 2εn budget.
+func (s *Stream) compress() {
+	if len(s.tuples) < 3 {
+		return
+	}
+	budget := uint64(math.Floor(2 * s.eps * float64(s.n)))
+	out := s.tuples[:0]
+	out = append(out, s.tuples[0])
+	for i := 1; i < len(s.tuples); i++ {
+		t := s.tuples[i]
+		last := &out[len(out)-1]
+		// Merge last into t if allowed (never merge the final tuple away —
+		// handled naturally since merging moves mass rightward).
+		if len(out) > 1 && last.g+t.g+t.delta <= budget {
+			t.g += last.g
+			out[len(out)-1] = t
+		} else {
+			out = append(out, t)
+		}
+	}
+	s.tuples = out
+}
+
+// Quantile returns a value whose rank is within εn of φ·n, for φ in [0,1].
+func (s *Stream) Quantile(phi float64) (uint64, error) {
+	if len(s.tuples) == 0 {
+		return 0, fmt.Errorf("gk: quantile of empty summary")
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	target := phi * float64(s.n)
+	allow := s.eps * float64(s.n)
+	var rmin uint64
+	for i, t := range s.tuples {
+		rmin += t.g
+		rmax := rmin + t.delta
+		if float64(rmax) <= target+allow && float64(rmin) >= target-allow {
+			return t.v, nil
+		}
+		if float64(rmax) > target+allow && i > 0 {
+			// Previous tuple was the last safe answer.
+			return s.tuples[i-1].v, nil
+		}
+	}
+	return s.tuples[len(s.tuples)-1].v, nil
+}
+
+// Median returns Quantile(0.5).
+func (s *Stream) Median() (uint64, error) { return s.Quantile(0.5) }

@@ -1,0 +1,204 @@
+// Package gk implements ε-approximate quantile summaries in the
+// Greenwald–Khanna tradition — the deterministic comparator the paper
+// discusses (Greenwald & Khanna, PODS 2004 [4]): order-statistics over
+// sensor networks by merging quantile summaries up the spanning tree, at
+// O((log N)^3)–O((log N)^4) bits per node, versus the paper's O((log N)^2)
+// multi-pass binary search.
+//
+// Two structures are provided:
+//
+//   - Summary: a mergeable rank-interval summary (in the style of mergeable
+//     summaries): entries carry exact [rmin, rmax] rank bounds, merging is
+//     lossless, and pruning trades size for bounded extra rank uncertainty.
+//     This is what the tree protocol ships.
+//   - Stream: the classic GK streaming summary (insert + compress) for
+//     single-node streams, used by examples and as a reference.
+package gk
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one stored value with its rank uncertainty interval: the value's
+// rank in the summarized multiset lies in [RMin, RMax] (1-based).
+type Entry struct {
+	V          uint64
+	RMin, RMax uint64
+}
+
+// Summary is a mergeable quantile summary over a multiset of size N.
+// Entries are sorted by value; the first entry is always a minimum and the
+// last a maximum of the multiset. The zero value is an empty summary.
+type Summary struct {
+	N       uint64
+	Entries []Entry
+}
+
+// FromValues builds an exact summary (every item an entry, rank intervals
+// tight) from an unsorted multiset.
+func FromValues(values []uint64) *Summary {
+	sorted := make([]uint64, len(values))
+	copy(sorted, values)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s := &Summary{N: uint64(len(sorted)), Entries: make([]Entry, len(sorted))}
+	for i, v := range sorted {
+		r := uint64(i + 1)
+		s.Entries[i] = Entry{V: v, RMin: r, RMax: r}
+	}
+	return s
+}
+
+// Clone returns a deep copy.
+func (s *Summary) Clone() *Summary {
+	c := &Summary{N: s.N, Entries: make([]Entry, len(s.Entries))}
+	copy(c.Entries, s.Entries)
+	return c
+}
+
+// MaxGap returns the summary's rank uncertainty: the largest of (a) entry
+// interval widths and (b) rank jumps between consecutive entries. A query
+// answer's rank error is at most MaxGap.
+func (s *Summary) MaxGap() uint64 {
+	if len(s.Entries) == 0 {
+		return 0
+	}
+	var gap uint64
+	prevMax := uint64(0)
+	for _, e := range s.Entries {
+		if w := e.RMax - e.RMin; w > gap {
+			gap = w
+		}
+		if e.RMax > prevMax && e.RMin > prevMax {
+			if j := e.RMin - prevMax; j > gap {
+				gap = j
+			}
+		}
+		prevMax = e.RMax
+	}
+	if s.N > prevMax {
+		if j := s.N - prevMax; j > gap {
+			gap = j
+		}
+	}
+	return gap
+}
+
+// Merge combines two summaries losslessly: the rank interval of an element
+// x from A becomes [rminA(x) + rminB(pred), rmaxA(x) + rmaxB(succ) − 1]
+// where pred/succ are x's neighbours in B (mergeable-summaries formulas).
+// Merging exact summaries yields the exact summary of the union.
+func Merge(a, b *Summary) *Summary {
+	if a.N == 0 {
+		return b.Clone()
+	}
+	if b.N == 0 {
+		return a.Clone()
+	}
+	out := &Summary{N: a.N + b.N, Entries: make([]Entry, 0, len(a.Entries)+len(b.Entries))}
+	i, j := 0, 0
+	for i < len(a.Entries) || j < len(b.Entries) {
+		var take Entry
+		var other *Summary
+		var otherIdx int
+		if j >= len(b.Entries) || (i < len(a.Entries) && a.Entries[i].V <= b.Entries[j].V) {
+			take = a.Entries[i]
+			other, otherIdx = b, j
+			i++
+		} else {
+			take = b.Entries[j]
+			other, otherIdx = a, i
+			j++
+		}
+		// pred: last entry of other with V <= take.V is other.Entries[otherIdx-1]
+		// (otherIdx points at the first not-yet-consumed entry, which has
+		// V >= take.V by the merge order).
+		var rmin, rmax uint64
+		rmin = take.RMin
+		rmax = take.RMax
+		if otherIdx > 0 {
+			rmin += other.Entries[otherIdx-1].RMin
+		}
+		if otherIdx < len(other.Entries) {
+			rmax += other.Entries[otherIdx].RMax - 1
+		} else {
+			rmax += other.N
+		}
+		out.Entries = append(out.Entries, Entry{V: take.V, RMin: rmin, RMax: rmax})
+	}
+	return out
+}
+
+// Prune reduces the summary to at most k entries (k >= 2), keeping the
+// first and last and entries nearest to evenly spaced target ranks. Pruning
+// keeps all remaining intervals valid and increases MaxGap by at most
+// ~N/(k−1).
+func (s *Summary) Prune(k int) {
+	if k < 2 {
+		panic(fmt.Sprintf("gk: prune target %d < 2", k))
+	}
+	if len(s.Entries) <= k {
+		return
+	}
+	kept := make([]Entry, 0, k)
+	kept = append(kept, s.Entries[0])
+	idx := 0
+	for t := 1; t <= k-2; t++ {
+		target := uint64(float64(t) * float64(s.N) / float64(k-1))
+		// Advance to the entry whose interval midpoint is nearest target.
+		best := idx
+		bestDist := rankDist(s.Entries[best], target)
+		for cand := idx + 1; cand < len(s.Entries)-1; cand++ {
+			d := rankDist(s.Entries[cand], target)
+			if d <= bestDist {
+				best, bestDist = cand, d
+			} else if s.Entries[cand].RMin > target {
+				break
+			}
+		}
+		if best > idx {
+			kept = append(kept, s.Entries[best])
+			idx = best
+		}
+	}
+	last := s.Entries[len(s.Entries)-1]
+	if kept[len(kept)-1].V != last.V || kept[len(kept)-1].RMax != last.RMax {
+		kept = append(kept, last)
+	}
+	s.Entries = kept
+}
+
+func rankDist(e Entry, target uint64) uint64 {
+	mid := (e.RMin + e.RMax) / 2
+	if mid > target {
+		return mid - target
+	}
+	return target - mid
+}
+
+// Query returns a value whose rank is within MaxGap of the requested rank
+// (1-based). It picks the entry whose interval midpoint is nearest.
+func (s *Summary) Query(rank uint64) (uint64, error) {
+	if len(s.Entries) == 0 {
+		return 0, fmt.Errorf("gk: query on empty summary")
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.N {
+		rank = s.N
+	}
+	best := s.Entries[0].V
+	bestDist := rankDist(s.Entries[0], rank)
+	for _, e := range s.Entries[1:] {
+		if d := rankDist(e, rank); d < bestDist {
+			best, bestDist = e.V, d
+		}
+	}
+	return best, nil
+}
+
+// Median returns Query(⌈N/2⌉).
+func (s *Summary) Median() (uint64, error) {
+	return s.Query((s.N + 1) / 2)
+}

@@ -1,0 +1,67 @@
+package gossip
+
+import (
+	"sensoragg/internal/bitio"
+	"sensoragg/internal/hashing"
+	"sensoragg/internal/loglog"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/wire"
+)
+
+// Distinct estimates COUNT DISTINCT by gossiping LogLog sketches — the
+// Considine et al. [2] observation operationalized: because sketch merge is
+// idempotent, the same item reaching a node along many gossip paths (or
+// the same sketch delivered twice) cannot distort the estimate, so the
+// protocol needs no spanning tree and no duplicate suppression at all.
+// Every node converges to the global sketch; the root reads the answer.
+//
+// Cost: O(rounds · m · log log n) bits per node — gossip's robustness is
+// bought with a multiplicative O(rounds) over the tree-based sketch
+// protocol of package distinct, which is the comparison experiment E12
+// reports.
+func Distinct(nw *netsim.Network, p int, est loglog.Estimator, seed uint64, params Params) Result {
+	n := nw.N()
+	params = params.withDefaults(n)
+	hasher := hashing.New(seed ^ 0x90551b)
+
+	sketches := make([]*loglog.Sketch, n)
+	for i, nd := range nw.Nodes {
+		sk := loglog.New(p)
+		for _, it := range nd.Items {
+			if it.Active {
+				sk.AddKey(hasher, it.Cur)
+			}
+		}
+		sketches[i] = sk
+	}
+
+	before := nw.Meter.Snapshot()
+	handler := netsim.RoundHandlerFunc(func(nd *netsim.Node, round int, inbox []netsim.GraphMsg) []netsim.GraphMsg {
+		sk := sketches[nd.ID]
+		for _, msg := range inbox {
+			other, err := loglog.DecodeSketch(msg.Payload.Reader(), p)
+			if err != nil {
+				panic("gossip: malformed sketch: " + err.Error())
+			}
+			sk.Merge(other)
+		}
+		if round >= params.Rounds {
+			return nil
+		}
+		nbrs := nw.Graph.Adj[nd.ID]
+		if len(nbrs) == 0 {
+			return nil
+		}
+		target := nbrs[nd.RNG().IntN(len(nbrs))]
+		w := bitio.NewWriter(sk.EncodedBits())
+		sk.AppendTo(w)
+		return []netsim.GraphMsg{{From: nd.ID, To: target, Payload: wire.FromWriter(w)}}
+	})
+	rr := netsim.RunRounds(nw, handler, params.Rounds+1)
+
+	return Result{
+		Estimate: loglog.EstimateWith(sketches[nw.Root()], est),
+		Rounds:   rr.Rounds,
+		Comm:     nw.Meter.Since(before),
+	}
+}

@@ -1,0 +1,53 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"sensoragg/internal/core"
+	"sensoragg/internal/loglog"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/workload"
+)
+
+func TestGossipDistinctConverges(t *testing.T) {
+	g := topology.Complete(128)
+	values := workload.Generate(workload.Uniform, g.N(), 1<<16, 9)
+	nw := netsim.New(g, values, 1<<16, netsim.WithSeed(9))
+	truth := float64(core.TrueDistinct(values))
+
+	res := Distinct(nw, 8, loglog.EstHLL, 9, Params{})
+	sigma := loglog.SigmaOf(loglog.EstHLL, 256)
+	if math.Abs(res.Estimate-truth)/truth > 4*sigma {
+		t.Errorf("gossip distinct %.1f vs truth %.0f beyond 4σ", res.Estimate, truth)
+	}
+	if res.Comm.TotalBits == 0 {
+		t.Error("no communication charged")
+	}
+}
+
+// TestGossipDistinctOnSparseGraph: on a poorly mixing ring the sketch still
+// converges (given enough rounds) because merge is monotone — unlike
+// push-sum mass, sketches cannot overshoot.
+func TestGossipDistinctOnSparseGraph(t *testing.T) {
+	g := topology.Ring(64)
+	values := workload.Generate(workload.FewDistinct, g.N(), 1<<12, 4)
+	nw := netsim.New(g, values, 1<<12, netsim.WithSeed(4))
+	truth := float64(core.TrueDistinct(values))
+
+	res := Distinct(nw, 8, loglog.EstHLL, 4, Params{Rounds: 400})
+	if math.Abs(res.Estimate-truth) > 6 {
+		t.Errorf("ring gossip distinct %.1f vs truth %.0f", res.Estimate, truth)
+	}
+}
+
+func TestGossipDistinctDeterministic(t *testing.T) {
+	g := topology.Complete(32)
+	values := workload.Generate(workload.Uniform, g.N(), 1000, 2)
+	a := Distinct(netsim.New(g, values, 1000, netsim.WithSeed(2)), 6, loglog.EstHLL, 2, Params{})
+	b := Distinct(netsim.New(g, values, 1000, netsim.WithSeed(2)), 6, loglog.EstHLL, 2, Params{})
+	if a.Estimate != b.Estimate {
+		t.Error("same seed, different estimates")
+	}
+}

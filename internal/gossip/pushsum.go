@@ -1,0 +1,213 @@
+// Package gossip implements the push-sum protocol of Kempe, Dobra and
+// Gehrke [6] — the paper's randomized comparator: every node repeatedly
+// splits a (sum, weight) pair with a uniformly random neighbour; after
+// O(log N) rounds (on well-mixing graphs) every node's sum/weight ratio
+// converges to the network average. Counting, summing, and — via repeated
+// counting of threshold indicators — median search all reduce to it.
+//
+// Unlike the tree protocols, gossip needs no spanning tree and tolerates
+// topology churn, but each exchanged pair costs 2·floatBits, and median
+// search multiplies that by O(log X) phases, which is the O((log N)^3)
+// regime the paper cites for [6].
+package gossip
+
+import (
+	"fmt"
+	"math"
+
+	"sensoragg/internal/bitio"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/wire"
+)
+
+// floatBits is the wire width of one fixed-point value in a push-sum
+// message. A 64-bit fixed-point word keeps quantization far below gossip's
+// own convergence error while covering the largest masses the protocol can
+// concentrate (sums up to N·X).
+const floatBits = 64
+
+// fixedScale converts between float64 and the wire fixed-point format.
+const fixedScale = 1 << 22
+
+// Params tunes a push-sum run.
+type Params struct {
+	// Rounds is the number of gossip rounds (default ⌈4·log2 N⌉ + 10).
+	Rounds int
+}
+
+func (p Params) withDefaults(n int) Params {
+	if p.Rounds <= 0 {
+		p.Rounds = 4*int(math.Ceil(math.Log2(float64(n)+1))) + 10
+	}
+	return p
+}
+
+// Result reports a push-sum run.
+type Result struct {
+	// Estimate is the root's estimate of the target quantity.
+	Estimate float64
+	// Rounds is the number of gossip rounds executed.
+	Rounds int
+	// Comm is the communication accrued.
+	Comm netsim.Delta
+}
+
+// pushSumState is a node's (sum, weight) mass.
+type pushSumState struct {
+	s, w float64
+}
+
+// run executes push-sum where node u starts with mass (init[u].s,
+// init[u].w) and returns the root's s/w ratio.
+func run(nw *netsim.Network, init []pushSumState, params Params) Result {
+	n := nw.N()
+	params = params.withDefaults(n)
+	states := make([]pushSumState, n)
+	copy(states, init)
+
+	before := nw.Meter.Snapshot()
+	handler := netsim.RoundHandlerFunc(func(nd *netsim.Node, round int, inbox []netsim.GraphMsg) []netsim.GraphMsg {
+		st := &states[nd.ID]
+		for _, msg := range inbox {
+			r := msg.Payload.Reader()
+			sBits, err := r.ReadBits(floatBits)
+			if err != nil {
+				panic(fmt.Sprintf("gossip: malformed sum: %v", err))
+			}
+			wBits, err := r.ReadBits(floatBits)
+			if err != nil {
+				panic(fmt.Sprintf("gossip: malformed weight: %v", err))
+			}
+			st.s += float64(sBits) / fixedScale
+			st.w += float64(wBits) / fixedScale
+		}
+		if round >= params.Rounds {
+			return nil
+		}
+		// Keep half, send half to a uniformly random neighbour.
+		nbrs := nw.Graph.Adj[nd.ID]
+		if len(nbrs) == 0 {
+			return nil
+		}
+		target := nbrs[nd.RNG().IntN(len(nbrs))]
+		half := pushSumState{s: st.s / 2, w: st.w / 2}
+		st.s -= half.s
+		st.w -= half.w
+		w := bitio.NewWriter(2 * floatBits)
+		w.WriteBits(quantize(half.s), floatBits)
+		w.WriteBits(quantize(half.w), floatBits)
+		return []netsim.GraphMsg{{From: nd.ID, To: target, Payload: wire.FromWriter(w)}}
+	})
+	rr := netsim.RunRounds(nw, handler, params.Rounds+1)
+
+	root := states[nw.Root()]
+	est := 0.0
+	if root.w > 0 {
+		est = root.s / root.w
+	}
+	return Result{Estimate: est, Rounds: rr.Rounds, Comm: nw.Meter.Since(before)}
+}
+
+func quantize(x float64) uint64 {
+	if x < 0 {
+		return 0
+	}
+	const max = float64(^uint64(0))
+	scaled := x*fixedScale + 0.5
+	if scaled >= max {
+		return ^uint64(0)
+	}
+	return uint64(scaled)
+}
+
+// Count estimates N: every node starts with s=1; only the root carries
+// weight. The root's s/w ratio converges to N.
+func Count(nw *netsim.Network, params Params) Result {
+	init := make([]pushSumState, nw.N())
+	for i := range init {
+		init[i] = pushSumState{s: 1}
+	}
+	init[nw.Root()].w = 1
+	return run(nw, init, params)
+}
+
+// Average estimates the mean of the active item values: s = Σ own items,
+// w = item count at every node.
+func Average(nw *netsim.Network, params Params) Result {
+	init := make([]pushSumState, nw.N())
+	for i, nd := range nw.Nodes {
+		for _, it := range nd.Items {
+			if it.Active {
+				init[i].s += float64(it.Cur)
+				init[i].w++
+			}
+		}
+	}
+	return run(nw, init, params)
+}
+
+// Sum estimates Σ values: like Average but only the root carries weight,
+// so s/w at the root converges to the total.
+func Sum(nw *netsim.Network, params Params) Result {
+	init := make([]pushSumState, nw.N())
+	for i, nd := range nw.Nodes {
+		for _, it := range nd.Items {
+			if it.Active {
+				init[i].s += float64(it.Cur)
+			}
+		}
+	}
+	init[nw.Root()].w = 1
+	return run(nw, init, params)
+}
+
+// FractionBelow estimates the fraction of active items with value < t.
+func FractionBelow(nw *netsim.Network, t uint64, params Params) Result {
+	init := make([]pushSumState, nw.N())
+	for i, nd := range nw.Nodes {
+		for _, it := range nd.Items {
+			if it.Active {
+				if it.Cur < t {
+					init[i].s++
+				}
+				init[i].w++
+			}
+		}
+	}
+	return run(nw, init, params)
+}
+
+// MedianResult reports a gossip median search.
+type MedianResult struct {
+	// Value is the approximate median.
+	Value uint64
+	// Phases is the number of binary-search phases (each a push-sum run).
+	Phases int
+	// Comm is the total communication accrued.
+	Comm netsim.Delta
+}
+
+// Median locates the median by binary search on the value domain, running
+// one FractionBelow push-sum per probe — [6]'s approach to order
+// statistics, costing O(log X) full gossip phases.
+func Median(nw *netsim.Network, params Params) (MedianResult, error) {
+	var res MedianResult
+	before := nw.Meter.Snapshot()
+	lo, hi := uint64(0), nw.MaxX
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		res.Phases++
+		frac := FractionBelow(nw, mid+1, params)
+		if frac.Estimate < 0.5 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+		if res.Phases > 64 {
+			return res, fmt.Errorf("gossip: median search did not converge")
+		}
+	}
+	res.Value = lo
+	res.Comm = nw.Meter.Since(before)
+	return res, nil
+}

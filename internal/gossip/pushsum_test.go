@@ -1,0 +1,121 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"sensoragg/internal/core"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/workload"
+)
+
+const maxX = 1 << 10
+
+func network(g *topology.Graph, kind workload.Kind, seed uint64) *netsim.Network {
+	values := workload.Generate(kind, g.N(), maxX, seed)
+	return netsim.New(g, values, maxX, netsim.WithSeed(seed))
+}
+
+func TestCountConverges(t *testing.T) {
+	// Uniform gossip per [6]: complete communication graph, O(log N) mixing.
+	g := topology.Complete(256)
+	nw := network(g, workload.Uniform, 2)
+	res := Count(nw, Params{})
+	n := float64(g.N())
+	if math.Abs(res.Estimate-n)/n > 0.15 {
+		t.Errorf("count estimate %.1f, want ≈ %.0f", res.Estimate, n)
+	}
+	if res.Comm.TotalBits == 0 {
+		t.Error("gossip charged nothing")
+	}
+}
+
+func TestAverageConverges(t *testing.T) {
+	g := topology.Complete(144)
+	nw := network(g, workload.Gaussian, 3)
+	var want float64
+	for _, v := range nw.AllItems() {
+		want += float64(v)
+	}
+	want /= float64(g.N())
+	res := Average(nw, Params{})
+	if math.Abs(res.Estimate-want)/want > 0.1 {
+		t.Errorf("average %.2f, want ≈ %.2f", res.Estimate, want)
+	}
+}
+
+func TestSumConverges(t *testing.T) {
+	g := topology.Complete(100)
+	nw := network(g, workload.Uniform, 5)
+	var want float64
+	for _, v := range nw.AllItems() {
+		want += float64(v)
+	}
+	res := Sum(nw, Params{})
+	if math.Abs(res.Estimate-want)/want > 0.2 {
+		t.Errorf("sum %.0f, want ≈ %.0f", res.Estimate, want)
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	// With quantization, total (s, w) mass may leak slightly but the count
+	// estimate must stay calibrated over longer runs.
+	g := topology.Complete(64)
+	nw := network(g, workload.Uniform, 7)
+	res := Count(nw, Params{Rounds: 80})
+	if math.Abs(res.Estimate-64)/64 > 0.1 {
+		t.Errorf("long-run count %.2f drifted from 64", res.Estimate)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	g := topology.Complete(144)
+	nw := network(g, workload.Uniform, 11)
+	sorted := core.SortedCopy(nw.AllItems())
+	mid := sorted[len(sorted)/2]
+	res := FractionBelow(nw, mid, Params{})
+	want := float64(core.CountLess(sorted, mid)) / float64(len(sorted))
+	if math.Abs(res.Estimate-want) > 0.1 {
+		t.Errorf("fraction below %d: %.3f, want %.3f", mid, res.Estimate, want)
+	}
+}
+
+func TestMedianApproximate(t *testing.T) {
+	g := topology.Complete(256)
+	nw := network(g, workload.Uniform, 13)
+	res, err := Median(nw, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := core.SortedCopy(nw.AllItems())
+	rank := float64(core.CountLess(sorted, res.Value))
+	n := float64(len(sorted))
+	if relErr := math.Abs(rank-n/2) / n; relErr > 0.15 {
+		t.Errorf("gossip median rank error %.3f", relErr)
+	}
+	if res.Phases == 0 {
+		t.Error("no phases")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	g := topology.Complete(64)
+	a := Count(network(g, workload.Uniform, 21), Params{})
+	b := Count(network(g, workload.Uniform, 21), Params{})
+	if a.Estimate != b.Estimate {
+		t.Error("same seed, different gossip outcome")
+	}
+}
+
+func TestQuantizeClamps(t *testing.T) {
+	if quantize(-1) != 0 {
+		t.Error("negative should clamp to 0")
+	}
+	if quantize(1e30) != ^uint64(0) {
+		t.Error("huge value should clamp to max")
+	}
+	if quantize(1.0) != fixedScale {
+		t.Errorf("quantize(1) = %d, want %d", quantize(1.0), uint64(fixedScale))
+	}
+}

@@ -1,0 +1,40 @@
+// Package hashing provides seedable 64-bit hashing for sketch protocols.
+//
+// The approximate-counting results the paper builds on (Durand–Flajolet
+// LogLog, Alon–Matias–Szegedy) assume uniform hash functions. The standard
+// library offers no seedable 64-bit hash of integers, so we implement the
+// SplitMix64 finalizer, whose avalanche behaviour is more than sufficient
+// for register statistics at simulator scales (verified empirically by the
+// E2 experiment).
+package hashing
+
+// Mix64 applies the SplitMix64 finalizer to x, producing a well-mixed
+// 64-bit value.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hasher is a seeded 64-bit hash function. Distinct seeds give (effectively)
+// independent hash functions, which REP COUNTP's repeated trials and the
+// bottom-k sampler rely on.
+type Hasher struct {
+	seed uint64
+}
+
+// New returns a hasher for the given seed.
+func New(seed uint64) Hasher {
+	return Hasher{seed: Mix64(seed)}
+}
+
+// Hash returns the hash of x under this hasher's seed.
+func (h Hasher) Hash(x uint64) uint64 {
+	return Mix64(x ^ h.seed)
+}
+
+// Hash2 hashes a pair of values, for (node, item) style keys.
+func (h Hasher) Hash2(x, y uint64) uint64 {
+	return Mix64(Mix64(x^h.seed) ^ y)
+}

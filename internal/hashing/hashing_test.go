@@ -1,0 +1,83 @@
+package hashing
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip ~32 output bits on average.
+	var totalFlips, samples int
+	for x := uint64(0); x < 512; x++ {
+		base := Mix64(x)
+		for b := 0; b < 64; b += 7 {
+			flipped := Mix64(x ^ (1 << b))
+			totalFlips += bits.OnesCount64(base ^ flipped)
+			samples++
+		}
+	}
+	mean := float64(totalFlips) / float64(samples)
+	if mean < 28 || mean > 36 {
+		t.Errorf("avalanche mean = %.2f bit flips, want ≈ 32", mean)
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// SplitMix64's finalizer is a bijection; check no collisions in a range.
+	seen := make(map[uint64]uint64, 1<<16)
+	for x := uint64(0); x < 1<<16; x++ {
+		h := Mix64(x)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: Mix64(%d) == Mix64(%d)", x, prev)
+		}
+		seen[h] = x
+	}
+}
+
+func TestSeedIndependence(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if a.Hash(x) == b.Hash(x) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between different seeds", same)
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	h1, h2 := New(42), New(42)
+	for x := uint64(0); x < 100; x++ {
+		if h1.Hash(x) != h2.Hash(x) {
+			t.Fatal("same seed, different hashes")
+		}
+	}
+}
+
+func TestHash2DiffersFromHash(t *testing.T) {
+	h := New(9)
+	if h.Hash2(1, 2) == h.Hash2(2, 1) {
+		t.Error("Hash2 symmetric — pair order must matter")
+	}
+	if h.Hash2(1, 0) == h.Hash(1) {
+		t.Error("Hash2(x, 0) should not collide with Hash(x) by construction")
+	}
+}
+
+func TestUniformBuckets(t *testing.T) {
+	// Hash low bits should spread uniformly over 64 buckets.
+	h := New(7)
+	const n = 1 << 16
+	var buckets [64]int
+	for x := uint64(0); x < n; x++ {
+		buckets[h.Hash(x)&63]++
+	}
+	want := n / 64
+	for i, c := range buckets {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d has %d entries, want ≈ %d", i, c, want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package loglog
+
+import (
+	"testing"
+
+	"sensoragg/internal/bitio"
+	"sensoragg/internal/hashing"
+)
+
+func TestNewPanicsOutOfRange(t *testing.T) {
+	for _, p := range []int{-1, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) should panic", p)
+				}
+			}()
+			New(p)
+		}()
+	}
+}
+
+func TestSmallMEstimates(t *testing.T) {
+	// Exercise every small-m bias constant: estimates must stay within a
+	// factor of ~3 even at tiny m (σ is Θ(1) there).
+	h := hashing.New(5)
+	const n = 10_000
+	for _, p := range []int{0, 1, 2, 3, 4, 5, 6, 7} {
+		sk := New(p)
+		for i := 0; i < n; i++ {
+			sk.AddKey(h, uint64(i))
+		}
+		est := sk.Estimate()
+		if est < n/4 || est > n*4 {
+			t.Errorf("p=%d: estimate %.0f too far from %d", p, est, n)
+		}
+	}
+}
+
+func TestDecodeSketchShortBuffer(t *testing.T) {
+	w := bitio.NewWriter(8)
+	w.WriteBits(0xff, 8)
+	if _, err := DecodeSketch(bitio.NewReader(w.Bytes(), w.Len()), 4); err == nil {
+		t.Error("short buffer should error")
+	}
+}
+
+func TestDecodeHLLRoundTrip(t *testing.T) {
+	h := hashing.New(6)
+	sk := NewHLL(5)
+	for i := 0; i < 200; i++ {
+		sk.AddKey(h, uint64(i))
+	}
+	w := bitio.NewWriter(sk.EncodedBits())
+	sk.AppendTo(w)
+	got, err := DecodeHLL(bitio.NewReader(w.Bytes(), w.Len()), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != sk.Estimate() {
+		t.Error("HLL round trip changed the estimate")
+	}
+	if _, err := DecodeHLL(bitio.NewReader(nil, 0), 5); err == nil {
+		t.Error("empty HLL decode should error")
+	}
+}
+
+func TestEstimatorPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("EstimateWith invalid", func() { EstimateWith(New(2), Estimator(0)) })
+	mustPanic("SigmaOf invalid", func() { SigmaOf(Estimator(9), 16) })
+	mustPanic("Sigma m=0", func() { Sigma(0) })
+	mustPanic("HLLSigma m=0", func() { HLLSigma(0) })
+}
+
+func TestCloneIndependent(t *testing.T) {
+	h := hashing.New(8)
+	a := New(4)
+	a.AddKey(h, 1)
+	b := a.Clone()
+	b.AddKey(h, 999)
+	if a.Equal(b) {
+		t.Error("clone shares registers with the original")
+	}
+}
+
+func TestEqualDifferentP(t *testing.T) {
+	if New(3).Equal(New(4)) {
+		t.Error("different p reported equal")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := New(6)
+	if s.M() != 64 || s.P() != 6 {
+		t.Errorf("M=%d P=%d", s.M(), s.P())
+	}
+	if s.EncodedBits() != 64*RegisterBits {
+		t.Errorf("EncodedBits = %d", s.EncodedBits())
+	}
+}
+
+func TestAddAllZeroSuffix(t *testing.T) {
+	// A hash whose post-bucket bits are all zero exercises the rho cap.
+	s := New(4)
+	s.Add(0x0) // bucket 0, rest 0 → rho = 64-4+1
+	w := bitio.NewWriter(s.EncodedBits())
+	s.AppendTo(w)
+	got, err := DecodeSketch(bitio.NewReader(w.Bytes(), w.Len()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Error("rho-cap register did not round trip")
+	}
+}

@@ -1,0 +1,58 @@
+package loglog
+
+import "fmt"
+
+// Estimator selects how register contents are turned into a cardinality
+// estimate. The paper's algorithms only require *some* α-counting protocol
+// (Definition 2.1); Fact 2.2 instantiates it with Durand–Flajolet LogLog.
+// HyperLogLog shares the identical wire format and adds a small-range
+// correction, which matters when a protocol counts a nearly-empty predicate
+// (e.g. the k-adjustment of Fig. 4 at the lowest bucket, where plain LogLog
+// is biased by ≈ 0.4·m). HLL is therefore the protocol default; E2 measures
+// both.
+type Estimator uint8
+
+const (
+	// EstLogLog is the Durand–Flajolet geometric-mean estimator (Fact 2.2).
+	EstLogLog Estimator = iota + 1
+	// EstHLL is the HyperLogLog harmonic-mean estimator with small-range
+	// correction.
+	EstHLL
+)
+
+// String names the estimator.
+func (e Estimator) String() string {
+	switch e {
+	case EstLogLog:
+		return "loglog"
+	case EstHLL:
+		return "hll"
+	default:
+		return fmt.Sprintf("Estimator(%d)", uint8(e))
+	}
+}
+
+// EstimateWith applies the chosen estimator to the sketch's registers.
+func EstimateWith(s *Sketch, e Estimator) float64 {
+	switch e {
+	case EstLogLog:
+		return s.Estimate()
+	case EstHLL:
+		return HLL{Sketch: s}.Estimate()
+	default:
+		panic(fmt.Sprintf("loglog: invalid estimator %d", e))
+	}
+}
+
+// SigmaOf returns the asymptotic relative standard deviation of estimator e
+// with m registers.
+func SigmaOf(e Estimator, m int) float64 {
+	switch e {
+	case EstLogLog:
+		return Sigma(m)
+	case EstHLL:
+		return HLLSigma(m)
+	default:
+		panic(fmt.Sprintf("loglog: invalid estimator %d", e))
+	}
+}

@@ -1,0 +1,58 @@
+package loglog_test
+
+import (
+	"fmt"
+
+	"sensoragg/internal/hashing"
+	"sensoragg/internal/loglog"
+)
+
+// ExampleSketch counts 100k keys with 256 registers (σ ≈ 8% for LogLog).
+func ExampleSketch() {
+	h := hashing.New(1)
+	sk := loglog.New(8)
+	for i := 0; i < 100_000; i++ {
+		sk.AddKey(h, uint64(i))
+	}
+	est := sk.Estimate()
+	fmt.Println(est > 80_000 && est < 120_000)
+	// Output: true
+}
+
+// ExampleSketch_Merge shows the order/duplicate-insensitive merge: two
+// halves merged equal the whole, and re-merging changes nothing.
+func ExampleSketch_Merge() {
+	h := hashing.New(2)
+	whole := loglog.New(6)
+	left := loglog.New(6)
+	right := loglog.New(6)
+	for i := 0; i < 1000; i++ {
+		whole.AddKey(h, uint64(i))
+		if i%2 == 0 {
+			left.AddKey(h, uint64(i))
+		} else {
+			right.AddKey(h, uint64(i))
+		}
+	}
+	left.Merge(right)
+	fmt.Println(left.Equal(whole))
+	left.Merge(right) // idempotent: duplicates are free
+	fmt.Println(left.Equal(whole))
+	// Output:
+	// true
+	// true
+}
+
+// ExampleHLL contrasts the two estimators on a nearly-empty sketch — the
+// regime where HyperLogLog's small-range correction matters.
+func ExampleHLL() {
+	h := hashing.New(3)
+	sk := loglog.NewHLL(10) // m = 1024 registers
+	for i := 0; i < 10; i++ {
+		sk.AddKey(h, uint64(i))
+	}
+	hll := sk.Estimate()       // corrected: close to 10
+	ll := sk.Sketch.Estimate() // plain LogLog: biased by ≈ 0.4·m
+	fmt.Println(hll < 20, ll > 200)
+	// Output: true true
+}

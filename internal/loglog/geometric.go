@@ -1,0 +1,39 @@
+package loglog
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Geometric samples a geometric random variable with parameter 1/2 by
+// counting fair random bits until the first 1 (support {1, 2, ...}) — the
+// primitive of the paper's Section 2.2 intuition: the maximum of N such
+// samples is about log2 N, and each sample takes only O(log log N) bits to
+// transmit.
+func Geometric(rng *rand.Rand) uint64 {
+	// Equivalent to counting trailing zeros of a uniform word, retrying on
+	// the (probability 2^-64) all-zero word.
+	for {
+		w := rng.Uint64()
+		if w != 0 {
+			var count uint64 = 1
+			for w&1 == 0 {
+				count++
+				w >>= 1
+			}
+			return count
+		}
+	}
+}
+
+// MaxGeometricEstimate converts the maximum of N geometric samples into a
+// cardinality estimate. Kirschenhofer–Prodinger [7] show
+// E[max] = log2 N + η + o(1) with η ≈ 0.33275 (their constant expressed for
+// parameter 1/2), so N̂ = 2^{max−η}. The estimator's relative error is
+// Θ(1) — the paper's text calls the max "about log N" — which is exactly
+// why Durand–Flajolet bucketing (σ = Θ(1/√m)) is needed before the
+// estimate can drive APX MEDIAN's tolerant binary search.
+func MaxGeometricEstimate(max uint64) float64 {
+	const eta = 0.33275
+	return math.Exp2(float64(max) - eta)
+}

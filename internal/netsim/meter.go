@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"sync/atomic"
+
+	"sensoragg/internal/topology"
+)
+
+// Meter tracks per-node communication. The paper's communication complexity
+// is "the maximum ... of the number of bits transmitted and received by any
+// node" (§2.1), i.e. max over nodes of sent+received; the meter also keeps
+// totals and message counts for the experiment reports.
+type Meter struct {
+	SentBits []int64
+	RecvBits []int64
+	Messages []int64
+
+	// watched edge for cut-communication measurements (Theorem 5.1 harness);
+	// watchU == watchV == -1 when disabled.
+	watchU, watchV topology.NodeID
+	watchedBits    int64
+}
+
+// NewMeter returns a meter for n nodes.
+func NewMeter(n int) *Meter {
+	return &Meter{
+		SentBits: make([]int64, n),
+		RecvBits: make([]int64, n),
+		Messages: make([]int64, n),
+		watchU:   -1,
+		watchV:   -1,
+	}
+}
+
+// WatchEdge starts accumulating the bits that traverse the undirected edge
+// (u, v) — the cut-communication counter used by the Set Disjointness
+// reduction harness. Watching resets the accumulated count.
+func (m *Meter) WatchEdge(u, v topology.NodeID) {
+	m.watchU, m.watchV = u, v
+	atomic.StoreInt64(&m.watchedBits, 0)
+}
+
+// WatchedBits returns the bits accumulated on the watched edge.
+func (m *Meter) WatchedBits() int64 { return atomic.LoadInt64(&m.watchedBits) }
+
+// Charge records a message of the given bit length from -> to. It is safe
+// for concurrent use: the goroutine tree engine charges from many node
+// goroutines at once.
+func (m *Meter) Charge(from, to topology.NodeID, bits int) {
+	atomic.AddInt64(&m.SentBits[from], int64(bits))
+	atomic.AddInt64(&m.RecvBits[to], int64(bits))
+	atomic.AddInt64(&m.Messages[from], 1)
+	if (from == m.watchU && to == m.watchV) || (from == m.watchV && to == m.watchU) {
+		atomic.AddInt64(&m.watchedBits, int64(bits))
+	}
+}
+
+// ChargeN records `times` identical messages of the given bit length in one
+// update — used when a protocol phase repeats a fixed-size exchange (e.g.
+// REP COUNTP's r sketch convergecasts, whose payload size is
+// content-independent).
+func (m *Meter) ChargeN(from, to topology.NodeID, bits int, times int) {
+	total := int64(bits) * int64(times)
+	atomic.AddInt64(&m.SentBits[from], total)
+	atomic.AddInt64(&m.RecvBits[to], total)
+	atomic.AddInt64(&m.Messages[from], int64(times))
+	if (from == m.watchU && to == m.watchV) || (from == m.watchV && to == m.watchU) {
+		atomic.AddInt64(&m.watchedBits, total)
+	}
+}
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	for i := range m.SentBits {
+		m.SentBits[i] = 0
+		m.RecvBits[i] = 0
+		m.Messages[i] = 0
+	}
+}
+
+// MaxPerNode returns the paper's complexity measure: max over nodes of
+// bits sent plus bits received.
+func (m *Meter) MaxPerNode() int64 {
+	var max int64
+	for i := range m.SentBits {
+		if v := m.SentBits[i] + m.RecvBits[i]; v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// TotalBits returns the sum over nodes of bits sent (== total link bits).
+func (m *Meter) TotalBits() int64 {
+	var total int64
+	for _, v := range m.SentBits {
+		total += v
+	}
+	return total
+}
+
+// TotalMessages returns the total number of messages sent.
+func (m *Meter) TotalMessages() int64 {
+	var total int64
+	for _, v := range m.Messages {
+		total += v
+	}
+	return total
+}
+
+// PerNode returns bits sent+received for node u.
+func (m *Meter) PerNode(u topology.NodeID) int64 {
+	return m.SentBits[u] + m.RecvBits[u]
+}
+
+// Snapshot captures the current counters so a caller can measure one
+// protocol invocation by diffing.
+type Snapshot struct {
+	maxPerNode []int64
+	totalBits  int64
+	totalMsgs  int64
+}
+
+// Snapshot returns a copy of the per-node sent+recv totals.
+func (m *Meter) Snapshot() Snapshot {
+	per := make([]int64, len(m.SentBits))
+	for i := range per {
+		per[i] = m.SentBits[i] + m.RecvBits[i]
+	}
+	return Snapshot{maxPerNode: per, totalBits: m.TotalBits(), totalMsgs: m.TotalMessages()}
+}
+
+// Delta summarizes communication since a snapshot.
+type Delta struct {
+	// MaxPerNode is max over nodes of (sent+recv) accrued since the snapshot.
+	MaxPerNode int64
+	// TotalBits is the total link bits accrued since the snapshot.
+	TotalBits int64
+	// Messages is the number of messages sent since the snapshot.
+	Messages int64
+}
+
+// Since returns the communication accrued since snapshot s.
+func (m *Meter) Since(s Snapshot) Delta {
+	var d Delta
+	for i := range m.SentBits {
+		if v := m.SentBits[i] + m.RecvBits[i] - s.maxPerNode[i]; v > d.MaxPerNode {
+			d.MaxPerNode = v
+		}
+	}
+	d.TotalBits = m.TotalBits() - s.totalBits
+	d.Messages = m.TotalMessages() - s.totalMsgs
+	return d
+}

@@ -1,0 +1,195 @@
+// Package netsim simulates a sensor network with exact communication
+// accounting.
+//
+// The paper's system model (Section 2.1) is a set of nodes, one of which is
+// the root; each node holds a multiset of non-negative integer items, and
+// the complexity measure is the maximum over nodes of bits sent plus bits
+// received. This package provides the nodes (with their local items,
+// per-node random streams, and protocol scratch state), the per-node bit
+// meters, and a synchronous round-based message engine used by graph-level
+// protocols (gossip, distributed tree construction). Tree-structured
+// broadcast/convergecast engines live in package spantree.
+package netsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"sensoragg/internal/bitio"
+	"sensoragg/internal/topology"
+)
+
+// Item is one sensor reading held by a node. APX MEDIAN2 (Fig. 4) rescales
+// readings and deactivates nodes between stages, so each item carries its
+// original value, its current (possibly rescaled) value, and an active flag.
+type Item struct {
+	Orig   uint64
+	Cur    uint64
+	Active bool
+}
+
+// Node is one sensor. Protocol callbacks run "at the node": they may touch
+// only this node's state, which is what makes the simulation honest about
+// locality. The RNG is the node's private random tape (§2.1 models nodes as
+// RAM machines with access to random bits).
+type Node struct {
+	ID    topology.NodeID
+	Items []Item
+	// Scratch holds protocol-local node state between callbacks (e.g. a
+	// node's current sketch contribution). Protocols must not read another
+	// node's Scratch.
+	Scratch any
+
+	rng *rand.Rand
+}
+
+// RNG returns the node's private random stream.
+func (n *Node) RNG() *rand.Rand { return n.rng }
+
+// ResetItems restores every item to its original value and activates it.
+func (n *Node) ResetItems() {
+	for i := range n.Items {
+		n.Items[i].Cur = n.Items[i].Orig
+		n.Items[i].Active = true
+	}
+}
+
+// Network is a simulated deployment: a graph, a rooted spanning tree, the
+// nodes with their items, and the communication meter.
+type Network struct {
+	Graph *topology.Graph
+	Tree  *topology.Tree
+	Nodes []*Node
+	Meter *Meter
+
+	// MaxX is the known upper bound X on item values (§2.1 assumes X is
+	// known and log X = O(log N)).
+	MaxX uint64
+	// ValueWidth is the fixed encoding width for item values, bits.
+	ValueWidth int
+
+	seed uint64
+}
+
+// Option configures a Network.
+type Option func(*config)
+
+type config struct {
+	root        topology.NodeID
+	maxChildren int
+	seed        uint64
+}
+
+// WithRoot selects the root node (default 0).
+func WithRoot(root topology.NodeID) Option {
+	return func(c *config) { c.root = root }
+}
+
+// WithMaxChildren bounds the spanning tree's child count (default 8; 0
+// disables bounding). Fact 2.1's O(log N) per-node bound needs bounded
+// degree.
+func WithMaxChildren(k int) Option {
+	return func(c *config) { c.maxChildren = k }
+}
+
+// WithSeed sets the base seed for all node random streams (default 1).
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// DefaultMaxChildren is the default spanning-tree degree bound.
+const DefaultMaxChildren = 8
+
+// New builds a network over g with one item per node, values[i] at node i,
+// and value domain [0, maxX]. It panics if g is disconnected or values has
+// the wrong length; experiment code treats that as a programming error.
+func New(g *topology.Graph, values []uint64, maxX uint64, opts ...Option) *Network {
+	if len(values) != g.N() {
+		panic(fmt.Sprintf("netsim: %d values for %d nodes", len(values), g.N()))
+	}
+	items := make([][]uint64, len(values))
+	for i, v := range values {
+		items[i] = []uint64{v}
+	}
+	return NewMulti(g, items, maxX, opts...)
+}
+
+// NewMulti builds a network where node i holds the multiset items[i]
+// (Section 5 of the paper allows multiple items per node).
+func NewMulti(g *topology.Graph, items [][]uint64, maxX uint64, opts ...Option) *Network {
+	if !g.Connected() {
+		panic("netsim: graph is disconnected")
+	}
+	if len(items) != g.N() {
+		panic(fmt.Sprintf("netsim: %d item lists for %d nodes", len(items), g.N()))
+	}
+	cfg := config{maxChildren: DefaultMaxChildren, seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tree := topology.BFSTree(g, cfg.root)
+	if cfg.maxChildren > 0 {
+		tree = topology.BoundDegree(tree, cfg.maxChildren)
+	}
+	nw := &Network{
+		Graph: g,
+		Tree:  tree,
+		Nodes: make([]*Node, g.N()),
+		Meter: NewMeter(g.N()),
+		MaxX:  maxX,
+		// Width covers maxX+1: predicate thresholds range over [0, X+1]
+		// ("< X+1" selects everything), one more value than the items.
+		ValueWidth: bitio.WidthOfRange(maxX + 1),
+		seed:       cfg.seed,
+	}
+	for i := range nw.Nodes {
+		nd := &Node{ID: topology.NodeID(i)}
+		nd.rng = rand.New(rand.NewPCG(cfg.seed, uint64(i)*0x9e3779b97f4a7c15+0xabcd))
+		nd.Items = make([]Item, len(items[i]))
+		for j, v := range items[i] {
+			if v > maxX {
+				panic(fmt.Sprintf("netsim: item %d at node %d exceeds maxX %d", v, i, maxX))
+			}
+			nd.Items[j] = Item{Orig: v, Cur: v, Active: true}
+		}
+		nw.Nodes[i] = nd
+	}
+	return nw
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return len(nw.Nodes) }
+
+// Root returns the root node ID.
+func (nw *Network) Root() topology.NodeID { return nw.Tree.Root }
+
+// Seed returns the base seed the network was built with.
+func (nw *Network) Seed() uint64 { return nw.seed }
+
+// NumItems returns the total number of items N = |X| in the network.
+func (nw *Network) NumItems() int {
+	total := 0
+	for _, nd := range nw.Nodes {
+		total += len(nd.Items)
+	}
+	return total
+}
+
+// ResetItems restores every node's items to their original active state.
+func (nw *Network) ResetItems() {
+	for _, nd := range nw.Nodes {
+		nd.ResetItems()
+	}
+}
+
+// AllItems returns a copy of the full input multiset X in node order —
+// simulator-side ground truth for validators; protocols never call this.
+func (nw *Network) AllItems() []uint64 {
+	out := make([]uint64, 0, nw.NumItems())
+	for _, nd := range nw.Nodes {
+		for _, it := range nd.Items {
+			out = append(out, it.Orig)
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"testing"
+
+	"sensoragg/internal/bitio"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/wire"
+)
+
+func onesPayload(n int) wire.Payload {
+	var w bitio.Writer
+	for i := 0; i < n; i++ {
+		w.WriteBit(1)
+	}
+	return wire.FromWriter(&w)
+}
+
+func TestRadioChargesOncePerTransmission(t *testing.T) {
+	// Star: the centre transmits 8 bits once; all n-1 leaves hear it.
+	g := topology.Star(10)
+	nw := New(g, values(10), 100)
+	handler := RadioHandlerFunc(func(n *Node, round int, heard []RadioMsg) (wire.Payload, bool) {
+		if n.ID == 0 && round == 0 {
+			return onesPayload(8), true
+		}
+		return wire.Empty, false
+	})
+	res := RunRadioRounds(nw, handler, 5)
+	if res.Messages != 1 {
+		t.Fatalf("transmissions = %d, want 1", res.Messages)
+	}
+	if nw.Meter.SentBits[0] != 8 {
+		t.Errorf("centre sent %d bits, want 8 (charged once, not per neighbour)", nw.Meter.SentBits[0])
+	}
+	for i := 1; i < 10; i++ {
+		if nw.Meter.RecvBits[i] != 8 {
+			t.Errorf("leaf %d received %d bits, want 8", i, nw.Meter.RecvBits[i])
+		}
+	}
+}
+
+func TestRadioOnlyNeighboursHear(t *testing.T) {
+	g := topology.Line(4) // 0-1-2-3
+	nw := New(g, values(4), 100)
+	heardBy := make([]int, 4)
+	handler := RadioHandlerFunc(func(n *Node, round int, heard []RadioMsg) (wire.Payload, bool) {
+		heardBy[n.ID] += len(heard)
+		if n.ID == 1 && round == 0 {
+			return onesPayload(3), true
+		}
+		return wire.Empty, false
+	})
+	RunRadioRounds(nw, handler, 4)
+	if heardBy[0] != 1 || heardBy[2] != 1 {
+		t.Errorf("neighbours heard %d/%d times, want 1/1", heardBy[0], heardBy[2])
+	}
+	if heardBy[3] != 0 {
+		t.Errorf("node 3 heard %d transmissions from a non-neighbour", heardBy[3])
+	}
+	if heardBy[1] != 0 {
+		t.Error("transmitter heard itself")
+	}
+}
+
+func TestRadioQuiescesEarly(t *testing.T) {
+	g := topology.Ring(6)
+	nw := New(g, values(6), 100)
+	handler := RadioHandlerFunc(func(n *Node, round int, heard []RadioMsg) (wire.Payload, bool) {
+		if round == 0 && n.ID == 0 {
+			return onesPayload(1), true
+		}
+		return wire.Empty, false
+	})
+	res := RunRadioRounds(nw, handler, 1000)
+	if res.Rounds >= 1000 {
+		t.Errorf("radio rounds did not quiesce: %d", res.Rounds)
+	}
+}
+
+func TestRadioHeardSortedBySender(t *testing.T) {
+	g := topology.Star(6)
+	nw := New(g, values(6), 100)
+	var sawOrder []topology.NodeID
+	handler := RadioHandlerFunc(func(n *Node, round int, heard []RadioMsg) (wire.Payload, bool) {
+		if round == 0 && n.ID != 0 {
+			return onesPayload(1), true
+		}
+		if n.ID == 0 && round == 1 {
+			for _, m := range heard {
+				sawOrder = append(sawOrder, m.From)
+			}
+		}
+		return wire.Empty, false
+	})
+	RunRadioRounds(nw, handler, 3)
+	if len(sawOrder) != 5 {
+		t.Fatalf("centre heard %d transmissions, want 5", len(sawOrder))
+	}
+	for i := 1; i < len(sawOrder); i++ {
+		if sawOrder[i] <= sawOrder[i-1] {
+			t.Fatalf("heard order not sorted: %v", sawOrder)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"sensoragg/internal/agg"
+	"sensoragg/internal/ams"
+	"sensoragg/internal/core"
+	"sensoragg/internal/distinct"
+	"sensoragg/internal/loglog"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/wire"
+)
+
+// Result reports an executed query.
+type Result struct {
+	// Value is the numeric answer.
+	Value float64
+	// Detail is a human-readable elaboration (iterations, error bars, ...).
+	Detail string
+	// Comm is the communication the query cost, in the paper's measure.
+	Comm netsim.Delta
+}
+
+// Exec parses and runs a statement against the network.
+func Exec(net *agg.Net, statement string) (Result, error) {
+	q, err := Parse(statement)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(net, q)
+}
+
+// Run executes a parsed query. WHERE clauses on decomposable aggregates
+// ride along as protocol predicates (TAG-style in-network filtering at no
+// extra broadcast); selection and distinct queries first broadcast the
+// filter to deactivate non-matching items, and reactivate them afterwards.
+func Run(net *agg.Net, q *Query) (Result, error) {
+	nw := net.Network()
+	before := nw.Meter.Snapshot()
+	pred := wire.True()
+	if q.Where != nil {
+		pred = *q.Where
+	}
+
+	finish := func(value float64, detail string) Result {
+		return Result{Value: value, Detail: detail, Comm: nw.Meter.Since(before)}
+	}
+
+	switch q.Agg {
+	case AggMin, AggMax:
+		lo, hi, ok := filteredMinMax(net, q)
+		if !ok {
+			return Result{}, fmt.Errorf("query: no items match")
+		}
+		if q.Agg == AggMin {
+			return finish(float64(lo), "exact"), nil
+		}
+		return finish(float64(hi), "exact"), nil
+
+	case AggCount:
+		return finish(float64(net.Count(core.Linear, pred)), "exact"), nil
+
+	case AggSum:
+		return finish(float64(net.Sum(core.Linear, pred)), "exact"), nil
+
+	case AggAvg:
+		avg, ok := net.Average(core.Linear, pred)
+		if !ok {
+			return Result{}, fmt.Errorf("query: no items match")
+		}
+		return finish(avg, "exact (SUM/COUNT)"), nil
+
+	case AggApxCount:
+		est := net.ApxCount(core.Linear, pred)
+		return finish(est, fmt.Sprintf("α-counting instance, σ=%.3f", net.ApxSigma())), nil
+
+	case AggMedian, AggQuantile, AggApxMedian, AggApxMedian2:
+		return selection(net, q, before)
+
+	case AggDistinct:
+		return distinctQuery(net, q, before)
+
+	case AggF2:
+		return f2Query(net, q, before)
+
+	default:
+		return Result{}, fmt.Errorf("query: unhandled aggregate %q", q.Agg)
+	}
+}
+
+func filteredMinMax(net *agg.Net, q *Query) (lo, hi uint64, ok bool) {
+	if q.Where == nil {
+		return net.MinMax(core.Linear)
+	}
+	net.Filter(*q.Where)
+	defer net.Reset()
+	return net.MinMax(core.Linear)
+}
+
+// selection runs the order-statistic family over the (possibly filtered)
+// active multiset.
+func selection(net *agg.Net, q *Query, before netsim.Snapshot) (Result, error) {
+	nw := net.Network()
+	if q.Where != nil {
+		net.Filter(*q.Where)
+		defer net.Reset()
+	}
+	finish := func(value float64, detail string) Result {
+		return Result{Value: value, Detail: detail, Comm: nw.Meter.Since(before)}
+	}
+	switch q.Agg {
+	case AggMedian:
+		res, err := core.Median(net)
+		if err != nil {
+			return Result{}, err
+		}
+		return finish(float64(res.Value), fmt.Sprintf("exact, %d search iterations", res.Iterations)), nil
+
+	case AggQuantile:
+		n := net.Count(core.Linear, wire.True())
+		if n == 0 {
+			return Result{}, fmt.Errorf("query: no items match")
+		}
+		k := uint64(math.Ceil(q.Phi * float64(n)))
+		if k < 1 {
+			k = 1
+		}
+		res, err := core.OrderStatistic(net, k)
+		if err != nil {
+			return Result{}, err
+		}
+		return finish(float64(res.Value), fmt.Sprintf("exact rank %d of %d", k, n)), nil
+
+	case AggApxMedian:
+		params := core.ApxParams{Epsilon: q.Options["eps"]}
+		res, err := core.ApxMedian(net, params)
+		if err != nil {
+			return Result{}, err
+		}
+		return finish(float64(res.Value),
+			fmt.Sprintf("randomized, α=3σ=%.3f, %d counting instances", 3*net.ApxSigma(), res.Instances)), nil
+
+	case AggApxMedian2:
+		params := core.Apx2Params{Beta: q.Options["beta"], Epsilon: q.Options["eps"]}
+		res, err := core.ApxMedian2(net, params)
+		if err != nil {
+			return Result{}, err
+		}
+		return finish(float64(res.Value),
+			fmt.Sprintf("polyloglog, %d zoom stages, interval [%.0f,%.0f)", res.Stages, res.FinalLo, res.FinalHi)), nil
+	}
+	return Result{}, fmt.Errorf("query: unhandled selection %q", q.Agg)
+}
+
+// f2Query estimates the second frequency moment via the AMS sketch.
+func f2Query(net *agg.Net, q *Query, before netsim.Snapshot) (Result, error) {
+	nw := net.Network()
+	if q.Where != nil {
+		net.Filter(*q.Where)
+		defer net.Reset()
+	}
+	rows, cols := 5, 64
+	if r := q.Options["rows"]; r >= 1 {
+		rows = int(r)
+	}
+	if c := q.Options["cols"]; c >= 1 {
+		cols = int(c)
+	}
+	res, err := ams.F2Protocol(net.Ops(), rows, cols, nw.Seed())
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Value:  res.Estimate,
+		Detail: fmt.Sprintf("AMS sketch %dx%d, rel. σ ≈ √(2/%d)", rows, cols, cols),
+		Comm:   nw.Meter.Since(before),
+	}, nil
+}
+
+func distinctQuery(net *agg.Net, q *Query, before netsim.Snapshot) (Result, error) {
+	nw := net.Network()
+	if q.Where != nil {
+		net.Filter(*q.Where)
+		defer net.Reset()
+	}
+	finish := func(value float64, detail string) Result {
+		return Result{Value: value, Detail: detail, Comm: nw.Meter.Since(before)}
+	}
+	if q.Options["sketch"] != 0 {
+		p := core.DefaultSketchP
+		if m := q.Options["m"]; m > 0 {
+			p = int(math.Round(math.Log2(m)))
+			if p < 0 || p > 16 {
+				return Result{}, fmt.Errorf("query: sketch m=%g out of range", m)
+			}
+		}
+		res, err := distinct.Approximate(net.Ops(), p, loglog.EstHLL, nw.Seed())
+		if err != nil {
+			return Result{}, err
+		}
+		return finish(res.Estimate, fmt.Sprintf("sketch m=%d, σ=%.3f — exactness costs Ω(n) (Thm 5.1)", 1<<p, res.Sigma)), nil
+	}
+	res, err := distinct.Exact(net.Ops())
+	if err != nil {
+		return Result{}, err
+	}
+	return finish(float64(res.Distinct), "exact (linear-cost set union; Thm 5.1 says unavoidable)"), nil
+}

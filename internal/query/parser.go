@@ -1,0 +1,311 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+
+	"sensoragg/internal/wire"
+)
+
+// AggKind names the supported aggregates.
+type AggKind string
+
+// Supported aggregates. The first group are TAG's decomposable aggregates
+// (Fact 2.1); the second are the paper's selection queries; the third the
+// Section 5 aggregate in its exact and approximate forms.
+const (
+	AggMin        AggKind = "min"
+	AggMax        AggKind = "max"
+	AggCount      AggKind = "count"
+	AggSum        AggKind = "sum"
+	AggAvg        AggKind = "avg"
+	AggMedian     AggKind = "median"
+	AggQuantile   AggKind = "quantile"
+	AggApxMedian  AggKind = "apxmedian"
+	AggApxMedian2 AggKind = "apxmedian2"
+	AggDistinct   AggKind = "distinct"
+	AggApxCount   AggKind = "apxcount"
+	// AggF2 is the second frequency moment Σf², the AMS [1] extension.
+	AggF2 AggKind = "f2"
+)
+
+// Query is a parsed statement.
+type Query struct {
+	// Agg is the aggregate to compute.
+	Agg AggKind
+	// Phi is the quantile fraction for AggQuantile (in (0,1]).
+	Phi float64
+	// Where restricts the queried multiset; nil means all items.
+	Where *wire.Pred
+	// Options are the USING key=value pairs (protocol tuning).
+	Options map[string]float64
+	// Source is the original query text.
+	Source string
+}
+
+// Parse parses one statement:
+//
+//	SELECT <agg>(value[, <number>]) [WHERE <cond> [AND <cond>]] [USING k=v[, k=v]]
+//
+// Conditions compare `value` against a constant with <, <=, >, >=, or use
+// `value BETWEEN a AND b` (inclusive-exclusive [a, b+1) per integer
+// convention: BETWEEN is inclusive on both ends).
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q := &Query{Options: map[string]float64{}, Source: input}
+
+	if err := p.expectIdent("select"); err != nil {
+		return nil, err
+	}
+	if err := p.parseAgg(q); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptIdent("where"):
+			if q.Where != nil {
+				return nil, fmt.Errorf("query: duplicate WHERE clause")
+			}
+			pred, err := p.parseWhere()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = pred
+		case p.acceptIdent("using"):
+			if err := p.parseUsing(q); err != nil {
+				return nil, err
+			}
+		case p.peek().kind == tokEOF:
+			return q, nil
+		default:
+			return nil, fmt.Errorf("query: unexpected %q at position %d", p.peek().text, p.peek().pos)
+		}
+	}
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) acceptIdent(word string) bool {
+	if p.peek().kind == tokIdent && p.peek().text == word {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectIdent(word string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != word {
+		return fmt.Errorf("query: expected %q, got %q at position %d", word, t.text, t.pos)
+	}
+	return nil
+}
+
+func (p *parser) expectKind(k tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("query: expected %s, got %q at position %d", what, t.text, t.pos)
+	}
+	return t, nil
+}
+
+var validAggs = map[AggKind]bool{
+	AggMin: true, AggMax: true, AggCount: true, AggSum: true, AggAvg: true,
+	AggMedian: true, AggQuantile: true, AggApxMedian: true, AggApxMedian2: true,
+	AggDistinct: true, AggApxCount: true, AggF2: true,
+}
+
+func (p *parser) parseAgg(q *Query) error {
+	t, err := p.expectKind(tokIdent, "aggregate name")
+	if err != nil {
+		return err
+	}
+	agg := AggKind(t.text)
+	if !validAggs[agg] {
+		return fmt.Errorf("query: unknown aggregate %q at position %d", t.text, t.pos)
+	}
+	q.Agg = agg
+	if _, err := p.expectKind(tokLParen, "'('"); err != nil {
+		return err
+	}
+	if err := p.expectIdent("value"); err != nil {
+		return err
+	}
+	if agg == AggQuantile {
+		if _, err := p.expectKind(tokComma, "',' (quantile needs a fraction)"); err != nil {
+			return err
+		}
+		num, err := p.expectKind(tokNumber, "quantile fraction")
+		if err != nil {
+			return err
+		}
+		phi, err := strconv.ParseFloat(num.text, 64)
+		if err != nil || phi <= 0 || phi > 1 {
+			return fmt.Errorf("query: quantile fraction %q out of (0,1]", num.text)
+		}
+		q.Phi = phi
+	}
+	_, err = p.expectKind(tokRParen, "')'")
+	return err
+}
+
+func (p *parser) parseWhere() (*wire.Pred, error) {
+	var preds []wire.Pred
+	for {
+		if err := p.expectIdent("value"); err != nil {
+			return nil, err
+		}
+		if p.acceptIdent("between") {
+			lo, err := p.parseUint()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectIdent("and"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseUint()
+			if err != nil {
+				return nil, err
+			}
+			if hi < lo {
+				return nil, fmt.Errorf("query: BETWEEN bounds inverted (%d > %d)", lo, hi)
+			}
+			preds = append(preds, wire.InRange(lo, hi+1)) // BETWEEN is inclusive
+		} else {
+			op, err := p.expectKind(tokOp, "comparison operator")
+			if err != nil {
+				return nil, err
+			}
+			c, err := p.parseUint()
+			if err != nil {
+				return nil, err
+			}
+			pred, err := predFromOp(op.text, c)
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, pred)
+		}
+		if !p.acceptIdent("and") {
+			break
+		}
+	}
+	combined, err := conjoin(preds)
+	if err != nil {
+		return nil, err
+	}
+	return &combined, nil
+}
+
+func predFromOp(op string, c uint64) (wire.Pred, error) {
+	switch op {
+	case "<":
+		return wire.Less(c), nil
+	case "<=":
+		return wire.Less(c + 1), nil
+	case ">=":
+		return wire.GreaterEq(c), nil
+	case ">":
+		return wire.GreaterEq(c + 1), nil
+	case "=":
+		return wire.InRange(c, c+1), nil
+	default:
+		return wire.Pred{}, fmt.Errorf("query: unsupported operator %q", op)
+	}
+}
+
+// conjoin intersects predicates into the single interval form the wire
+// format supports (all predicates here are value intervals).
+func conjoin(preds []wire.Pred) (wire.Pred, error) {
+	lo, hi := uint64(0), ^uint64(0)
+	for _, p := range preds {
+		switch p.Kind {
+		case wire.PredLess:
+			if p.A < hi {
+				hi = p.A
+			}
+		case wire.PredGreaterEq:
+			if p.A > lo {
+				lo = p.A
+			}
+		case wire.PredInRange:
+			if p.A > lo {
+				lo = p.A
+			}
+			if p.B < hi {
+				hi = p.B
+			}
+		case wire.PredTrue:
+		default:
+			return wire.Pred{}, fmt.Errorf("query: cannot conjoin predicate %v", p)
+		}
+	}
+	if lo >= hi {
+		return wire.Pred{}, fmt.Errorf("query: WHERE clause selects the empty interval")
+	}
+	switch {
+	case lo == 0 && hi == ^uint64(0):
+		return wire.True(), nil
+	case lo == 0:
+		return wire.Less(hi), nil
+	case hi == ^uint64(0):
+		return wire.GreaterEq(lo), nil
+	default:
+		return wire.InRange(lo, hi), nil
+	}
+}
+
+func (p *parser) parseUint() (uint64, error) {
+	t, err := p.expectKind(tokNumber, "integer constant")
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseUint(t.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query: %q is not an integer at position %d", t.text, t.pos)
+	}
+	return v, nil
+}
+
+func (p *parser) parseUsing(q *Query) error {
+	for {
+		key, err := p.expectKind(tokIdent, "option name")
+		if err != nil {
+			return err
+		}
+		op, err := p.expectKind(tokOp, "'='")
+		if err != nil || op.text != "=" {
+			return fmt.Errorf("query: expected '=' after option %q", key.text)
+		}
+		num, err := p.expectKind(tokNumber, "option value")
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(num.text, 64)
+		if err != nil {
+			return fmt.Errorf("query: bad option value %q", num.text)
+		}
+		q.Options[key.text] = v
+		if p.peek().kind != tokComma {
+			return nil
+		}
+		p.next()
+	}
+}

@@ -1,0 +1,146 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"sensoragg/internal/core"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/spantree"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/workload"
+)
+
+const maxX = 1 << 14
+
+func network(t *testing.T, g *topology.Graph, kind workload.Kind, seed uint64) *netsim.Network {
+	t.Helper()
+	values := workload.Generate(kind, g.N(), maxX, seed)
+	return netsim.New(g, values, maxX, netsim.WithSeed(seed))
+}
+
+func TestSynopsisAdd(t *testing.T) {
+	syn := &synopsis{k: 3}
+	syn.add(30, 1)
+	syn.add(10, 2)
+	syn.add(20, 3)
+	syn.add(40, 4) // beyond k, largest prio — dropped
+	syn.add(5, 5)  // smallest prio — evicts 30
+	if len(syn.samples) != 3 {
+		t.Fatalf("size %d", len(syn.samples))
+	}
+	if syn.samples[0].prio != 5 || syn.samples[2].prio != 20 {
+		t.Errorf("priorities %v", syn.samples)
+	}
+	syn.add(10, 99) // duplicate priority = same item: ignored
+	if len(syn.samples) != 3 || syn.samples[1].value != 2 {
+		t.Error("duplicate priority mutated synopsis")
+	}
+}
+
+func TestSynopsisMergeOrderInsensitive(t *testing.T) {
+	build := func(order []int) *synopsis {
+		syn := &synopsis{k: 4}
+		prios := []uint32{9, 3, 7, 1, 5, 8}
+		for _, i := range order {
+			syn.add(prios[i], uint64(i))
+		}
+		return syn
+	}
+	a := build([]int{0, 1, 2, 3, 4, 5})
+	b := build([]int{5, 4, 3, 2, 1, 0})
+	if len(a.samples) != len(b.samples) {
+		t.Fatal("order changed synopsis size")
+	}
+	for i := range a.samples {
+		if a.samples[i] != b.samples[i] {
+			t.Fatalf("order changed synopsis: %v vs %v", a.samples, b.samples)
+		}
+	}
+}
+
+func TestMedianAccuracy(t *testing.T) {
+	g := topology.Grid(32, 32)
+	nw := network(t, g, workload.Uniform, 3)
+	res, err := Median(spantree.NewFast(nw), 256, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleSize != 256 {
+		t.Errorf("sample size %d, want 256", res.SampleSize)
+	}
+	sorted := core.SortedCopy(nw.AllItems())
+	// Sample median rank error concentrates around 1/(2√k) ≈ 0.031; allow 4×.
+	rank := float64(core.CountLess(sorted, res.Value))
+	relErr := math.Abs(rank-float64(g.N())/2) / float64(g.N())
+	if relErr > 4/(2*math.Sqrt(256)) {
+		t.Errorf("sample median rank error %.3f too large", relErr)
+	}
+	if res.Comm.TotalBits == 0 {
+		t.Error("no communication charged")
+	}
+}
+
+func TestSmallNetworkSampleIsExact(t *testing.T) {
+	// k >= N: the "sample" is the entire multiset, median exact.
+	g := topology.Line(9)
+	values := []uint64{9, 1, 5, 3, 7, 2, 8, 4, 6}
+	nw := netsim.New(g, values, maxX)
+	res, err := Median(spantree.NewFast(nw), 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 5 {
+		t.Errorf("exact-regime sample median = %d, want 5", res.Value)
+	}
+	if res.SampleSize != 9 {
+		t.Errorf("sample size %d, want 9", res.SampleSize)
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	g := topology.Line(32)
+	nw := network(t, g, workload.Uniform, 5)
+	sorted := core.SortedCopy(nw.AllItems())
+	loRes, err := Quantile(spantree.NewFast(nw), 64, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loRes.Value != sorted[0] {
+		t.Errorf("phi=0 got %d, want min %d", loRes.Value, sorted[0])
+	}
+	hiRes, err := Quantile(spantree.NewFast(nw), 64, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hiRes.Value != sorted[len(sorted)-1] {
+		t.Errorf("phi=1 got %d, want max %d", hiRes.Value, sorted[len(sorted)-1])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := topology.Line(4)
+	nw := netsim.New(g, []uint64{1, 2, 3, 4}, maxX)
+	if _, err := Median(spantree.NewFast(nw), 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Quantile(spantree.NewFast(nw), 4, 1, 1.5); err == nil {
+		t.Error("phi>1 accepted")
+	}
+}
+
+func TestPerNodeCostScalesWithK(t *testing.T) {
+	g := topology.Line(128)
+	costs := make(map[int]int64)
+	for _, k := range []int{8, 64} {
+		nw := network(t, g, workload.Uniform, 9)
+		res, err := Median(spantree.NewFast(nw), k, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[k] = res.Comm.MaxPerNode
+	}
+	if costs[64] < 4*costs[8] {
+		t.Errorf("cost should grow ~linearly with k: k=8:%d k=64:%d", costs[8], costs[64])
+	}
+}

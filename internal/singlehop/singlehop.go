@@ -1,0 +1,175 @@
+// Package singlehop implements median selection in the single-hop ("all
+// hear all") radio model of Singh and Prasanna [14], which the paper's
+// related-work section positions against its multi-hop protocols: in a
+// single-hop network each node can *transmit* as little as O(log N) bits
+// for an exact median, but every node *receives* Ω(N) bits because it
+// overhears the whole network — energy balance, not total reduction.
+//
+// The protocol here is the natural binary-search instance of that model:
+// the root announces a threshold (one radio transmission heard by all);
+// every node answers with a 1-bit vote in its own slot; the root counts
+// votes and halves the interval. Over ⌈log X⌉ rounds each non-root node
+// transmits exactly ⌈log X⌉ bits — the [14] transmit profile — while
+// receiving Θ(N log X) bits of votes from its neighbours.
+package singlehop
+
+import (
+	"fmt"
+
+	"sensoragg/internal/bitio"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/wire"
+)
+
+// Result reports a single-hop selection run.
+type Result struct {
+	// Value is the exact k-order statistic.
+	Value uint64
+	// Rounds is the number of radio rounds used.
+	Rounds int
+	// MaxTransmitBits is the largest number of bits any non-root node
+	// transmitted — the [14] headline metric, O(log N).
+	MaxTransmitBits int64
+	// Comm is the full communication delta (dominated by receive costs).
+	Comm netsim.Delta
+}
+
+// Median selects the median in a single-hop network. The network's graph
+// must be complete (all hear all); it panics otherwise, as the vote
+// counting would silently miss nodes.
+func Median(nw *netsim.Network) (Result, error) {
+	return OrderStatistic(nw, uint64((nw.NumItems()+1)/2))
+}
+
+// OrderStatistic selects the k-th smallest item (1-based) in a single-hop
+// network by threshold voting.
+func OrderStatistic(nw *netsim.Network, k uint64) (Result, error) {
+	if k < 1 || k > uint64(nw.NumItems()) {
+		return Result{}, fmt.Errorf("singlehop: rank %d out of [1,%d]", k, nw.NumItems())
+	}
+	if nw.N() < 2 {
+		return Result{}, fmt.Errorf("singlehop: need at least 2 nodes, got %d", nw.N())
+	}
+	assertComplete(nw.Graph)
+	root := nw.Root()
+	n := nw.N()
+	valueWidth := nw.ValueWidth
+
+	// Root-driven search state (the root is a node like any other; its
+	// state lives here because the handler closure is the root's program).
+	lo, hi := uint64(0), nw.MaxX
+	probe := mid(lo, hi)
+	votes := uint64(0)
+	awaiting := false
+	done := false
+
+	before := nw.Meter.Snapshot()
+	var maxTx int64
+	rounds := 0
+
+	handler := netsim.RadioHandlerFunc(func(nd *netsim.Node, round int, heard []netsim.RadioMsg) (wire.Payload, bool) {
+		if nd.ID == root {
+			// Votes announced in round r are transmitted in r+1 and heard
+			// here in r+2: while they are in flight the root stays silent.
+			if awaiting {
+				if len(heard) == 0 {
+					return wire.Empty, false
+				}
+				for _, msg := range heard {
+					r := msg.Payload.Reader()
+					v, err := r.ReadGamma()
+					if err != nil {
+						panic(fmt.Sprintf("singlehop: malformed vote: %v", err))
+					}
+					votes += v
+				}
+				// Count the root's own items too (it hears itself for free).
+				for _, it := range nd.Items {
+					if it.Active && it.Cur <= probe {
+						votes++
+					}
+				}
+				// ℓ(probe+1) = #items <= probe; the k-th smallest is <= probe
+				// iff that count >= k.
+				if votes >= k {
+					hi = probe
+				} else {
+					lo = probe + 1
+				}
+				if lo >= hi {
+					done = true
+					return wire.Empty, false
+				}
+				probe = mid(lo, hi)
+			}
+			if done {
+				return wire.Empty, false
+			}
+			awaiting = true
+			votes = 0
+			w := bitio.NewWriter(valueWidth)
+			w.WriteBits(probe, valueWidth)
+			return wire.FromWriter(w), true
+		}
+
+		// Non-root: answer the threshold heard last round with one bit.
+		for _, msg := range heard {
+			if msg.From != root {
+				continue
+			}
+			r := msg.Payload.Reader()
+			t, err := r.ReadBits(valueWidth)
+			if err != nil {
+				panic(fmt.Sprintf("singlehop: malformed threshold: %v", err))
+			}
+			vote := uint64(0)
+			for _, it := range nd.Items {
+				if it.Active && it.Cur <= t {
+					vote++
+				}
+			}
+			// Gamma-coded vote: 1 bit for "none", 3 bits for one item —
+			// O(1) bits per probe in the single-item model, O(log items)
+			// for multi-item nodes.
+			w := bitio.NewWriter(8)
+			w.WriteGamma(vote)
+			return wire.FromWriter(w), true
+		}
+		return wire.Empty, false
+	})
+
+	// 2·(log X + 2) rounds: one announce + one vote round per probe.
+	maxRounds := 2 * (int(bitio.WidthOfRange(nw.MaxX)) + 2)
+	res := netsim.RunRadioRounds(nw, handler, maxRounds)
+	rounds = res.Rounds
+
+	if !done {
+		return Result{}, fmt.Errorf("singlehop: search did not converge in %d rounds", maxRounds)
+	}
+	for i := 0; i < n; i++ {
+		if topology.NodeID(i) == root {
+			continue
+		}
+		if tx := nw.Meter.SentBits[i]; tx > maxTx {
+			maxTx = tx
+		}
+	}
+	return Result{
+		Value:           lo,
+		Rounds:          rounds,
+		MaxTransmitBits: maxTx,
+		Comm:            nw.Meter.Since(before),
+	}, nil
+}
+
+func mid(lo, hi uint64) uint64 { return lo + (hi-lo)/2 }
+
+func assertComplete(g *topology.Graph) {
+	n := g.N()
+	for u := range g.Adj {
+		if len(g.Adj[u]) != n-1 {
+			panic(fmt.Sprintf("singlehop: node %d has degree %d in a %d-node network — graph must be complete", u, len(g.Adj[u]), n))
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package singlehop
+
+import (
+	"testing"
+
+	"sensoragg/internal/core"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/workload"
+)
+
+const maxX = 1 << 12
+
+func singleHopNet(t *testing.T, n int, kind workload.Kind, seed uint64) *netsim.Network {
+	t.Helper()
+	g := topology.Complete(n)
+	values := workload.Generate(kind, n, maxX, seed)
+	return netsim.New(g, values, maxX, netsim.WithSeed(seed))
+}
+
+func TestMedianExact(t *testing.T) {
+	for _, kind := range []workload.Kind{workload.Uniform, workload.Zipf, workload.Constant} {
+		t.Run(string(kind), func(t *testing.T) {
+			nw := singleHopNet(t, 128, kind, 3)
+			res, err := Median(nw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sorted := core.SortedCopy(nw.AllItems())
+			if want := core.TrueMedian(sorted); res.Value != want {
+				t.Errorf("median = %d, want %d", res.Value, want)
+			}
+		})
+	}
+}
+
+func TestOrderStatisticAllRanks(t *testing.T) {
+	nw := singleHopNet(t, 33, workload.Uniform, 5)
+	sorted := core.SortedCopy(nw.AllItems())
+	for _, k := range []uint64{1, 2, 16, 17, 32, 33} {
+		res, err := OrderStatistic(nw, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if want := core.TrueOrderStatistic(sorted, int(k)); res.Value != want {
+			t.Errorf("k=%d: got %d, want %d", k, res.Value, want)
+		}
+	}
+}
+
+// TestTransmitProfile verifies the [14] headline: non-root nodes transmit
+// only O(log X) bits (1 bit per probe), while receive costs are Θ(N log X).
+func TestTransmitProfile(t *testing.T) {
+	nw := singleHopNet(t, 256, workload.Uniform, 7)
+	res, err := Median(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ≤ log X probes, ≤ 3 bits (gamma-coded vote) per probe.
+	if res.MaxTransmitBits > 3*int64(nw.ValueWidth)+4 {
+		t.Errorf("non-root transmit = %d bits, want ≤ ~%d", res.MaxTransmitBits, 3*nw.ValueWidth)
+	}
+	// Receive side is Ω(N) — every node overhears every vote.
+	if res.Comm.MaxPerNode < int64(nw.N()) {
+		t.Errorf("max per node = %d, expected Ω(N)=%d from overhearing", res.Comm.MaxPerNode, nw.N())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	nw := singleHopNet(t, 8, workload.Uniform, 1)
+	if _, err := OrderStatistic(nw, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := OrderStatistic(nw, 9); err == nil {
+		t.Error("k>N accepted")
+	}
+	tiny := netsim.New(topology.Complete(1), []uint64{5}, maxX)
+	if _, err := Median(tiny); err == nil {
+		t.Error("single-node network accepted")
+	}
+}
+
+func TestNonCompleteGraphPanics(t *testing.T) {
+	g := topology.Line(8)
+	values := workload.Generate(workload.Uniform, 8, maxX, 1)
+	nw := netsim.New(g, values, maxX)
+	defer func() {
+		if recover() == nil {
+			t.Error("line topology should panic")
+		}
+	}()
+	if _, err := Median(nw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiItemNodes(t *testing.T) {
+	g := topology.Complete(5)
+	items := [][]uint64{{1, 9}, {3}, {7, 7, 2}, {5}, {8}}
+	nw := netsim.NewMulti(g, items, maxX)
+	res, err := Median(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := nw.AllItems()
+	sorted := core.SortedCopy(all)
+	if want := core.TrueMedian(sorted); res.Value != want {
+		t.Errorf("multi-item median = %d, want %d", res.Value, want)
+	}
+}

@@ -1,0 +1,155 @@
+// Package spantree executes broadcast and convergecast over the network's
+// rooted spanning tree — the substrate the paper's primitive protocols
+// (Fact 2.1) run on, following TAG [9] and Peleg [13].
+//
+// Two interchangeable engines implement the same Ops interface:
+//
+//   - Goroutine engine: every node is a goroutine; partials flow through
+//     channels along tree edges, so the synchronization structure mirrors a
+//     real convergecast wave.
+//   - Fast engine: a level-ordered sequential schedule, used for large-N
+//     sweeps.
+//
+// Both produce identical results and identical bit meters (asserted by
+// cross-engine tests), because all accounting happens at the encode/decode
+// boundary shared by both.
+package spantree
+
+import (
+	"fmt"
+
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/wire"
+)
+
+// Combiner is an aggregation program for convergecast. The engine calls
+// Local at every node, merges children into the accumulator bottom-up, and
+// passes every partial through Encode/Decode at each tree edge so message
+// sizes are the exact encoded bit lengths.
+//
+// Local and Merge for different nodes may run concurrently (goroutine
+// engine); implementations must not share mutable state across nodes.
+type Combiner interface {
+	// Local returns node n's own partial aggregate.
+	Local(n *netsim.Node) any
+	// Merge folds a child's decoded partial into the accumulator and
+	// returns the new accumulator. It must be insensitive to child order.
+	Merge(acc, child any) any
+	// Encode serializes a partial for transmission to the parent.
+	Encode(p any) wire.Payload
+	// Decode parses a received partial.
+	Decode(pl wire.Payload) (any, error)
+}
+
+// Applier reacts to a broadcast payload at a node. It runs once per node,
+// possibly concurrently across nodes.
+type Applier func(n *netsim.Node, p wire.Payload)
+
+// Ops is the root's interface to tree communication. Implementations charge
+// every link traversal to the network meter.
+type Ops interface {
+	// Network returns the underlying network.
+	Network() *netsim.Network
+	// Broadcast delivers p from the root to every node, invoking apply at
+	// each node (including the root). apply may be nil.
+	Broadcast(p wire.Payload, apply Applier)
+	// Convergecast aggregates c's partials up the tree and returns the
+	// root's accumulated partial.
+	Convergecast(c Combiner) (any, error)
+	// Name identifies the engine for test/bench labels.
+	Name() string
+}
+
+// FaultPlan injects link-layer faults into the fast engine, modelling the
+// unreliable communication that motivates order- and duplicate-insensitive
+// synopses (Considine et al. [2]; Nath et al. [10]). A duplicated
+// convergecast message is merged twice at the parent; a dropped message
+// discards the child's entire subtree contribution.
+type FaultPlan struct {
+	// DupProb is the probability a convergecast message is delivered twice.
+	DupProb float64
+	// DropProb is the probability a convergecast message is lost.
+	DropProb float64
+}
+
+func (f FaultPlan) enabled() bool { return f.DupProb > 0 || f.DropProb > 0 }
+
+// FastEngine executes tree operations on a level-ordered schedule.
+// The zero FaultPlan means reliable links.
+type FastEngine struct {
+	nw     *netsim.Network
+	faults FaultPlan
+}
+
+var _ Ops = (*FastEngine)(nil)
+
+// NewFast returns a fast engine over nw with reliable links.
+func NewFast(nw *netsim.Network) *FastEngine { return &FastEngine{nw: nw} }
+
+// NewFastFaulty returns a fast engine that injects faults per plan, using
+// the nodes' own random streams for fault decisions.
+func NewFastFaulty(nw *netsim.Network, plan FaultPlan) *FastEngine {
+	return &FastEngine{nw: nw, faults: plan}
+}
+
+// Network returns the underlying network.
+func (e *FastEngine) Network() *netsim.Network { return e.nw }
+
+// Name implements Ops.
+func (e *FastEngine) Name() string { return "fast" }
+
+// Broadcast implements Ops.
+func (e *FastEngine) Broadcast(p wire.Payload, apply Applier) {
+	t := e.nw.Tree.Order
+	tree := e.nw.Tree
+	for _, u := range t {
+		if u != tree.Root {
+			e.nw.Meter.Charge(tree.Parent[u], u, p.Bits())
+		}
+		if apply != nil {
+			apply(e.nw.Nodes[u], p)
+		}
+	}
+}
+
+// Convergecast implements Ops.
+func (e *FastEngine) Convergecast(c Combiner) (any, error) {
+	tree := e.nw.Tree
+	partials := make([]any, e.nw.N())
+	order := tree.Order
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		acc := c.Local(e.nw.Nodes[u])
+		for _, child := range tree.Children[u] {
+			pl := c.Encode(partials[child])
+			partials[child] = nil
+			deliveries := e.deliveries(e.nw.Nodes[u])
+			for d := 0; d < deliveries; d++ {
+				e.nw.Meter.Charge(child, u, pl.Bits())
+				dec, err := c.Decode(pl)
+				if err != nil {
+					return nil, fmt.Errorf("spantree: decoding partial from node %d: %w", child, err)
+				}
+				acc = c.Merge(acc, dec)
+			}
+		}
+		partials[u] = acc
+	}
+	return partials[tree.Root], nil
+}
+
+// deliveries returns how many times the next convergecast message arrives
+// (1 normally; 0 dropped; 2 duplicated), using the receiving node's RNG.
+func (e *FastEngine) deliveries(receiver *netsim.Node) int {
+	if !e.faults.enabled() {
+		return 1
+	}
+	r := receiver.RNG().Float64()
+	if r < e.faults.DropProb {
+		return 0
+	}
+	if r < e.faults.DropProb+e.faults.DupProb {
+		return 2
+	}
+	return 1
+}

@@ -1,0 +1,112 @@
+// Package stats provides the small statistics and reporting toolkit the
+// experiment harness uses: summary statistics, growth-exponent fits for
+// checking the theorems' asymptotic shapes, and markdown table rendering
+// for EXPERIMENTS.md.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation.
+func Stddev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the φ-quantile by nearest-rank on a copy of xs.
+func Quantile(xs []float64, phi float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if phi <= 0 {
+		return s[0]
+	}
+	if phi >= 1 {
+		return s[len(s)-1]
+	}
+	return s[int(phi*float64(len(s)-1)+0.5)]
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// linFit returns the least-squares slope of y on x.
+func linFit(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var num, den float64
+	for i := range x {
+		num += (x[i] - mx) * (y[i] - my)
+		den += (x[i] - mx) * (x[i] - mx)
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// FitPowerLaw fits y ≈ c·x^d and returns the exponent d (slope of log y on
+// log x). All inputs must be positive.
+func FitPowerLaw(x, y []float64) float64 {
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	return linFit(lx, ly)
+}
+
+// FitPolyLog fits y ≈ c·(log2 x)^d and returns d — the exponent the
+// theorems predict: ≈1 for Fact 2.1 (O(log N)), ≈2 for Theorem 3.2
+// (O((log N)^2)).
+func FitPolyLog(x, y []float64) float64 {
+	llx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		llx[i] = math.Log(math.Log2(x[i]))
+		ly[i] = math.Log(y[i])
+	}
+	return linFit(llx, ly)
+}

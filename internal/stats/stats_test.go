@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBasicStats(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if m := Mean(xs); m != 3 {
+		t.Errorf("Mean = %g", m)
+	}
+	if v := Variance(xs); v != 2 {
+		t.Errorf("Variance = %g", v)
+	}
+	if s := Stddev(xs); math.Abs(s-math.Sqrt2) > 1e-12 {
+		t.Errorf("Stddev = %g", s)
+	}
+	if m := Max(xs); m != 5 {
+		t.Errorf("Max = %g", m)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty inputs should give 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %g", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Errorf("q1 = %g", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Errorf("q.5 = %g", q)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Quantile sorted its input in place")
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	// y = 3x^2 exactly.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	if d := FitPowerLaw(xs, ys); math.Abs(d-2) > 1e-9 {
+		t.Errorf("power-law exponent = %g, want 2", d)
+	}
+}
+
+func TestFitPolyLog(t *testing.T) {
+	// y = 5(log2 x)^2 exactly.
+	xs := []float64{256, 1024, 4096, 65536}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		l := math.Log2(x)
+		ys[i] = 5 * l * l
+	}
+	if d := FitPolyLog(xs, ys); math.Abs(d-2) > 1e-9 {
+		t.Errorf("polylog exponent = %g, want 2", d)
+	}
+	// y = 7·log2 x: exponent 1.
+	for i, x := range xs {
+		ys[i] = 7 * math.Log2(x)
+	}
+	if d := FitPolyLog(xs, ys); math.Abs(d-1) > 1e-9 {
+		t.Errorf("polylog exponent = %g, want 1", d)
+	}
+}
+
+func TestFitDegenerate(t *testing.T) {
+	if !math.IsNaN(FitPowerLaw([]float64{1}, []float64{1})) {
+		t.Error("single point should give NaN")
+	}
+	if !math.IsNaN(FitPowerLaw([]float64{2, 2}, []float64{1, 5})) {
+		t.Error("zero x-variance should give NaN")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID:     "T1",
+		Title:  "demo",
+		Header: []string{"a", "longer"},
+	}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", 0.001)
+	tb.AddNote("note %d", 7)
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"### T1 — demo", "| a ", "longer", "| 1 ", "2.500", "1.00e-03", "- note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{3, "3"},
+		{3.5, "3.500"},
+		{0.0001, "1.00e-04"},
+		{0, "0"},
+		{-2, "-2"},
+	}
+	for _, tt := range tests {
+		if got := FormatFloat(tt.v); got != tt.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}

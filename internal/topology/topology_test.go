@@ -1,0 +1,180 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestGeneratorsShape(t *testing.T) {
+	tests := []struct {
+		name      string
+		g         *Graph
+		wantN     int
+		wantEdges int
+		wantMaxD  int
+	}{
+		{"line", Line(10), 10, 9, 2},
+		{"ring", Ring(10), 10, 10, 2},
+		{"star", Star(10), 10, 9, 9},
+		{"grid", Grid(3, 4), 12, 17, 4},
+		{"torus", Torus(3, 4), 12, 24, 4},
+		{"btree", BinaryTree(7), 7, 6, 3},
+		{"complete", Complete(5), 5, 10, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.N(); got != tt.wantN {
+				t.Errorf("N = %d, want %d", got, tt.wantN)
+			}
+			if got := tt.g.Edges(); got != tt.wantEdges {
+				t.Errorf("Edges = %d, want %d", got, tt.wantEdges)
+			}
+			if got := tt.g.MaxDegree(); got != tt.wantMaxD {
+				t.Errorf("MaxDegree = %d, want %d", got, tt.wantMaxD)
+			}
+			if !tt.g.Connected() {
+				t.Error("generator produced a disconnected graph")
+			}
+		})
+	}
+}
+
+func TestRandomGeometricConnected(t *testing.T) {
+	for _, n := range []int{10, 100, 500} {
+		g := RandomGeometric(n, 0, uint64(n))
+		if g.N() != n {
+			t.Fatalf("N = %d, want %d", g.N(), n)
+		}
+		if !g.Connected() {
+			t.Errorf("rgg(%d) disconnected", n)
+		}
+	}
+}
+
+func TestRandomGeometricDeterministic(t *testing.T) {
+	a := RandomGeometric(100, 0, 42)
+	b := RandomGeometric(100, 0, 42)
+	if a.Edges() != b.Edges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for u := range a.Adj {
+		if len(a.Adj[u]) != len(b.Adj[u]) {
+			t.Fatalf("node %d neighbour counts differ", u)
+		}
+		for i := range a.Adj[u] {
+			if a.Adj[u][i] != b.Adj[u][i] {
+				t.Fatalf("node %d neighbours differ", u)
+			}
+		}
+	}
+}
+
+func TestBFSTreeProperties(t *testing.T) {
+	graphs := []*Graph{Line(20), Ring(21), Grid(5, 5), Star(30), RandomGeometric(80, 0, 9), Complete(12)}
+	for _, g := range graphs {
+		t.Run(g.Name, func(t *testing.T) {
+			tr := BFSTree(g, 0)
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			// BFS depths are shortest-path distances: every tree edge spans
+			// adjacent graph nodes and depth(child) = depth(parent)+1.
+			for u := 1; u < g.N(); u++ {
+				p := tr.Parent[u]
+				found := false
+				for _, v := range g.Adj[u] {
+					if v == p {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("tree edge %d-%d not a graph edge", u, p)
+				}
+			}
+		})
+	}
+}
+
+func TestBFSTreeDepthsAreDistances(t *testing.T) {
+	// On a line rooted at 0, depth of node i must be i.
+	tr := BFSTree(Line(15), 0)
+	for i := 0; i < 15; i++ {
+		if tr.Depth[i] != i {
+			t.Errorf("Depth[%d] = %d, want %d", i, tr.Depth[i], i)
+		}
+	}
+	if tr.Height() != 14 {
+		t.Errorf("Height = %d, want 14", tr.Height())
+	}
+}
+
+func TestBoundDegree(t *testing.T) {
+	for _, maxKids := range []int{2, 3, 8} {
+		for _, g := range []*Graph{Star(100), Complete(40), Grid(8, 8), RandomGeometric(150, 0.3, 4)} {
+			tr := BFSTree(g, 0)
+			bounded := BoundDegree(tr, maxKids)
+			if err := bounded.Validate(); err != nil {
+				t.Fatalf("maxKids=%d %s: Validate: %v", maxKids, g.Name, err)
+			}
+			for u := range bounded.Children {
+				if len(bounded.Children[u]) > maxKids {
+					t.Fatalf("maxKids=%d %s: node %d has %d children", maxKids, g.Name, u, len(bounded.Children[u]))
+				}
+			}
+			if bounded.N() != tr.N() {
+				t.Fatalf("node count changed: %d -> %d", tr.N(), bounded.N())
+			}
+		}
+	}
+}
+
+func TestBoundDegreeStarHeight(t *testing.T) {
+	// Star with cap 2: surplus children chain, height grows to ~n-1; the
+	// per-node degree bound is what Fact 2.1 needs, height is the price.
+	tr := BoundDegree(BFSTree(Star(10), 0), 2)
+	if got := tr.MaxDegree(); got > 3 {
+		t.Errorf("MaxDegree = %d, want <= 3", got)
+	}
+	if tr.Height() < 5 {
+		t.Errorf("expected chained height, got %d", tr.Height())
+	}
+}
+
+func TestFromParentsRejectsBadInput(t *testing.T) {
+	if _, err := FromParents([]NodeID{-1, 0, 1, 5}, 0, "bad"); err == nil {
+		t.Error("out-of-range parent accepted")
+	}
+	// Cycle: 1->2->1.
+	if _, err := FromParents([]NodeID{-1, 2, 1}, 0, "cycle"); err == nil {
+		t.Error("cycle accepted")
+	}
+	if _, err := FromParents([]NodeID{0, 0}, 0, "rootparent"); err == nil {
+		t.Error("root with parent accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr := BFSTree(Grid(4, 4), 0)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	tr.Depth[5]++
+	if err := tr.Validate(); err == nil {
+		t.Error("corrupted depth not detected")
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	b := newBuilder(4)
+	b.addEdge(0, 1)
+	b.addEdge(2, 3)
+	g := b.graph("twopairs")
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BFSTree on disconnected graph should panic")
+		}
+	}()
+	BFSTree(g, 0)
+}

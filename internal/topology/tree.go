@@ -1,0 +1,233 @@
+package topology
+
+import "fmt"
+
+// Tree is a rooted spanning tree of a graph. Parent[root] == -1.
+type Tree struct {
+	Root     NodeID
+	Parent   []NodeID
+	Children [][]NodeID
+	// Depth[u] is the hop distance from the root.
+	Depth []int
+	// Order lists nodes in BFS order from the root (root first). Reversed,
+	// it is a valid convergecast schedule: every child precedes its parent.
+	Order []NodeID
+	Name  string
+}
+
+// N returns the number of nodes in the tree.
+func (t *Tree) N() int { return len(t.Parent) }
+
+// Height returns the maximum depth of any node.
+func (t *Tree) Height() int {
+	h := 0
+	for _, d := range t.Depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// MaxDegree returns the maximum tree degree (children + parent link).
+func (t *Tree) MaxDegree() int {
+	max := 0
+	for u := range t.Children {
+		d := len(t.Children[u])
+		if NodeID(u) != t.Root {
+			d++
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Validate checks structural invariants: a single root, parent/child
+// consistency, depths, and that Order is a BFS order covering all nodes.
+func (t *Tree) Validate() error {
+	n := t.N()
+	if n == 0 {
+		return fmt.Errorf("topology: empty tree")
+	}
+	if t.Root < 0 || int(t.Root) >= n {
+		return fmt.Errorf("topology: root %d out of range", t.Root)
+	}
+	if t.Parent[t.Root] != -1 {
+		return fmt.Errorf("topology: root has parent %d", t.Parent[t.Root])
+	}
+	if len(t.Children) != n || len(t.Depth) != n || len(t.Order) != n {
+		return fmt.Errorf("topology: inconsistent slice lengths")
+	}
+	seen := make([]bool, n)
+	for i, u := range t.Order {
+		if u < 0 || int(u) >= n || seen[u] {
+			return fmt.Errorf("topology: bad order entry %d at %d", u, i)
+		}
+		seen[u] = true
+	}
+	if t.Order[0] != t.Root {
+		return fmt.Errorf("topology: order does not start at root")
+	}
+	for u := 0; u < n; u++ {
+		uid := NodeID(u)
+		if uid == t.Root {
+			if t.Depth[u] != 0 {
+				return fmt.Errorf("topology: root depth %d", t.Depth[u])
+			}
+			continue
+		}
+		p := t.Parent[u]
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("topology: node %d parent %d out of range", u, p)
+		}
+		if t.Depth[u] != t.Depth[p]+1 {
+			return fmt.Errorf("topology: node %d depth %d, parent depth %d", u, t.Depth[u], t.Depth[p])
+		}
+		found := false
+		for _, c := range t.Children[p] {
+			if c == uid {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("topology: node %d missing from children of %d", u, p)
+		}
+	}
+	return nil
+}
+
+// BFSTree returns the breadth-first spanning tree of g rooted at root.
+// It panics if g is disconnected (callers validate connectivity first).
+func BFSTree(g *Graph, root NodeID) *Tree {
+	n := g.N()
+	t := &Tree{
+		Root:     root,
+		Parent:   make([]NodeID, n),
+		Children: make([][]NodeID, n),
+		Depth:    make([]int, n),
+		Order:    make([]NodeID, 0, n),
+		Name:     "bfs(" + g.Name + ")",
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -2 // unvisited sentinel
+	}
+	t.Parent[root] = -1
+	queue := []NodeID{root}
+	t.Order = append(t.Order, root)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj[u] {
+			if t.Parent[v] != NodeID(-2) {
+				continue
+			}
+			t.Parent[v] = u
+			t.Depth[v] = t.Depth[u] + 1
+			t.Children[u] = append(t.Children[u], v)
+			t.Order = append(t.Order, v)
+			queue = append(queue, v)
+		}
+	}
+	if len(t.Order) != n {
+		panic(fmt.Sprintf("topology: BFSTree on disconnected graph (%d of %d reached)", len(t.Order), n))
+	}
+	return t
+}
+
+// BoundDegree rewrites t so that no node has more than maxChildren children
+// (hence tree degree at most maxChildren+1), by chaining surplus children:
+// each node retains at most maxChildren-1 of its original children and the
+// rest form a descending chain, so every node gains at most one chain link.
+// This realizes the bounded-degree tree the remark after Fact 2.1 requires:
+// per-node communication in convergecast is proportional to tree degree, so
+// the root of a star would otherwise pay Θ(N) even for COUNT. Height can
+// grow by a factor of O(origDegree/maxChildren).
+func BoundDegree(t *Tree, maxChildren int) *Tree {
+	if maxChildren < 2 {
+		panic("topology: maxChildren must be >= 2")
+	}
+	n := t.N()
+	parent := make([]NodeID, n)
+	copy(parent, t.Parent)
+	for u := 0; u < n; u++ {
+		kids := t.Children[u]
+		if len(kids) < maxChildren {
+			continue
+		}
+		// Retain k[0..maxChildren-2] under u; chain the surplus below the
+		// last retained child. Every node appears in exactly one original
+		// child list, so it can gain at most one chain child, keeping its
+		// total at (maxChildren-1) retained + 1 chained = maxChildren.
+		prev := kids[maxChildren-2]
+		for _, c := range kids[maxChildren-1:] {
+			parent[c] = prev
+			prev = c
+		}
+	}
+	nt, err := rebuildFromParents(parent, t.Root, "degbound("+t.Name+")")
+	if err != nil {
+		// The chaining transformation preserves tree-ness by construction.
+		panic("topology: BoundDegree broke the tree: " + err.Error())
+	}
+	return nt
+}
+
+// FromParents builds a rooted tree from a parent array (Parent[root] must
+// be -1) and validates it. Child order follows node ID order.
+func FromParents(parent []NodeID, root NodeID, name string) (*Tree, error) {
+	if int(root) >= len(parent) || root < 0 {
+		return nil, fmt.Errorf("topology: root %d out of range", root)
+	}
+	if parent[root] != -1 {
+		return nil, fmt.Errorf("topology: parent of root is %d, want -1", parent[root])
+	}
+	t, err := rebuildFromParents(parent, root, name)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// rebuildFromParents reconstructs children/depth/order from a parent array.
+func rebuildFromParents(parent []NodeID, root NodeID, name string) (*Tree, error) {
+	n := len(parent)
+	t := &Tree{
+		Root:     root,
+		Parent:   parent,
+		Children: make([][]NodeID, n),
+		Depth:    make([]int, n),
+		Order:    make([]NodeID, 0, n),
+		Name:     name,
+	}
+	for u := 0; u < n; u++ {
+		if NodeID(u) == root {
+			continue
+		}
+		p := parent[u]
+		if p < 0 || int(p) >= n {
+			return nil, fmt.Errorf("topology: node %d has parent %d out of range", u, p)
+		}
+		t.Children[p] = append(t.Children[p], NodeID(u))
+	}
+	queue := []NodeID{root}
+	t.Order = append(t.Order, root)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range t.Children[u] {
+			t.Depth[v] = t.Depth[u] + 1
+			t.Order = append(t.Order, v)
+			queue = append(queue, v)
+		}
+	}
+	if len(t.Order) != n {
+		return nil, fmt.Errorf("topology: parent array does not form a tree (%d of %d reachable)", len(t.Order), n)
+	}
+	return t, nil
+}

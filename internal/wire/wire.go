@@ -1,0 +1,177 @@
+// Package wire defines the payloads that cross simulated links.
+//
+// Every message in the simulator is a Payload — a packed bit string with an
+// exact bit length — so the per-node communication meters measure precisely
+// what the paper's model charges (Section 2.1: bits transmitted and
+// received). The package also defines the predicate language used by the
+// COUNTP protocol of Section 3.1: a predicate must be representable in
+// O(C_COUNT(N)) = O(log N) bits, which the encodings here respect.
+package wire
+
+import (
+	"fmt"
+
+	"sensoragg/internal/bitio"
+)
+
+// Payload is an immutable packed bit string.
+type Payload struct {
+	b []byte
+	n int
+}
+
+// FromWriter snapshots the writer's bits into a Payload. The writer may be
+// reused afterwards.
+func FromWriter(w *bitio.Writer) Payload {
+	b := make([]byte, len(w.Bytes()))
+	copy(b, w.Bytes())
+	return Payload{b: b, n: w.Len()}
+}
+
+// Bits returns the payload length in bits.
+func (p Payload) Bits() int { return p.n }
+
+// Reader returns a bit reader over the payload.
+func (p Payload) Reader() *bitio.Reader { return bitio.NewReader(p.b, p.n) }
+
+// Empty is the zero-length payload.
+var Empty = Payload{}
+
+// PredKind enumerates predicate shapes. Kinds start at 1 so the zero value
+// is invalid and cannot be mistaken for a real predicate.
+type PredKind uint8
+
+const (
+	// PredTrue matches every item (COUNTP(X, TRUE) == COUNT(X), §3.1).
+	PredTrue PredKind = iota + 1
+	// PredLess matches items strictly below the threshold A ("< y", §3.2).
+	PredLess
+	// PredGreaterEq matches items at or above threshold A.
+	PredGreaterEq
+	// PredInRange matches items in the half-open interval [A, B).
+	PredInRange
+)
+
+const predKindBits = 2
+
+// String returns the predicate kind name.
+func (k PredKind) String() string {
+	switch k {
+	case PredTrue:
+		return "true"
+	case PredLess:
+		return "less"
+	case PredGreaterEq:
+		return "geq"
+	case PredInRange:
+		return "range"
+	default:
+		return fmt.Sprintf("PredKind(%d)", uint8(k))
+	}
+}
+
+// Pred is a locally-computable predicate over item values. Thresholds are
+// integers: the half-integer comparisons of the median algorithm are
+// normalized by the caller to integer thresholds (x < t+1/2  <=>  x < t+1).
+type Pred struct {
+	Kind PredKind
+	A, B uint64
+}
+
+// True is the all-matching predicate.
+func True() Pred { return Pred{Kind: PredTrue} }
+
+// Less returns the predicate "x < t".
+func Less(t uint64) Pred { return Pred{Kind: PredLess, A: t} }
+
+// GreaterEq returns the predicate "x >= t".
+func GreaterEq(t uint64) Pred { return Pred{Kind: PredGreaterEq, A: t} }
+
+// InRange returns the predicate "a <= x < b".
+func InRange(a, b uint64) Pred { return Pred{Kind: PredInRange, A: a, B: b} }
+
+// Eval reports whether the predicate matches x.
+func (p Pred) Eval(x uint64) bool {
+	switch p.Kind {
+	case PredTrue:
+		return true
+	case PredLess:
+		return x < p.A
+	case PredGreaterEq:
+		return x >= p.A
+	case PredInRange:
+		return p.A <= x && x < p.B
+	default:
+		panic(fmt.Sprintf("wire: invalid predicate kind %d", p.Kind))
+	}
+}
+
+// AppendTo encodes the predicate with thresholds at the given fixed value
+// width (the network-wide item width, O(log X) bits).
+func (p Pred) AppendTo(w *bitio.Writer, valueWidth int) {
+	w.WriteBits(uint64(p.Kind)-1, predKindBits)
+	switch p.Kind {
+	case PredTrue:
+	case PredLess, PredGreaterEq:
+		w.WriteBits(p.A, valueWidth)
+	case PredInRange:
+		w.WriteBits(p.A, valueWidth)
+		w.WriteBits(p.B, valueWidth)
+	default:
+		panic(fmt.Sprintf("wire: invalid predicate kind %d", p.Kind))
+	}
+}
+
+// EncodedBits returns the number of bits AppendTo would write.
+func (p Pred) EncodedBits(valueWidth int) int {
+	switch p.Kind {
+	case PredTrue:
+		return predKindBits
+	case PredLess, PredGreaterEq:
+		return predKindBits + valueWidth
+	case PredInRange:
+		return predKindBits + 2*valueWidth
+	default:
+		panic(fmt.Sprintf("wire: invalid predicate kind %d", p.Kind))
+	}
+}
+
+// DecodePred reads a predicate encoded by AppendTo with the same value width.
+func DecodePred(r *bitio.Reader, valueWidth int) (Pred, error) {
+	k, err := r.ReadBits(predKindBits)
+	if err != nil {
+		return Pred{}, fmt.Errorf("wire: decoding predicate kind: %w", err)
+	}
+	p := Pred{Kind: PredKind(k + 1)}
+	switch p.Kind {
+	case PredTrue:
+	case PredLess, PredGreaterEq:
+		if p.A, err = r.ReadBits(valueWidth); err != nil {
+			return Pred{}, fmt.Errorf("wire: decoding predicate threshold: %w", err)
+		}
+	case PredInRange:
+		if p.A, err = r.ReadBits(valueWidth); err != nil {
+			return Pred{}, fmt.Errorf("wire: decoding predicate low: %w", err)
+		}
+		if p.B, err = r.ReadBits(valueWidth); err != nil {
+			return Pred{}, fmt.Errorf("wire: decoding predicate high: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// String renders the predicate for logs and CLI output.
+func (p Pred) String() string {
+	switch p.Kind {
+	case PredTrue:
+		return "TRUE"
+	case PredLess:
+		return fmt.Sprintf("x < %d", p.A)
+	case PredGreaterEq:
+		return fmt.Sprintf("x >= %d", p.A)
+	case PredInRange:
+		return fmt.Sprintf("%d <= x < %d", p.A, p.B)
+	default:
+		return "INVALID"
+	}
+}

@@ -1,0 +1,183 @@
+package wire
+
+import (
+	randv1 "math/rand"
+	"testing"
+	"testing/quick"
+
+	"sensoragg/internal/bitio"
+)
+
+func TestPredEval(t *testing.T) {
+	tests := []struct {
+		pred Pred
+		x    uint64
+		want bool
+	}{
+		{True(), 0, true},
+		{True(), 1 << 40, true},
+		{Less(5), 4, true},
+		{Less(5), 5, false},
+		{Less(0), 0, false},
+		{GreaterEq(5), 5, true},
+		{GreaterEq(5), 4, false},
+		{InRange(2, 6), 2, true},
+		{InRange(2, 6), 5, true},
+		{InRange(2, 6), 6, false},
+		{InRange(2, 6), 1, false},
+	}
+	for _, tt := range tests {
+		if got := tt.pred.Eval(tt.x); got != tt.want {
+			t.Errorf("%s .Eval(%d) = %v, want %v", tt.pred, tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestPredRoundTrip(t *testing.T) {
+	const width = 20
+	preds := []Pred{True(), Less(5), Less(1<<width - 1), GreaterEq(0), InRange(3, 1000)}
+	for _, p := range preds {
+		w := bitio.NewWriter(p.EncodedBits(width))
+		p.AppendTo(w, width)
+		if w.Len() != p.EncodedBits(width) {
+			t.Errorf("%s: wrote %d bits, EncodedBits = %d", p, w.Len(), p.EncodedBits(width))
+		}
+		got, err := DecodePred(bitio.NewReader(w.Bytes(), w.Len()), width)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if got != p {
+			t.Errorf("round trip: got %+v, want %+v", got, p)
+		}
+	}
+}
+
+// TestPredRoundTripProperty fuzzes thresholds and kinds.
+func TestPredRoundTripProperty(t *testing.T) {
+	check := func(kindSeed uint8, a, b uint32) bool {
+		const width = 32
+		var p Pred
+		switch kindSeed % 4 {
+		case 0:
+			p = True()
+		case 1:
+			p = Less(uint64(a))
+		case 2:
+			p = GreaterEq(uint64(a))
+		default:
+			p = InRange(uint64(a), uint64(b))
+		}
+		w := bitio.NewWriter(p.EncodedBits(width))
+		p.AppendTo(w, width)
+		got, err := DecodePred(bitio.NewReader(w.Bytes(), w.Len()), width)
+		if err != nil {
+			return false
+		}
+		// Semantic equivalence on sampled points.
+		for _, x := range []uint64{0, 1, uint64(a), uint64(b), 1 << 31} {
+			if got.Eval(x) != p.Eval(x) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: randv1.New(randv1.NewSource(3))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPayloadFromWriterIsSnapshot(t *testing.T) {
+	w := bitio.NewWriter(8)
+	w.WriteBits(0xAB, 8)
+	p := FromWriter(w)
+	w.Reset()
+	w.WriteBits(0x00, 8)
+	r := p.Reader()
+	if v, _ := r.ReadBits(8); v != 0xAB {
+		t.Errorf("payload mutated by writer reuse: %x", v)
+	}
+	if p.Bits() != 8 {
+		t.Errorf("Bits = %d, want 8", p.Bits())
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	if Empty.Bits() != 0 {
+		t.Error("Empty payload has bits")
+	}
+	if _, err := Empty.Reader().ReadBit(); err == nil {
+		t.Error("reading Empty should fail")
+	}
+}
+
+func TestPredStrings(t *testing.T) {
+	if True().String() == "" || Less(3).String() == "" || PredKind(0).String() == "" {
+		t.Error("string renderings empty")
+	}
+}
+
+func TestPredKindString(t *testing.T) {
+	tests := map[PredKind]string{
+		PredTrue: "true", PredLess: "less", PredGreaterEq: "geq", PredInRange: "range",
+	}
+	for k, want := range tests {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", k, k.String())
+		}
+	}
+	if PredKind(9).String() == "" {
+		t.Error("invalid kind should still render")
+	}
+}
+
+func TestInvalidPredPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	var bad Pred // zero kind is invalid by design
+	mustPanic("Eval", func() { bad.Eval(1) })
+	mustPanic("AppendTo", func() {
+		var w bitio.Writer
+		bad.AppendTo(&w, 8)
+	})
+	mustPanic("EncodedBits", func() { bad.EncodedBits(8) })
+}
+
+func TestDecodePredErrors(t *testing.T) {
+	// Truncated after the kind tag: threshold read must fail.
+	var w bitio.Writer
+	Less(5).AppendTo(&w, 8)
+	full := w.Len()
+	for _, cut := range []int{0, 1, 3, full - 1} {
+		r := bitio.NewReader(w.Bytes(), cut)
+		if _, err := DecodePred(r, 8); err == nil {
+			t.Errorf("decode of %d/%d bits should error", cut, full)
+		}
+	}
+	// InRange truncated between bounds.
+	var w2 bitio.Writer
+	InRange(1, 7).AppendTo(&w2, 8)
+	r := bitio.NewReader(w2.Bytes(), w2.Len()-4)
+	if _, err := DecodePred(r, 8); err == nil {
+		t.Error("truncated range decode should error")
+	}
+}
+
+func TestAllPredStrings(t *testing.T) {
+	for _, p := range []Pred{True(), Less(2), GreaterEq(3), InRange(1, 9)} {
+		if p.String() == "" || p.String() == "INVALID" {
+			t.Errorf("String for %+v = %q", p, p.String())
+		}
+	}
+	var bad Pred
+	if bad.String() != "INVALID" {
+		t.Errorf("zero pred renders %q", bad.String())
+	}
+}

@@ -1,0 +1,129 @@
+// Package workload generates the input multisets used by tests,
+// experiments, and examples. Every generator is deterministic in its seed.
+//
+// The paper's guarantees are distribution-free, but its *approximation*
+// definitions (Definition 2.4) interact with input density: α (rank error)
+// bites on flat regions, β (value error) on sparse ones. The experiment
+// suite therefore sweeps distributions with very different density
+// profiles.
+package workload
+
+import (
+	"fmt"
+	randv1 "math/rand"
+	"math/rand/v2"
+)
+
+// Kind names a generator.
+type Kind string
+
+// Supported workload kinds.
+const (
+	Uniform     Kind = "uniform"     // i.i.d. uniform over [0, maxX]
+	Zipf        Kind = "zipf"        // heavy-tailed ranks mapped across the domain
+	Gaussian    Kind = "gaussian"    // rounded normal centred at maxX/2
+	Exponential Kind = "exponential" // rounded exponential from 0
+	Bimodal     Kind = "bimodal"     // two Gaussian bumps at maxX/4 and 3·maxX/4
+	Constant    Kind = "constant"    // all items equal (degenerate density)
+	FewDistinct Kind = "fewdistinct" // 16 distinct values, duplicate-heavy
+	Drift       Kind = "drift"       // sensor time-series: ramp + noise
+)
+
+// Kinds lists all workload kinds in a stable order.
+func Kinds() []Kind {
+	return []Kind{Uniform, Zipf, Gaussian, Exponential, Bimodal, Constant, FewDistinct, Drift}
+}
+
+// Generate returns n values in [0, maxX] drawn per kind.
+func Generate(kind Kind, n int, maxX uint64, seed uint64) []uint64 {
+	rng := rand.New(rand.NewPCG(seed, 0x5eed))
+	values := make([]uint64, n)
+	switch kind {
+	case Uniform:
+		for i := range values {
+			values[i] = rng.Uint64N(maxX + 1)
+		}
+	case Zipf:
+		// math/rand/v2 has no Zipf generator; use v1's, seeded from ours.
+		src := randv1.NewSource(int64(rng.Uint64() >> 1))
+		z := randv1.NewZipf(randv1.New(src), 1.3, 1, maxX)
+		for i := range values {
+			values[i] = z.Uint64()
+		}
+	case Gaussian:
+		mean := float64(maxX) / 2
+		dev := float64(maxX) / 8
+		for i := range values {
+			values[i] = clampRound(rng.NormFloat64()*dev+mean, maxX)
+		}
+	case Exponential:
+		scale := float64(maxX) / 8
+		for i := range values {
+			values[i] = clampRound(rng.ExpFloat64()*scale, maxX)
+		}
+	case Bimodal:
+		dev := float64(maxX) / 16
+		for i := range values {
+			mean := float64(maxX) / 4
+			if rng.IntN(2) == 1 {
+				mean = 3 * float64(maxX) / 4
+			}
+			values[i] = clampRound(rng.NormFloat64()*dev+mean, maxX)
+		}
+	case Constant:
+		v := maxX / 3
+		for i := range values {
+			values[i] = v
+		}
+	case FewDistinct:
+		const distinct = 16
+		support := make([]uint64, distinct)
+		for i := range support {
+			support[i] = rng.Uint64N(maxX + 1)
+		}
+		for i := range values {
+			values[i] = support[rng.IntN(distinct)]
+		}
+	case Drift:
+		// A slow ramp across the deployment plus per-node noise — the
+		// "temperature field" shape the TAG-era systems papers motivate.
+		noise := float64(maxX) / 32
+		for i := range values {
+			base := float64(maxX) * 0.25 * (1 + float64(i)/float64(n))
+			values[i] = clampRound(base+rng.NormFloat64()*noise, maxX)
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown kind %q", kind))
+	}
+	return values
+}
+
+func clampRound(x float64, maxX uint64) uint64 {
+	if x < 0 {
+		return 0
+	}
+	if x > float64(maxX) {
+		return maxX
+	}
+	return uint64(x + 0.5)
+}
+
+// DisjointnessInstance builds the Theorem 5.1 reduction input: two n-item
+// sets X_A and X_B over a universe of 2n values. If disjoint is true the
+// sets share no element (COUNT DISTINCT = 2n); otherwise they overlap in
+// exactly one element (COUNT DISTINCT = 2n−1) — the single-element gap that
+// makes exact counting as hard as Set Disjointness.
+func DisjointnessInstance(n int, disjoint bool, seed uint64) (xa, xb []uint64) {
+	rng := rand.New(rand.NewPCG(seed, 0xd15c))
+	universe := rng.Perm(2 * n)
+	xa = make([]uint64, n)
+	xb = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		xa[i] = uint64(universe[i])
+		xb[i] = uint64(universe[n+i])
+	}
+	if !disjoint {
+		xb[rng.IntN(n)] = xa[rng.IntN(n)]
+	}
+	return xa, xb
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"testing"
+
+	"sensoragg/internal/core"
+)
+
+func TestGenerateBounds(t *testing.T) {
+	const (
+		n    = 2000
+		maxX = 1 << 12
+	)
+	for _, kind := range Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			values := Generate(kind, n, maxX, 1)
+			if len(values) != n {
+				t.Fatalf("len = %d, want %d", len(values), n)
+			}
+			for i, v := range values {
+				if v > maxX {
+					t.Fatalf("values[%d] = %d exceeds maxX %d", i, v, maxX)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, kind := range Kinds() {
+		a := Generate(kind, 100, 1000, 7)
+		b := Generate(kind, 100, 1000, 7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed diverged at %d", kind, i)
+			}
+		}
+		c := Generate(kind, 100, 1000, 8)
+		if kind != Constant {
+			same := true
+			for i := range a {
+				if a[i] != c[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("%s: different seeds produced identical output", kind)
+			}
+		}
+	}
+}
+
+func TestDistributionShapes(t *testing.T) {
+	const (
+		n    = 10000
+		maxX = 1 << 12
+	)
+	// Constant: single distinct value.
+	if d := core.TrueDistinct(Generate(Constant, n, maxX, 1)); d != 1 {
+		t.Errorf("constant distinct = %d", d)
+	}
+	// FewDistinct: at most 16.
+	if d := core.TrueDistinct(Generate(FewDistinct, n, maxX, 1)); d > 16 {
+		t.Errorf("fewdistinct distinct = %d", d)
+	}
+	// Zipf: median far below mean (heavy tail).
+	z := core.SortedCopy(Generate(Zipf, n, maxX, 1))
+	var sum uint64
+	for _, v := range z {
+		sum += v
+	}
+	mean := float64(sum) / n
+	if med := float64(core.TrueMedian(z)); med > mean {
+		t.Errorf("zipf median %.0f above mean %.0f — not heavy-tailed", med, mean)
+	}
+	// Gaussian: median near maxX/2.
+	gauss := core.SortedCopy(Generate(Gaussian, n, maxX, 1))
+	med := float64(core.TrueMedian(gauss))
+	if med < 0.4*maxX || med > 0.6*maxX {
+		t.Errorf("gaussian median %.0f not near centre %d", med, maxX/2)
+	}
+	// Bimodal: few items near the centre.
+	bi := Generate(Bimodal, n, maxX, 1)
+	centre := 0
+	for _, v := range bi {
+		if v > 7*maxX/16 && v < 9*maxX/16 {
+			centre++
+		}
+	}
+	if float64(centre)/n > 0.05 {
+		t.Errorf("bimodal has %.1f%% mass at the centre", 100*float64(centre)/n)
+	}
+}
+
+func TestGenerateUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown kind should panic")
+		}
+	}()
+	Generate(Kind("nope"), 10, 100, 1)
+}
+
+func TestDisjointnessInstance(t *testing.T) {
+	for _, disjoint := range []bool{true, false} {
+		xa, xb := DisjointnessInstance(100, disjoint, 5)
+		if len(xa) != 100 || len(xb) != 100 {
+			t.Fatal("wrong sizes")
+		}
+		all := append(append([]uint64{}, xa...), xb...)
+		want := 200
+		if !disjoint {
+			want = 199
+		}
+		if d := core.TrueDistinct(all); d != want {
+			t.Errorf("disjoint=%v: distinct = %d, want %d", disjoint, d, want)
+		}
+		for _, v := range all {
+			if v >= 200 {
+				t.Fatalf("value %d outside universe", v)
+			}
+		}
+	}
+}
