@@ -6,13 +6,16 @@
 package sensoragg
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"sensoragg/internal/agg"
 	"sensoragg/internal/baseline"
 	"sensoragg/internal/core"
 	"sensoragg/internal/distinct"
+	"sensoragg/internal/engine"
 	"sensoragg/internal/gk"
 	"sensoragg/internal/gossip"
 	"sensoragg/internal/loglog"
@@ -422,4 +425,81 @@ func BenchmarkTreeBuild(b *testing.B) {
 			b.ReportMetric(float64(perNode)/float64(b.N), "bits/node")
 		})
 	}
+}
+
+// BenchmarkEngineMedian8 — the concurrency acceptance gate: 8 independent
+// exact-median queries on independently-seeded 4096-node grids, executed
+// through the query engine serially (worker pool of 1) and in parallel
+// (worker pool of GOMAXPROCS). On a multi-core runner the parallel variant
+// must be ≥2× faster wall-clock; results are bit-identical either way.
+// Session templates are warmed before timing so the comparison measures
+// query execution, not topology construction.
+func BenchmarkEngineMedian8(b *testing.B) {
+	const runs = 8
+	jobs := make([]engine.Job, runs)
+	for i := range jobs {
+		jobs[i] = engine.Job{
+			Spec:  engine.Spec{Topology: "grid", N: 4096, Workload: "uniform", Seed: uint64(i + 1)},
+			Query: engine.Query{Kind: engine.KindMedian},
+		}
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(fmt.Sprintf("%s/workers=%d", bc.name, bc.workers), func(b *testing.B) {
+			eng := engine.New(engine.Options{Workers: bc.workers})
+			for _, j := range jobs {
+				if _, err := eng.Session().Template(j.Spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var bits int64
+			for i := 0; i < b.N; i++ {
+				results := eng.Run(context.Background(), jobs)
+				for _, r := range results {
+					if r.Failed() {
+						b.Fatal(r.Error)
+					}
+					bits += r.BitsPerNode
+				}
+			}
+			b.ReportMetric(float64(bits)/float64(b.N)/runs, "bits/node")
+			b.ReportMetric(float64(runs), "queries/op")
+		})
+	}
+}
+
+// BenchmarkEngineSessionReuse measures what the session cache saves: the
+// cost of issuing one COUNT query against a cached 16384-node deployment
+// (fork + query) vs building the network from scratch each time.
+func BenchmarkEngineSessionReuse(b *testing.B) {
+	spec := engine.Spec{Topology: "grid", N: 16384, Workload: "uniform", Seed: 1}
+	q := engine.Query{Kind: engine.KindCount}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := engine.New(engine.Options{Workers: 1})
+			r := eng.RunOne(context.Background(), engine.Job{Spec: spec, Query: q})
+			if r.Failed() {
+				b.Fatal(r.Error)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng := engine.New(engine.Options{Workers: 1})
+		if _, err := eng.Session().Template(spec); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := eng.RunOne(context.Background(), engine.Job{Spec: spec, Query: q})
+			if r.Failed() {
+				b.Fatal(r.Error)
+			}
+		}
+	})
 }

@@ -1,36 +1,31 @@
-// Command aggsim runs one aggregate query on a simulated sensor network and
+// Command aggsim runs aggregate queries on simulated sensor networks and
 // reports the answer, the simulator-side ground truth, and the per-node
 // communication statistics — the paper's complexity measure.
+//
+// All execution goes through the concurrent query engine
+// (internal/engine): a single query is an engine batch of one, and
+// -parallel N fans the same query out over N independently-seeded networks
+// on a bounded worker pool. Results are deterministic: each run is
+// bit-identical to executing its network serially.
 //
 // Examples:
 //
 //	aggsim -topology grid -n 4096 -workload zipf -query median
 //	aggsim -query apxmedian2 -beta 0.015625 -eps 0.25 -n 16384
 //	aggsim -query distinct -workload fewdistinct
-//	aggsim -query os -k 100
+//	aggsim -query median -parallel 8 -workers 4 -json report.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math"
 	"os"
+	"time"
 
-	"sensoragg/internal/agg"
-	"sensoragg/internal/baseline"
 	"sensoragg/internal/core"
-	"sensoragg/internal/distinct"
-	"sensoragg/internal/gk"
-	"sensoragg/internal/gossip"
-	"sensoragg/internal/loglog"
+	"sensoragg/internal/engine"
 	"sensoragg/internal/netsim"
-	"sensoragg/internal/qdigest"
-	"sensoragg/internal/sampling"
-	"sensoragg/internal/singlehop"
-	"sensoragg/internal/spantree"
-	"sensoragg/internal/topology"
-	"sensoragg/internal/wire"
-	"sensoragg/internal/workload"
 )
 
 type options struct {
@@ -41,11 +36,17 @@ type options struct {
 	seed     uint64
 	query    string
 	k        uint64
+	phi      float64
 	eps      float64
 	beta     float64
 	engine   string
 	sketchP  int
 	children int
+
+	parallel int
+	workers  int
+	timeout  time.Duration
+	jsonOut  string
 }
 
 func main() {
@@ -55,13 +56,18 @@ func main() {
 	flag.StringVar(&o.wl, "workload", "uniform", "uniform|zipf|gaussian|exponential|bimodal|constant|fewdistinct|drift")
 	flag.Uint64Var(&o.maxX, "maxx", 0, "value domain bound X (default 4·n)")
 	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
-	flag.StringVar(&o.query, "query", "median", "median|apxmedian|apxmedian2|os|min|max|count|sum|avg|distinct|apxdistinct|gk|sampling|gossip|gossipdistinct|qdigest|collectall|singlehop|buildtree")
+	flag.StringVar(&o.query, "query", "median", "median|quantile|os|min|max|count|sum|avg|distinct|apxdistinct|apxmedian|apxmedian2|gk|sampling|gossip|gossipdistinct|qdigest|collectall|singlehop|buildtree")
 	flag.Uint64Var(&o.k, "k", 0, "rank for -query os (default N/2)")
+	flag.Float64Var(&o.phi, "phi", 0.5, "quantile for -query quantile")
 	flag.Float64Var(&o.eps, "eps", 0.25, "failure probability ε for randomized queries")
 	flag.Float64Var(&o.beta, "beta", 1.0/64, "precision β for apxmedian2")
 	flag.StringVar(&o.engine, "engine", "fast", "fast|goroutine")
 	flag.IntVar(&o.sketchP, "sketchp", core.DefaultSketchP, "LogLog register exponent p (m=2^p)")
 	flag.IntVar(&o.children, "maxchildren", netsim.DefaultMaxChildren, "spanning-tree degree bound (0=unbounded)")
+	flag.IntVar(&o.parallel, "parallel", 1, "run the query on this many independently-seeded networks")
+	flag.IntVar(&o.workers, "workers", 0, "worker-pool size (default GOMAXPROCS)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "per-query deadline (0 = none)")
+	flag.StringVar(&o.jsonOut, "json", "", "write the batch report as JSON to this file")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -70,201 +76,105 @@ func main() {
 	}
 }
 
-func buildGraph(o options) (*topology.Graph, error) {
-	side := int(math.Sqrt(float64(o.n)))
-	switch o.topo {
-	case "line":
-		return topology.Line(o.n), nil
-	case "ring":
-		return topology.Ring(o.n), nil
-	case "star":
-		return topology.Star(o.n), nil
-	case "grid":
-		return topology.Grid(side, side), nil
-	case "torus":
-		return topology.Torus(side, side), nil
-	case "complete":
-		return topology.Complete(o.n), nil
-	case "btree":
-		return topology.BinaryTree(o.n), nil
-	case "rgg":
-		return topology.RandomGeometric(o.n, 0, o.seed), nil
-	default:
-		return nil, fmt.Errorf("unknown topology %q", o.topo)
+func (o options) spec(seed uint64) engine.Spec {
+	// The CLI keeps the historical contract "0 = unbounded"; the engine
+	// spec uses 0 for "default bound" and negative for unbounded.
+	children := o.children
+	if children == 0 {
+		children = -1
+	}
+	return engine.Spec{
+		Topology:    o.topo,
+		N:           o.n,
+		Workload:    o.wl,
+		MaxX:        o.maxX,
+		Seed:        seed,
+		MaxChildren: children,
+		TreeEngine:  o.engine,
+	}
+}
+
+func (o options) querySpec() engine.Query {
+	return engine.Query{
+		Kind:    o.query,
+		K:       o.k,
+		Phi:     o.phi,
+		Eps:     o.eps,
+		Beta:    o.beta,
+		SketchP: o.sketchP,
 	}
 }
 
 func run(o options) error {
-	if o.maxX == 0 {
-		o.maxX = uint64(4 * o.n)
+	if o.parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1")
 	}
-	g, err := buildGraph(o)
-	if err != nil {
-		return err
-	}
-	values := workload.Generate(workload.Kind(o.wl), g.N(), o.maxX, o.seed)
-	nw := netsim.New(g, values, o.maxX, netsim.WithSeed(o.seed), netsim.WithMaxChildren(o.children))
-
-	var ops spantree.Ops
-	switch o.engine {
-	case "fast":
-		ops = spantree.NewFast(nw)
-	case "goroutine":
-		ops = spantree.NewGoroutine(nw)
-	default:
-		return fmt.Errorf("unknown engine %q", o.engine)
-	}
-	net := agg.NewNet(ops, agg.WithSketchP(o.sketchP))
-	sorted := core.SortedCopy(values)
-
-	fmt.Printf("network: %s, N=%d, X=%d, tree height %d, max degree %d, workload %s\n",
-		g.Name, g.N(), o.maxX, nw.Tree.Height(), nw.Tree.MaxDegree(), o.wl)
-
-	before := nw.Meter.Snapshot()
-	var answer string
-	var truth string
-
-	switch o.query {
-	case "median":
-		res, err := core.Median(net)
-		if err != nil {
-			return err
+	jobs := make([]engine.Job, o.parallel)
+	for i := range jobs {
+		jobs[i] = engine.Job{
+			ID:    fmt.Sprintf("run-%d", i),
+			Spec:  o.spec(o.seed + uint64(i)),
+			Query: o.querySpec(),
 		}
-		answer = fmt.Sprintf("%d (%d binary-search iterations)", res.Value, res.Iterations)
-		truth = fmt.Sprintf("%d", core.TrueMedian(sorted))
-	case "os":
-		k := o.k
-		if k == 0 {
-			k = uint64((len(values) + 1) / 2)
-		}
-		res, err := core.OrderStatistic(net, k)
-		if err != nil {
-			return err
-		}
-		answer = fmt.Sprintf("%d (rank %d)", res.Value, k)
-		truth = fmt.Sprintf("%d", core.TrueOrderStatistic(sorted, int(k)))
-	case "apxmedian":
-		res, err := core.ApxMedian(net, core.ApxParams{Epsilon: o.eps})
-		if err != nil {
-			return err
-		}
-		answer = fmt.Sprintf("%d (%d α-counting instances, halted early: %v)", res.Value, res.Instances, res.HaltedEarly)
-		truth = fmt.Sprintf("%d (rank error α needed: %.4f, guarantee 3σ=%.4f)",
-			core.TrueMedian(sorted), core.AlphaNeeded(sorted, float64(len(values))/2, res.Value), 3*net.ApxSigma())
-	case "apxmedian2":
-		res, err := core.ApxMedian2(net, core.Apx2Params{Beta: o.beta, Epsilon: o.eps})
-		if err != nil {
-			return err
-		}
-		answer = fmt.Sprintf("%d (stages %d, interval [%.0f,%.0f), %d instances)",
-			res.Value, res.Stages, res.FinalLo, res.FinalHi, res.Instances)
-		med := core.TrueMedian(sorted)
-		answerErr := math.Abs(float64(res.Value)-float64(med)) / float64(o.maxX)
-		truth = fmt.Sprintf("%d (|Δ|/X = %.4f, target β=%.4f)", med, answerErr, o.beta)
-	case "min":
-		v, _ := net.Min(core.Linear)
-		answer = fmt.Sprintf("%d", v)
-		truth = fmt.Sprintf("%d", sorted[0])
-	case "max":
-		v, _ := net.Max(core.Linear)
-		answer = fmt.Sprintf("%d", v)
-		truth = fmt.Sprintf("%d", sorted[len(sorted)-1])
-	case "count":
-		answer = fmt.Sprintf("%d", net.Count(core.Linear, wire.True()))
-		truth = fmt.Sprintf("%d", len(values))
-	case "sum":
-		answer = fmt.Sprintf("%d", net.Sum(core.Linear, wire.True()))
-		var s uint64
-		for _, v := range values {
-			s += v
-		}
-		truth = fmt.Sprintf("%d", s)
-	case "avg":
-		v, _ := net.Average(core.Linear, wire.True())
-		answer = fmt.Sprintf("%.3f", v)
-		var s uint64
-		for _, v := range values {
-			s += v
-		}
-		truth = fmt.Sprintf("%.3f", float64(s)/float64(len(values)))
-	case "distinct":
-		res, err := distinct.Exact(ops)
-		if err != nil {
-			return err
-		}
-		answer = fmt.Sprintf("%d", res.Distinct)
-		truth = fmt.Sprintf("%d", core.TrueDistinct(values))
-	case "apxdistinct":
-		res, err := distinct.Approximate(ops, o.sketchP, loglog.EstHLL, o.seed)
-		if err != nil {
-			return err
-		}
-		answer = fmt.Sprintf("%.1f (σ=%.3f)", res.Estimate, res.Sigma)
-		truth = fmt.Sprintf("%d", core.TrueDistinct(values))
-	case "qdigest":
-		res, err := qdigest.MedianProtocol(ops, 16)
-		if err != nil {
-			return err
-		}
-		answer = fmt.Sprintf("%d (rank error bound %d)", res.Value, res.RankErrorBound)
-		truth = fmt.Sprintf("%d", core.TrueMedian(sorted))
-	case "gk":
-		res, err := gk.MedianProtocol(ops, 24)
-		if err != nil {
-			return err
-		}
-		answer = fmt.Sprintf("%d (rank gap ≤ %d)", res.Value, res.MaxGap)
-		truth = fmt.Sprintf("%d", core.TrueMedian(sorted))
-	case "sampling":
-		res, err := sampling.Median(ops, 128, o.seed)
-		if err != nil {
-			return err
-		}
-		answer = fmt.Sprintf("%d (from %d samples)", res.Value, res.SampleSize)
-		truth = fmt.Sprintf("%d", core.TrueMedian(sorted))
-	case "gossip":
-		res, err := gossip.Median(nw, gossip.Params{})
-		if err != nil {
-			return err
-		}
-		answer = fmt.Sprintf("%d (%d push-sum phases)", res.Value, res.Phases)
-		truth = fmt.Sprintf("%d", core.TrueMedian(sorted))
-	case "collectall":
-		res, err := baseline.CollectAllMedian(ops)
-		if err != nil {
-			return err
-		}
-		answer = fmt.Sprintf("%d (%d items shipped)", res.Value, res.Items)
-		truth = fmt.Sprintf("%d", core.TrueMedian(sorted))
-	case "singlehop":
-		if o.topo != "complete" {
-			return fmt.Errorf("-query singlehop requires -topology complete (all hear all)")
-		}
-		res, err := singlehop.Median(nw)
-		if err != nil {
-			return err
-		}
-		answer = fmt.Sprintf("%d (max transmit %d bits/node, %d radio rounds)", res.Value, res.MaxTransmitBits, res.Rounds)
-		truth = fmt.Sprintf("%d", core.TrueMedian(sorted))
-	case "gossipdistinct":
-		res := gossip.Distinct(nw, o.sketchP, loglog.EstHLL, o.seed, gossip.Params{})
-		answer = fmt.Sprintf("%.1f (%d gossip rounds)", res.Estimate, res.Rounds)
-		truth = fmt.Sprintf("%d", core.TrueDistinct(values))
-	case "buildtree":
-		res, err := spantree.BuildBFS(nw)
-		if err != nil {
-			return err
-		}
-		answer = fmt.Sprintf("tree height %d in %d rounds", res.Tree.Height(), res.Rounds)
-		truth = fmt.Sprintf("BFS height %d", topology.BFSTree(g, 0).Height())
-	default:
-		return fmt.Errorf("unknown query %q", o.query)
 	}
 
-	d := nw.Meter.Since(before)
-	fmt.Printf("answer: %s\n", answer)
-	fmt.Printf("truth:  %s\n", truth)
-	fmt.Printf("communication: %d bits/node (max), %d total bits, %d messages\n",
-		d.MaxPerNode, d.TotalBits, d.Messages)
-	return nil
+	eng := engine.New(engine.Options{Workers: o.workers, Timeout: o.timeout})
+
+	// Report the actual node count (grid/torus round down to a square),
+	// not the requested one; warming the template here also keeps topology
+	// construction out of the per-run wall clock.
+	spec := jobs[0].Spec.Normalize()
+	actualN := spec.N
+	if tmpl, err := eng.Session().Template(spec); err == nil {
+		actualN = tmpl.N()
+	}
+
+	start := time.Now()
+	results := eng.Run(context.Background(), jobs)
+	wall := time.Since(start)
+	report := engine.Collect(eng, results, wall)
+
+	fmt.Printf("network: %s, N=%d, X=%d, workload %s — %d run(s) on %d worker(s)\n",
+		spec.Topology, actualN, spec.MaxX, spec.Workload, o.parallel, eng.Workers())
+
+	var firstErr error
+	for _, r := range results {
+		if r.Failed() {
+			fmt.Printf("%s (seed %d): FAILED: %s\n", r.ID, r.Spec.Seed, r.Error)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%d of %d runs failed", report.Failed, report.Jobs)
+			}
+			continue
+		}
+		line := fmt.Sprintf("%s (seed %d): answer %s", r.ID, r.Spec.Seed, engine.FormatValue(r.Value))
+		if r.Detail != "" {
+			line += " (" + r.Detail + ")"
+		}
+		if r.TruthKnown {
+			line += fmt.Sprintf(", truth %s", engine.FormatValue(r.Truth))
+			if r.Exact {
+				line += " ✓"
+			}
+		}
+		fmt.Printf("%s — %d bits/node, %d total bits, %d messages\n",
+			line, r.BitsPerNode, r.TotalBits, r.Messages)
+	}
+
+	for _, s := range report.Summary {
+		fmt.Printf("summary[%s]: %d runs (%d failed, %d exact), mean %.1f bits/node (max %d), batch wall %v\n",
+			s.Kind, s.Runs, s.Failed, s.ExactRuns, s.MeanBitsPerNode, s.MaxBitsPerNode, wall.Round(time.Millisecond))
+	}
+
+	if o.jsonOut != "" {
+		f, err := os.Create(o.jsonOut)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", o.jsonOut, err)
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("report: wrote %s\n", o.jsonOut)
+	}
+	return firstErr
 }

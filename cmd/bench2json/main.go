@@ -1,0 +1,132 @@
+// Command bench2json converts `go test -bench` output into a JSON
+// artifact, so CI can accumulate the benchmark trajectory (name, ns/op,
+// and custom metrics like the paper's bits/node) across commits.
+//
+//	go test -bench=. -benchtime=1x -run='^$' . | bench2json -o BENCH_engine.json
+//
+// Lines that are not benchmark results (headers, PASS/ok) are folded into
+// the metadata section or skipped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	// Name is the full benchmark name including sub-benchmark path and the
+	// -cpu suffix (e.g. "BenchmarkEngineMedian8/parallel/workers=8-8").
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	NsPerOp    float64
+	// Metrics holds every reported metric by unit, ns/op included.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// MarshalJSON flattens NsPerOp next to the metrics map.
+func (e Entry) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Name       string             `json:"name"`
+		Iterations int64              `json:"iterations"`
+		NsPerOp    float64            `json:"ns_per_op"`
+		Metrics    map[string]float64 `json:"metrics,omitempty"`
+	}
+	return json.Marshal(alias(e))
+}
+
+// Output is the artifact schema.
+type Output struct {
+	Meta    map[string]string `json:"meta,omitempty"`
+	Entries []Entry           `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	res, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*Output, error) {
+	res := &Output{Meta: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "", line == "PASS", strings.HasPrefix(line, "ok "), strings.HasPrefix(line, "testing:"):
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			res.Meta[k] = strings.TrimSpace(v)
+			continue
+		case strings.HasPrefix(line, "Benchmark"):
+			e, err := parseBench(line)
+			if err != nil {
+				return nil, err
+			}
+			res.Entries = append(res.Entries, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// parseBench parses "BenchmarkX-8  N  v1 unit1  v2 unit2 ...".
+func parseBench(line string) (Entry, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Entry{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	e := Entry{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Entry{}, fmt.Errorf("odd metric tokens in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Entry{}, fmt.Errorf("bad metric value %q in %q: %w", rest[i], line, err)
+		}
+		unit := rest[i+1]
+		e.Metrics[unit] = v
+		if unit == "ns/op" {
+			e.NsPerOp = v
+		}
+	}
+	return e, nil
+}

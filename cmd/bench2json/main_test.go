@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	const input = `goos: linux
+goarch: amd64
+pkg: sensoragg
+cpu: Intel(R) Xeon(R)
+BenchmarkEngineMedian8/serial/workers=1-8         	       1	 107737853 ns/op	      1831 bits/node	         8.000 queries/op
+BenchmarkEngineMedian8/parallel/workers=8-8       	       1	  30000000 ns/op	      1831 bits/node	         8.000 queries/op
+BenchmarkEngines/fast       	       2	   2565371 ns/op
+PASS
+ok  	sensoragg	0.307s
+`
+	out, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(out.Entries))
+	}
+	e := out.Entries[0]
+	if e.Name != "BenchmarkEngineMedian8/serial/workers=1-8" || e.Iterations != 1 {
+		t.Errorf("entry 0 = %+v", e)
+	}
+	if e.NsPerOp != 107737853 {
+		t.Errorf("ns/op = %g", e.NsPerOp)
+	}
+	if e.Metrics["bits/node"] != 1831 {
+		t.Errorf("bits/node = %g", e.Metrics["bits/node"])
+	}
+	if out.Meta["goos"] != "linux" || out.Meta["pkg"] != "sensoragg" {
+		t.Errorf("meta = %v", out.Meta)
+	}
+	if out.Entries[2].Metrics["ns/op"] != 2565371 {
+		t.Errorf("plain entry ns/op = %g", out.Entries[2].Metrics["ns/op"])
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX abc\n")); err == nil {
+		t.Error("expected error for bad iteration count")
+	}
+	if _, err := parse(strings.NewReader("BenchmarkX 1 42\n")); err == nil {
+		t.Error("expected error for odd metric tokens")
+	}
+}

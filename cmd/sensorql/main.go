@@ -6,6 +6,12 @@
 //	> SELECT median(value)
 //	> SELECT quantile(value, 0.99) WHERE value >= 100
 //	> SELECT distinct(value) USING sketch=1, m=256
+//	> net grid 4096 zipf 7
+//
+// Deployments come from the engine's session cache: the `net` command
+// switches networks, and switching back to a deployment you already used
+// reuses its cached graph, spanning tree, and workload instead of
+// rebuilding them (the hot path when comparing queries across networks).
 //
 // Statements are read line by line from stdin, so the console scripts
 // cleanly: `echo "SELECT median(value)" | go run ./cmd/sensorql`.
@@ -15,17 +21,15 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
-	"math"
 	"os"
+	"strconv"
 	"strings"
 
 	"sensoragg/internal/agg"
 	"sensoragg/internal/energy"
-	"sensoragg/internal/netsim"
+	"sensoragg/internal/engine"
 	"sensoragg/internal/query"
 	"sensoragg/internal/spantree"
-	"sensoragg/internal/topology"
-	"sensoragg/internal/workload"
 )
 
 func main() {
@@ -36,45 +40,60 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
 
-	if err := run(*topo, *n, *wl, *maxX, *seed); err != nil {
+	spec := engine.Spec{Topology: *topo, N: *n, Workload: *wl, MaxX: *maxX, Seed: *seed}
+	if err := run(spec); err != nil {
 		fmt.Fprintf(os.Stderr, "sensorql: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(topo string, n int, wl string, maxX, seed uint64) error {
-	if maxX == 0 {
-		maxX = uint64(4 * n)
-	}
-	g, err := buildGraph(topo, n, seed)
-	if err != nil {
+// console holds the session state: the engine's topology cache plus the
+// currently selected deployment.
+type console struct {
+	session *Session
+	net     *agg.Net
+	spec    engine.Spec
+}
+
+// Session aliases the engine session so the type reads naturally here.
+type Session = engine.Session
+
+func run(spec engine.Spec) error {
+	c := &console{session: engine.NewSession()}
+	if err := c.use(spec); err != nil {
 		return err
 	}
-	values := workload.Generate(workload.Kind(wl), g.N(), maxX, seed)
-	nw := netsim.New(g, values, maxX, netsim.WithSeed(seed))
-	net := agg.NewNet(spantree.NewFast(nw))
 	model := energy.MoteDefaults()
 
-	fmt.Printf("sensorql — %s, N=%d, X=%d, workload %s\n", g.Name, g.N(), maxX, wl)
-	fmt.Println(`type a statement (e.g. SELECT median(value)), "help", or "quit"`)
-
+	fmt.Println(`type a statement (e.g. SELECT median(value)), "net", "help", or "quit"`)
 	scanner := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for scanner.Scan() {
 		line := strings.TrimSpace(scanner.Text())
-		switch strings.ToLower(line) {
-		case "":
-		case "quit", "exit", "\\q":
+		firstToken := ""
+		if fields := strings.Fields(line); len(fields) > 0 {
+			firstToken = strings.ToLower(fields[0])
+		}
+		switch {
+		case line == "":
+		case strings.EqualFold(line, "quit"), strings.EqualFold(line, "exit"), line == "\\q":
 			return nil
-		case "help", "\\h":
+		case strings.EqualFold(line, "help"), line == "\\h":
 			printHelp()
+		case strings.EqualFold(line, "cache"):
+			hits, misses := c.session.Stats()
+			fmt.Printf("session cache: %d hits, %d misses\n", hits, misses)
+		case firstToken == "net":
+			if err := c.netCommand(line); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
 		default:
-			res, err := query.Exec(net, line)
+			res, err := query.Exec(c.net, line)
 			if err != nil {
 				fmt.Printf("error: %v\n", err)
 				break
 			}
-			value := formatValue(res.Value)
+			value := engine.FormatValue(res.Value)
 			fmt.Printf("%s   (%s)\n", value, res.Detail)
 			perQuery := float64(res.Comm.MaxPerNode)
 			fmt.Printf("cost: %d bits/node (max), %d total bits — ≈ %s on the hottest node\n",
@@ -86,11 +105,54 @@ func run(topo string, n int, wl string, maxX, seed uint64) error {
 	return scanner.Err()
 }
 
-func formatValue(v float64) string {
-	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
-		return fmt.Sprintf("%d", int64(v))
+// use instantiates a per-console network for spec off the session cache.
+func (c *console) use(spec engine.Spec) error {
+	spec = spec.Normalize()
+	nw, err := c.session.Instantiate(spec, spec.Seed)
+	if err != nil {
+		return err
 	}
-	return fmt.Sprintf("%.3f", v)
+	c.spec = spec
+	c.net = agg.NewNet(spantree.NewFast(nw))
+	fmt.Printf("sensorql — %s, N=%d, X=%d, workload %s, tree height %d\n",
+		spec.Topology, nw.N(), spec.MaxX, spec.Workload, nw.Tree.Height())
+	return nil
+}
+
+// netCommand parses `net [topology [n [workload [seed]]]]` and switches the
+// console's deployment. Bare `net` prints the current one.
+func (c *console) netCommand(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 1 {
+		fmt.Printf("current: %s\n", c.spec)
+		return nil
+	}
+	spec := c.spec
+	spec.MaxX = 0 // re-derive from the (possibly new) N
+	spec.Topology = fields[1]
+	if len(fields) > 2 {
+		n, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return fmt.Errorf("bad n %q: %w", fields[2], err)
+		}
+		// An interactive typo must not OOM the console: a 2^22-node
+		// simulation is already beyond what the sweeps use.
+		if n < 1 || n > 1<<22 {
+			return fmt.Errorf("n %d out of range [1, %d]", n, 1<<22)
+		}
+		spec.N = n
+	}
+	if len(fields) > 3 {
+		spec.Workload = fields[3]
+	}
+	if len(fields) > 4 {
+		seed, err := strconv.ParseUint(fields[4], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q: %w", fields[4], err)
+		}
+		spec.Seed = seed
+	}
+	return c.use(spec)
 }
 
 func printHelp() {
@@ -105,29 +167,8 @@ func printHelp() {
   f2(value) [USING rows=R, cols=C]               AMS [1] second frequency moment
 clauses:
   WHERE value < C | value >= C | value BETWEEN A AND B | ... AND ...
-  USING key=value, ...`)
-}
-
-func buildGraph(topo string, n int, seed uint64) (*topology.Graph, error) {
-	side := int(math.Sqrt(float64(n)))
-	switch topo {
-	case "line":
-		return topology.Line(n), nil
-	case "ring":
-		return topology.Ring(n), nil
-	case "star":
-		return topology.Star(n), nil
-	case "grid":
-		return topology.Grid(side, side), nil
-	case "torus":
-		return topology.Torus(side, side), nil
-	case "complete":
-		return topology.Complete(n), nil
-	case "btree":
-		return topology.BinaryTree(n), nil
-	case "rgg":
-		return topology.RandomGeometric(n, 0, seed), nil
-	default:
-		return nil, fmt.Errorf("unknown topology %q", topo)
-	}
+  USING key=value, ...
+console:
+  net [topology [n [workload [seed]]]]   switch deployment (cached trees)
+  cache                                  show session cache hits/misses`)
 }

@@ -1,0 +1,3 @@
+module sensoragg
+
+go 1.22

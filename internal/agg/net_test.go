@@ -139,10 +139,11 @@ func TestEnginesAgree(t *testing.T) {
 				}
 			}
 			mf, mg := fast.Network().Meter, goro.Network().Meter
-			for u := range mf.SentBits {
-				if mf.SentBits[u] != mg.SentBits[u] || mf.RecvBits[u] != mg.RecvBits[u] {
+			for u := 0; u < mf.N(); u++ {
+				uid := topology.NodeID(u)
+				if mf.SentBitsOf(uid) != mg.SentBitsOf(uid) || mf.RecvBitsOf(uid) != mg.RecvBitsOf(uid) {
 					t.Fatalf("node %d meters differ: fast sent/recv %d/%d, goroutine %d/%d",
-						u, mf.SentBits[u], mf.RecvBits[u], mg.SentBits[u], mg.RecvBits[u])
+						u, mf.SentBitsOf(uid), mf.RecvBitsOf(uid), mg.SentBitsOf(uid), mg.RecvBitsOf(uid))
 				}
 			}
 		})
@@ -165,10 +166,11 @@ func TestHonestSketchesMatchFastPath(t *testing.T) {
 		}
 	}
 	mf, mh := fast.Network().Meter, honest.Network().Meter
-	for u := range mf.SentBits {
-		if mf.SentBits[u] != mh.SentBits[u] || mf.RecvBits[u] != mh.RecvBits[u] {
+	for u := 0; u < mf.N(); u++ {
+		uid := topology.NodeID(u)
+		if mf.SentBitsOf(uid) != mh.SentBitsOf(uid) || mf.RecvBitsOf(uid) != mh.RecvBitsOf(uid) {
 			t.Fatalf("node %d meters differ: fast %d/%d honest %d/%d",
-				u, mf.SentBits[u], mf.RecvBits[u], mh.SentBits[u], mh.RecvBits[u])
+				u, mf.SentBitsOf(uid), mf.RecvBitsOf(uid), mh.SentBitsOf(uid), mh.RecvBitsOf(uid))
 		}
 	}
 }

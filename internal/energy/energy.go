@@ -45,16 +45,16 @@ func MoteDefaults() Model {
 
 // NodeEnergy returns the energy node u has spent according to the meter.
 func (m Model) NodeEnergy(meter *netsim.Meter, u topology.NodeID) float64 {
-	return float64(meter.SentBits[u])*m.TxPerBit +
-		float64(meter.RecvBits[u])*m.RxPerBit +
-		float64(meter.Messages[u])*m.PerMessage
+	return float64(meter.SentBitsOf(u))*m.TxPerBit +
+		float64(meter.RecvBitsOf(u))*m.RxPerBit +
+		float64(meter.MessagesOf(u))*m.PerMessage
 }
 
 // Hottest returns the node spending the most energy and its expenditure.
 func (m Model) Hottest(meter *netsim.Meter) (topology.NodeID, float64) {
 	var worst topology.NodeID
 	var max float64
-	for u := range meter.SentBits {
+	for u := 0; u < meter.N(); u++ {
 		if e := m.NodeEnergy(meter, topology.NodeID(u)); e > max {
 			max = e
 			worst = topology.NodeID(u)
@@ -77,7 +77,7 @@ func (m Model) Lifetime(meter *netsim.Meter) (queries float64, bottleneck topolo
 // TotalEnergy returns the network-wide energy of the metered traffic.
 func (m Model) TotalEnergy(meter *netsim.Meter) float64 {
 	var total float64
-	for u := range meter.SentBits {
+	for u := 0; u < meter.N(); u++ {
 		total += m.NodeEnergy(meter, topology.NodeID(u))
 	}
 	return total

@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sensoragg/internal/netsim"
+)
+
+// Job is one query against one deployment. RunSeed seeds the forked
+// network's node random streams; 0 means "use the spec's seed", which makes
+// a single job bit-identical to constructing the network serially with
+// netsim.New and running the query directly.
+type Job struct {
+	ID      string `json:"id,omitempty"`
+	Spec    Spec   `json:"spec"`
+	Query   Query  `json:"query"`
+	RunSeed uint64 `json:"run_seed,omitempty"`
+}
+
+func (j Job) runSeed() uint64 {
+	if j.RunSeed != 0 {
+		return j.RunSeed
+	}
+	return j.Spec.Normalize().Seed
+}
+
+// Result reports one executed job.
+type Result struct {
+	ID    string `json:"id,omitempty"`
+	Spec  Spec   `json:"spec"`
+	Query Query  `json:"query"`
+
+	// Value is the protocol's answer; Detail elaborates (iterations,
+	// sketch width, ...).
+	Value  float64 `json:"value"`
+	Detail string  `json:"detail,omitempty"`
+	// Truth is the simulator-side ground truth when TruthKnown.
+	Truth      float64 `json:"truth,omitempty"`
+	TruthKnown bool    `json:"truth_known"`
+	// Exact reports Value == Truth (only meaningful when TruthKnown).
+	Exact bool `json:"exact"`
+
+	// BitsPerNode is the paper's complexity measure for this run: max over
+	// nodes of bits sent+received.
+	BitsPerNode int64 `json:"bits_per_node"`
+	TotalBits   int64 `json:"total_bits"`
+	Messages    int64 `json:"messages"`
+
+	WallNS int64  `json:"wall_ns"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Failed reports whether the job errored (including deadline overruns).
+func (r Result) Failed() bool { return r.Error != "" }
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds concurrent query execution (0 → GOMAXPROCS).
+	Workers int
+	// Timeout is the per-query deadline (0 → none). A query that overruns
+	// is reported failed; its goroutine finishes in the background against
+	// its private forked network, so no other run is disturbed.
+	Timeout time.Duration
+	// Session supplies the topology cache (nil → a fresh one).
+	Session *Session
+}
+
+// Engine executes query jobs on a bounded worker pool.
+type Engine struct {
+	workers int
+	timeout time.Duration
+	session *Session
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	s := opts.Session
+	if s == nil {
+		s = NewSession()
+	}
+	return &Engine{workers: w, timeout: opts.Timeout, session: s}
+}
+
+// Workers returns the pool's concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Session returns the engine's topology cache.
+func (e *Engine) Session() *Session { return e.session }
+
+// Run executes jobs on the worker pool and returns results in job order.
+// Individual failures (bad spec, protocol error, deadline) are reported in
+// the corresponding Result, never as a panic across the pool; Run itself
+// only returns early if ctx is cancelled, in which case unstarted jobs are
+// marked with the context error.
+func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = e.runOne(ctx, jobs[i])
+			}
+		}()
+	}
+	dispatched := make([]bool, len(jobs))
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+			dispatched[i] = true
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	for i := range jobs {
+		if !dispatched[i] {
+			results[i] = failedResult(jobs[i], ctx.Err())
+		}
+	}
+	return results
+}
+
+// RunOne executes a single job synchronously (worker pool of one).
+func (e *Engine) RunOne(ctx context.Context, job Job) Result {
+	return e.runOne(ctx, job)
+}
+
+func failedResult(job Job, err error) Result {
+	return Result{ID: job.ID, Spec: job.Spec.Normalize(), Query: job.Query.withDefaults(), Error: err.Error()}
+}
+
+// runOne forks a per-run network off the session cache and executes the
+// query, enforcing the per-query deadline.
+func (e *Engine) runOne(ctx context.Context, job Job) Result {
+	if err := ctx.Err(); err != nil {
+		return failedResult(job, err)
+	}
+	spec := job.Spec.Normalize()
+
+	done := make(chan Result, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- failedResult(job, fmt.Errorf("engine: query panicked: %v", r))
+			}
+		}()
+		done <- e.executeJob(spec, job)
+	}()
+
+	var deadline <-chan time.Time
+	if e.timeout > 0 {
+		t := time.NewTimer(e.timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case r := <-done:
+		return r
+	case <-ctx.Done():
+		return failedResult(job, ctx.Err())
+	case <-deadline:
+		return failedResult(job, fmt.Errorf("engine: query exceeded %v deadline", e.timeout))
+	}
+}
+
+// executeJob is the deadline-free body of a run: instantiate, execute,
+// meter. It runs against a private forked network, so even when runOne has
+// already given up on it, it cannot disturb any other run.
+func (e *Engine) executeJob(spec Spec, job Job) Result {
+	start := time.Now()
+	nw, err := e.session.Instantiate(spec, job.runSeed())
+	if err != nil {
+		return failedResult(job, err)
+	}
+	before := nw.Meter.Snapshot()
+	ans, err := execute(nw, spec, job.Query)
+	if err != nil {
+		return failedResult(job, err)
+	}
+	d := nw.Meter.Since(before)
+	return Result{
+		ID:          job.ID,
+		Spec:        spec,
+		Query:       job.Query.withDefaults(),
+		Value:       ans.value,
+		Detail:      ans.detail,
+		Truth:       ans.truth,
+		TruthKnown:  ans.truthKnown,
+		Exact:       ans.truthKnown && ans.value == ans.truth,
+		BitsPerNode: d.MaxPerNode,
+		TotalBits:   d.TotalBits,
+		Messages:    d.Messages,
+		WallNS:      time.Since(start).Nanoseconds(),
+	}
+}
+
+// Execute runs one query serially against an existing per-run network —
+// the engine's execution path without the pool, used by callers that manage
+// their own networks (and by tests asserting parallel == serial).
+func Execute(nw *netsim.Network, spec Spec, q Query) (Result, error) {
+	spec = spec.Normalize()
+	before := nw.Meter.Snapshot()
+	start := time.Now()
+	ans, err := execute(nw, spec, q)
+	if err != nil {
+		return Result{}, err
+	}
+	d := nw.Meter.Since(before)
+	return Result{
+		Spec:        spec,
+		Query:       q.withDefaults(),
+		Value:       ans.value,
+		Detail:      ans.detail,
+		Truth:       ans.truth,
+		TruthKnown:  ans.truthKnown,
+		Exact:       ans.truthKnown && ans.value == ans.truth,
+		BitsPerNode: d.MaxPerNode,
+		TotalBits:   d.TotalBits,
+		Messages:    d.Messages,
+		WallNS:      time.Since(start).Nanoseconds(),
+	}, nil
+}

@@ -1,0 +1,318 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"sensoragg/internal/agg"
+	"sensoragg/internal/baseline"
+	"sensoragg/internal/core"
+	"sensoragg/internal/distinct"
+	"sensoragg/internal/gk"
+	"sensoragg/internal/gossip"
+	"sensoragg/internal/loglog"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/qdigest"
+	"sensoragg/internal/query"
+	"sensoragg/internal/sampling"
+	"sensoragg/internal/singlehop"
+	"sensoragg/internal/spantree"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/wire"
+)
+
+// Query kinds the engine executes. They mirror cmd/aggsim's -query values.
+const (
+	KindMedian         = "median"
+	KindOrderStat      = "os"
+	KindQuantile       = "quantile"
+	KindApxMedian      = "apxmedian"
+	KindApxMedian2     = "apxmedian2"
+	KindMin            = "min"
+	KindMax            = "max"
+	KindCount          = "count"
+	KindSum            = "sum"
+	KindAvg            = "avg"
+	KindDistinct       = "distinct"
+	KindApxDistinct    = "apxdistinct"
+	KindQDigest        = "qdigest"
+	KindGK             = "gk"
+	KindSampling       = "sampling"
+	KindGossip         = "gossip"
+	KindGossipDistinct = "gossipdistinct"
+	KindCollectAll     = "collectall"
+	KindSingleHop      = "singlehop"
+	KindBuildTree      = "buildtree"
+	KindStatement      = "statement"
+)
+
+// Query is one aggregate query specification.
+type Query struct {
+	// Kind selects the protocol (Kind* constants).
+	Kind string `json:"kind"`
+	// K is the rank for order-statistic queries (0 → ⌈N/2⌉).
+	K uint64 `json:"k,omitempty"`
+	// Phi is the quantile in (0,1] for KindQuantile.
+	Phi float64 `json:"phi,omitempty"`
+	// Eps is the failure probability for randomized queries (0 → 0.25).
+	Eps float64 `json:"eps,omitempty"`
+	// Beta is the precision for apxmedian2 (0 → 1/64).
+	Beta float64 `json:"beta,omitempty"`
+	// SketchP is the LogLog register exponent (0 → core.DefaultSketchP).
+	SketchP int `json:"sketch_p,omitempty"`
+	// Statement is a sensorql statement, used when Kind == "statement".
+	Statement string `json:"statement,omitempty"`
+}
+
+func (q Query) withDefaults() Query {
+	if q.Eps == 0 {
+		q.Eps = 0.25
+	}
+	if q.Beta == 0 {
+		q.Beta = 1.0 / 64
+	}
+	if q.SketchP == 0 {
+		q.SketchP = core.DefaultSketchP
+	}
+	return q
+}
+
+// String labels the query for reports.
+func (q Query) String() string {
+	if q.Kind == KindStatement {
+		return fmt.Sprintf("statement(%s)", q.Statement)
+	}
+	return q.Kind
+}
+
+// answer is what one protocol run produced, before metering is attached.
+type answer struct {
+	value      float64
+	detail     string
+	truth      float64
+	truthKnown bool
+}
+
+// execute runs q against the per-run network nw. The network must be
+// private to this run: execute mutates node items (zoom/filter stages) and
+// charges the meter freely.
+func execute(nw *netsim.Network, spec Spec, q Query) (answer, error) {
+	q = q.withDefaults()
+
+	var ops spantree.Ops
+	switch spec.TreeEngine {
+	case "", "fast":
+		ops = spantree.NewFast(nw)
+	case "goroutine":
+		ops = spantree.NewGoroutine(nw)
+	default:
+		return answer{}, fmt.Errorf("engine: unknown tree engine %q", spec.TreeEngine)
+	}
+	net := agg.NewNet(ops, agg.WithSketchP(q.SketchP))
+	values := nw.AllItems()
+	// Sorting is only needed by the order-statistic truths; don't pay
+	// O(N log N) on every count/sum/sketch run.
+	var sortedCache []uint64
+	sorted := func() []uint64 {
+		if sortedCache == nil {
+			sortedCache = core.SortedCopy(values)
+		}
+		return sortedCache
+	}
+	exactUint := func(v uint64, detail string, truth uint64) answer {
+		return answer{value: float64(v), detail: detail, truth: float64(truth), truthKnown: true}
+	}
+
+	switch q.Kind {
+	case KindMedian:
+		res, err := core.Median(net)
+		if err != nil {
+			return answer{}, err
+		}
+		return exactUint(res.Value, fmt.Sprintf("%d binary-search iterations", res.Iterations), core.TrueMedian(sorted())), nil
+
+	case KindOrderStat, KindQuantile:
+		k := q.K
+		if q.Kind == KindQuantile {
+			if q.Phi <= 0 || q.Phi > 1 {
+				return answer{}, fmt.Errorf("engine: quantile phi %g out of (0,1]", q.Phi)
+			}
+			k = uint64(math.Ceil(q.Phi * float64(len(values))))
+		}
+		if k == 0 {
+			k = uint64((len(values) + 1) / 2)
+		}
+		res, err := core.OrderStatistic(net, k)
+		if err != nil {
+			return answer{}, err
+		}
+		return exactUint(res.Value, fmt.Sprintf("rank %d", k), core.TrueOrderStatistic(sorted(), int(k))), nil
+
+	case KindApxMedian:
+		res, err := core.ApxMedian(net, core.ApxParams{Epsilon: q.Eps})
+		if err != nil {
+			return answer{}, err
+		}
+		return answer{
+			value:      float64(res.Value),
+			detail:     fmt.Sprintf("%d α-counting instances, halted early: %v", res.Instances, res.HaltedEarly),
+			truth:      float64(core.TrueMedian(sorted())),
+			truthKnown: true,
+		}, nil
+
+	case KindApxMedian2:
+		res, err := core.ApxMedian2(net, core.Apx2Params{Beta: q.Beta, Epsilon: q.Eps})
+		if err != nil {
+			return answer{}, err
+		}
+		return answer{
+			value:      float64(res.Value),
+			detail:     fmt.Sprintf("%d zoom stages, %d instances", res.Stages, res.Instances),
+			truth:      float64(core.TrueMedian(sorted())),
+			truthKnown: true,
+		}, nil
+
+	case KindMin:
+		v, ok := net.Min(core.Linear)
+		if !ok {
+			return answer{}, fmt.Errorf("engine: empty network")
+		}
+		return exactUint(v, "exact", sorted()[0]), nil
+
+	case KindMax:
+		v, ok := net.Max(core.Linear)
+		if !ok {
+			return answer{}, fmt.Errorf("engine: empty network")
+		}
+		return exactUint(v, "exact", sorted()[len(values)-1]), nil
+
+	case KindCount:
+		return exactUint(net.Count(core.Linear, wire.True()), "exact", uint64(len(values))), nil
+
+	case KindSum:
+		var s uint64
+		for _, v := range values {
+			s += v
+		}
+		return exactUint(net.Sum(core.Linear, wire.True()), "exact", s), nil
+
+	case KindAvg:
+		v, ok := net.Average(core.Linear, wire.True())
+		if !ok {
+			return answer{}, fmt.Errorf("engine: empty network")
+		}
+		var s uint64
+		for _, x := range values {
+			s += x
+		}
+		return answer{value: v, detail: "exact (SUM/COUNT)", truth: float64(s) / float64(len(values)), truthKnown: true}, nil
+
+	case KindDistinct:
+		res, err := distinct.Exact(ops)
+		if err != nil {
+			return answer{}, err
+		}
+		return exactUint(uint64(res.Distinct), "exact set union", uint64(core.TrueDistinct(values))), nil
+
+	case KindApxDistinct:
+		res, err := distinct.Approximate(ops, q.SketchP, loglog.EstHLL, nw.Seed())
+		if err != nil {
+			return answer{}, err
+		}
+		return answer{
+			value:      res.Estimate,
+			detail:     fmt.Sprintf("sketch m=%d, σ=%.3f", 1<<q.SketchP, res.Sigma),
+			truth:      float64(core.TrueDistinct(values)),
+			truthKnown: true,
+		}, nil
+
+	case KindQDigest:
+		res, err := qdigest.MedianProtocol(ops, 16)
+		if err != nil {
+			return answer{}, err
+		}
+		return exactUint(res.Value, fmt.Sprintf("rank error bound %d", res.RankErrorBound), core.TrueMedian(sorted())), nil
+
+	case KindGK:
+		res, err := gk.MedianProtocol(ops, 24)
+		if err != nil {
+			return answer{}, err
+		}
+		return exactUint(res.Value, fmt.Sprintf("rank gap ≤ %d", res.MaxGap), core.TrueMedian(sorted())), nil
+
+	case KindSampling:
+		res, err := sampling.Median(ops, 128, nw.Seed())
+		if err != nil {
+			return answer{}, err
+		}
+		return exactUint(res.Value, fmt.Sprintf("from %d samples", res.SampleSize), core.TrueMedian(sorted())), nil
+
+	case KindGossip:
+		res, err := gossip.Median(nw, gossip.Params{})
+		if err != nil {
+			return answer{}, err
+		}
+		return exactUint(res.Value, fmt.Sprintf("%d push-sum phases", res.Phases), core.TrueMedian(sorted())), nil
+
+	case KindGossipDistinct:
+		res := gossip.Distinct(nw, q.SketchP, loglog.EstHLL, nw.Seed(), gossip.Params{})
+		return answer{
+			value:      res.Estimate,
+			detail:     fmt.Sprintf("%d gossip rounds", res.Rounds),
+			truth:      float64(core.TrueDistinct(values)),
+			truthKnown: true,
+		}, nil
+
+	case KindCollectAll:
+		res, err := baseline.CollectAllMedian(ops)
+		if err != nil {
+			return answer{}, err
+		}
+		return exactUint(res.Value, fmt.Sprintf("%d items shipped", res.Items), core.TrueMedian(sorted())), nil
+
+	case KindSingleHop:
+		if spec.Topology != "complete" {
+			return answer{}, fmt.Errorf("engine: singlehop requires topology=complete, got %q", spec.Topology)
+		}
+		res, err := singlehop.Median(nw)
+		if err != nil {
+			return answer{}, err
+		}
+		return exactUint(res.Value,
+			fmt.Sprintf("max transmit %d bits/node, %d radio rounds", res.MaxTransmitBits, res.Rounds),
+			core.TrueMedian(sorted())), nil
+
+	case KindBuildTree:
+		res, err := spantree.BuildBFS(nw)
+		if err != nil {
+			return answer{}, err
+		}
+		return answer{
+			value:      float64(res.Tree.Height()),
+			detail:     fmt.Sprintf("distributed BFS in %d rounds", res.Rounds),
+			truth:      float64(topology.BFSTree(nw.Graph, 0).Height()),
+			truthKnown: true,
+		}, nil
+
+	case KindStatement:
+		res, err := query.Exec(net, q.Statement)
+		if err != nil {
+			return answer{}, err
+		}
+		return answer{value: res.Value, detail: res.Detail}, nil
+
+	default:
+		return answer{}, fmt.Errorf("engine: unknown query kind %q", q.Kind)
+	}
+}
+
+// Kinds returns every query kind the engine executes, for CLI help.
+func Kinds() []string {
+	return []string{
+		KindMedian, KindOrderStat, KindQuantile, KindApxMedian, KindApxMedian2,
+		KindMin, KindMax, KindCount, KindSum, KindAvg,
+		KindDistinct, KindApxDistinct, KindQDigest, KindGK, KindSampling,
+		KindGossip, KindGossipDistinct, KindCollectAll, KindSingleHop,
+		KindBuildTree, KindStatement,
+	}
+}

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// KindSummary aggregates the paper's bits-per-node cost (and accuracy)
+// across every run of one query kind.
+type KindSummary struct {
+	Kind            string  `json:"kind"`
+	Runs            int     `json:"runs"`
+	Failed          int     `json:"failed"`
+	ExactRuns       int     `json:"exact_runs"`
+	MeanBitsPerNode float64 `json:"mean_bits_per_node"`
+	MaxBitsPerNode  int64   `json:"max_bits_per_node"`
+	MeanTotalBits   float64 `json:"mean_total_bits"`
+	MeanWallNS      float64 `json:"mean_wall_ns"`
+}
+
+// Report is the batched result collector's output: per-run results plus
+// per-kind aggregates, JSON-serializable so batch runs feed dashboards and
+// the CI bench artifact.
+type Report struct {
+	Workers   int           `json:"workers"`
+	TimeoutNS int64         `json:"timeout_ns,omitempty"`
+	Jobs      int           `json:"jobs"`
+	Failed    int           `json:"failed"`
+	WallNS    int64         `json:"wall_ns"`
+	Summary   []KindSummary `json:"summary"`
+	Results   []Result      `json:"results"`
+}
+
+// Collect builds a report from a batch of results. batchWall is the
+// wall-clock time of the whole batch (which is what the worker pool
+// compresses; the per-run WallNS sum is the serial-equivalent cost).
+func Collect(e *Engine, results []Result, batchWall time.Duration) *Report {
+	r := &Report{
+		Workers: e.Workers(),
+		Jobs:    len(results),
+		WallNS:  batchWall.Nanoseconds(),
+		Results: results,
+	}
+	if e.timeout > 0 {
+		r.TimeoutNS = e.timeout.Nanoseconds()
+	}
+	byKind := make(map[string]*KindSummary)
+	for _, res := range results {
+		k := res.Query.Kind
+		s, ok := byKind[k]
+		if !ok {
+			s = &KindSummary{Kind: k}
+			byKind[k] = s
+		}
+		s.Runs++
+		if res.Failed() {
+			s.Failed++
+			r.Failed++
+			continue
+		}
+		if res.Exact {
+			s.ExactRuns++
+		}
+		s.MeanBitsPerNode += float64(res.BitsPerNode)
+		s.MeanTotalBits += float64(res.TotalBits)
+		s.MeanWallNS += float64(res.WallNS)
+		if res.BitsPerNode > s.MaxBitsPerNode {
+			s.MaxBitsPerNode = res.BitsPerNode
+		}
+	}
+	for _, s := range byKind {
+		if ok := s.Runs - s.Failed; ok > 0 {
+			s.MeanBitsPerNode /= float64(ok)
+			s.MeanTotalBits /= float64(ok)
+			s.MeanWallNS /= float64(ok)
+		}
+		r.Summary = append(r.Summary, *s)
+	}
+	sort.Slice(r.Summary, func(i, j int) bool { return r.Summary[i].Kind < r.Summary[j].Kind })
+	return r
+}
+
+// RunReport executes jobs and collects the batch into a report.
+func (e *Engine) RunReport(ctx context.Context, jobs []Job) *Report {
+	start := time.Now()
+	results := e.Run(ctx, jobs)
+	return Collect(e, results, time.Since(start))
+}
+
+// FormatValue renders a query answer the way the CLIs print it: integers
+// without a decimal point, everything else with three decimals.
+func FormatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("engine: encoding report: %w", err)
+	}
+	return nil
+}

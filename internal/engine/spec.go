@@ -1,0 +1,124 @@
+// Package engine is the concurrent query-execution subsystem: it runs many
+// aggregate queries (median, quantiles, distinct counts, sums, sketch
+// variants) across many independently-seeded simulated networks in
+// parallel, on a worker pool with bounded concurrency and per-query
+// deadlines.
+//
+// Three pieces make concurrent execution both fast and honest:
+//
+//   - Session caches constructed graphs, bounded-degree spanning trees, and
+//     generated workloads, so repeated queries against the same deployment
+//     skip the O(N) rebuild — the hot path when a console or a batch issues
+//     many queries at one network.
+//   - Every run executes on a netsim.Network forked from the cached
+//     template: the immutable graph/tree are shared, but nodes (items,
+//     scratch, RNG streams) and the bit meter are per-run, so concurrent
+//     runs share no mutable state and results are bit-identical to serial
+//     execution.
+//   - A collector aggregates per-run answers and the paper's bits-per-node
+//     cost into a JSON report (see report.go), so batch runs feed the bench
+//     trajectory directly.
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/workload"
+)
+
+// Spec identifies a simulated deployment. Two jobs with equal (normalized)
+// specs execute against networks forked from one cached template.
+type Spec struct {
+	// Topology is one of line|ring|star|grid|torus|complete|btree|rgg.
+	Topology string `json:"topology"`
+	// N is the requested node count (grid/torus round down to a square).
+	N int `json:"n"`
+	// Workload is the input distribution (workload.Kind).
+	Workload string `json:"workload"`
+	// MaxX is the value domain bound X; 0 means the conventional 4·N.
+	MaxX uint64 `json:"maxx"`
+	// Seed drives workload generation and the node random streams.
+	Seed uint64 `json:"seed"`
+	// MaxChildren bounds the spanning tree degree: 0 means the netsim
+	// default, negative disables bounding.
+	MaxChildren int `json:"max_children,omitempty"`
+	// TreeEngine selects the tree executor: "fast" (default) or "goroutine".
+	TreeEngine string `json:"tree_engine,omitempty"`
+}
+
+// DefaultTopology and friends fill zero-valued Spec fields.
+const (
+	DefaultTopology = "grid"
+	DefaultWorkload = string(workload.Uniform)
+	DefaultN        = 1024
+)
+
+// Normalize fills defaults so that equal deployments hash equally.
+func (s Spec) Normalize() Spec {
+	if s.Topology == "" {
+		s.Topology = DefaultTopology
+	}
+	if s.N == 0 {
+		s.N = DefaultN
+	}
+	if s.Workload == "" {
+		s.Workload = DefaultWorkload
+	}
+	if s.MaxX == 0 {
+		s.MaxX = uint64(4 * s.N)
+	}
+	if s.MaxChildren == 0 {
+		s.MaxChildren = netsim.DefaultMaxChildren
+	}
+	if s.TreeEngine == "" {
+		s.TreeEngine = "fast"
+	}
+	return s
+}
+
+// BuildGraph constructs the topology named by kind with ~n nodes. The seed
+// only matters for random geometric graphs.
+func BuildGraph(kind string, n int, seed uint64) (*topology.Graph, error) {
+	side := int(math.Sqrt(float64(n)))
+	switch kind {
+	case "line":
+		return topology.Line(n), nil
+	case "ring":
+		return topology.Ring(n), nil
+	case "star":
+		return topology.Star(n), nil
+	case "grid":
+		return topology.Grid(side, side), nil
+	case "torus":
+		return topology.Torus(side, side), nil
+	case "complete":
+		return topology.Complete(n), nil
+	case "btree":
+		return topology.BinaryTree(n), nil
+	case "rgg":
+		return topology.RandomGeometric(n, 0, seed), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown topology %q", kind)
+	}
+}
+
+// graphKey identifies a cached (graph, tree) pair. Only random geometric
+// graphs depend on the seed; for every other topology the seed is zeroed so
+// differently-seeded deployments of the same shape share one tree.
+type graphKey struct {
+	topology    string
+	n           int
+	maxChildren int
+	seed        uint64
+}
+
+func (s Spec) graphKey() graphKey {
+	k := graphKey{topology: s.Topology, n: s.N, maxChildren: s.MaxChildren}
+	if s.Topology == "rgg" {
+		k.seed = s.Seed
+	}
+	return k
+}

@@ -9,7 +9,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"sensoragg/internal/agg"
 	"sensoragg/internal/netsim"
@@ -71,13 +73,62 @@ func Lookup(id string) (Runner, bool) {
 
 // RunAll executes every experiment and returns the tables in report order.
 func RunAll(cfg Config) ([]*stats.Table, error) {
-	tables := make([]*stats.Table, 0, len(registry))
-	for _, e := range registry {
-		t, err := e.Runner(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
+	return RunConcurrent(cfg, IDs(), 1, nil)
+}
+
+// RunConcurrent executes the experiments named by ids on a worker pool of
+// the given size (0 → GOMAXPROCS) and returns their tables in ids order.
+// Experiments are independent — each builds its own networks — so they
+// parallelize cleanly; determinism is per-experiment, seeded from cfg.
+// onStart, when non-nil, is called as each experiment is picked up (it may
+// be called from multiple goroutines). The first error is reported after
+// all in-flight experiments finish.
+func RunConcurrent(cfg Config, ids []string, workers int, onStart func(id string)) ([]*stats.Table, error) {
+	runners := make([]Runner, len(ids))
+	for i, id := range ids {
+		r, ok := Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
 		}
-		tables = append(tables, t)
+		runners[i] = r
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+
+	tables := make([]*stats.Table, len(ids))
+	errs := make([]error, len(ids))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if onStart != nil {
+					onStart(ids[i])
+				}
+				t, err := runners[i](cfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("experiments: %s: %w", ids[i], err)
+					continue
+				}
+				tables[i] = t
+			}
+		}()
+	}
+	for i := range runners {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return tables, nil
 }

@@ -10,48 +10,65 @@ import (
 // is "the maximum ... of the number of bits transmitted and received by any
 // node" (§2.1), i.e. max over nodes of sent+received; the meter also keeps
 // totals and message counts for the experiment reports.
+//
+// All counters are atomic: protocols charge from many node goroutines at
+// once (goroutine tree engine), and the concurrent query engine may read a
+// meter while a deadline-abandoned run is still charging it. Counters are
+// therefore unexported; use the accessor methods.
 type Meter struct {
-	SentBits []int64
-	RecvBits []int64
-	Messages []int64
+	sent []atomic.Int64
+	recv []atomic.Int64
+	msgs []atomic.Int64
 
-	// watched edge for cut-communication measurements (Theorem 5.1 harness);
-	// watchU == watchV == -1 when disabled.
-	watchU, watchV topology.NodeID
-	watchedBits    int64
+	// watch is the packed watched edge for cut-communication measurements
+	// (Theorem 5.1 harness); watchDisabled when off. Packing both endpoints
+	// into one word keeps the Charge-path check a single atomic load.
+	watch       atomic.Int64
+	watchedBits atomic.Int64
+}
+
+// watchDisabled is packEdge(-1, -1): no watched edge.
+const watchDisabled int64 = -1
+
+func packEdge(u, v topology.NodeID) int64 {
+	return int64(uint32(u))<<32 | int64(uint32(v))
 }
 
 // NewMeter returns a meter for n nodes.
 func NewMeter(n int) *Meter {
-	return &Meter{
-		SentBits: make([]int64, n),
-		RecvBits: make([]int64, n),
-		Messages: make([]int64, n),
-		watchU:   -1,
-		watchV:   -1,
+	m := &Meter{
+		sent: make([]atomic.Int64, n),
+		recv: make([]atomic.Int64, n),
+		msgs: make([]atomic.Int64, n),
 	}
+	m.watch.Store(watchDisabled)
+	return m
 }
+
+// N returns the number of nodes the meter covers.
+func (m *Meter) N() int { return len(m.sent) }
 
 // WatchEdge starts accumulating the bits that traverse the undirected edge
 // (u, v) — the cut-communication counter used by the Set Disjointness
-// reduction harness. Watching resets the accumulated count.
+// reduction harness. Watching resets the accumulated count. Call it before
+// the measured run starts, not concurrently with charging.
 func (m *Meter) WatchEdge(u, v topology.NodeID) {
-	m.watchU, m.watchV = u, v
-	atomic.StoreInt64(&m.watchedBits, 0)
+	m.watch.Store(packEdge(u, v))
+	m.watchedBits.Store(0)
 }
 
 // WatchedBits returns the bits accumulated on the watched edge.
-func (m *Meter) WatchedBits() int64 { return atomic.LoadInt64(&m.watchedBits) }
+func (m *Meter) WatchedBits() int64 { return m.watchedBits.Load() }
 
 // Charge records a message of the given bit length from -> to. It is safe
 // for concurrent use: the goroutine tree engine charges from many node
 // goroutines at once.
 func (m *Meter) Charge(from, to topology.NodeID, bits int) {
-	atomic.AddInt64(&m.SentBits[from], int64(bits))
-	atomic.AddInt64(&m.RecvBits[to], int64(bits))
-	atomic.AddInt64(&m.Messages[from], 1)
-	if (from == m.watchU && to == m.watchV) || (from == m.watchV && to == m.watchU) {
-		atomic.AddInt64(&m.watchedBits, int64(bits))
+	m.sent[from].Add(int64(bits))
+	m.recv[to].Add(int64(bits))
+	m.msgs[from].Add(1)
+	if w := m.watch.Load(); w != watchDisabled && (w == packEdge(from, to) || w == packEdge(to, from)) {
+		m.watchedBits.Add(int64(bits))
 	}
 }
 
@@ -61,29 +78,51 @@ func (m *Meter) Charge(from, to topology.NodeID, bits int) {
 // content-independent).
 func (m *Meter) ChargeN(from, to topology.NodeID, bits int, times int) {
 	total := int64(bits) * int64(times)
-	atomic.AddInt64(&m.SentBits[from], total)
-	atomic.AddInt64(&m.RecvBits[to], total)
-	atomic.AddInt64(&m.Messages[from], int64(times))
-	if (from == m.watchU && to == m.watchV) || (from == m.watchV && to == m.watchU) {
-		atomic.AddInt64(&m.watchedBits, total)
+	m.sent[from].Add(total)
+	m.recv[to].Add(total)
+	m.msgs[from].Add(int64(times))
+	if w := m.watch.Load(); w != watchDisabled && (w == packEdge(from, to) || w == packEdge(to, from)) {
+		m.watchedBits.Add(total)
 	}
+}
+
+// ChargeTx records a physical-layer transmission: the sender pays the
+// payload once regardless of how many neighbours hear it (radio model).
+func (m *Meter) ChargeTx(from topology.NodeID, bits int) {
+	m.sent[from].Add(int64(bits))
+	m.msgs[from].Add(1)
+}
+
+// ChargeRx records one node hearing a physical-layer transmission.
+func (m *Meter) ChargeRx(to topology.NodeID, bits int) {
+	m.recv[to].Add(int64(bits))
 }
 
 // Reset zeroes all counters.
 func (m *Meter) Reset() {
-	for i := range m.SentBits {
-		m.SentBits[i] = 0
-		m.RecvBits[i] = 0
-		m.Messages[i] = 0
+	for i := range m.sent {
+		m.sent[i].Store(0)
+		m.recv[i].Store(0)
+		m.msgs[i].Store(0)
 	}
+	m.watchedBits.Store(0)
 }
+
+// SentBitsOf returns the bits node u has sent.
+func (m *Meter) SentBitsOf(u topology.NodeID) int64 { return m.sent[u].Load() }
+
+// RecvBitsOf returns the bits node u has received.
+func (m *Meter) RecvBitsOf(u topology.NodeID) int64 { return m.recv[u].Load() }
+
+// MessagesOf returns the number of messages node u has sent.
+func (m *Meter) MessagesOf(u topology.NodeID) int64 { return m.msgs[u].Load() }
 
 // MaxPerNode returns the paper's complexity measure: max over nodes of
 // bits sent plus bits received.
 func (m *Meter) MaxPerNode() int64 {
 	var max int64
-	for i := range m.SentBits {
-		if v := m.SentBits[i] + m.RecvBits[i]; v > max {
+	for i := range m.sent {
+		if v := m.sent[i].Load() + m.recv[i].Load(); v > max {
 			max = v
 		}
 	}
@@ -93,8 +132,8 @@ func (m *Meter) MaxPerNode() int64 {
 // TotalBits returns the sum over nodes of bits sent (== total link bits).
 func (m *Meter) TotalBits() int64 {
 	var total int64
-	for _, v := range m.SentBits {
-		total += v
+	for i := range m.sent {
+		total += m.sent[i].Load()
 	}
 	return total
 }
@@ -102,32 +141,35 @@ func (m *Meter) TotalBits() int64 {
 // TotalMessages returns the total number of messages sent.
 func (m *Meter) TotalMessages() int64 {
 	var total int64
-	for _, v := range m.Messages {
-		total += v
+	for i := range m.msgs {
+		total += m.msgs[i].Load()
 	}
 	return total
 }
 
 // PerNode returns bits sent+received for node u.
 func (m *Meter) PerNode(u topology.NodeID) int64 {
-	return m.SentBits[u] + m.RecvBits[u]
+	return m.sent[u].Load() + m.recv[u].Load()
 }
 
 // Snapshot captures the current counters so a caller can measure one
 // protocol invocation by diffing.
 type Snapshot struct {
-	maxPerNode []int64
-	totalBits  int64
-	totalMsgs  int64
+	perNode   []int64
+	totalBits int64
+	totalMsgs int64
 }
 
 // Snapshot returns a copy of the per-node sent+recv totals.
 func (m *Meter) Snapshot() Snapshot {
-	per := make([]int64, len(m.SentBits))
+	per := make([]int64, len(m.sent))
+	var bits int64
 	for i := range per {
-		per[i] = m.SentBits[i] + m.RecvBits[i]
+		s := m.sent[i].Load()
+		per[i] = s + m.recv[i].Load()
+		bits += s
 	}
-	return Snapshot{maxPerNode: per, totalBits: m.TotalBits(), totalMsgs: m.TotalMessages()}
+	return Snapshot{perNode: per, totalBits: bits, totalMsgs: m.TotalMessages()}
 }
 
 // Delta summarizes communication since a snapshot.
@@ -143,8 +185,8 @@ type Delta struct {
 // Since returns the communication accrued since snapshot s.
 func (m *Meter) Since(s Snapshot) Delta {
 	var d Delta
-	for i := range m.SentBits {
-		if v := m.SentBits[i] + m.RecvBits[i] - s.maxPerNode[i]; v > d.MaxPerNode {
+	for i := range m.sent {
+		if v := m.sent[i].Load() + m.recv[i].Load() - s.perNode[i]; v > d.MaxPerNode {
 			d.MaxPerNode = v
 		}
 	}

@@ -127,9 +127,34 @@ func NewMulti(g *topology.Graph, items [][]uint64, maxX uint64, opts ...Option) 
 	for _, o := range opts {
 		o(&cfg)
 	}
-	tree := topology.BFSTree(g, cfg.root)
-	if cfg.maxChildren > 0 {
-		tree = topology.BoundDegree(tree, cfg.maxChildren)
+	tree := BuildTree(g, cfg.root, cfg.maxChildren)
+	return NewFromTree(g, tree, items, maxX, cfg.seed)
+}
+
+// BuildTree constructs the bounded-degree BFS spanning tree a network would
+// use, without building the network. Graph and tree are immutable after
+// construction, so callers (e.g. the concurrent query engine's session
+// cache) may share one tree across many concurrent networks.
+func BuildTree(g *topology.Graph, root topology.NodeID, maxChildren int) *topology.Tree {
+	tree := topology.BFSTree(g, root)
+	if maxChildren > 0 {
+		tree = topology.BoundDegree(tree, maxChildren)
+	}
+	return tree
+}
+
+// NewFromTree builds a network over a prebuilt spanning tree of g. The
+// graph and tree are shared, not copied: both are immutable after
+// construction, so any number of networks — including networks running
+// concurrently — may be built over the same pair. Everything mutable (the
+// nodes with their items, scratch state, and RNG streams, plus the meter)
+// is freshly allocated per network.
+func NewFromTree(g *topology.Graph, tree *topology.Tree, items [][]uint64, maxX uint64, seed uint64) *Network {
+	if tree.N() != g.N() {
+		panic(fmt.Sprintf("netsim: tree has %d nodes, graph has %d", tree.N(), g.N()))
+	}
+	if len(items) != g.N() {
+		panic(fmt.Sprintf("netsim: %d item lists for %d nodes", len(items), g.N()))
 	}
 	nw := &Network{
 		Graph: g,
@@ -140,11 +165,11 @@ func NewMulti(g *topology.Graph, items [][]uint64, maxX uint64, opts ...Option) 
 		// Width covers maxX+1: predicate thresholds range over [0, X+1]
 		// ("< X+1" selects everything), one more value than the items.
 		ValueWidth: bitio.WidthOfRange(maxX + 1),
-		seed:       cfg.seed,
+		seed:       seed,
 	}
 	for i := range nw.Nodes {
 		nd := &Node{ID: topology.NodeID(i)}
-		nd.rng = rand.New(rand.NewPCG(cfg.seed, uint64(i)*0x9e3779b97f4a7c15+0xabcd))
+		nd.rng = rand.New(rand.NewPCG(seed, uint64(i)*0x9e3779b97f4a7c15+0xabcd))
 		nd.Items = make([]Item, len(items[i]))
 		for j, v := range items[i] {
 			if v > maxX {
@@ -155,6 +180,25 @@ func NewMulti(g *topology.Graph, items [][]uint64, maxX uint64, opts ...Option) 
 		nw.Nodes[i] = nd
 	}
 	return nw
+}
+
+// Fork returns an independent network for one run: it shares the immutable
+// Graph and Tree with the receiver but gets its own nodes (items restored
+// to their original values, fresh scratch, fresh RNG streams seeded from
+// seed) and its own Meter. Runs forked off one template network therefore
+// share no mutable state, which is what makes concurrent query execution
+// race-free; a fork with the template's own seed reproduces the template
+// exactly.
+func (nw *Network) Fork(seed uint64) *Network {
+	items := make([][]uint64, len(nw.Nodes))
+	for i, nd := range nw.Nodes {
+		vs := make([]uint64, len(nd.Items))
+		for j, it := range nd.Items {
+			vs[j] = it.Orig
+		}
+		items[i] = vs
+	}
+	return NewFromTree(nw.Graph, nw.Tree, items, nw.MaxX, seed)
 }
 
 // N returns the number of nodes.

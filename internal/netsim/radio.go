@@ -67,11 +67,10 @@ func RunRadioRounds(nw *Network, handler RadioHandler, rounds int) RoundsResult 
 			msg := sent[i]
 			bits := msg.Payload.Bits()
 			// Transmitter pays once.
-			nw.Meter.SentBits[i] += int64(bits)
-			nw.Meter.Messages[i]++
+			nw.Meter.ChargeTx(topology.NodeID(i), bits)
 			// Every neighbour hears it.
 			for _, nbr := range nw.Graph.Adj[i] {
-				nw.Meter.RecvBits[nbr] += int64(bits)
+				nw.Meter.ChargeRx(nbr, bits)
 				heard[nbr] = append(heard[nbr], msg)
 			}
 		}

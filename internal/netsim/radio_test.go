@@ -30,12 +30,12 @@ func TestRadioChargesOncePerTransmission(t *testing.T) {
 	if res.Messages != 1 {
 		t.Fatalf("transmissions = %d, want 1", res.Messages)
 	}
-	if nw.Meter.SentBits[0] != 8 {
-		t.Errorf("centre sent %d bits, want 8 (charged once, not per neighbour)", nw.Meter.SentBits[0])
+	if nw.Meter.SentBitsOf(0) != 8 {
+		t.Errorf("centre sent %d bits, want 8 (charged once, not per neighbour)", nw.Meter.SentBitsOf(0))
 	}
 	for i := 1; i < 10; i++ {
-		if nw.Meter.RecvBits[i] != 8 {
-			t.Errorf("leaf %d received %d bits, want 8", i, nw.Meter.RecvBits[i])
+		if nw.Meter.RecvBitsOf(topology.NodeID(i)) != 8 {
+			t.Errorf("leaf %d received %d bits, want 8", i, nw.Meter.RecvBitsOf(topology.NodeID(i)))
 		}
 	}
 }

@@ -151,7 +151,7 @@ func OrderStatistic(nw *netsim.Network, k uint64) (Result, error) {
 		if topology.NodeID(i) == root {
 			continue
 		}
-		if tx := nw.Meter.SentBits[i]; tx > maxTx {
+		if tx := nw.Meter.SentBitsOf(topology.NodeID(i)); tx > maxTx {
 			maxTx = tx
 		}
 	}

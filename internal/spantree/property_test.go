@@ -71,8 +71,9 @@ func TestEnginesEquivalentProperty(t *testing.T) {
 		if ra.(uint64) != rb.(uint64) {
 			return false
 		}
-		for u := range a.Meter.SentBits {
-			if a.Meter.SentBits[u] != b.Meter.SentBits[u] || a.Meter.RecvBits[u] != b.Meter.RecvBits[u] {
+		for u := 0; u < a.Meter.N(); u++ {
+			uid := topology.NodeID(u)
+			if a.Meter.SentBitsOf(uid) != b.Meter.SentBitsOf(uid) || a.Meter.RecvBitsOf(uid) != b.Meter.RecvBitsOf(uid) {
 				return false
 			}
 		}
@@ -132,7 +133,7 @@ func TestBroadcastConvergecastRoundTripCost(t *testing.T) {
 	}
 	maxDeg := nw.Tree.MaxDegree()
 	bound := int64(maxDeg * (payloadBits + 64))
-	for u := range nw.Meter.SentBits {
+	for u := 0; u < nw.Meter.N(); u++ {
 		if got := nw.Meter.PerNode(topology.NodeID(u)); got > bound {
 			t.Errorf("node %d: %d bits > bound %d (deg %d)", u, got, bound, maxDeg)
 		}
