@@ -16,6 +16,7 @@ import (
 	"sensoragg/internal/core"
 	"sensoragg/internal/distinct"
 	"sensoragg/internal/engine"
+	"sensoragg/internal/faults"
 	"sensoragg/internal/gk"
 	"sensoragg/internal/gossip"
 	"sensoragg/internal/loglog"
@@ -309,7 +310,8 @@ func BenchmarkDuplication(b *testing.B) {
 	for _, dup := range []float64{0, 0.2} {
 		b.Run(fmt.Sprintf("dup=%.1f", dup), func(b *testing.B) {
 			nw := netsim.New(g, values, maxX, netsim.WithSeed(10))
-			net := agg.NewNet(spantree.NewFastFaulty(nw, spantree.FaultPlan{DupProb: dup}), agg.WithHonestSketches())
+			nw.Faults = faults.New(faults.Spec{Dup: dup}, nw.N(), nw.Root(), 10)
+			net := agg.NewNet(spantree.NewFast(nw), agg.WithHonestSketches())
 			before := nw.Meter.Snapshot()
 			for i := 0; i < b.N; i++ {
 				net.ApxCount(core.Linear, wire.True())
@@ -470,6 +472,45 @@ func BenchmarkEngineMedian8(b *testing.B) {
 			}
 			b.ReportMetric(float64(bits)/float64(b.N)/runs, "bits/node")
 			b.ReportMetric(float64(runs), "queries/op")
+		})
+	}
+}
+
+// BenchmarkEngineFaulty — E14's cost harness and the CI fault-sweep
+// datapoint: an exact median on a 24×24 grid under a 5% crash plan. Every
+// iteration re-runs the heartbeat/HELP/AVAIL/JOIN self-healing repair
+// before the query, so "repair-bits" prices fault tolerance in the paper's
+// own measure next to the query's bits/node.
+func BenchmarkEngineFaulty(b *testing.B) {
+	for _, spec := range []struct {
+		name string
+		fs   faults.Spec
+	}{
+		{"crash=0.05", faults.Spec{Crash: 0.05}},
+		{"drop=0.02/dup=0.02", faults.Spec{Drop: 0.02, Dup: 0.02}},
+	} {
+		b.Run(spec.name, func(b *testing.B) {
+			eng := engine.New(engine.Options{Workers: 1})
+			job := engine.Job{
+				Spec: engine.Spec{Topology: "grid", N: 576, Workload: "uniform",
+					Seed: 1, Faults: spec.fs},
+				Query: engine.Query{Kind: engine.KindMedian},
+			}
+			if _, err := eng.Session().Template(job.Spec); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var bits, repair int64
+			for i := 0; i < b.N; i++ {
+				r := eng.RunOne(context.Background(), job)
+				if r.Failed() {
+					b.Fatal(r.Error)
+				}
+				bits += r.BitsPerNode
+				repair += r.RepairBits
+			}
+			b.ReportMetric(float64(bits)/float64(b.N), "bits/node")
+			b.ReportMetric(float64(repair)/float64(b.N), "repair-bits")
 		})
 	}
 }

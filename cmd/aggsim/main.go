@@ -8,12 +8,17 @@
 // on a bounded worker pool. Results are deterministic: each run is
 // bit-identical to executing its network serially.
 //
+// Fault plans (-crash/-drop/-dup/-linkfail) inject deterministic faults
+// per run: structural faults trigger a self-healing tree repair before the
+// query, and the report gains crashed/unreachable/repair-bits columns.
+//
 // Examples:
 //
 //	aggsim -topology grid -n 4096 -workload zipf -query median
 //	aggsim -query apxmedian2 -beta 0.015625 -eps 0.25 -n 16384
 //	aggsim -query distinct -workload fewdistinct
 //	aggsim -query median -parallel 8 -workers 4 -json report.json
+//	aggsim -query median -n 576 -crash 0.05 -parallel 4
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 
 	"sensoragg/internal/core"
 	"sensoragg/internal/engine"
+	"sensoragg/internal/faults"
 	"sensoragg/internal/netsim"
 )
 
@@ -42,6 +48,12 @@ type options struct {
 	engine   string
 	sketchP  int
 	children int
+
+	crash     float64
+	drop      float64
+	dup       float64
+	linkfail  float64
+	faultSeed uint64
 
 	parallel int
 	workers  int
@@ -64,6 +76,11 @@ func main() {
 	flag.StringVar(&o.engine, "engine", "fast", "fast|goroutine")
 	flag.IntVar(&o.sketchP, "sketchp", core.DefaultSketchP, "LogLog register exponent p (m=2^p)")
 	flag.IntVar(&o.children, "maxchildren", netsim.DefaultMaxChildren, "spanning-tree degree bound (0=unbounded)")
+	flag.Float64Var(&o.crash, "crash", 0, "fault plan: node crash probability (root exempt)")
+	flag.Float64Var(&o.drop, "drop", 0, "fault plan: per-message loss probability")
+	flag.Float64Var(&o.dup, "dup", 0, "fault plan: per-message duplication probability")
+	flag.Float64Var(&o.linkfail, "linkfail", 0, "fault plan: permanent link failure probability")
+	flag.Uint64Var(&o.faultSeed, "faultseed", 0, "pin the fault stream to this seed (0 = per-run seed)")
 	flag.IntVar(&o.parallel, "parallel", 1, "run the query on this many independently-seeded networks")
 	flag.IntVar(&o.workers, "workers", 0, "worker-pool size (default GOMAXPROCS)")
 	flag.DurationVar(&o.timeout, "timeout", 0, "per-query deadline (0 = none)")
@@ -91,6 +108,13 @@ func (o options) spec(seed uint64) engine.Spec {
 		Seed:        seed,
 		MaxChildren: children,
 		TreeEngine:  o.engine,
+		Faults: faults.Spec{
+			Crash:    o.crash,
+			LinkFail: o.linkfail,
+			Drop:     o.drop,
+			Dup:      o.dup,
+			Seed:     o.faultSeed,
+		},
 	}
 }
 
@@ -156,13 +180,24 @@ func run(o options) error {
 				line += " ✓"
 			}
 		}
+		if r.Crashed > 0 || r.RepairBits > 0 {
+			line += fmt.Sprintf(" [%d crashed, %d unreachable, repair %d bits]",
+				r.Crashed, r.Unreachable, r.RepairBits)
+		}
 		fmt.Printf("%s — %d bits/node, %d total bits, %d messages\n",
 			line, r.BitsPerNode, r.TotalBits, r.Messages)
 	}
 
 	for _, s := range report.Summary {
-		fmt.Printf("summary[%s]: %d runs (%d failed, %d exact), mean %.1f bits/node (max %d), batch wall %v\n",
-			s.Kind, s.Runs, s.Failed, s.ExactRuns, s.MeanBitsPerNode, s.MaxBitsPerNode, wall.Round(time.Millisecond))
+		line := fmt.Sprintf("summary[%s]: %d runs (%d failed, %d exact), mean %.1f bits/node (max %d)",
+			s.Kind, s.Runs, s.Failed, s.ExactRuns, s.MeanBitsPerNode, s.MaxBitsPerNode)
+		if s.MeanRelErr > 0 {
+			line += fmt.Sprintf(", mean rel err %.3f", s.MeanRelErr)
+		}
+		if s.MeanRepairBits > 0 {
+			line += fmt.Sprintf(", mean repair %.0f bits", s.MeanRepairBits)
+		}
+		fmt.Printf("%s, batch wall %v\n", line, wall.Round(time.Millisecond))
 	}
 
 	if o.jsonOut != "" {

@@ -7,6 +7,12 @@
 //	> SELECT quantile(value, 0.99) WHERE value >= 100
 //	> SELECT distinct(value) USING sketch=1, m=256
 //	> net grid 4096 zipf 7
+//	> faults crash=0.05 dup=0.1
+//
+// The `faults` command attaches an internal/faults plan to the deployment:
+// crashes and dead links trigger the spantree self-healing repair (cost
+// reported once), and subsequent statements run over the healed tree with
+// message-level faults applied per delivery.
 //
 // Deployments come from the engine's session cache: the `net` command
 // switches networks, and switching back to a deployment you already used
@@ -28,6 +34,7 @@ import (
 	"sensoragg/internal/agg"
 	"sensoragg/internal/energy"
 	"sensoragg/internal/engine"
+	"sensoragg/internal/faults"
 	"sensoragg/internal/query"
 	"sensoragg/internal/spantree"
 )
@@ -87,6 +94,10 @@ func run(spec engine.Spec) error {
 			if err := c.netCommand(line); err != nil {
 				fmt.Printf("error: %v\n", err)
 			}
+		case firstToken == "faults":
+			if err := c.faultsCommand(line); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
 		default:
 			res, err := query.Exec(c.net, line)
 			if err != nil {
@@ -106,17 +117,80 @@ func run(spec engine.Spec) error {
 }
 
 // use instantiates a per-console network for spec off the session cache.
+// An active fault plan with structural faults first runs the self-healing
+// tree repair; subsequent statements execute over the healed tree, with
+// the repair cost reported once here.
 func (c *console) use(spec engine.Spec) error {
 	spec = spec.Normalize()
 	nw, err := c.session.Instantiate(spec, spec.Seed)
 	if err != nil {
 		return err
 	}
+	ops, hr, err := spantree.NewFastHealed(nw)
+	if err != nil {
+		return err
+	}
+	if hr != nil {
+		fmt.Printf("faults: %d crashed, %d fragments reattached, %d unreachable — repair cost %d bits\n",
+			hr.Crashed, hr.Reattached, hr.Unreachable, hr.Repair.TotalBits)
+	}
 	c.spec = spec
-	c.net = agg.NewNet(spantree.NewFast(nw))
-	fmt.Printf("sensorql — %s, N=%d, X=%d, workload %s, tree height %d\n",
-		spec.Topology, nw.N(), spec.MaxX, spec.Workload, nw.Tree.Height())
+	c.net = agg.NewNet(ops)
+	fmt.Printf("sensorql — %s, N=%d, X=%d, workload %s, tree height %d, faults %s\n",
+		spec.Topology, nw.N(), spec.MaxX, spec.Workload, nw.Tree.Height(), spec.Faults)
 	return nil
+}
+
+// faultsCommand parses `faults [off | key=value ...]` and re-instantiates
+// the deployment under the new fault plan. Bare `faults` prints the
+// current one.
+func (c *console) faultsCommand(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 1 {
+		fmt.Printf("faults: %s\n", c.spec.Faults)
+		return nil
+	}
+	spec := c.spec
+	if len(fields) == 2 && strings.EqualFold(fields[1], "off") {
+		spec.Faults = faults.Spec{}
+		return c.use(spec)
+	}
+	var fs faults.Spec
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("want key=value, got %q", f)
+		}
+		if strings.EqualFold(k, "seed") {
+			seed, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad seed %q: %w", v, err)
+			}
+			fs.Seed = seed
+			continue
+		}
+		rate, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("bad rate %q: %w", v, err)
+		}
+		switch strings.ToLower(k) {
+		case "crash":
+			fs.Crash = rate
+		case "linkfail", "link_fail":
+			fs.LinkFail = rate
+		case "drop":
+			fs.Drop = rate
+		case "dup":
+			fs.Dup = rate
+		default:
+			return fmt.Errorf("unknown fault %q (crash|linkfail|drop|dup|seed)", k)
+		}
+	}
+	if err := fs.Validate(); err != nil {
+		return err
+	}
+	spec.Faults = fs
+	return c.use(spec)
 }
 
 // netCommand parses `net [topology [n [workload [seed]]]]` and switches the
@@ -170,5 +244,8 @@ clauses:
   USING key=value, ...
 console:
   net [topology [n [workload [seed]]]]   switch deployment (cached trees)
+  faults [off | crash=P drop=P dup=P linkfail=P seed=S]
+                                         set the deployment's fault plan;
+                                         crashes/dead links self-heal the tree
   cache                                  show session cache hits/misses`)
 }

@@ -2,9 +2,9 @@
 // retransmit and multipath-duplicate messages; Considine et al. [2] and
 // Nath et al. [10] observed that aggregates with idempotent merges (MAX,
 // cardinality sketches) are immune, while COUNT and SUM double-count. This
-// example injects link-layer duplication at increasing rates and watches
-// each aggregate — then shows the same items counted by a gossiped sketch
-// that never needed a spanning tree at all.
+// example attaches internal/faults duplication plans at increasing rates
+// and watches each aggregate — then shows the same items counted by a
+// gossiped sketch that never needed a spanning tree at all.
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 
 	"sensoragg/internal/agg"
 	"sensoragg/internal/core"
+	"sensoragg/internal/faults"
 	"sensoragg/internal/gossip"
 	"sensoragg/internal/loglog"
 	"sensoragg/internal/netsim"
@@ -42,8 +43,8 @@ func main() {
 	var clean float64
 	for _, dup := range []float64{0, 0.1, 0.3} {
 		nw := netsim.New(g, values, maxX, netsim.WithSeed(11))
-		ops := spantree.NewFastFaulty(nw, spantree.FaultPlan{DupProb: dup})
-		net := agg.NewNet(ops, agg.WithHonestSketches())
+		nw.Faults = faults.New(faults.Spec{Dup: dup}, nw.N(), nw.Root(), 11)
+		net := agg.NewNet(spantree.NewFast(nw), agg.WithHonestSketches())
 
 		count := net.Count(core.Linear, wire.True())
 		sum := net.Sum(core.Linear, wire.True())

@@ -50,6 +50,15 @@ type Result struct {
 	TotalBits   int64 `json:"total_bits"`
 	Messages    int64 `json:"messages"`
 
+	// Fault-plan runs (Spec.Faults active with structural faults)
+	// additionally report the fault impact: crashed nodes, survivors the
+	// self-healing repair could not reconnect, and the repair traffic in
+	// bits (already included in the totals above — repair is charged like
+	// any other protocol traffic).
+	Crashed     int   `json:"crashed,omitempty"`
+	Unreachable int   `json:"unreachable,omitempty"`
+	RepairBits  int64 `json:"repair_bits,omitempty"`
+
 	WallNS int64  `json:"wall_ns"`
 	Error  string `json:"error,omitempty"`
 }
@@ -195,10 +204,17 @@ func (e *Engine) executeJob(spec Spec, job Job) Result {
 		return failedResult(job, err)
 	}
 	d := nw.Meter.Since(before)
-	return Result{
-		ID:          job.ID,
+	r := resultFrom(spec, job.Query, ans, d, time.Since(start))
+	r.ID = job.ID
+	return r
+}
+
+// resultFrom assembles a Result from an executed answer and its meter
+// delta, including the fault-impact fields of a healed run.
+func resultFrom(spec Spec, q Query, ans answer, d netsim.Delta, wall time.Duration) Result {
+	r := Result{
 		Spec:        spec,
-		Query:       job.Query.withDefaults(),
+		Query:       q.withDefaults(),
 		Value:       ans.value,
 		Detail:      ans.detail,
 		Truth:       ans.truth,
@@ -207,8 +223,14 @@ func (e *Engine) executeJob(spec Spec, job Job) Result {
 		BitsPerNode: d.MaxPerNode,
 		TotalBits:   d.TotalBits,
 		Messages:    d.Messages,
-		WallNS:      time.Since(start).Nanoseconds(),
+		WallNS:      wall.Nanoseconds(),
 	}
+	if ans.heal != nil {
+		r.Crashed = ans.heal.Crashed
+		r.Unreachable = ans.heal.Unreachable
+		r.RepairBits = ans.heal.Repair.TotalBits
+	}
+	return r
 }
 
 // Execute runs one query serially against an existing per-run network —
@@ -222,18 +244,5 @@ func Execute(nw *netsim.Network, spec Spec, q Query) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	d := nw.Meter.Since(before)
-	return Result{
-		Spec:        spec,
-		Query:       q.withDefaults(),
-		Value:       ans.value,
-		Detail:      ans.detail,
-		Truth:       ans.truth,
-		TruthKnown:  ans.truthKnown,
-		Exact:       ans.truthKnown && ans.value == ans.truth,
-		BitsPerNode: d.MaxPerNode,
-		TotalBits:   d.TotalBits,
-		Messages:    d.Messages,
-		WallNS:      time.Since(start).Nanoseconds(),
-	}, nil
+	return resultFrom(spec, q, ans, nw.Meter.Since(before), time.Since(start)), nil
 }

@@ -8,6 +8,7 @@ import (
 	"sensoragg/internal/baseline"
 	"sensoragg/internal/core"
 	"sensoragg/internal/distinct"
+	"sensoragg/internal/faults"
 	"sensoragg/internal/gk"
 	"sensoragg/internal/gossip"
 	"sensoragg/internal/loglog"
@@ -91,25 +92,118 @@ type answer struct {
 	detail     string
 	truth      float64
 	truthKnown bool
+	// heal is the self-healing repair run that preceded the query, when
+	// the run's fault plan had structural faults.
+	heal *spantree.HealResult
 }
 
 // execute runs q against the per-run network nw. The network must be
 // private to this run: execute mutates node items (zoom/filter stages) and
 // charges the meter freely.
+//
+// A spec with an active fault plan reshapes the run: the plan is attached
+// to the network (forked from the run seed unless the session already
+// attached one), structural faults trigger a spantree.Heal repair whose
+// traffic is charged to the meter before the query runs, and the
+// simulator-side ground truth shrinks to the surviving, reconnected nodes
+// — the population the healed tree can actually aggregate.
 func execute(nw *netsim.Network, spec Spec, q Query) (answer, error) {
 	q = q.withDefaults()
 
+	if spec.Faults.Active() && nw.Faults == nil {
+		if err := spec.Faults.Validate(); err != nil {
+			return answer{}, err
+		}
+		nw.Faults = faults.New(spec.Faults, nw.N(), nw.Root(), nw.Seed())
+	}
+	if p := nw.Faults; p != nil && p.Active() {
+		if err := faultSupport(q.Kind, p.Spec()); err != nil {
+			return answer{}, err
+		}
+	}
+
 	var ops spantree.Ops
+	var heal *spantree.HealResult
 	switch spec.TreeEngine {
 	case "", "fast":
-		ops = spantree.NewFast(nw)
+		if usesTree(q.Kind) {
+			fe, hr, err := spantree.NewFastHealed(nw)
+			if err != nil {
+				return answer{}, err
+			}
+			heal = hr
+			ops = fe
+		} else {
+			// Gossip/radio kinds never touch the tree: no repair runs,
+			// so their cost is purely the protocol's own traffic.
+			ops = spantree.NewFast(nw)
+		}
 	case "goroutine":
+		if p := nw.Faults; p != nil && p.Active() {
+			return answer{}, fmt.Errorf("engine: fault plans require the fast tree engine")
+		}
 		ops = spantree.NewGoroutine(nw)
 	default:
 		return answer{}, fmt.Errorf("engine: unknown tree engine %q", spec.TreeEngine)
 	}
 	net := agg.NewNet(ops, agg.WithSketchP(q.SketchP))
 	values := nw.AllItems()
+	if heal != nil {
+		values = survivingItems(nw, heal.View)
+	}
+	ans, err := executeKind(nw, spec, q, ops, net, values)
+	if err != nil {
+		return answer{}, err
+	}
+	ans.heal = heal
+	return ans, nil
+}
+
+// usesTree reports whether a query kind executes over the spanning tree
+// (and therefore needs the self-healing repair under structural faults).
+// The gossip and radio kinds run directly on the graph, and buildtree
+// constructs the tree itself.
+func usesTree(kind string) bool {
+	switch kind {
+	case KindGossip, KindGossipDistinct, KindSingleHop, KindBuildTree:
+		return false
+	}
+	return true
+}
+
+// faultSupport rejects fault-plan/kind combinations the engine cannot
+// execute honestly, with an explanation instead of a downstream protocol
+// error. Tree kinds support everything (structural faults heal first);
+// the graph-level gossip/radio kinds take message faults at the netsim
+// boundary but have no repair story for crashes or dead links yet; the
+// distributed tree construction assumes the full node set.
+func faultSupport(kind string, fs faults.Spec) error {
+	if kind == KindBuildTree {
+		return fmt.Errorf("engine: buildtree does not support fault plans (the construction protocol assumes the full node set)")
+	}
+	if !usesTree(kind) && fs.Structural() {
+		return fmt.Errorf("engine: %s does not support structural faults (crash/linkfail) — only tree queries self-heal; message faults (drop/dup) are fine", kind)
+	}
+	return nil
+}
+
+// survivingItems collects the items of the nodes the healed view covers —
+// the ground-truth population for a post-repair query.
+func survivingItems(nw *netsim.Network, view *spantree.TreeView) []uint64 {
+	out := make([]uint64, 0, len(view.Order))
+	for _, nd := range nw.Nodes {
+		if !view.Includes(nd.ID) {
+			continue
+		}
+		for _, it := range nd.Items {
+			out = append(out, it.Orig)
+		}
+	}
+	return out
+}
+
+// executeKind dispatches the query kind over the prepared execution state.
+func executeKind(nw *netsim.Network, spec Spec, q Query, ops spantree.Ops, net *agg.Net, values []uint64) (answer, error) {
 	// Sorting is only needed by the order-statistic truths; don't pay
 	// O(N log N) on every count/sum/sketch run.
 	var sortedCache []uint64

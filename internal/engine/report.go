@@ -8,6 +8,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"sensoragg/internal/stats"
 )
 
 // KindSummary aggregates the paper's bits-per-node cost (and accuracy)
@@ -21,6 +23,13 @@ type KindSummary struct {
 	MaxBitsPerNode  int64   `json:"max_bits_per_node"`
 	MeanTotalBits   float64 `json:"mean_total_bits"`
 	MeanWallNS      float64 `json:"mean_wall_ns"`
+	// MeanRelErr is the mean relative error |value−truth|/truth over the
+	// truth-known runs — the accuracy side of an accuracy-vs-fault-rate
+	// sweep. Zero when every run was exact (or no truth was known).
+	MeanRelErr float64 `json:"mean_rel_err"`
+	// MeanRepairBits is the mean self-healing repair traffic per run,
+	// bits; nonzero only under structural fault plans.
+	MeanRepairBits float64 `json:"mean_repair_bits,omitempty"`
 }
 
 // Report is the batched result collector's output: per-run results plus
@@ -50,6 +59,7 @@ func Collect(e *Engine, results []Result, batchWall time.Duration) *Report {
 		r.TimeoutNS = e.timeout.Nanoseconds()
 	}
 	byKind := make(map[string]*KindSummary)
+	truthRuns := make(map[string]int)
 	for _, res := range results {
 		k := res.Query.Kind
 		s, ok := byKind[k]
@@ -66,9 +76,14 @@ func Collect(e *Engine, results []Result, batchWall time.Duration) *Report {
 		if res.Exact {
 			s.ExactRuns++
 		}
+		if res.TruthKnown {
+			truthRuns[k]++
+			s.MeanRelErr += stats.RelErr(res.Value, res.Truth)
+		}
 		s.MeanBitsPerNode += float64(res.BitsPerNode)
 		s.MeanTotalBits += float64(res.TotalBits)
 		s.MeanWallNS += float64(res.WallNS)
+		s.MeanRepairBits += float64(res.RepairBits)
 		if res.BitsPerNode > s.MaxBitsPerNode {
 			s.MaxBitsPerNode = res.BitsPerNode
 		}
@@ -78,6 +93,10 @@ func Collect(e *Engine, results []Result, batchWall time.Duration) *Report {
 			s.MeanBitsPerNode /= float64(ok)
 			s.MeanTotalBits /= float64(ok)
 			s.MeanWallNS /= float64(ok)
+			s.MeanRepairBits /= float64(ok)
+		}
+		if tr := truthRuns[s.Kind]; tr > 0 {
+			s.MeanRelErr /= float64(tr)
 		}
 		r.Summary = append(r.Summary, *s)
 	}

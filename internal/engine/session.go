@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sensoragg/internal/faults"
 	"sensoragg/internal/netsim"
 	"sensoragg/internal/topology"
 	"sensoragg/internal/workload"
@@ -82,9 +83,12 @@ func (s *Session) Graph(spec Spec) (*topology.Graph, *topology.Tree, error) {
 
 // Template returns the cached template network for spec: graph, tree, and
 // items in their original state. The template is never run directly — every
-// run forks it — so its meter stays empty and its items pristine.
+// run forks it — so its meter stays empty and its items pristine. Fault
+// configuration is stripped from the cache key (faults are injected on the
+// forked run networks), so deployments differing only in fault rates share
+// one template.
 func (s *Session) Template(spec Spec) (*netsim.Network, error) {
-	spec = spec.Normalize()
+	spec = spec.Normalize().templateKey()
 	s.mu.Lock()
 	e, ok := s.nets[spec]
 	if !ok {
@@ -123,13 +127,24 @@ func (s *Session) Template(spec Spec) (*netsim.Network, error) {
 // Instantiate forks a fresh per-run network for spec: shared immutable
 // graph/tree, private nodes and meter, node RNG streams seeded from
 // runSeed. Instantiate(spec, spec.Seed) reproduces exactly the network a
-// serial caller would get from netsim.New with the same options.
+// serial caller would get from netsim.New with the same options. When the
+// spec carries an active fault plan, the fork gets its own plan derived
+// from runSeed (or the plan's pinned seed), so concurrent faulty runs
+// share no fault state either.
 func (s *Session) Instantiate(spec Spec, runSeed uint64) (*netsim.Network, error) {
+	spec = spec.Normalize()
 	tmpl, err := s.Template(spec)
 	if err != nil {
 		return nil, fmt.Errorf("engine: building template for %s: %w", spec, err)
 	}
-	return tmpl.Fork(runSeed), nil
+	nw := tmpl.Fork(runSeed)
+	if spec.Faults.Active() {
+		if err := spec.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		nw.Faults = faults.New(spec.Faults, nw.N(), nw.Root(), runSeed)
+	}
+	return nw, nil
 }
 
 // validWorkload rejects unknown workload names with an error instead of
@@ -150,5 +165,9 @@ func (s *Session) Stats() (hits, misses int64) {
 
 // String renders a spec compactly for error messages and labels.
 func (s Spec) String() string {
-	return fmt.Sprintf("%s/N=%d/%s/X=%d/seed=%d", s.Topology, s.N, s.Workload, s.MaxX, s.Seed)
+	base := fmt.Sprintf("%s/N=%d/%s/X=%d/seed=%d", s.Topology, s.N, s.Workload, s.MaxX, s.Seed)
+	if s.Faults.Active() {
+		base += "/faults(" + s.Faults.String() + ")"
+	}
+	return base
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 
+	"sensoragg/internal/faults"
 	"sensoragg/internal/netsim"
 	"sensoragg/internal/topology"
 	"sensoragg/internal/workload"
@@ -47,6 +48,13 @@ type Spec struct {
 	MaxChildren int `json:"max_children,omitempty"`
 	// TreeEngine selects the tree executor: "fast" (default) or "goroutine".
 	TreeEngine string `json:"tree_engine,omitempty"`
+	// Faults configures deterministic fault injection for every run of
+	// this deployment (zero value = reliable network). Each run gets its
+	// own plan forked from its run seed, so batch sweeps stay
+	// bit-identical to serial execution; structural faults (crashes, dead
+	// links) trigger a self-healing tree repair before the query executes,
+	// with the repair traffic charged to the run's meter.
+	Faults faults.Spec `json:"faults,omitempty"`
 }
 
 // DefaultTopology and friends fill zero-valued Spec fields.
@@ -121,4 +129,13 @@ func (s Spec) graphKey() graphKey {
 		k.seed = s.Seed
 	}
 	return k
+}
+
+// templateKey strips the per-run fault configuration: faults are injected
+// on the forked run networks, never on the cached template, so deployments
+// differing only in fault rates share one template — a fault-rate sweep
+// builds its graph, tree, and workload exactly once.
+func (s Spec) templateKey() Spec {
+	s.Faults = faults.Spec{}
+	return s
 }

@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"math"
 
 	"sensoragg/internal/agg"
 	"sensoragg/internal/core"
+	"sensoragg/internal/faults"
 	"sensoragg/internal/netsim"
 	"sensoragg/internal/spantree"
 	"sensoragg/internal/stats"
@@ -49,8 +49,8 @@ func Duplication(cfg Config) (*stats.Table, error) {
 
 	for _, dup := range []float64{0, 0.05, 0.2, 0.5} {
 		nw := netsim.New(g, values, maxX, netsim.WithSeed(cfg.Seed))
-		ops := spantree.NewFastFaulty(nw, spantree.FaultPlan{DupProb: dup})
-		net := agg.NewNet(ops, agg.WithHonestSketches())
+		nw.Faults = faults.New(faults.Spec{Dup: dup}, nw.N(), nw.Root(), cfg.Seed)
+		net := agg.NewNet(spantree.NewFast(nw), agg.WithHonestSketches())
 
 		_, gotMax, ok := net.MinMax(core.Linear)
 		if !ok {
@@ -61,18 +61,11 @@ func Duplication(cfg Config) (*stats.Table, error) {
 		gotSketch := net.ApxCount(core.Linear, wire.True())
 
 		t.AddRow(dup,
-			relErr(float64(gotMax), wantMax),
-			relErr(gotCount, wantCount),
-			relErr(gotSum, wantSum),
-			relErr(gotSketch, refSketch))
+			stats.RelErr(float64(gotMax), wantMax),
+			stats.RelErr(gotCount, wantCount),
+			stats.RelErr(gotSum, wantSum),
+			stats.RelErr(gotSketch, refSketch))
 	}
 	t.AddNote("MAX and the LogLog sketch are unchanged at every duplication rate (idempotent merges); COUNT and SUM inflate *exponentially in path length* — each hop re-doubles with probability p, so (1+p)^depth — the [2]/[10] motivation for ODI synopses.")
 	return t, nil
-}
-
-func relErr(got, want float64) float64 {
-	if want == 0 {
-		return math.Abs(got)
-	}
-	return math.Abs(got-want) / want
 }

@@ -160,13 +160,13 @@ func ablateTreeVsGossip(cfg Config, t *stats.Table) error {
 		return fmt.Errorf("tree distinct: %w", err)
 	}
 	t.AddRow("distinct aggregation", "tree convergecast",
-		fmt.Sprintf("rel err %.3f", relErr(treeRes.Estimate, truth)), treeRes.Comm.MaxPerNode)
+		fmt.Sprintf("rel err %.3f", stats.RelErr(treeRes.Estimate, truth)), treeRes.Comm.MaxPerNode)
 
 	nwGossip := netsim.New(g, values, maxX, netsim.WithSeed(cfg.Seed))
 	const rounds = 240 // generous for an RGG's mixing time at these sizes
 	gossipRes := gossip.Distinct(nwGossip, p, loglog.EstHLL, cfg.Seed, gossip.Params{Rounds: rounds})
 	t.AddRow("distinct aggregation", "gossip (no tree)",
-		fmt.Sprintf("rel err %.3f", relErr(gossipRes.Estimate, truth)), gossipRes.Comm.MaxPerNode)
+		fmt.Sprintf("rel err %.3f", stats.RelErr(gossipRes.Estimate, truth)), gossipRes.Comm.MaxPerNode)
 	t.AddNote("(d) Gossip needs no spanning tree and survives duplication by idempotence ([2]) but multiplies sketch traffic by the round count.")
 	return nil
 }

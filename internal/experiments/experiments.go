@@ -2,9 +2,11 @@
 // theory note whose results are complexity theorems, so each experiment
 // measures the corresponding protocol on the simulator and checks the
 // predicted *shape* — growth exponents, who wins, where crossovers fall.
-// The experiment IDs (E1–E10) are indexed in DESIGN.md; cmd/experiments
+// The experiment IDs (E1–E16) are indexed in DESIGN.md; cmd/experiments
 // renders all tables for EXPERIMENTS.md, and bench_test.go exposes each as
-// a benchmark.
+// a benchmark. E14–E16 exercise the internal/faults subsystem: crash
+// healing, loss sweeps, and duplicate-insensitive sketches, all through
+// the engine's fault plans.
 package experiments
 
 import (
@@ -50,6 +52,9 @@ var registry = []struct {
 	{"E11", SingleHop},
 	{"E12", Ablations},
 	{"E13", Lifetime},
+	{"E14", SelfHealing},
+	{"E15", FaultSweep},
+	{"E16", DuplicationSketches},
 }
 
 // IDs returns the experiment IDs in report order.

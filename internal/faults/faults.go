@@ -1,0 +1,220 @@
+// Package faults is the deterministic fault-injection subsystem. The
+// paper's system model (§2.1) assumes a reliable static network, but the
+// sketches it builds on in §2.2 exist precisely because real sensor links
+// crash, drop, and duplicate (Considine et al. [2]; Nath et al. [10]; and
+// the crash/omission models surveyed in Aspnes' notes). This package turns
+// those failure modes into a seeded, reproducible *fault plan*:
+//
+//   - node crashes — a node is dead for the whole run (the root, i.e. the
+//     base station issuing queries, is exempt);
+//   - permanent link failures — an undirected edge delivers nothing, ever;
+//   - message loss — an individual delivery is dropped;
+//   - message duplication — an individual delivery arrives twice (a
+//     link-layer retransmission both endpoints pay for).
+//
+// All decisions are pure functions of (seed, identity): crashes hash the
+// node ID, link failures hash the undirected edge, and per-message faults
+// hash the directed edge plus a per-sender sequence number. Two plans built
+// from the same (spec, n, root, seed) therefore make identical decisions in
+// identical order, which is what lets the concurrent query engine fork one
+// plan per run and still guarantee bit-identical parallel-vs-serial
+// results. An inactive plan (all rates zero) makes no decisions and holds
+// no state, so attaching one is byte-identical to attaching none.
+//
+// Injection happens at the netsim radio/round boundary (see
+// netsim.Network.Faults) and at the spantree fast engine's convergecast
+// edges; tree repair after structural faults is spantree.Heal.
+package faults
+
+import (
+	"fmt"
+	"strings"
+
+	"sensoragg/internal/topology"
+)
+
+// Spec configures a fault plan. The zero value means a reliable network.
+// All probabilities are per-decision: Crash per node, LinkFail per
+// undirected edge, Drop/Dup per delivered message. Spec is comparable, so
+// it can ride inside cache keys (engine.Spec).
+type Spec struct {
+	// Crash is the probability a node is crashed for the whole run. The
+	// root is exempt: it models the base station issuing the query.
+	Crash float64 `json:"crash,omitempty"`
+	// LinkFail is the probability an undirected edge is permanently dead.
+	LinkFail float64 `json:"link_fail,omitempty"`
+	// Drop is the probability an individual message delivery is lost.
+	Drop float64 `json:"drop,omitempty"`
+	// Dup is the probability an individual message delivery arrives twice.
+	Dup float64 `json:"dup,omitempty"`
+	// Seed fixes the fault stream independently of the run seed; 0 means
+	// "derive from the run seed", which gives every engine run its own
+	// forked fault state.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Active reports whether the spec injects any fault at all.
+func (s Spec) Active() bool {
+	return s.Crash > 0 || s.LinkFail > 0 || s.Drop > 0 || s.Dup > 0
+}
+
+// Structural reports whether the spec breaks the network's shape (crashed
+// nodes or dead links) — the faults spantree.Heal repairs. Message-level
+// drop/dup leave the tree intact.
+func (s Spec) Structural() bool { return s.Crash > 0 || s.LinkFail > 0 }
+
+// MessageLevel reports whether individual deliveries are faulty.
+func (s Spec) MessageLevel() bool { return s.Drop > 0 || s.Dup > 0 }
+
+// Validate rejects out-of-range rates.
+func (s Spec) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"crash", s.Crash}, {"linkfail", s.LinkFail}, {"drop", s.Drop}, {"dup", s.Dup}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s rate %g out of [0,1]", p.name, p.v)
+		}
+	}
+	if s.Drop+s.Dup > 1 {
+		return fmt.Errorf("faults: drop+dup = %g exceeds 1", s.Drop+s.Dup)
+	}
+	return nil
+}
+
+// String renders the nonzero rates compactly ("crash=0.05 drop=0.1"), or
+// "none" for an inactive spec.
+func (s Spec) String() string {
+	var parts []string
+	add := func(name string, v float64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", name, v))
+		}
+	}
+	add("crash", s.Crash)
+	add("linkfail", s.LinkFail)
+	add("drop", s.Drop)
+	add("dup", s.Dup)
+	if len(parts) == 0 {
+		return "none"
+	}
+	if s.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Plan is one run's instantiated fault schedule. A Plan belongs to exactly
+// one run: Deliveries mutates per-sender sequence counters, so plans must
+// not be shared across concurrent runs — fork a fresh one per run (New is
+// O(n)). Read-only queries (Crashed, LinkAlive) are safe from the round
+// engines' worker goroutines; Deliveries must be called from the
+// simulator's sequential delivery loop.
+type Plan struct {
+	spec     Spec
+	seed     uint64
+	root     topology.NodeID
+	crashed  []bool
+	nCrashed int
+	msgSeq   []uint64
+}
+
+// Decision streams keep crash, link, and message hashes independent.
+const (
+	streamCrash = 0x9e3779b97f4a7c15
+	streamLink  = 0xbf58476d1ce4e5b9
+	streamMsg   = 0x94d049bb133111eb
+)
+
+// New instantiates the plan for an n-node network rooted at root. The
+// fault stream is seeded by spec.Seed when nonzero, else by runSeed, so a
+// plan is reproducible from (spec, n, root, runSeed) alone.
+func New(spec Spec, n int, root topology.NodeID, runSeed uint64) *Plan {
+	seed := runSeed
+	if spec.Seed != 0 {
+		seed = spec.Seed
+	}
+	p := &Plan{
+		spec:    spec,
+		seed:    seed,
+		root:    root,
+		crashed: make([]bool, n),
+		msgSeq:  make([]uint64, n),
+	}
+	if spec.Crash > 0 {
+		for u := 0; u < n; u++ {
+			if topology.NodeID(u) == root {
+				continue
+			}
+			if p.uniform(streamCrash, uint64(u), 0) < spec.Crash {
+				p.crashed[u] = true
+				p.nCrashed++
+			}
+		}
+	}
+	return p
+}
+
+// Spec returns the configuration the plan was built from.
+func (p *Plan) Spec() Spec { return p.spec }
+
+// Seed returns the resolved fault-stream seed.
+func (p *Plan) Seed() uint64 { return p.seed }
+
+// Active reports whether the plan injects anything.
+func (p *Plan) Active() bool { return p.spec.Active() }
+
+// Crashed reports whether node u is dead for this run.
+func (p *Plan) Crashed(u topology.NodeID) bool { return p.crashed[u] }
+
+// CrashedCount returns the number of crashed nodes.
+func (p *Plan) CrashedCount() int { return p.nCrashed }
+
+// LinkAlive reports whether the undirected edge (u, v) carries traffic.
+// It is symmetric and stable for the whole run.
+func (p *Plan) LinkAlive(u, v topology.NodeID) bool {
+	if p.spec.LinkFail <= 0 {
+		return true
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return p.uniform(streamLink, uint64(u), uint64(v)) >= p.spec.LinkFail
+}
+
+// Deliveries decides the fate of the next message on the directed edge
+// from → to: 0 (lost), 1 (delivered), or 2 (duplicated). Each call
+// advances the sender's sequence number, so repeated messages on one edge
+// fail independently yet reproducibly. An inactive message layer returns 1
+// without consuming any state.
+func (p *Plan) Deliveries(from, to topology.NodeID) int {
+	if !p.spec.MessageLevel() {
+		return 1
+	}
+	seq := p.msgSeq[from]
+	p.msgSeq[from] = seq + 1
+	r := p.uniform(streamMsg, uint64(from)<<32|uint64(uint32(to)), seq)
+	if r < p.spec.Drop {
+		return 0
+	}
+	if r < p.spec.Drop+p.spec.Dup {
+		return 2
+	}
+	return 1
+}
+
+// uniform hashes (seed, stream, a, b) to a float64 in [0, 1).
+func (p *Plan) uniform(stream, a, b uint64) float64 {
+	h := mix64(mix64(mix64(p.seed^stream)+a) + b)
+	return float64(h>>11) / (1 << 53)
+}
+
+// mix64 is the SplitMix64 finalizer — a full-avalanche 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"testing"
+
+	"sensoragg/internal/bitio"
+	"sensoragg/internal/faults"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/wire"
+)
+
+// floodHandler makes every node send one 1-bit message to every neighbour
+// each round — a worst-case chatter protocol for observing the boundary.
+func floodHandler(g *topology.Graph) RoundHandler {
+	return RoundHandlerFunc(func(n *Node, round int, inbox []GraphMsg) []GraphMsg {
+		if round > 0 {
+			return nil
+		}
+		var w bitio.Writer
+		w.WriteBit(1)
+		pl := wire.FromWriter(&w)
+		var out []GraphMsg
+		for _, nbr := range g.Adj[n.ID] {
+			out = append(out, GraphMsg{From: n.ID, To: nbr, Payload: pl})
+		}
+		return out
+	})
+}
+
+func lineNetwork(n int, seed uint64) *Network {
+	g := topology.Line(n)
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = uint64(i)
+	}
+	return New(g, values, uint64(n), WithSeed(seed))
+}
+
+// TestInactivePlanIsByteIdentical: attaching a plan with all rates zero
+// must leave the round engine bit-for-bit identical to no plan at all —
+// same rounds, same message counts, same per-node meters.
+func TestInactivePlanIsByteIdentical(t *testing.T) {
+	ref := lineNetwork(16, 3)
+	refRes := RunRounds(ref, floodHandler(ref.Graph), 4)
+
+	nw := lineNetwork(16, 3)
+	nw.Faults = faults.New(faults.Spec{Seed: 99}, nw.N(), nw.Root(), 3)
+	res := RunRounds(nw, floodHandler(nw.Graph), 4)
+
+	if res != refRes {
+		t.Fatalf("rounds result %+v != reference %+v", res, refRes)
+	}
+	for u := 0; u < nw.N(); u++ {
+		id := topology.NodeID(u)
+		if nw.Meter.SentBitsOf(id) != ref.Meter.SentBitsOf(id) ||
+			nw.Meter.RecvBitsOf(id) != ref.Meter.RecvBitsOf(id) ||
+			nw.Meter.MessagesOf(id) != ref.Meter.MessagesOf(id) {
+			t.Fatalf("node %d meter diverged under inactive plan", u)
+		}
+	}
+}
+
+// TestCrashedNodesAreSilentAndDeaf: with every non-root node crashed, only
+// the root steps, and its messages to crashed neighbours vanish uncharged.
+func TestCrashedNodesAreSilentAndDeaf(t *testing.T) {
+	nw := lineNetwork(4, 1)
+	nw.Faults = faults.New(faults.Spec{Crash: 1}, nw.N(), nw.Root(), 1)
+	res := RunRounds(nw, floodHandler(nw.Graph), 3)
+	if res.Messages != 0 {
+		t.Errorf("delivered %d messages into a crashed network", res.Messages)
+	}
+	if got := nw.Meter.TotalBits(); got != 0 {
+		t.Errorf("charged %d bits for undelivered traffic", got)
+	}
+}
+
+// TestDropLosesEverything: Drop=1 suppresses every delivery and charge.
+func TestDropLosesEverything(t *testing.T) {
+	nw := lineNetwork(8, 2)
+	nw.Faults = faults.New(faults.Spec{Drop: 1}, nw.N(), nw.Root(), 2)
+	res := RunRounds(nw, floodHandler(nw.Graph), 3)
+	if res.Messages != 0 || nw.Meter.TotalBits() != 0 {
+		t.Errorf("drop=1 delivered %d messages, charged %d bits", res.Messages, nw.Meter.TotalBits())
+	}
+}
+
+// TestDupDoublesDeliveries: Dup=1 delivers and charges every message twice.
+func TestDupDoublesDeliveries(t *testing.T) {
+	ref := lineNetwork(8, 2)
+	refRes := RunRounds(ref, floodHandler(ref.Graph), 3)
+
+	nw := lineNetwork(8, 2)
+	nw.Faults = faults.New(faults.Spec{Dup: 1}, nw.N(), nw.Root(), 2)
+	res := RunRounds(nw, floodHandler(nw.Graph), 3)
+	if res.Messages != 2*refRes.Messages {
+		t.Errorf("dup=1 delivered %d messages, want %d", res.Messages, 2*refRes.Messages)
+	}
+	if nw.Meter.TotalBits() != 2*ref.Meter.TotalBits() {
+		t.Errorf("dup=1 charged %d bits, want %d", nw.Meter.TotalBits(), 2*ref.Meter.TotalBits())
+	}
+}
+
+// TestRadioRoundsRespectCrashes: in the radio model a crashed node neither
+// transmits nor hears, and hearers behind dead links hear nothing.
+func TestRadioRoundsRespectCrashes(t *testing.T) {
+	g := topology.Complete(6)
+	values := make([]uint64, 6)
+	nw := New(g, values, 8, WithSeed(5))
+	nw.Faults = faults.New(faults.Spec{Crash: 1}, nw.N(), nw.Root(), 5)
+
+	heardBy := make([]int, 6)
+	handler := RadioHandlerFunc(func(n *Node, round int, heard []RadioMsg) (wire.Payload, bool) {
+		heardBy[n.ID] += len(heard)
+		if round > 0 {
+			return wire.Payload{}, false
+		}
+		var w bitio.Writer
+		w.WriteBit(1)
+		return wire.FromWriter(&w), true
+	})
+	res := RunRadioRounds(nw, handler, 3)
+	// Only the root (node 0) survives: it transmits once, nobody hears.
+	if res.Messages != 1 {
+		t.Errorf("transmissions = %d, want 1 (root only)", res.Messages)
+	}
+	for u := 1; u < 6; u++ {
+		if heardBy[u] != 0 {
+			t.Errorf("crashed node %d heard %d transmissions", u, heardBy[u])
+		}
+	}
+	if nw.Meter.RecvBitsOf(0) != 0 {
+		t.Error("root received bits from crashed transmitters")
+	}
+}

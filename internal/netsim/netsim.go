@@ -16,6 +16,7 @@ import (
 	"math/rand/v2"
 
 	"sensoragg/internal/bitio"
+	"sensoragg/internal/faults"
 	"sensoragg/internal/topology"
 )
 
@@ -61,6 +62,15 @@ type Network struct {
 	Tree  *topology.Tree
 	Nodes []*Node
 	Meter *Meter
+
+	// Faults optionally attaches a fault plan to this network's run: the
+	// round engines (RunRounds, RunRadioRounds) and the spantree fast
+	// engine consult it at every delivery. nil — and any inactive plan —
+	// means a reliable network, byte-identical to the pre-fault simulator.
+	// A plan carries single-run state (message sequence counters), so
+	// attach a fresh plan to every forked network instead of sharing one;
+	// Fork deliberately leaves the fork's plan nil.
+	Faults *faults.Plan
 
 	// MaxX is the known upper bound X on item values (§2.1 assumes X is
 	// known and log X = O(log N)).

@@ -40,6 +40,12 @@ func (f RadioHandlerFunc) Step(n *Node, round int, heard []RadioMsg) (wire.Paylo
 // charging each transmission once to the sender and once to every hearer.
 // It stops early when a round after the first is silent. Returns rounds
 // executed and transmissions made.
+//
+// An active fault plan (nw.Faults) is consulted at this boundary: crashed
+// nodes neither step, transmit, nor hear; a live transmitter still pays its
+// transmission once (the radio does not know who is listening), while each
+// hearer is subject to the plan's link failures and per-message drop/dup —
+// only copies actually heard are charged on the receive side.
 func RunRadioRounds(nw *Network, handler RadioHandler, rounds int) RoundsResult {
 	n := nw.N()
 	heard := make([][]RadioMsg, n)
@@ -48,10 +54,18 @@ func RunRadioRounds(nw *Network, handler RadioHandler, rounds int) RoundsResult 
 	var transmissions int64
 	executed := 0
 
+	plan := nw.Faults
+	faulty := plan != nil && plan.Active()
+
 	for round := 0; round < rounds; round++ {
 		executed = round + 1
 		roundTx := int64(0)
 		runParallel(n, workersFor(n), func(i int) {
+			if faulty && plan.Crashed(topology.NodeID(i)) {
+				heard[i] = heard[i][:0]
+				active[i] = false
+				return
+			}
 			pl, ok := handler.Step(nw.Nodes[i], round, heard[i])
 			heard[i] = heard[i][:0]
 			active[i] = ok
@@ -70,8 +84,17 @@ func RunRadioRounds(nw *Network, handler RadioHandler, rounds int) RoundsResult 
 			nw.Meter.ChargeTx(topology.NodeID(i), bits)
 			// Every neighbour hears it.
 			for _, nbr := range nw.Graph.Adj[i] {
-				nw.Meter.ChargeRx(nbr, bits)
-				heard[nbr] = append(heard[nbr], msg)
+				copies := 1
+				if faulty {
+					if plan.Crashed(nbr) || !plan.LinkAlive(topology.NodeID(i), nbr) {
+						continue
+					}
+					copies = plan.Deliveries(topology.NodeID(i), nbr)
+				}
+				for c := 0; c < copies; c++ {
+					nw.Meter.ChargeRx(nbr, bits)
+					heard[nbr] = append(heard[nbr], msg)
+				}
 			}
 		}
 		transmissions += roundTx

@@ -49,12 +49,23 @@ type RoundsResult struct {
 // Node steps within a round execute in parallel across a worker pool; the
 // engine is nevertheless deterministic because each node only uses its own
 // RNG and delivery order within an inbox is sorted by sender.
+//
+// When an active fault plan is attached (nw.Faults), it is consulted at
+// this boundary: crashed nodes neither step nor hear, messages over dead
+// links or to crashed nodes vanish, and surviving deliveries pass the
+// plan's per-message drop/dup decision. Only delivered copies are charged
+// (a lost message never made it onto the air as far as the meter is
+// concerned; a duplicate is a retransmission both endpoints pay for
+// again) — the convention the spantree fault injection already used.
 func RunRounds(nw *Network, handler RoundHandler, rounds int) RoundsResult {
 	n := nw.N()
 	inboxes := make([][]GraphMsg, n)
 	outboxes := make([][]GraphMsg, n)
 	var sent int64
 	executed := 0
+
+	plan := nw.Faults
+	faulty := plan != nil && plan.Active()
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -67,6 +78,11 @@ func RunRounds(nw *Network, handler RoundHandler, rounds int) RoundsResult {
 	for round := 0; round < rounds; round++ {
 		executed = round + 1
 		runParallel(n, workers, func(i int) {
+			if faulty && plan.Crashed(topology.NodeID(i)) {
+				outboxes[i] = nil
+				inboxes[i] = inboxes[i][:0]
+				return
+			}
 			outboxes[i] = handler.Step(nw.Nodes[i], round, inboxes[i])
 			inboxes[i] = inboxes[i][:0]
 		})
@@ -80,9 +96,19 @@ func RunRounds(nw *Network, handler RoundHandler, rounds int) RoundsResult {
 				if !adjacent(nw.Graph, msg.From, msg.To) {
 					panic(fmt.Sprintf("netsim: node %d sent to non-neighbour %d", msg.From, msg.To))
 				}
-				nw.Meter.Charge(msg.From, msg.To, msg.Payload.Bits())
-				inboxes[msg.To] = append(inboxes[msg.To], msg)
-				roundMsgs++
+				copies := 1
+				if faulty {
+					if plan.Crashed(msg.To) || !plan.LinkAlive(msg.From, msg.To) {
+						copies = 0
+					} else {
+						copies = plan.Deliveries(msg.From, msg.To)
+					}
+				}
+				for c := 0; c < copies; c++ {
+					nw.Meter.Charge(msg.From, msg.To, msg.Payload.Bits())
+					inboxes[msg.To] = append(inboxes[msg.To], msg)
+					roundMsgs++
+				}
 			}
 			outboxes[i] = nil
 		}

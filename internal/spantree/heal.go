@@ -1,0 +1,313 @@
+package spantree
+
+import (
+	"fmt"
+	"sort"
+
+	"sensoragg/internal/bitio"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/topology"
+)
+
+// excludedParent marks a node that is not part of a TreeView (crashed, or a
+// survivor the repair could not reconnect). The root's parent stays -1, as
+// in topology.Tree.
+const excludedParent topology.NodeID = -2
+
+// TreeView is the tree structure a tree engine executes over. The full
+// view of a spanning tree covers every node; a healed view covers only the
+// surviving nodes that are (re)connected to the root, with crashed and
+// unreachable nodes excluded.
+type TreeView struct {
+	Root topology.NodeID
+	// Parent is -1 for the root and excludedParent (-2) for nodes outside
+	// the view.
+	Parent []topology.NodeID
+	// Children lists each node's children in ascending ID order.
+	Children [][]topology.NodeID
+	// Order lists the included nodes in BFS order from the root; reversed,
+	// it is a valid convergecast schedule.
+	Order []topology.NodeID
+}
+
+// FullView wraps an intact spanning tree as a view without copying: the
+// tree is immutable, so the slices are shared.
+func FullView(t *topology.Tree) *TreeView {
+	return &TreeView{Root: t.Root, Parent: t.Parent, Children: t.Children, Order: t.Order}
+}
+
+// Includes reports whether node u participates in the view.
+func (v *TreeView) Includes(u topology.NodeID) bool { return v.Parent[u] != excludedParent }
+
+// N returns the number of included nodes.
+func (v *TreeView) N() int { return len(v.Order) }
+
+// HealResult reports one self-healing run.
+type HealResult struct {
+	// View is the repaired tree over the surviving, reconnected nodes.
+	View *TreeView
+	// Crashed is the number of crashed nodes.
+	Crashed int
+	// OrphanRoots is the number of survivors whose parent heartbeat went
+	// missing (parent crashed or the link to it failed).
+	OrphanRoots int
+	// Reattached is the number of detached fragments grafted back onto
+	// the tree (one per orphan root when repair fully succeeds).
+	Reattached int
+	// Unreachable is the number of survivors the repair could not
+	// reconnect — nodes cut off from the root in the surviving graph.
+	Unreachable int
+	// Waves is the number of reattachment waves the repair ran.
+	Waves int
+	// Repair is the communication the whole repair charged to the meter.
+	Repair netsim.Delta
+}
+
+// Heal repairs the network's spanning tree after structural faults: every
+// surviving node detects whether its tree parent is still reachable
+// (heartbeat), and orphaned subtrees reattach to live graph neighbours,
+// wave by wave, until every survivor connected to the root in the
+// surviving graph hangs off the repaired tree. The repair traffic is
+// charged to the network meter like any other protocol traffic, so the
+// cost of fault tolerance shows up in the paper's own complexity measure.
+//
+// The protocol, all over surviving nodes and live links. The surviving
+// tree edges (both endpoints alive, link alive) partition the survivors
+// into *fragments* — intact subtrees, each rooted either at the global
+// root or at an orphan root whose parent heartbeat went missing:
+//
+//  1. Heartbeat: each node sends 1 bit to each tree child. A child that
+//     hears nothing (parent crashed, or the link died) is an orphan root.
+//  2. Detached flood: each orphan root floods a 1-bit marker down its
+//     fragment, so every member knows it is cut off from the root.
+//  3. HELP: every detached node sends 1 bit to each live graph neighbour.
+//  4. Waves: every node newly connected to the root answers pending HELP
+//     requests with AVAIL carrying its depth (Elias-gamma coded). Each
+//     wave, a detached fragment with offers grafts once, at the member
+//     with the shallowest offerer (1-bit JOIN; ties to the lowest node
+//     ID): the fragment re-roots at the graft point — parent pointers
+//     between it and the old orphan root flip — so reattachment works no
+//     matter which side of the fragment touches the attached region.
+//
+// Repair control traffic is delivered reliably (an ARQ link layer is
+// assumed for the tiny repair frames, and every retransmitted bit would be
+// charged the same way); the plan's message-level drop/dup faults apply to
+// protocol payload traffic, not to the repair handshake.
+func Heal(nw *netsim.Network) (*HealResult, error) {
+	plan := nw.Faults
+	if plan == nil {
+		return nil, fmt.Errorf("spantree: Heal requires a fault plan on the network")
+	}
+	tree, g := nw.Tree, nw.Graph
+	n := nw.N()
+	root := tree.Root
+	if plan.Crashed(root) {
+		return nil, fmt.Errorf("spantree: root %d crashed — no querier to heal toward", root)
+	}
+	before := nw.Meter.Snapshot()
+	alive := func(u topology.NodeID) bool { return !plan.Crashed(u) }
+
+	// Phase 1 — heartbeats parent → child over surviving tree links.
+	heard := make([]bool, n)
+	for _, u := range tree.Order {
+		if !alive(u) {
+			continue
+		}
+		for _, c := range tree.Children[u] {
+			if alive(c) && plan.LinkAlive(u, c) {
+				nw.Meter.Charge(u, c, 1)
+				heard[c] = true
+			}
+		}
+	}
+
+	// keptAdj is the undirected adjacency of surviving tree edges: the
+	// forest whose components are the fragments.
+	keptAdj := make([][]topology.NodeID, n)
+	for c := 0; c < n; c++ {
+		if heard[c] {
+			p := tree.Parent[c]
+			keptAdj[p] = append(keptAdj[p], topology.NodeID(c))
+			keptAdj[c] = append(keptAdj[c], p)
+		}
+	}
+
+	parent := make([]topology.NodeID, n)
+	depth := make([]int, n)
+	attached := make([]bool, n)
+	fragment := make([]topology.NodeID, n) // fragment id = the fragment's orphan root
+	for i := range parent {
+		parent[i] = excludedParent
+		depth[i] = -1
+		fragment[i] = -1
+	}
+
+	// attachFragment re-roots the fragment containing graft at graft,
+	// hanging it under par at the given depth: a BFS over kept edges flips
+	// the parent pointers between the graft point and the fragment's old
+	// root. It returns the newly attached nodes in BFS order.
+	attachFragment := func(graft, par topology.NodeID, d int) []topology.NodeID {
+		parent[graft] = par
+		depth[graft] = d
+		attached[graft] = true
+		sub := []topology.NodeID{graft}
+		for qi := 0; qi < len(sub); qi++ {
+			u := sub[qi]
+			for _, v := range keptAdj[u] {
+				if !attached[v] {
+					parent[v] = u
+					depth[v] = depth[u] + 1
+					attached[v] = true
+					sub = append(sub, v)
+				}
+			}
+		}
+		return sub
+	}
+
+	// The initially attached region: the root's fragment (no re-rooting
+	// happens there — the root is already its shallowest node).
+	wave := attachFragment(root, -1, 0)
+
+	// Phase 2 — each orphan root floods a detached marker down its
+	// fragment (1 bit per kept edge), so members know to call for help.
+	var orphanRoots []topology.NodeID
+	var detached []topology.NodeID
+	for u := 0; u < n; u++ {
+		uid := topology.NodeID(u)
+		if uid == root || !alive(uid) || heard[u] {
+			continue
+		}
+		orphanRoots = append(orphanRoots, uid)
+		frag := []topology.NodeID{uid}
+		fragment[uid] = uid
+		for qi := 0; qi < len(frag); qi++ {
+			v := frag[qi]
+			for _, w := range keptAdj[v] {
+				if fragment[w] == -1 && !attached[w] {
+					nw.Meter.Charge(v, w, 1)
+					fragment[w] = uid
+					frag = append(frag, w)
+				}
+			}
+		}
+		detached = append(detached, frag...)
+	}
+	sort.Slice(detached, func(i, j int) bool { return detached[i] < detached[j] })
+
+	// Phase 3 — every detached node sends HELP to its live neighbours.
+	requests := make([][]topology.NodeID, n)
+	for _, uid := range detached {
+		for _, nbr := range g.Adj[uid] {
+			if alive(nbr) && plan.LinkAlive(uid, nbr) {
+				nw.Meter.Charge(uid, nbr, 1)
+				requests[nbr] = append(requests[nbr], uid)
+			}
+		}
+	}
+
+	// Phase 4 — reattachment waves.
+	type offer struct{ graft, from topology.NodeID }
+	waves, reattached := 0, 0
+	if len(orphanRoots) > 0 {
+		for {
+			// AVAIL: nodes attached in the previous wave answer pending
+			// HELP requests from still-detached nodes.
+			best := make(map[topology.NodeID]offer) // fragment id → best graft pair
+			for _, u := range wave {
+				for _, x := range requests[u] {
+					if attached[x] {
+						continue
+					}
+					nw.Meter.Charge(u, x, 1+bitio.GammaWidth(uint64(depth[u])))
+					f := fragment[x]
+					b, ok := best[f]
+					if !ok || depth[u] < depth[b.from] ||
+						(depth[u] == depth[b.from] && (u < b.from || (u == b.from && x < b.graft))) {
+						best[f] = offer{graft: x, from: u}
+					}
+				}
+				requests[u] = nil
+			}
+			if len(best) == 0 {
+				break
+			}
+			waves++
+			frags := make([]topology.NodeID, 0, len(best))
+			for f := range best {
+				frags = append(frags, f)
+			}
+			sort.Slice(frags, func(i, j int) bool { return frags[i] < frags[j] })
+			// JOIN: each offered fragment grafts once, at the member with
+			// the shallowest offerer, re-rooting the fragment there.
+			wave = wave[:0]
+			for _, f := range frags {
+				b := best[f]
+				nw.Meter.Charge(b.graft, b.from, 1)
+				reattached++
+				wave = append(wave, attachFragment(b.graft, b.from, depth[b.from]+1)...)
+			}
+		}
+	}
+
+	unreachable := 0
+	for u := 0; u < n; u++ {
+		if alive(topology.NodeID(u)) && !attached[u] {
+			unreachable++
+		}
+	}
+	return &HealResult{
+		View:        viewFromParents(parent, root),
+		Crashed:     plan.CrashedCount(),
+		OrphanRoots: len(orphanRoots),
+		Reattached:  reattached,
+		Unreachable: unreachable,
+		Waves:       waves,
+		Repair:      nw.Meter.Since(before),
+	}, nil
+}
+
+// NewFastHealed returns the fast engine a faulty run should execute over:
+// when the network's fault plan carries structural faults it first runs
+// Heal and returns an engine over the repaired view (with the repair
+// result), otherwise a plain full-tree engine and a nil result. It is the
+// single policy point for "repair before tree queries" shared by the
+// query engine and the console.
+func NewFastHealed(nw *netsim.Network) (*FastEngine, *HealResult, error) {
+	if p := nw.Faults; p != nil && p.Spec().Structural() {
+		hr, err := Heal(nw)
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewFastView(nw, hr.View), hr, nil
+	}
+	return NewFast(nw), nil, nil
+}
+
+// viewFromParents assembles a TreeView from a parent array in which
+// excluded nodes carry excludedParent. Children are listed in ID order and
+// Order is BFS from the root.
+func viewFromParents(parent []topology.NodeID, root topology.NodeID) *TreeView {
+	n := len(parent)
+	v := &TreeView{
+		Root:     root,
+		Parent:   parent,
+		Children: make([][]topology.NodeID, n),
+	}
+	included := 0
+	for u := 0; u < n; u++ {
+		if parent[u] == excludedParent {
+			continue
+		}
+		included++
+		if topology.NodeID(u) != root {
+			v.Children[parent[u]] = append(v.Children[parent[u]], topology.NodeID(u))
+		}
+	}
+	v.Order = make([]topology.NodeID, 0, included)
+	v.Order = append(v.Order, root)
+	for qi := 0; qi < len(v.Order); qi++ {
+		v.Order = append(v.Order, v.Children[v.Order[qi]]...)
+	}
+	return v
+}

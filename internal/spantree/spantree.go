@@ -60,51 +60,50 @@ type Ops interface {
 	Name() string
 }
 
-// FaultPlan injects link-layer faults into the fast engine, modelling the
-// unreliable communication that motivates order- and duplicate-insensitive
-// synopses (Considine et al. [2]; Nath et al. [10]). A duplicated
-// convergecast message is merged twice at the parent; a dropped message
-// discards the child's entire subtree contribution.
-type FaultPlan struct {
-	// DupProb is the probability a convergecast message is delivered twice.
-	DupProb float64
-	// DropProb is the probability a convergecast message is lost.
-	DropProb float64
-}
-
-func (f FaultPlan) enabled() bool { return f.DupProb > 0 || f.DropProb > 0 }
-
-// FastEngine executes tree operations on a level-ordered schedule.
-// The zero FaultPlan means reliable links.
+// FastEngine executes tree operations on a level-ordered schedule over a
+// TreeView — by default the network's full spanning tree; after
+// self-healing (Heal), the repaired tree over the surviving nodes.
+//
+// When the network carries a fault plan with message-level faults
+// (netsim.Network.Faults), every convergecast edge passes the plan's
+// drop/dup decision: a duplicated partial is merged twice at the parent (a
+// retransmission both endpoints pay for again), a dropped partial
+// discards the child's entire subtree contribution uncharged — the
+// unreliable-link model that motivates the paper's §2.2 order- and
+// duplicate-insensitive synopses (Considine et al. [2]; Nath et al. [10]).
 type FastEngine struct {
-	nw     *netsim.Network
-	faults FaultPlan
+	nw   *netsim.Network
+	view *TreeView
 }
 
 var _ Ops = (*FastEngine)(nil)
 
-// NewFast returns a fast engine over nw with reliable links.
-func NewFast(nw *netsim.Network) *FastEngine { return &FastEngine{nw: nw} }
+// NewFast returns a fast engine over nw's full spanning tree.
+func NewFast(nw *netsim.Network) *FastEngine {
+	return &FastEngine{nw: nw, view: FullView(nw.Tree)}
+}
 
-// NewFastFaulty returns a fast engine that injects faults per plan, using
-// the nodes' own random streams for fault decisions.
-func NewFastFaulty(nw *netsim.Network, plan FaultPlan) *FastEngine {
-	return &FastEngine{nw: nw, faults: plan}
+// NewFastView returns a fast engine executing over an explicit tree view —
+// typically the repaired tree a Heal run produced.
+func NewFastView(nw *netsim.Network, view *TreeView) *FastEngine {
+	return &FastEngine{nw: nw, view: view}
 }
 
 // Network returns the underlying network.
 func (e *FastEngine) Network() *netsim.Network { return e.nw }
+
+// View returns the tree view the engine executes over.
+func (e *FastEngine) View() *TreeView { return e.view }
 
 // Name implements Ops.
 func (e *FastEngine) Name() string { return "fast" }
 
 // Broadcast implements Ops.
 func (e *FastEngine) Broadcast(p wire.Payload, apply Applier) {
-	t := e.nw.Tree.Order
-	tree := e.nw.Tree
-	for _, u := range t {
-		if u != tree.Root {
-			e.nw.Meter.Charge(tree.Parent[u], u, p.Bits())
+	v := e.view
+	for _, u := range v.Order {
+		if u != v.Root {
+			e.nw.Meter.Charge(v.Parent[u], u, p.Bits())
 		}
 		if apply != nil {
 			apply(e.nw.Nodes[u], p)
@@ -114,16 +113,20 @@ func (e *FastEngine) Broadcast(p wire.Payload, apply Applier) {
 
 // Convergecast implements Ops.
 func (e *FastEngine) Convergecast(c Combiner) (any, error) {
-	tree := e.nw.Tree
+	v := e.view
+	plan := e.nw.Faults
 	partials := make([]any, e.nw.N())
-	order := tree.Order
+	order := v.Order
 	for i := len(order) - 1; i >= 0; i-- {
 		u := order[i]
 		acc := c.Local(e.nw.Nodes[u])
-		for _, child := range tree.Children[u] {
+		for _, child := range v.Children[u] {
 			pl := c.Encode(partials[child])
 			partials[child] = nil
-			deliveries := e.deliveries(e.nw.Nodes[u])
+			deliveries := 1
+			if plan != nil {
+				deliveries = plan.Deliveries(child, u)
+			}
 			for d := 0; d < deliveries; d++ {
 				e.nw.Meter.Charge(child, u, pl.Bits())
 				dec, err := c.Decode(pl)
@@ -135,21 +138,5 @@ func (e *FastEngine) Convergecast(c Combiner) (any, error) {
 		}
 		partials[u] = acc
 	}
-	return partials[tree.Root], nil
-}
-
-// deliveries returns how many times the next convergecast message arrives
-// (1 normally; 0 dropped; 2 duplicated), using the receiving node's RNG.
-func (e *FastEngine) deliveries(receiver *netsim.Node) int {
-	if !e.faults.enabled() {
-		return 1
-	}
-	r := receiver.RNG().Float64()
-	if r < e.faults.DropProb {
-		return 0
-	}
-	if r < e.faults.DropProb+e.faults.DupProb {
-		return 2
-	}
-	return 1
+	return partials[v.Root], nil
 }

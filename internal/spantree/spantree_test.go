@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sensoragg/internal/bitio"
+	"sensoragg/internal/faults"
 	"sensoragg/internal/netsim"
 	"sensoragg/internal/topology"
 	"sensoragg/internal/wire"
@@ -88,11 +89,12 @@ func TestBroadcastChargesEveryEdge(t *testing.T) {
 }
 
 func TestFaultyDuplication(t *testing.T) {
-	// With DupProb=1 every convergecast message is merged twice: a SUM-like
+	// With Dup=1 every convergecast message is merged twice: a SUM-like
 	// combiner doubles per hop, while an idempotent MAX would not care.
 	g := topology.Line(3) // 0-1-2, root 0
 	nw := testNetwork(t, g)
-	ops := NewFastFaulty(nw, FaultPlan{DupProb: 1})
+	nw.Faults = faults.New(faults.Spec{Dup: 1}, nw.N(), nw.Root(), 4)
+	ops := NewFast(nw)
 	out, err := ops.Convergecast(idCombiner{})
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +109,8 @@ func TestFaultyDuplication(t *testing.T) {
 func TestFaultyDrop(t *testing.T) {
 	g := topology.Star(5)
 	nw := testNetwork(t, g)
-	ops := NewFastFaulty(nw, FaultPlan{DropProb: 1})
+	nw.Faults = faults.New(faults.Spec{Drop: 1}, nw.N(), nw.Root(), 4)
+	ops := NewFast(nw)
 	out, err := ops.Convergecast(idCombiner{})
 	if err != nil {
 		t.Fatal(err)

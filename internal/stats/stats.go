@@ -9,6 +9,16 @@ import (
 	"sort"
 )
 
+// RelErr is the relative error |got−want|/|want|, or |got−want| when the
+// reference is 0 — the accuracy metric shared by the experiment tables
+// and the query engine's batch collector.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
 // Mean returns the arithmetic mean (0 for empty input).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
