@@ -43,6 +43,7 @@ func gridNet(n int, wl workload.Kind, seed uint64, opts ...agg.Option) *agg.Net 
 
 func reportBits(b *testing.B, nw *netsim.Network, before netsim.Snapshot) {
 	b.Helper()
+	b.ReportAllocs()
 	d := nw.Meter.Since(before)
 	b.ReportMetric(float64(d.MaxPerNode)/float64(b.N), "bits/node")
 	b.ReportMetric(float64(d.TotalBits)/float64(b.N)/1000, "Kb-total")
@@ -453,6 +454,7 @@ func BenchmarkEngineMedian8(b *testing.B) {
 		{"parallel", runtime.GOMAXPROCS(0)},
 	} {
 		b.Run(fmt.Sprintf("%s/workers=%d", bc.name, bc.workers), func(b *testing.B) {
+			b.ReportAllocs()
 			eng := engine.New(engine.Options{Workers: bc.workers})
 			for _, j := range jobs {
 				if _, err := eng.Session().Template(j.Spec); err != nil {

@@ -17,35 +17,17 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"sensoragg/internal/benchfmt"
 )
 
-// Entry is one benchmark result line.
-type Entry struct {
-	// Name is the full benchmark name including sub-benchmark path and the
-	// -cpu suffix (e.g. "BenchmarkEngineMedian8/parallel/workers=8-8").
-	Name       string `json:"name"`
-	Iterations int64  `json:"iterations"`
-	NsPerOp    float64
-	// Metrics holds every reported metric by unit, ns/op included.
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// MarshalJSON flattens NsPerOp next to the metrics map.
-func (e Entry) MarshalJSON() ([]byte, error) {
-	type alias struct {
-		Name       string             `json:"name"`
-		Iterations int64              `json:"iterations"`
-		NsPerOp    float64            `json:"ns_per_op"`
-		Metrics    map[string]float64 `json:"metrics,omitempty"`
-	}
-	return json.Marshal(alias(e))
-}
-
-// Output is the artifact schema.
-type Output struct {
-	Meta    map[string]string `json:"meta,omitempty"`
-	Entries []Entry           `json:"benchmarks"`
-}
+// Entry and Output alias the schema shared with cmd/benchdiff
+// (internal/benchfmt), the single source of truth for the artifact
+// format.
+type (
+	Entry  = benchfmt.Entry
+	Output = benchfmt.Artifact
+)
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
@@ -124,8 +106,11 @@ func parseBench(line string) (Entry, error) {
 		}
 		unit := rest[i+1]
 		e.Metrics[unit] = v
-		if unit == "ns/op" {
+		switch unit {
+		case "ns/op":
 			e.NsPerOp = v
+		case "allocs/op":
+			e.AllocsPerOp = v
 		}
 	}
 	return e, nil

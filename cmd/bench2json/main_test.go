@@ -12,7 +12,7 @@ pkg: sensoragg
 cpu: Intel(R) Xeon(R)
 BenchmarkEngineMedian8/serial/workers=1-8         	       1	 107737853 ns/op	      1831 bits/node	         8.000 queries/op
 BenchmarkEngineMedian8/parallel/workers=8-8       	       1	  30000000 ns/op	      1831 bits/node	         8.000 queries/op
-BenchmarkEngines/fast       	       2	   2565371 ns/op
+BenchmarkEngines/fast       	       2	   2565371 ns/op	    171 B/op	       1 allocs/op
 PASS
 ok  	sensoragg	0.307s
 `
@@ -38,6 +38,9 @@ ok  	sensoragg	0.307s
 	}
 	if out.Entries[2].Metrics["ns/op"] != 2565371 {
 		t.Errorf("plain entry ns/op = %g", out.Entries[2].Metrics["ns/op"])
+	}
+	if out.Entries[2].AllocsPerOp != 1 {
+		t.Errorf("allocs/op = %g, want 1", out.Entries[2].AllocsPerOp)
 	}
 }
 

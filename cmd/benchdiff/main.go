@@ -1,0 +1,181 @@
+// Command benchdiff compares a bench2json artifact against a committed
+// baseline and fails (exit 1) on performance regressions, so CI can gate
+// merges on the benchmark trajectory instead of only collecting it.
+//
+//	go test -bench=. -benchtime=20x -benchmem -run='^$' . | bench2json -o bench.json
+//	benchdiff -baseline BENCH_BASELINE.json -current bench.json
+//
+// Two metrics gate:
+//
+//   - ns/op: fails when current > baseline * (1 + -ns-tol), default 15%.
+//     Wall-clock comparisons across different machines are noise, so the
+//     ns/op gate automatically skips when the two artifacts record
+//     different "cpu:" metadata (override with -force-ns).
+//   - allocs/op: fails on any increase beyond -alloc-tol (default 0, with
+//     a small absolute slack of -alloc-slack to absorb one-time lazy
+//     initialization amortized over short runs). Allocation counts are
+//     hardware-independent, so this gate always applies.
+//
+// Benchmarks present only in the current artifact are reported as new;
+// benchmarks missing from the current artifact fail with -require-all.
+// Use -update to rewrite the baseline file from the current artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sensoragg/internal/benchfmt"
+)
+
+// Entry and Artifact alias the schema shared with cmd/bench2json
+// (internal/benchfmt).
+type (
+	Entry    = benchfmt.Entry
+	Artifact = benchfmt.Artifact
+)
+
+// Options configures a comparison.
+type Options struct {
+	NsTol      float64
+	AllocTol   float64
+	AllocSlack float64
+	ForceNs    bool
+	RequireAll bool
+}
+
+// Finding is one comparison outcome.
+type Finding struct {
+	Name       string
+	Regression bool
+	Detail     string
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline artifact (bench2json output)")
+	currentPath := flag.String("current", "", "current artifact to compare (bench2json output)")
+	nsTol := flag.Float64("ns-tol", 0.15, "allowed fractional ns/op regression")
+	allocTol := flag.Float64("alloc-tol", 0, "allowed fractional allocs/op regression")
+	allocSlack := flag.Float64("alloc-slack", 2, "allowed absolute allocs/op slack")
+	forceNs := flag.Bool("force-ns", false, "compare ns/op even across different CPUs")
+	requireAll := flag.Bool("require-all", false, "fail when a baseline benchmark is missing from current")
+	update := flag.Bool("update", false, "rewrite the baseline from the current artifact and exit")
+	flag.Parse()
+
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	cur, err := readArtifact(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if *update {
+		if err := writeArtifact(*baselinePath, cur); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchdiff: baseline %s updated (%d benchmarks)\n", *baselinePath, len(cur.Entries))
+		return
+	}
+	base, err := readArtifact(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings, nsSkipped := Compare(base, cur, Options{
+		NsTol:      *nsTol,
+		AllocTol:   *allocTol,
+		AllocSlack: *allocSlack,
+		ForceNs:    *forceNs,
+		RequireAll: *requireAll,
+	})
+	if nsSkipped {
+		fmt.Printf("benchdiff: cpu differs (%q vs %q) — ns/op gate skipped, allocs/op gate active\n",
+			base.Meta["cpu"], cur.Meta["cpu"])
+	}
+	regressions := 0
+	for _, f := range findings {
+		tag := "ok"
+		if f.Regression {
+			tag = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-12s %s: %s\n", tag, f.Name, f.Detail)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) against %s\n", regressions, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no regressions across %d benchmark(s)\n", len(findings))
+}
+
+// Compare evaluates current against baseline under opts. nsSkipped reports
+// that the wall-clock gate was disabled because the artifacts were
+// produced on different CPUs.
+func Compare(base, cur *Artifact, opts Options) (findings []Finding, nsSkipped bool) {
+	nsGate := opts.ForceNs || base.Meta["cpu"] == cur.Meta["cpu"]
+	nsSkipped = !nsGate
+
+	curByName := make(map[string]Entry, len(cur.Entries))
+	for _, e := range cur.Entries {
+		curByName[e.Name] = e
+	}
+	seen := make(map[string]bool, len(base.Entries))
+	for _, b := range base.Entries {
+		seen[b.Name] = true
+		c, ok := curByName[b.Name]
+		if !ok {
+			f := Finding{Name: b.Name, Detail: "missing from current run"}
+			f.Regression = opts.RequireAll
+			findings = append(findings, f)
+			continue
+		}
+		var problems []string
+		if nsGate && b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+opts.NsTol) {
+			problems = append(problems, fmt.Sprintf("ns/op %.0f -> %.0f (%+.1f%%, tol %.0f%%)",
+				b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), 100*opts.NsTol))
+		}
+		if limit := b.AllocsPerOp*(1+opts.AllocTol) + opts.AllocSlack; c.AllocsPerOp > limit {
+			problems = append(problems, fmt.Sprintf("allocs/op %.1f -> %.1f (limit %.1f)",
+				b.AllocsPerOp, c.AllocsPerOp, limit))
+		}
+		if len(problems) > 0 {
+			findings = append(findings, Finding{Name: b.Name, Regression: true, Detail: strings.Join(problems, "; ")})
+			continue
+		}
+		findings = append(findings, Finding{Name: b.Name,
+			Detail: fmt.Sprintf("ns/op %.0f -> %.0f, allocs/op %.1f -> %.1f", b.NsPerOp, c.NsPerOp, b.AllocsPerOp, c.AllocsPerOp)})
+	}
+	for _, c := range cur.Entries {
+		if !seen[c.Name] {
+			findings = append(findings, Finding{Name: c.Name, Detail: "new benchmark (no baseline)"})
+		}
+	}
+	return findings, nsSkipped
+}
+
+func readArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &a, nil
+}
+
+func writeArtifact(path string, a *Artifact) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

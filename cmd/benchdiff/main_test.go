@@ -1,0 +1,86 @@
+package main
+
+import "testing"
+
+func artifact(cpu string, entries ...Entry) *Artifact {
+	return &Artifact{Meta: map[string]string{"cpu": cpu}, Entries: entries}
+}
+
+func entry(name string, ns, allocs float64) Entry {
+	return Entry{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func count(findings []Finding) (regressions int) {
+	for _, f := range findings {
+		if f.Regression {
+			regressions++
+		}
+	}
+	return
+}
+
+func TestCompareDetectsNsRegression(t *testing.T) {
+	base := artifact("x", entry("BenchmarkA-1", 1000, 10))
+	cur := artifact("x", entry("BenchmarkA-1", 1200, 10))
+	findings, skipped := Compare(base, cur, Options{NsTol: 0.15, AllocSlack: 2})
+	if skipped {
+		t.Fatal("ns gate skipped on identical cpu")
+	}
+	if count(findings) != 1 {
+		t.Fatalf("want 1 regression, got %+v", findings)
+	}
+}
+
+func TestCompareWithinToleranceOK(t *testing.T) {
+	base := artifact("x", entry("BenchmarkA-1", 1000, 10))
+	cur := artifact("x", entry("BenchmarkA-1", 1100, 11))
+	findings, _ := Compare(base, cur, Options{NsTol: 0.15, AllocSlack: 2})
+	if count(findings) != 0 {
+		t.Fatalf("want no regressions, got %+v", findings)
+	}
+}
+
+func TestCompareDetectsAllocRegression(t *testing.T) {
+	base := artifact("x", entry("BenchmarkA-1", 1000, 10))
+	cur := artifact("x", entry("BenchmarkA-1", 1000, 13))
+	findings, _ := Compare(base, cur, Options{NsTol: 0.15, AllocSlack: 2})
+	if count(findings) != 1 {
+		t.Fatalf("want 1 regression, got %+v", findings)
+	}
+}
+
+func TestCompareSkipsNsAcrossCPUs(t *testing.T) {
+	base := artifact("cpu-a", entry("BenchmarkA-1", 1000, 10))
+	cur := artifact("cpu-b", entry("BenchmarkA-1", 5000, 10))
+	findings, skipped := Compare(base, cur, Options{NsTol: 0.15, AllocSlack: 2})
+	if !skipped {
+		t.Fatal("ns gate not skipped across different cpus")
+	}
+	if count(findings) != 0 {
+		t.Fatalf("want no regressions (alloc unchanged), got %+v", findings)
+	}
+	// Allocation regressions still gate across CPUs.
+	cur2 := artifact("cpu-b", entry("BenchmarkA-1", 5000, 20))
+	findings, _ = Compare(base, cur2, Options{NsTol: 0.15, AllocSlack: 2})
+	if count(findings) != 1 {
+		t.Fatalf("want alloc regression across cpus, got %+v", findings)
+	}
+	// -force-ns restores the wall-clock gate.
+	findings, skipped = Compare(base, cur, Options{NsTol: 0.15, AllocSlack: 2, ForceNs: true})
+	if skipped || count(findings) != 1 {
+		t.Fatalf("forced ns gate: skipped=%v findings=%+v", skipped, findings)
+	}
+}
+
+func TestCompareMissingAndNew(t *testing.T) {
+	base := artifact("x", entry("BenchmarkGone-1", 1000, 10))
+	cur := artifact("x", entry("BenchmarkNew-1", 1000, 10))
+	findings, _ := Compare(base, cur, Options{NsTol: 0.15, AllocSlack: 2})
+	if count(findings) != 0 {
+		t.Fatalf("missing benchmark must not fail by default: %+v", findings)
+	}
+	findings, _ = Compare(base, cur, Options{NsTol: 0.15, AllocSlack: 2, RequireAll: true})
+	if count(findings) != 1 {
+		t.Fatalf("-require-all must fail on missing benchmark: %+v", findings)
+	}
+}

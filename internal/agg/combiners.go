@@ -38,9 +38,10 @@ type minMaxCombiner struct {
 	width  int
 }
 
-var _ spantree.Combiner = minMaxCombiner{}
+var _ spantree.AppendCombiner = minMaxCombiner{}
+var _ spantree.ScalarCombiner = minMaxCombiner{}
 
-func (c minMaxCombiner) Local(n *netsim.Node) any {
+func (c minMaxCombiner) local(n *netsim.Node) minMaxPartial {
 	var p minMaxPartial
 	for _, it := range n.Items {
 		if !it.Active {
@@ -61,6 +62,71 @@ func (c minMaxCombiner) Local(n *netsim.Node) any {
 	return p
 }
 
+func (c minMaxCombiner) Local(n *netsim.Node) any { return c.local(n) }
+
+// The scalar packing uses (lo, hi) with the empty partial as (1, 0): a
+// non-empty partial always has lo <= hi, so x > y is a safe sentinel.
+
+func (c minMaxCombiner) LocalScalar(n *netsim.Node) (uint64, uint64) {
+	p := c.local(n)
+	if !p.has {
+		return 1, 0
+	}
+	return p.lo, p.hi
+}
+
+func (c minMaxCombiner) MergeScalar(ax, ay, bx, by uint64) (uint64, uint64) {
+	if bx > by {
+		return ax, ay
+	}
+	if ax > ay {
+		return bx, by
+	}
+	if bx < ax {
+		ax = bx
+	}
+	if by > ay {
+		ay = by
+	}
+	return ax, ay
+}
+
+func (c minMaxCombiner) AppendScalar(w *bitio.Writer, x, y uint64) {
+	has := x <= y
+	w.WriteBool(has)
+	if has {
+		w.WriteBits(x, c.width)
+		w.WriteBits(y, c.width)
+	}
+}
+
+func (c minMaxCombiner) DecodeScalar(pl wire.Payload) (uint64, uint64, error) {
+	r := pl.Reader()
+	has, err := r.ReadBool()
+	if err != nil {
+		return 0, 0, fmt.Errorf("agg: minmax presence: %w", err)
+	}
+	if !has {
+		return 1, 0, nil
+	}
+	lo, err := r.ReadBits(c.width)
+	if err != nil {
+		return 0, 0, fmt.Errorf("agg: minmax lo: %w", err)
+	}
+	hi, err := r.ReadBits(c.width)
+	if err != nil {
+		return 0, 0, fmt.Errorf("agg: minmax hi: %w", err)
+	}
+	return lo, hi, nil
+}
+
+func (c minMaxCombiner) ScalarResult(x, y uint64) any {
+	if x > y {
+		return minMaxPartial{}
+	}
+	return minMaxPartial{has: true, lo: x, hi: y}
+}
+
 func (c minMaxCombiner) Merge(acc, child any) any {
 	a, b := acc.(minMaxPartial), child.(minMaxPartial)
 	if !b.has {
@@ -78,14 +144,18 @@ func (c minMaxCombiner) Merge(acc, child any) any {
 	return a
 }
 
-func (c minMaxCombiner) Encode(p any) wire.Payload {
+func (c minMaxCombiner) AppendPartial(w *bitio.Writer, p any) {
 	mm := p.(minMaxPartial)
-	w := bitio.NewWriter(1 + 2*c.width)
 	w.WriteBool(mm.has)
 	if mm.has {
 		w.WriteBits(mm.lo, c.width)
 		w.WriteBits(mm.hi, c.width)
 	}
+}
+
+func (c minMaxCombiner) Encode(p any) wire.Payload {
+	w := bitio.NewWriter(1 + 2*c.width)
+	c.AppendPartial(w, p)
 	return wire.FromWriter(w)
 }
 
@@ -117,7 +187,36 @@ type countCombiner struct {
 	pred   wire.Pred
 }
 
-var _ spantree.Combiner = countCombiner{}
+var _ spantree.AppendCombiner = countCombiner{}
+var _ spantree.ScalarCombiner = countCombiner{}
+
+func (c countCombiner) LocalScalar(n *netsim.Node) (uint64, uint64) {
+	var count uint64
+	for _, it := range n.Items {
+		if it.Active && c.pred.Eval(domainValue(it, c.domain)) {
+			count++
+		}
+	}
+	return count, 0
+}
+
+func (c countCombiner) MergeScalar(ax, _, bx, _ uint64) (uint64, uint64) {
+	return ax + bx, 0
+}
+
+func (c countCombiner) AppendScalar(w *bitio.Writer, x, _ uint64) {
+	w.WriteGamma(x)
+}
+
+func (c countCombiner) DecodeScalar(pl wire.Payload) (uint64, uint64, error) {
+	v, err := pl.Reader().ReadGamma()
+	if err != nil {
+		return 0, 0, fmt.Errorf("agg: count: %w", err)
+	}
+	return v, 0, nil
+}
+
+func (c countCombiner) ScalarResult(x, _ uint64) any { return x }
 
 func (c countCombiner) Local(n *netsim.Node) any {
 	var count uint64
@@ -133,10 +232,13 @@ func (c countCombiner) Merge(acc, child any) any {
 	return acc.(uint64) + child.(uint64)
 }
 
+func (c countCombiner) AppendPartial(w *bitio.Writer, p any) {
+	w.WriteGamma(p.(uint64))
+}
+
 func (c countCombiner) Encode(p any) wire.Payload {
-	v := p.(uint64)
-	w := bitio.NewWriter(bitio.GammaWidth(v))
-	w.WriteGamma(v)
+	w := bitio.NewWriter(bitio.GammaWidth(p.(uint64)))
+	c.AppendPartial(w, p)
 	return wire.FromWriter(w)
 }
 
@@ -156,7 +258,36 @@ type sumCombiner struct {
 	pred   wire.Pred
 }
 
-var _ spantree.Combiner = sumCombiner{}
+var _ spantree.AppendCombiner = sumCombiner{}
+var _ spantree.ScalarCombiner = sumCombiner{}
+
+func (c sumCombiner) LocalScalar(n *netsim.Node) (uint64, uint64) {
+	var sum uint64
+	for _, it := range n.Items {
+		if it.Active && c.pred.Eval(domainValue(it, c.domain)) {
+			sum += domainValue(it, c.domain)
+		}
+	}
+	return sum, 0
+}
+
+func (c sumCombiner) MergeScalar(ax, _, bx, _ uint64) (uint64, uint64) {
+	return ax + bx, 0
+}
+
+func (c sumCombiner) AppendScalar(w *bitio.Writer, x, _ uint64) {
+	w.WriteGamma(x)
+}
+
+func (c sumCombiner) DecodeScalar(pl wire.Payload) (uint64, uint64, error) {
+	v, err := pl.Reader().ReadGamma()
+	if err != nil {
+		return 0, 0, fmt.Errorf("agg: sum: %w", err)
+	}
+	return v, 0, nil
+}
+
+func (c sumCombiner) ScalarResult(x, _ uint64) any { return x }
 
 func (c sumCombiner) Local(n *netsim.Node) any {
 	var sum uint64
@@ -172,10 +303,13 @@ func (c sumCombiner) Merge(acc, child any) any {
 	return acc.(uint64) + child.(uint64)
 }
 
+func (c sumCombiner) AppendPartial(w *bitio.Writer, p any) {
+	w.WriteGamma(p.(uint64))
+}
+
 func (c sumCombiner) Encode(p any) wire.Payload {
-	v := p.(uint64)
-	w := bitio.NewWriter(bitio.GammaWidth(v))
-	w.WriteGamma(v)
+	w := bitio.NewWriter(bitio.GammaWidth(p.(uint64)))
+	c.AppendPartial(w, p)
 	return wire.FromWriter(w)
 }
 
@@ -197,7 +331,7 @@ type keyedSketch struct {
 	instance uint64
 }
 
-var _ spantree.Combiner = keyedSketch{}
+var _ spantree.AppendCombiner = keyedSketch{}
 
 func (c keyedSketch) Local(n *netsim.Node) any {
 	sk := loglog.New(c.net.sketchP)
@@ -217,10 +351,14 @@ func (c keyedSketch) Merge(acc, child any) any {
 	return a
 }
 
+func (c keyedSketch) AppendPartial(w *bitio.Writer, p any) {
+	p.(*loglog.Sketch).AppendTo(w)
+}
+
 func (c keyedSketch) Encode(p any) wire.Payload {
 	sk := p.(*loglog.Sketch)
 	w := bitio.NewWriter(sk.EncodedBits())
-	sk.AppendTo(w)
+	c.AppendPartial(w, p)
 	return wire.FromWriter(w)
 }
 

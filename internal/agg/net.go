@@ -51,6 +51,25 @@ type Net struct {
 	// estimates exactly.
 	keyBase  []uint64
 	logWidth int
+
+	// bw is the reusable broadcast writer: a broadcast payload lives only
+	// for the duration of the (synchronous) Broadcast call, so it borrows
+	// this buffer instead of copying. A Net runs one protocol at a time.
+	bw bitio.Writer
+	// Reusable combiner boxes for the Fact 2.1 primitives: passing a
+	// pointer into the Convergecast interface avoids re-boxing the
+	// combiner struct on every query. The combiners are read-only during
+	// the convergecast, so sharing one instance across the engine's
+	// workers is safe.
+	ccomb  countCombiner
+	scomb  sumCombiner
+	mmcomb minMaxCombiner
+}
+
+// bcast returns the reusable broadcast writer, reset for a new payload.
+func (n *Net) bcast() *bitio.Writer {
+	n.bw.Reset()
+	return &n.bw
 }
 
 var _ core.Net = (*Net)(nil)
@@ -144,10 +163,11 @@ func header(w *bitio.Writer, op uint64, d core.Domain) {
 // MinMax implements core.Net: one broadcast announcing the query, one
 // convergecast carrying (present, min, max) — Fact 2.1's MIN and MAX.
 func (n *Net) MinMax(d core.Domain) (lo, hi uint64, ok bool) {
-	w := bitio.NewWriter(opBits + 1)
+	w := n.bcast()
 	header(w, opMinMax, d)
-	n.ops.Broadcast(wire.FromWriter(w), nil)
-	out, err := n.ops.Convergecast(minMaxCombiner{domain: d, width: n.valueWidth(d)})
+	n.ops.Broadcast(wire.Borrowed(w), nil)
+	n.mmcomb = minMaxCombiner{domain: d, width: n.valueWidth(d)}
+	out, err := n.ops.Convergecast(&n.mmcomb)
 	if err != nil {
 		panic(fmt.Sprintf("agg: minmax convergecast: %v", err))
 	}
@@ -159,11 +179,12 @@ func (n *Net) MinMax(d core.Domain) (lo, hi uint64, ok bool) {
 // (O(log X) bits), convergecast gamma-coded counts (O(log N) bits).
 func (n *Net) Count(d core.Domain, pred wire.Pred) uint64 {
 	vw := n.valueWidth(d)
-	w := bitio.NewWriter(opBits + 1 + pred.EncodedBits(vw))
+	w := n.bcast()
 	header(w, opCount, d)
 	pred.AppendTo(w, vw)
-	n.ops.Broadcast(wire.FromWriter(w), nil)
-	out, err := n.ops.Convergecast(countCombiner{domain: d, pred: pred})
+	n.ops.Broadcast(wire.Borrowed(w), nil)
+	n.ccomb = countCombiner{domain: d, pred: pred}
+	out, err := n.ops.Convergecast(&n.ccomb)
 	if err != nil {
 		panic(fmt.Sprintf("agg: count convergecast: %v", err))
 	}
@@ -183,11 +204,11 @@ func (n *Net) instanceHasher(i uint64) hashing.Hasher {
 // and nodes alike from the protocol transcript, so they cost no wire bits.
 func (n *Net) ApxCountRep(d core.Domain, pred wire.Pred, r int) []float64 {
 	vw := n.valueWidth(d)
-	w := bitio.NewWriter(opBits + 1 + pred.EncodedBits(vw) + bitio.GammaWidth(uint64(r)))
+	w := n.bcast()
 	header(w, opApxCount, d)
 	pred.AppendTo(w, vw)
 	w.WriteGamma(uint64(r))
-	n.ops.Broadcast(wire.FromWriter(w), nil)
+	n.ops.Broadcast(wire.Borrowed(w), nil)
 
 	out := make([]float64, r)
 	if n.honestSketches {
@@ -238,11 +259,11 @@ func (n *Net) fastSketchInstance(d core.Domain, pred wire.Pred, instance uint64)
 // Zoom implements core.Net: Fig. 4 lines 3.2–3.3 — broadcast µ̂
 // (gamma-coded), each node rescales or deactivates its items locally.
 func (n *Net) Zoom(muHat uint64) {
-	w := bitio.NewWriter(opBits + 1 + bitio.GammaWidth(muHat))
+	w := n.bcast()
 	header(w, opZoom, core.Linear)
 	w.WriteGamma(muHat)
 	maxX := n.nw.MaxX
-	n.ops.Broadcast(wire.FromWriter(w), func(nd *netsim.Node, pl wire.Payload) {
+	n.ops.Broadcast(wire.Borrowed(w), func(nd *netsim.Node, pl wire.Payload) {
 		r := pl.Reader()
 		if _, err := r.ReadBits(opBits + 1); err != nil {
 			panic(fmt.Sprintf("agg: zoom header: %v", err))
@@ -281,10 +302,10 @@ func (n *Net) Reset() { n.nw.ResetItems() }
 // sub-multiset. Undo with Reset.
 func (n *Net) Filter(pred wire.Pred) {
 	vw := n.valueWidth(core.Linear)
-	w := bitio.NewWriter(opBits + 1 + pred.EncodedBits(vw))
+	w := n.bcast()
 	header(w, opFilter, core.Linear)
 	pred.AppendTo(w, vw)
-	n.ops.Broadcast(wire.FromWriter(w), func(nd *netsim.Node, pl wire.Payload) {
+	n.ops.Broadcast(wire.Borrowed(w), func(nd *netsim.Node, pl wire.Payload) {
 		r := pl.Reader()
 		if _, err := r.ReadBits(opBits + 1); err != nil {
 			panic(fmt.Sprintf("agg: filter header: %v", err))

@@ -3,7 +3,6 @@ package agg
 import (
 	"fmt"
 
-	"sensoragg/internal/bitio"
 	"sensoragg/internal/core"
 	"sensoragg/internal/wire"
 )
@@ -16,11 +15,12 @@ import (
 // Sum runs the SUM aggregate over active items matching pred in domain d.
 func (n *Net) Sum(d core.Domain, pred wire.Pred) uint64 {
 	vw := n.valueWidth(d)
-	w := bitio.NewWriter(opBits + 1 + pred.EncodedBits(vw))
+	w := n.bcast()
 	header(w, opSum, d)
 	pred.AppendTo(w, vw)
-	n.ops.Broadcast(wire.FromWriter(w), nil)
-	out, err := n.ops.Convergecast(sumCombiner{domain: d, pred: pred})
+	n.ops.Broadcast(wire.Borrowed(w), nil)
+	n.scomb = sumCombiner{domain: d, pred: pred}
+	out, err := n.ops.Convergecast(&n.scomb)
 	if err != nil {
 		panic(fmt.Sprintf("agg: sum convergecast: %v", err))
 	}

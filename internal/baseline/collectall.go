@@ -32,7 +32,7 @@ type Result struct {
 // multiset (still Θ(count·log X) near the root).
 type multisetCombiner struct{}
 
-var _ spantree.Combiner = multisetCombiner{}
+var _ spantree.AppendCombiner = multisetCombiner{}
 
 func (multisetCombiner) Local(n *netsim.Node) any {
 	values := make([]uint64, 0, len(n.Items))
@@ -63,15 +63,19 @@ func (multisetCombiner) Merge(acc, child any) any {
 	return out
 }
 
-func (multisetCombiner) Encode(p any) wire.Payload {
+func (multisetCombiner) AppendPartial(w *bitio.Writer, p any) {
 	values := p.([]uint64)
-	w := bitio.NewWriter(8 + len(values)*8)
 	w.WriteGamma(uint64(len(values)))
 	var prev uint64
 	for _, v := range values {
 		w.WriteGamma(v - prev)
 		prev = v
 	}
+}
+
+func (c multisetCombiner) Encode(p any) wire.Payload {
+	w := bitio.NewWriter(8 + len(p.([]uint64))*8)
+	c.AppendPartial(w, p)
 	return wire.FromWriter(w)
 }
 

@@ -72,6 +72,8 @@ func (w *Writer) WriteBit(b uint64) {
 
 // WriteBits appends the width least-significant bits of v,
 // most-significant-first. Width must be in [0, 64]; v must fit in width bits.
+// Bits are packed a byte at a time, not bit by bit: this is the hot path of
+// every message encode.
 func (w *Writer) WriteBits(v uint64, width int) {
 	if width < 0 || width > 64 {
 		panic(fmt.Sprintf("bitio: invalid width %d", width))
@@ -79,8 +81,30 @@ func (w *Writer) WriteBits(v uint64, width int) {
 	if width < 64 && v>>uint(width) != 0 {
 		panic(fmt.Sprintf("bitio: value %d does not fit in %d bits", v, width))
 	}
-	for i := width - 1; i >= 0; i-- {
-		w.WriteBit((v >> uint(i)) & 1)
+	rem := width
+	// Fill the current partial byte first (the buffer holds ⌈nbit/8⌉ bytes,
+	// so a nonzero bit offset means the last byte exists and has room).
+	if off := w.nbit & 7; off != 0 {
+		free := 8 - off
+		take := rem
+		if take > free {
+			take = free
+		}
+		bits := (v >> uint(rem-take)) & (1<<uint(take) - 1)
+		w.buf[len(w.buf)-1] |= byte(bits << uint(free-take))
+		w.nbit += take
+		rem -= take
+	}
+	// Whole bytes.
+	for rem >= 8 {
+		w.buf = append(w.buf, byte(v>>uint(rem-8)))
+		w.nbit += 8
+		rem -= 8
+	}
+	// Trailing partial byte, zero-padded low.
+	if rem > 0 {
+		w.buf = append(w.buf, byte(v&(1<<uint(rem)-1))<<uint(8-rem))
+		w.nbit += rem
 	}
 }
 
@@ -103,9 +127,13 @@ func (w *Writer) WriteGamma(v uint64) {
 	}
 	n := v + 1
 	k := bits.Len64(n) - 1 // floor(log2 n)
-	for i := 0; i < k; i++ {
-		w.WriteBit(0)
+	if 2*k+1 <= 64 {
+		// The k-zero prefix and the (k+1)-bit value fit one word: n's top
+		// bits in a 2k+1-wide field are exactly the k zeros.
+		w.WriteBits(n, 2*k+1)
+		return
 	}
+	w.WriteBits(0, k)
 	w.WriteBits(n, k+1)
 }
 
@@ -145,6 +173,7 @@ func (r *Reader) ReadBit() (uint64, error) {
 }
 
 // ReadBits consumes width bits and returns them as the low bits of a uint64.
+// Like WriteBits, it consumes a byte at a time.
 func (r *Reader) ReadBits(width int) (uint64, error) {
 	if width < 0 || width > 64 {
 		return 0, fmt.Errorf("bitio: invalid width %d", width)
@@ -153,9 +182,29 @@ func (r *Reader) ReadBits(width int) (uint64, error) {
 		return 0, ErrShortRead
 	}
 	var v uint64
-	for i := 0; i < width; i++ {
-		b, _ := r.ReadBit()
-		v = v<<1 | b
+	rem := width
+	// Drain the current partial byte.
+	if off := r.pos & 7; off != 0 {
+		avail := 8 - off
+		take := rem
+		if take > avail {
+			take = avail
+		}
+		b := (r.buf[r.pos>>3] >> uint(avail-take)) & (1<<uint(take) - 1)
+		v = uint64(b)
+		r.pos += take
+		rem -= take
+	}
+	// Whole bytes.
+	for rem >= 8 {
+		v = v<<8 | uint64(r.buf[r.pos>>3])
+		r.pos += 8
+		rem -= 8
+	}
+	// Leading bits of the next byte.
+	if rem > 0 {
+		v = v<<uint(rem) | uint64(r.buf[r.pos>>3]>>uint(8-rem))
+		r.pos += rem
 	}
 	return v, nil
 }
@@ -167,20 +216,35 @@ func (r *Reader) ReadBool() (bool, error) {
 }
 
 // ReadGamma consumes one Elias-gamma-coded value written by WriteGamma.
+// The zero-prefix is scanned a byte at a time rather than bit by bit.
 func (r *Reader) ReadGamma() (uint64, error) {
 	k := 0
 	for {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+		if r.pos >= r.nbit {
+			return 0, ErrShortRead
 		}
-		if b != 0 {
-			break
+		off := r.pos & 7
+		avail := 8 - off
+		if rem := r.nbit - r.pos; rem < avail {
+			avail = rem
 		}
-		k++
+		// The next `avail` upcoming bits, right-aligned.
+		chunk := (r.buf[r.pos>>3] << uint(off)) >> uint(8-avail)
+		if chunk == 0 {
+			k += avail
+			r.pos += avail
+			if k > 64 {
+				return 0, errors.New("bitio: malformed gamma code")
+			}
+			continue
+		}
+		zeros := avail - bits.Len8(chunk)
+		k += zeros
+		r.pos += zeros + 1 // the zeros plus the terminating 1 bit
 		if k > 64 {
 			return 0, errors.New("bitio: malformed gamma code")
 		}
+		break
 	}
 	rest, err := r.ReadBits(k)
 	if err != nil {

@@ -30,7 +30,7 @@ type ExactResult struct {
 // state proportional to the number of distinct items.
 type setCombiner struct{}
 
-var _ spantree.Combiner = setCombiner{}
+var _ spantree.AppendCombiner = setCombiner{}
 
 func (setCombiner) Local(n *netsim.Node) any {
 	set := make([]uint64, 0, len(n.Items))
@@ -84,15 +84,19 @@ func (setCombiner) Merge(acc, child any) any {
 	return out
 }
 
-func (setCombiner) Encode(p any) wire.Payload {
+func (setCombiner) AppendPartial(w *bitio.Writer, p any) {
 	set := p.([]uint64)
-	w := bitio.NewWriter(8 + len(set)*8)
 	w.WriteGamma(uint64(len(set)))
 	var prev uint64
 	for _, v := range set {
 		w.WriteGamma(v - prev) // strictly increasing: deltas >= 1 except the first
 		prev = v
 	}
+}
+
+func (c setCombiner) Encode(p any) wire.Payload {
+	w := bitio.NewWriter(8 + len(p.([]uint64))*8)
+	c.AppendPartial(w, p)
 	return wire.FromWriter(w)
 }
 
@@ -149,7 +153,7 @@ type valueSketch struct {
 	est    loglog.Estimator
 }
 
-var _ spantree.Combiner = valueSketch{}
+var _ spantree.AppendCombiner = valueSketch{}
 
 func (c valueSketch) Local(n *netsim.Node) any {
 	sk := loglog.New(c.p)
@@ -167,10 +171,13 @@ func (c valueSketch) Merge(acc, child any) any {
 	return a
 }
 
+func (c valueSketch) AppendPartial(w *bitio.Writer, p any) {
+	p.(*loglog.Sketch).AppendTo(w)
+}
+
 func (c valueSketch) Encode(p any) wire.Payload {
-	sk := p.(*loglog.Sketch)
-	w := bitio.NewWriter(sk.EncodedBits())
-	sk.AppendTo(w)
+	w := bitio.NewWriter(p.(*loglog.Sketch).EncodedBits())
+	c.AppendPartial(w, p)
 	return wire.FromWriter(w)
 }
 

@@ -191,7 +191,11 @@ func (e *Engine) runOne(ctx context.Context, job Job) Result {
 
 // executeJob is the deadline-free body of a run: instantiate, execute,
 // meter. It runs against a private forked network, so even when runOne has
-// already given up on it, it cannot disturb any other run.
+// already given up on it, it cannot disturb any other run; the network
+// goes back to the session's fork pool only once the run has fully
+// finished with it (an abandoned run releases late, never early). A
+// panicking query skips the release — the pool never sees a network in an
+// unknown state.
 func (e *Engine) executeJob(spec Spec, job Job) Result {
 	start := time.Now()
 	nw, err := e.session.Instantiate(spec, job.runSeed())
@@ -201,11 +205,13 @@ func (e *Engine) executeJob(spec Spec, job Job) Result {
 	before := nw.Meter.Snapshot()
 	ans, err := execute(nw, spec, job.Query)
 	if err != nil {
+		nw.Release()
 		return failedResult(job, err)
 	}
 	d := nw.Meter.Since(before)
 	r := resultFrom(spec, job.Query, ans, d, time.Since(start))
 	r.ID = job.ID
+	nw.Release()
 	return r
 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"sensoragg/internal/agg"
 	"sensoragg/internal/baseline"
@@ -125,19 +126,33 @@ func execute(nw *netsim.Network, spec Spec, q Query) (answer, error) {
 	var ops spantree.Ops
 	var heal *spantree.HealResult
 	switch spec.TreeEngine {
-	case "", "fast":
+	case "", "fast", "fast-serial", "fast-parallel":
+		var fe *spantree.FastEngine
 		if usesTree(q.Kind) {
-			fe, hr, err := spantree.NewFastHealed(nw)
+			var hr *spantree.HealResult
+			var err error
+			fe, hr, err = spantree.NewFastHealed(nw)
 			if err != nil {
 				return answer{}, err
 			}
 			heal = hr
-			ops = fe
 		} else {
 			// Gossip/radio kinds never touch the tree: no repair runs,
 			// so their cost is purely the protocol's own traffic.
-			ops = spantree.NewFast(nw)
+			fe = spantree.NewFast(nw)
 		}
+		// The -serial and -parallel variants pin the fast engine's
+		// schedule (and -serial additionally disables payload pooling):
+		// reference modes for the identity tests, bit-identical to the
+		// default auto schedule.
+		switch spec.TreeEngine {
+		case "fast-serial":
+			fe.SetWorkers(1)
+			fe.SetPooled(false)
+		case "fast-parallel":
+			fe.SetWorkers(2 * runtime.GOMAXPROCS(0))
+		}
+		ops = fe
 	case "goroutine":
 		if p := nw.Faults; p != nil && p.Active() {
 			return answer{}, fmt.Errorf("engine: fault plans require the fast tree engine")

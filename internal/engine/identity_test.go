@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"sensoragg/internal/faults"
+)
+
+// identityFields compares everything a run reports that must be
+// bit-identical across execution modes.
+func identityFields(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if got.Failed() || want.Failed() {
+		t.Fatalf("%s: failed run (got %q, want %q)", label, got.Error, want.Error)
+	}
+	if got.Value != want.Value {
+		t.Errorf("%s: value %v, want %v", label, got.Value, want.Value)
+	}
+	if got.Detail != want.Detail {
+		t.Errorf("%s: detail %q, want %q", label, got.Detail, want.Detail)
+	}
+	if got.BitsPerNode != want.BitsPerNode {
+		t.Errorf("%s: bits/node %d, want %d", label, got.BitsPerNode, want.BitsPerNode)
+	}
+	if got.TotalBits != want.TotalBits {
+		t.Errorf("%s: total bits %d, want %d", label, got.TotalBits, want.TotalBits)
+	}
+	if got.Messages != want.Messages {
+		t.Errorf("%s: messages %d, want %d", label, got.Messages, want.Messages)
+	}
+	if got.Crashed != want.Crashed || got.Unreachable != want.Unreachable || got.RepairBits != want.RepairBits {
+		t.Errorf("%s: fault impact (%d,%d,%d), want (%d,%d,%d)", label,
+			got.Crashed, got.Unreachable, got.RepairBits,
+			want.Crashed, want.Unreachable, want.RepairBits)
+	}
+}
+
+// queryFor builds a runnable query for each kind.
+func queryFor(kind string) Query {
+	q := Query{Kind: kind}
+	switch kind {
+	case KindStatement:
+		q.Statement = "SELECT count(value)"
+	case KindQuantile:
+		q.Phi = 0.75
+	}
+	return q
+}
+
+// TestFastEngineVariantsIdenticalAllKinds is the pooled/parallel identity
+// gate at the query-engine level: for every query kind, the default fast
+// engine (pooled, auto-parallel), the sequential unpooled reference, and
+// the forced-parallel schedule must report byte-identical values, details,
+// and meters.
+func TestFastEngineVariantsIdenticalAllKinds(t *testing.T) {
+	eng := New(Options{Workers: 1})
+	for _, kind := range Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			spec := Spec{Topology: "grid", N: 64, Workload: "uniform", Seed: 5}
+			if kind == KindSingleHop {
+				spec.Topology = "complete"
+			}
+			ref := eng.RunOne(context.Background(), Job{
+				Spec:  withEngine(spec, "fast-serial"),
+				Query: queryFor(kind),
+			})
+			if ref.Failed() {
+				t.Fatalf("reference run: %s", ref.Error)
+			}
+			for _, te := range []string{"fast", "fast-parallel"} {
+				got := eng.RunOne(context.Background(), Job{
+					Spec:  withEngine(spec, te),
+					Query: queryFor(kind),
+				})
+				identityFields(t, te, got, ref)
+			}
+		})
+	}
+}
+
+// TestFastEngineVariantsIdenticalUnderFaults repeats the identity gate
+// with an active fault plan — crashes force a heal before the query,
+// drop/dup exercises the per-edge delivery decisions — for the tree kinds
+// that support structural faults.
+func TestFastEngineVariantsIdenticalUnderFaults(t *testing.T) {
+	eng := New(Options{Workers: 1})
+	fs := faults.Spec{Crash: 0.08, Drop: 0.03, Dup: 0.03}
+	for _, kind := range []string{KindMedian, KindCount, KindSum, KindMin, KindQDigest, KindSampling, KindCollectAll, KindApxDistinct} {
+		t.Run(kind, func(t *testing.T) {
+			spec := Spec{Topology: "grid", N: 144, Workload: "uniform", Seed: 9, Faults: fs}
+			ref := eng.RunOne(context.Background(), Job{
+				Spec:  withEngine(spec, "fast-serial"),
+				Query: queryFor(kind),
+			})
+			if ref.Failed() {
+				t.Fatalf("reference run: %s", ref.Error)
+			}
+			if ref.Crashed == 0 {
+				t.Fatalf("fault plan crashed no nodes — test is vacuous")
+			}
+			for _, te := range []string{"fast", "fast-parallel"} {
+				got := eng.RunOne(context.Background(), Job{
+					Spec:  withEngine(spec, te),
+					Query: queryFor(kind),
+				})
+				identityFields(t, te, got, ref)
+			}
+		})
+	}
+}
+
+// TestPooledInstantiateIdenticalAcrossReuse issues the same job through
+// one engine repeatedly so the session's fork pool recycles networks, and
+// demands every repetition reproduce the first run exactly — the
+// engine-level proof that a pooled reset-in-place equals a fresh fork.
+func TestPooledInstantiateIdenticalAcrossReuse(t *testing.T) {
+	eng := New(Options{Workers: 1})
+	mk := func(kind string, fs faults.Spec) Job {
+		return Job{
+			Spec:  Spec{Topology: "grid", N: 100, Workload: "zipf", Seed: 3, Faults: fs},
+			Query: queryFor(kind),
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		job  Job
+	}{
+		{"median", mk(KindMedian, faults.Spec{})},
+		{"apxdistinct", mk(KindApxDistinct, faults.Spec{})},
+		{"median-faulty", mk(KindMedian, faults.Spec{Crash: 0.05, Drop: 0.02})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			first := eng.RunOne(context.Background(), tc.job)
+			if first.Failed() {
+				t.Fatalf("first run: %s", first.Error)
+			}
+			for i := 0; i < 4; i++ {
+				again := eng.RunOne(context.Background(), tc.job)
+				identityFields(t, "recycled run", again, first)
+			}
+		})
+	}
+}
+
+func withEngine(s Spec, te string) Spec {
+	s.TreeEngine = te
+	return s
+}

@@ -35,6 +35,7 @@ type graphEntry struct {
 type netEntry struct {
 	once     sync.Once
 	template *netsim.Network
+	pool     *netsim.ForkPool
 	err      error
 }
 
@@ -120,8 +121,22 @@ func (s *Session) Template(spec Spec) (*netsim.Network, error) {
 			items[i] = []uint64{v}
 		}
 		e.template = netsim.NewFromTree(g, tree, items, spec.MaxX, spec.Seed)
+		e.pool = netsim.NewForkPool(e.template)
 	})
 	return e.template, e.err
+}
+
+// forkPool returns the template's run-network pool, building the template
+// on first use.
+func (s *Session) forkPool(spec Spec) (*netsim.ForkPool, error) {
+	spec = spec.Normalize().templateKey()
+	if _, err := s.Template(spec); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	e := s.nets[spec]
+	s.mu.Unlock()
+	return e.pool, nil
 }
 
 // Instantiate forks a fresh per-run network for spec: shared immutable
@@ -131,17 +146,27 @@ func (s *Session) Template(spec Spec) (*netsim.Network, error) {
 // spec carries an active fault plan, the fork gets its own plan derived
 // from runSeed (or the plan's pinned seed), so concurrent faulty runs
 // share no fault state either.
+//
+// The returned network comes from the template's ForkPool: callers that
+// finish with it should hand it back with Network.Release so later runs
+// reset it in place instead of re-forking ~N nodes. Releasing is optional
+// — an unreleased network is simply collected — and a pooled reset is
+// bit-identical to a fresh fork.
 func (s *Session) Instantiate(spec Spec, runSeed uint64) (*netsim.Network, error) {
 	spec = spec.Normalize()
-	tmpl, err := s.Template(spec)
-	if err != nil {
-		return nil, fmt.Errorf("engine: building template for %s: %w", spec, err)
-	}
-	nw := tmpl.Fork(runSeed)
+	// Validate before checking a network out of the pool: an invalid spec
+	// must not strand a checked-out ~N-node fork on the error path.
 	if spec.Faults.Active() {
 		if err := spec.Faults.Validate(); err != nil {
 			return nil, err
 		}
+	}
+	pool, err := s.forkPool(spec)
+	if err != nil {
+		return nil, fmt.Errorf("engine: building template for %s: %w", spec, err)
+	}
+	nw := pool.Get(runSeed)
+	if spec.Faults.Active() {
 		nw.Faults = faults.New(spec.Faults, nw.N(), nw.Root(), runSeed)
 	}
 	return nw, nil

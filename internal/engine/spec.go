@@ -46,7 +46,11 @@ type Spec struct {
 	// MaxChildren bounds the spanning tree degree: 0 means the netsim
 	// default, negative disables bounding.
 	MaxChildren int `json:"max_children,omitempty"`
-	// TreeEngine selects the tree executor: "fast" (default) or "goroutine".
+	// TreeEngine selects the tree executor: "fast" (default, auto
+	// level-parallel with pooled payloads), "goroutine" (the per-node
+	// goroutine reference engine), or the test/reference variants
+	// "fast-serial" (sequential, unpooled) and "fast-parallel" (forced
+	// parallel sweeps). All produce identical results and meters.
 	TreeEngine string `json:"tree_engine,omitempty"`
 	// Faults configures deterministic fault injection for every run of
 	// this deployment (zero value = reliable network). Each run gets its

@@ -30,7 +30,7 @@ type summaryCombiner struct {
 	valueWidth int
 }
 
-var _ spantree.Combiner = summaryCombiner{}
+var _ spantree.AppendCombiner = summaryCombiner{}
 
 func (c summaryCombiner) Local(n *netsim.Node) any {
 	values := make([]uint64, 0, len(n.Items))
@@ -50,9 +50,8 @@ func (c summaryCombiner) Merge(acc, child any) any {
 	return m
 }
 
-func (c summaryCombiner) Encode(p any) wire.Payload {
+func (c summaryCombiner) AppendPartial(w *bitio.Writer, p any) {
 	s := p.(*Summary)
-	w := bitio.NewWriter(64 + len(s.Entries)*(c.valueWidth+8))
 	w.WriteGamma(s.N)
 	w.WriteGamma(uint64(len(s.Entries)))
 	var prevV, prevRMin uint64
@@ -62,6 +61,12 @@ func (c summaryCombiner) Encode(p any) wire.Payload {
 		w.WriteGamma(e.RMax - e.RMin)
 		prevV, prevRMin = e.V, e.RMin
 	}
+}
+
+func (c summaryCombiner) Encode(p any) wire.Payload {
+	s := p.(*Summary)
+	w := bitio.NewWriter(64 + len(s.Entries)*(c.valueWidth+8))
+	c.AppendPartial(w, p)
 	return wire.FromWriter(w)
 }
 

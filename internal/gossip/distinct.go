@@ -55,7 +55,7 @@ func Distinct(nw *netsim.Network, p int, est loglog.Estimator, seed uint64, para
 		target := nbrs[nd.RNG().IntN(len(nbrs))]
 		w := bitio.NewWriter(sk.EncodedBits())
 		sk.AppendTo(w)
-		return []netsim.GraphMsg{{From: nd.ID, To: target, Payload: wire.FromWriter(w)}}
+		return append(nd.OutboxScratch(), netsim.GraphMsg{From: nd.ID, To: target, Payload: wire.FromWriter(w)})
 	})
 	rr := netsim.RunRounds(nw, handler, params.Rounds+1)
 

@@ -96,7 +96,7 @@ func run(nw *netsim.Network, init []pushSumState, params Params) Result {
 		w := bitio.NewWriter(2 * floatBits)
 		w.WriteBits(quantize(half.s), floatBits)
 		w.WriteBits(quantize(half.w), floatBits)
-		return []netsim.GraphMsg{{From: nd.ID, To: target, Payload: wire.FromWriter(w)}}
+		return append(nd.OutboxScratch(), netsim.GraphMsg{From: nd.ID, To: target, Payload: wire.FromWriter(w)})
 	})
 	rr := netsim.RunRounds(nw, handler, params.Rounds+1)
 

@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"testing"
+
+	"sensoragg/internal/topology"
+)
+
+// drainRNG pulls a few values from every node's random stream and mutates
+// items/scratch/meter, simulating a run that dirtied the network.
+func dirty(nw *Network) {
+	for _, nd := range nw.Nodes {
+		nd.RNG().Uint64()
+		nd.RNG().Uint64()
+		nd.Scratch = "stale"
+		for i := range nd.Items {
+			nd.Items[i].Cur = 0
+			nd.Items[i].Active = false
+		}
+	}
+	nw.Meter.WatchEdge(0, 1)
+	nw.Meter.Charge(0, 1, 99)
+}
+
+// TestForkPoolResetMatchesFreshFork is the pooled-fork identity gate: a
+// recycled, dirtied network reset for a new seed must be indistinguishable
+// from a fresh Fork with that seed — same items, same RNG streams, zeroed
+// meter, no fault plan.
+func TestForkPoolResetMatchesFreshFork(t *testing.T) {
+	g := topology.Grid(6, 6)
+	values := make([]uint64, g.N())
+	for i := range values {
+		values[i] = uint64(3 * i)
+	}
+	tmpl := New(g, values, 4*uint64(g.N()), WithSeed(1))
+	pool := NewForkPool(tmpl)
+
+	run1 := pool.Get(42)
+	dirty(run1)
+	run1.Release()
+
+	recycled := pool.Get(99)
+	fresh := tmpl.Fork(99)
+
+	if recycled.Seed() != fresh.Seed() {
+		t.Fatalf("seed %d, want %d", recycled.Seed(), fresh.Seed())
+	}
+	if recycled.Faults != nil {
+		t.Fatal("recycled network kept a fault plan")
+	}
+	if recycled.Meter.Watching() || recycled.Meter.WatchedBits() != 0 {
+		t.Fatal("recycled network kept a watched edge")
+	}
+	for i := range fresh.Nodes {
+		a, b := recycled.Nodes[i], fresh.Nodes[i]
+		if a.Scratch != nil {
+			t.Fatalf("node %d scratch not cleared", i)
+		}
+		if len(a.Items) != len(b.Items) {
+			t.Fatalf("node %d has %d items, want %d", i, len(a.Items), len(b.Items))
+		}
+		for j := range b.Items {
+			if a.Items[j] != b.Items[j] {
+				t.Fatalf("node %d item %d = %+v, want %+v", i, j, a.Items[j], b.Items[j])
+			}
+		}
+		for k := 0; k < 8; k++ {
+			x, y := a.RNG().Uint64(), b.RNG().Uint64()
+			if x != y {
+				t.Fatalf("node %d RNG draw %d: %d vs fresh %d", i, k, x, y)
+			}
+		}
+		if recycled.Meter.PerNode(topology.NodeID(i)) != 0 {
+			t.Fatalf("node %d meter not zeroed", i)
+		}
+	}
+}
+
+func TestForkPoolRecyclesAndGuards(t *testing.T) {
+	g := topology.Line(8)
+	values := make([]uint64, g.N())
+	tmpl := New(g, values, 16, WithSeed(1))
+	pool := NewForkPool(tmpl)
+
+	nw := pool.Get(5)
+	nw.Release()
+	if pool.Free() != 1 {
+		t.Fatalf("pool has %d free networks, want 1", pool.Free())
+	}
+	nw.Release() // double release must not duplicate the entry
+	if pool.Free() != 1 {
+		t.Fatalf("after double release pool has %d free networks, want 1", pool.Free())
+	}
+	if got := pool.Get(6); got != nw {
+		t.Fatal("pool did not hand the recycled network back")
+	}
+
+	// A network from another pool (or none) must be ignored.
+	other := tmpl.Fork(7)
+	pool.Put(other)
+	if pool.Free() != 0 {
+		t.Fatalf("foreign network accepted: %d free", pool.Free())
+	}
+}

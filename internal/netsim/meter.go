@@ -16,15 +16,33 @@ import (
 // meter while a deadline-abandoned run is still charging it. Counters are
 // therefore unexported; use the accessor methods.
 type Meter struct {
-	sent []atomic.Int64
-	recv []atomic.Int64
-	msgs []atomic.Int64
+	// cells packs each node's three counters side by side: charging a
+	// message touches the sender's sent+msgs (one cache line) and the
+	// receiver's recv, instead of three separate arrays — the hot-path
+	// layout for the tree engines' per-edge charging.
+	cells []meterCell
 
 	// watch is the packed watched edge for cut-communication measurements
 	// (Theorem 5.1 harness); watchDisabled when off. Packing both endpoints
 	// into one word keeps the Charge-path check a single atomic load.
 	watch       atomic.Int64
 	watchedBits atomic.Int64
+}
+
+// meterCell is one node's counters. The fields are plain int64s: the
+// concurrent charge paths (Charge, ChargeN, ChargeTx, ChargeRx — used by
+// the goroutine engine and the radio loop) update them with explicit
+// sync/atomic calls, while the fast tree engine's single-writer sweeps
+// (the *Seq methods) use plain loads and stores — an atomic.Int64 store
+// compiles to a full-barrier XCHG on amd64, which would cost as much as
+// the read-modify-write the Seq paths exist to avoid. Readers go through
+// atomic loads, and every single-writer phase is separated from its
+// readers by a happens-before edge (the sweep barrier or plain program
+// order), so the mixed access is well-defined.
+type meterCell struct {
+	sent int64
+	recv int64
+	msgs int64
 }
 
 // watchDisabled is packEdge(-1, -1): no watched edge.
@@ -36,17 +54,13 @@ func packEdge(u, v topology.NodeID) int64 {
 
 // NewMeter returns a meter for n nodes.
 func NewMeter(n int) *Meter {
-	m := &Meter{
-		sent: make([]atomic.Int64, n),
-		recv: make([]atomic.Int64, n),
-		msgs: make([]atomic.Int64, n),
-	}
+	m := &Meter{cells: make([]meterCell, n)}
 	m.watch.Store(watchDisabled)
 	return m
 }
 
 // N returns the number of nodes the meter covers.
-func (m *Meter) N() int { return len(m.sent) }
+func (m *Meter) N() int { return len(m.cells) }
 
 // WatchEdge starts accumulating the bits that traverse the undirected edge
 // (u, v) — the cut-communication counter used by the Set Disjointness
@@ -60,13 +74,20 @@ func (m *Meter) WatchEdge(u, v topology.NodeID) {
 // WatchedBits returns the bits accumulated on the watched edge.
 func (m *Meter) WatchedBits() int64 { return m.watchedBits.Load() }
 
+// ClearWatch disables the watched edge and zeroes its accumulator —
+// part of restoring a pooled meter to its freshly-built state.
+func (m *Meter) ClearWatch() {
+	m.watch.Store(watchDisabled)
+	m.watchedBits.Store(0)
+}
+
 // Charge records a message of the given bit length from -> to. It is safe
 // for concurrent use: the goroutine tree engine charges from many node
 // goroutines at once.
 func (m *Meter) Charge(from, to topology.NodeID, bits int) {
-	m.sent[from].Add(int64(bits))
-	m.recv[to].Add(int64(bits))
-	m.msgs[from].Add(1)
+	atomic.AddInt64(&m.cells[from].sent, int64(bits))
+	atomic.AddInt64(&m.cells[to].recv, int64(bits))
+	atomic.AddInt64(&m.cells[from].msgs, 1)
 	if w := m.watch.Load(); w != watchDisabled && (w == packEdge(from, to) || w == packEdge(to, from)) {
 		m.watchedBits.Add(int64(bits))
 	}
@@ -78,9 +99,9 @@ func (m *Meter) Charge(from, to topology.NodeID, bits int) {
 // content-independent).
 func (m *Meter) ChargeN(from, to topology.NodeID, bits int, times int) {
 	total := int64(bits) * int64(times)
-	m.sent[from].Add(total)
-	m.recv[to].Add(total)
-	m.msgs[from].Add(int64(times))
+	atomic.AddInt64(&m.cells[from].sent, total)
+	atomic.AddInt64(&m.cells[to].recv, total)
+	atomic.AddInt64(&m.cells[from].msgs, int64(times))
 	if w := m.watch.Load(); w != watchDisabled && (w == packEdge(from, to) || w == packEdge(to, from)) {
 		m.watchedBits.Add(total)
 	}
@@ -89,40 +110,108 @@ func (m *Meter) ChargeN(from, to topology.NodeID, bits int, times int) {
 // ChargeTx records a physical-layer transmission: the sender pays the
 // payload once regardless of how many neighbours hear it (radio model).
 func (m *Meter) ChargeTx(from topology.NodeID, bits int) {
-	m.sent[from].Add(int64(bits))
-	m.msgs[from].Add(1)
+	atomic.AddInt64(&m.cells[from].sent, int64(bits))
+	atomic.AddInt64(&m.cells[from].msgs, 1)
+}
+
+// Watching reports whether a watched edge is active. Charge-batching fast
+// paths (the fast tree engine) fall back to per-edge Charge while a watch
+// is active so the cut-communication counter stays exact.
+func (m *Meter) Watching() bool { return m.watch.Load() != watchDisabled }
+
+// ChargeSendOnlySeq records the send side of `copies` identical messages
+// of the given bit length from one sender to distinct receivers; the
+// caller charges each receiver separately (ChargeRxSeq). The "Seq"
+// variants are PLAIN, non-atomic read-modify-writes — an atomic store
+// compiles to a full-barrier XCHG on amd64, which is what they exist to
+// avoid. They are therefore only legal on a phase where (a) no other
+// goroutine can touch the same counter cell and (b) every reader is
+// separated from the sweep by a happens-before edge. The fast tree engine
+// qualifies: each cell in a sweep has exactly one writer (a child's send
+// side is charged by its only parent's worker, a node's receive side by
+// its own worker), sweeps are ordered by the level barrier, and meter
+// readers run only after the operation returns. Calling any reader
+// (Snapshot, MaxPerNode, ...) concurrently with a Seq sweep is a data
+// race. Seq charging must also not be used while a watch is active — the
+// watched-edge check needs the (from, to) pair, so watching paths fall
+// back to the atomic Charge.
+func (m *Meter) ChargeSendOnlySeq(from topology.NodeID, bits, copies int) {
+	c := &m.cells[from]
+	c.sent += int64(bits) * int64(copies)
+	c.msgs += int64(copies)
+}
+
+// ChargeRxSeq is the single-writer variant of ChargeRx; see
+// ChargeSendOnlySeq for the safety contract.
+func (m *Meter) ChargeRxSeq(to topology.NodeID, bits int) {
+	m.cells[to].recv += int64(bits)
+}
+
+// ChargeNodeSeq charges node u's full convergecast step in one cell
+// visit: one message of sentBits sent to its parent (when sentBits >= 0;
+// the root passes -1) and recvBits received from its children. Same
+// single-writer contract as ChargeSendOnlySeq.
+func (m *Meter) ChargeNodeSeq(u topology.NodeID, sentBits, recvBits int) {
+	c := &m.cells[u]
+	if sentBits >= 0 {
+		c.sent += int64(sentBits)
+		c.msgs++
+	}
+	if recvBits > 0 {
+		c.recv += int64(recvBits)
+	}
+}
+
+// ChargeBroadcastSeq charges nodes [lo, hi) for one uniform broadcast
+// wave: node u sends `bits` to each of its fanout[u] children and (except
+// the root) receives `bits` from its parent. One flat loop over the cells
+// replaces three helper calls per node on the tree engine's hottest
+// broadcast path. Single-writer contract as ChargeSendOnlySeq; callers
+// covering a view that excludes nodes must use per-node charging instead.
+func (m *Meter) ChargeBroadcastSeq(bits int, fanout []int32, root topology.NodeID, lo, hi int) {
+	b := int64(bits)
+	for i := lo; i < hi; i++ {
+		c := &m.cells[i]
+		if k := int64(fanout[i]); k > 0 {
+			c.sent += b * k
+			c.msgs += k
+		}
+		if topology.NodeID(i) != root {
+			c.recv += b
+		}
+	}
 }
 
 // ChargeRx records one node hearing a physical-layer transmission.
 func (m *Meter) ChargeRx(to topology.NodeID, bits int) {
-	m.recv[to].Add(int64(bits))
+	atomic.AddInt64(&m.cells[to].recv, int64(bits))
 }
 
 // Reset zeroes all counters.
 func (m *Meter) Reset() {
-	for i := range m.sent {
-		m.sent[i].Store(0)
-		m.recv[i].Store(0)
-		m.msgs[i].Store(0)
+	for i := range m.cells {
+		atomic.StoreInt64(&m.cells[i].sent, 0)
+		atomic.StoreInt64(&m.cells[i].recv, 0)
+		atomic.StoreInt64(&m.cells[i].msgs, 0)
 	}
 	m.watchedBits.Store(0)
 }
 
 // SentBitsOf returns the bits node u has sent.
-func (m *Meter) SentBitsOf(u topology.NodeID) int64 { return m.sent[u].Load() }
+func (m *Meter) SentBitsOf(u topology.NodeID) int64 { return atomic.LoadInt64(&m.cells[u].sent) }
 
 // RecvBitsOf returns the bits node u has received.
-func (m *Meter) RecvBitsOf(u topology.NodeID) int64 { return m.recv[u].Load() }
+func (m *Meter) RecvBitsOf(u topology.NodeID) int64 { return atomic.LoadInt64(&m.cells[u].recv) }
 
 // MessagesOf returns the number of messages node u has sent.
-func (m *Meter) MessagesOf(u topology.NodeID) int64 { return m.msgs[u].Load() }
+func (m *Meter) MessagesOf(u topology.NodeID) int64 { return atomic.LoadInt64(&m.cells[u].msgs) }
 
 // MaxPerNode returns the paper's complexity measure: max over nodes of
 // bits sent plus bits received.
 func (m *Meter) MaxPerNode() int64 {
 	var max int64
-	for i := range m.sent {
-		if v := m.sent[i].Load() + m.recv[i].Load(); v > max {
+	for i := range m.cells {
+		if v := atomic.LoadInt64(&m.cells[i].sent) + atomic.LoadInt64(&m.cells[i].recv); v > max {
 			max = v
 		}
 	}
@@ -132,8 +221,8 @@ func (m *Meter) MaxPerNode() int64 {
 // TotalBits returns the sum over nodes of bits sent (== total link bits).
 func (m *Meter) TotalBits() int64 {
 	var total int64
-	for i := range m.sent {
-		total += m.sent[i].Load()
+	for i := range m.cells {
+		total += atomic.LoadInt64(&m.cells[i].sent)
 	}
 	return total
 }
@@ -141,15 +230,15 @@ func (m *Meter) TotalBits() int64 {
 // TotalMessages returns the total number of messages sent.
 func (m *Meter) TotalMessages() int64 {
 	var total int64
-	for i := range m.msgs {
-		total += m.msgs[i].Load()
+	for i := range m.cells {
+		total += atomic.LoadInt64(&m.cells[i].msgs)
 	}
 	return total
 }
 
 // PerNode returns bits sent+received for node u.
 func (m *Meter) PerNode(u topology.NodeID) int64 {
-	return m.sent[u].Load() + m.recv[u].Load()
+	return atomic.LoadInt64(&m.cells[u].sent) + atomic.LoadInt64(&m.cells[u].recv)
 }
 
 // Snapshot captures the current counters so a caller can measure one
@@ -162,11 +251,11 @@ type Snapshot struct {
 
 // Snapshot returns a copy of the per-node sent+recv totals.
 func (m *Meter) Snapshot() Snapshot {
-	per := make([]int64, len(m.sent))
+	per := make([]int64, len(m.cells))
 	var bits int64
 	for i := range per {
-		s := m.sent[i].Load()
-		per[i] = s + m.recv[i].Load()
+		s := atomic.LoadInt64(&m.cells[i].sent)
+		per[i] = s + atomic.LoadInt64(&m.cells[i].recv)
 		bits += s
 	}
 	return Snapshot{perNode: per, totalBits: bits, totalMsgs: m.TotalMessages()}
@@ -185,8 +274,8 @@ type Delta struct {
 // Since returns the communication accrued since snapshot s.
 func (m *Meter) Since(s Snapshot) Delta {
 	var d Delta
-	for i := range m.sent {
-		if v := m.sent[i].Load() + m.recv[i].Load() - s.perNode[i]; v > d.MaxPerNode {
+	for i := range m.cells {
+		if v := atomic.LoadInt64(&m.cells[i].sent) + atomic.LoadInt64(&m.cells[i].recv) - s.perNode[i]; v > d.MaxPerNode {
 			d.MaxPerNode = v
 		}
 	}

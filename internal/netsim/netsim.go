@@ -41,11 +41,30 @@ type Node struct {
 	// node's Scratch.
 	Scratch any
 
+	// pcg is embedded (not a pointer) so a pooled network can reseed the
+	// stream in place (ForkPool) and node RNG state lives inside the
+	// network's contiguous node array.
+	pcg rand.PCG
 	rng *rand.Rand
+
+	// outbox is the node's reusable round-engine send buffer; see
+	// OutboxScratch.
+	outbox []GraphMsg
 }
 
 // RNG returns the node's private random stream.
 func (n *Node) RNG() *rand.Rand { return n.rng }
+
+// OutboxScratch returns a zero-length message slice backed by the node's
+// reusable outbox buffer. Round handlers append this round's messages to
+// it and return it from Step; after delivery the round engine reclaims
+// whatever Step returned, so a warm round sends without allocating. The
+// slice is only valid within the Step call that obtained it.
+func (n *Node) OutboxScratch() []GraphMsg { return n.outbox[:0] }
+
+// nodeStream is the per-node RNG stream derivation shared by construction
+// and pooled reseeding.
+func nodeStream(i int) uint64 { return uint64(i)*0x9e3779b97f4a7c15 + 0xabcd }
 
 // ResetItems restores every item to its original value and activates it.
 func (n *Node) ResetItems() {
@@ -79,7 +98,28 @@ type Network struct {
 	ValueWidth int
 
 	seed uint64
+
+	// pool is the ForkPool a pooled fork returns to on Release; nil for
+	// networks built directly.
+	pool *ForkPool
+	// scratch holds the round engines' per-run inbox/outbox storage,
+	// allocated on first use and reused across rounds and runs.
+	scratch *runScratch
+	// treeScratch is the tree engine's reusable execution scratch
+	// (spantree stores its level schedule, stash writers, and arenas
+	// here), opaque to netsim. It rides along through pooled reuse so
+	// repeated queries against one run network skip the rebuild.
+	treeScratch any
 }
+
+// TreeScratch returns the opaque tree-engine scratch attached to this
+// network, or nil.
+func (nw *Network) TreeScratch() any { return nw.treeScratch }
+
+// SetTreeScratch attaches tree-engine scratch to this network. The
+// network owns one run at a time, so the single engine executing on it
+// has exclusive use of the scratch.
+func (nw *Network) SetTreeScratch(s any) { nw.treeScratch = s }
 
 // Option configures a Network.
 type Option func(*config)
@@ -177,16 +217,29 @@ func NewFromTree(g *topology.Graph, tree *topology.Tree, items [][]uint64, maxX 
 		ValueWidth: bitio.WidthOfRange(maxX + 1),
 		seed:       seed,
 	}
-	for i := range nw.Nodes {
-		nd := &Node{ID: topology.NodeID(i)}
-		nd.rng = rand.New(rand.NewPCG(seed, uint64(i)*0x9e3779b97f4a7c15+0xabcd))
-		nd.Items = make([]Item, len(items[i]))
-		for j, v := range items[i] {
+	// One contiguous node array and one contiguous item backing array:
+	// every per-node sweep (protocol locals, resets, forks) then walks
+	// nearly linear memory instead of pointer-chasing N separate
+	// allocations.
+	total := 0
+	for i := range items {
+		total += len(items[i])
+	}
+	nodes := make([]Node, g.N())
+	backing := make([]Item, 0, total)
+	for i := range nodes {
+		nd := &nodes[i]
+		nd.ID = topology.NodeID(i)
+		nd.pcg = *rand.NewPCG(seed, nodeStream(i))
+		nd.rng = rand.New(&nd.pcg)
+		start := len(backing)
+		for _, v := range items[i] {
 			if v > maxX {
 				panic(fmt.Sprintf("netsim: item %d at node %d exceeds maxX %d", v, i, maxX))
 			}
-			nd.Items[j] = Item{Orig: v, Cur: v, Active: true}
+			backing = append(backing, Item{Orig: v, Cur: v, Active: true})
 		}
+		nd.Items = backing[start:len(backing):len(backing)]
 		nw.Nodes[i] = nd
 	}
 	return nw
@@ -209,6 +262,33 @@ func (nw *Network) Fork(seed uint64) *Network {
 		items[i] = vs
 	}
 	return NewFromTree(nw.Graph, nw.Tree, items, nw.MaxX, seed)
+}
+
+// resetForRun turns an already-forked network back into exactly what
+// Fork(seed) would build: items restored to their original active state,
+// scratch cleared, RNG streams reseeded in place, meter zeroed, fault plan
+// detached. This is ForkPool's reset-into-place path; byte-identity with a
+// fresh fork is asserted by tests.
+func (nw *Network) resetForRun(seed uint64) {
+	nw.seed = seed
+	nw.Faults = nil
+	nw.Meter.Reset()
+	nw.Meter.ClearWatch()
+	for i, nd := range nw.Nodes {
+		nd.Scratch = nil
+		nd.ResetItems()
+		nd.pcg.Seed(seed, nodeStream(i))
+	}
+}
+
+// Release returns a pooled network to its ForkPool for reuse by a later
+// run. It is a no-op for networks not obtained from a pool. The caller
+// must be completely done with the network — including its meter — before
+// releasing.
+func (nw *Network) Release() {
+	if nw.pool != nil {
+		nw.pool.Put(nw)
+	}
 }
 
 // N returns the number of nodes.

@@ -48,9 +48,17 @@ func (f RadioHandlerFunc) Step(n *Node, round int, heard []RadioMsg) (wire.Paylo
 // only copies actually heard are charged on the receive side.
 func RunRadioRounds(nw *Network, handler RadioHandler, rounds int) RoundsResult {
 	n := nw.N()
-	heard := make([][]RadioMsg, n)
-	sent := make([]RadioMsg, n)
-	active := make([]bool, n)
+	sc := nw.roundScratch()
+	for len(sc.heard) < n {
+		sc.heard = append(sc.heard, nil)
+		sc.sent = append(sc.sent, RadioMsg{})
+		sc.active = append(sc.active, false)
+	}
+	heard, sent, active := sc.heard[:n], sc.sent[:n], sc.active[:n]
+	for i := range heard {
+		heard[i] = heard[i][:0]
+		active[i] = false
+	}
 	var transmissions int64
 	executed := 0
 

@@ -41,6 +41,28 @@ type RoundsResult struct {
 	Messages int64
 }
 
+// runScratch is the round engines' reusable per-network storage: inbox and
+// outbox slots for RunRounds, heard/sent/active slots for RunRadioRounds.
+// It is allocated on first use and reused across rounds and runs (lengths
+// reset, capacity retained), so a warm round allocates nothing on the
+// engine side. A network runs one round engine at a time, which is the
+// existing single-run ownership contract.
+type runScratch struct {
+	inboxes  [][]GraphMsg
+	outboxes [][]GraphMsg
+	heard    [][]RadioMsg
+	sent     []RadioMsg
+	active   []bool
+}
+
+// roundScratch returns the network's scratch, allocated on first use.
+func (nw *Network) roundScratch() *runScratch {
+	if nw.scratch == nil {
+		nw.scratch = &runScratch{}
+	}
+	return nw.scratch
+}
+
 // RunRounds drives handler for up to the given number of synchronous rounds
 // over the network graph, charging every message to the meter. Round 0
 // delivers an empty inbox to every node. The run stops early once a round
@@ -59,8 +81,16 @@ type RoundsResult struct {
 // again) — the convention the spantree fault injection already used.
 func RunRounds(nw *Network, handler RoundHandler, rounds int) RoundsResult {
 	n := nw.N()
-	inboxes := make([][]GraphMsg, n)
-	outboxes := make([][]GraphMsg, n)
+	sc := nw.roundScratch()
+	for len(sc.inboxes) < n {
+		sc.inboxes = append(sc.inboxes, nil)
+		sc.outboxes = append(sc.outboxes, nil)
+	}
+	inboxes, outboxes := sc.inboxes[:n], sc.outboxes[:n]
+	for i := range inboxes {
+		inboxes[i] = inboxes[i][:0]
+		outboxes[i] = nil
+	}
 	var sent int64
 	executed := 0
 
@@ -110,7 +140,14 @@ func RunRounds(nw *Network, handler RoundHandler, rounds int) RoundsResult {
 					roundMsgs++
 				}
 			}
-			outboxes[i] = nil
+			// Delivered messages were copied into inboxes, so the outbox
+			// slice is dead: reclaim it as the node's outbox scratch for a
+			// later Step (see Node.OutboxScratch) instead of dropping the
+			// capacity on the floor.
+			if outboxes[i] != nil {
+				nw.Nodes[i].outbox = outboxes[i][:0]
+				outboxes[i] = nil
+			}
 		}
 		sent += roundMsgs
 		if roundMsgs == 0 && round > 0 {

@@ -260,7 +260,7 @@ type combiner struct {
 	maxX uint64
 }
 
-var _ spantree.Combiner = combiner{}
+var _ spantree.AppendCombiner = combiner{}
 
 func (c combiner) Local(n *netsim.Node) any {
 	d := New(c.k, c.maxX)
@@ -279,10 +279,13 @@ func (c combiner) Merge(acc, child any) any {
 	return a
 }
 
+func (c combiner) AppendPartial(w *bitio.Writer, p any) {
+	p.(*Digest).AppendTo(w)
+}
+
 func (c combiner) Encode(p any) wire.Payload {
-	d := p.(*Digest)
-	w := bitio.NewWriter(d.EncodedBits())
-	d.AppendTo(w)
+	w := bitio.NewWriter(p.(*Digest).EncodedBits())
+	c.AppendPartial(w, p)
 	return wire.FromWriter(w)
 }
 

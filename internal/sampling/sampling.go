@@ -76,7 +76,7 @@ type combiner struct {
 	keyBase    []uint64
 }
 
-var _ spantree.Combiner = combiner{}
+var _ spantree.AppendCombiner = combiner{}
 
 func (c combiner) Local(n *netsim.Node) any {
 	syn := &synopsis{k: c.k}
@@ -97,14 +97,19 @@ func (c combiner) Merge(acc, child any) any {
 	return a
 }
 
-func (c combiner) Encode(p any) wire.Payload {
+func (c combiner) AppendPartial(w *bitio.Writer, p any) {
 	syn := p.(*synopsis)
-	w := bitio.NewWriter(8 + len(syn.samples)*(hashBits+c.valueWidth))
 	w.WriteGamma(uint64(len(syn.samples)))
 	for _, sm := range syn.samples {
 		w.WriteBits(uint64(sm.prio), hashBits)
 		w.WriteBits(sm.value, c.valueWidth)
 	}
+}
+
+func (c combiner) Encode(p any) wire.Payload {
+	syn := p.(*synopsis)
+	w := bitio.NewWriter(8 + len(syn.samples)*(hashBits+c.valueWidth))
+	c.AppendPartial(w, p)
 	return wire.FromWriter(w)
 }
 

@@ -55,7 +55,7 @@ func BuildBFS(nw *netsim.Network) (*BuildResult, error) {
 	before := nw.Meter.Snapshot()
 	handler := netsim.RoundHandlerFunc(func(nd *netsim.Node, round int, inbox []netsim.GraphMsg) []netsim.GraphMsg {
 		st := states[nd.ID]
-		var out []netsim.GraphMsg
+		out := nd.OutboxScratch()
 
 		for _, msg := range inbox {
 			r := msg.Payload.Reader()

@@ -14,8 +14,16 @@ import (
 // goroutines, waits for the wave to complete, and tears them down; the
 // dataflow through the channels is the only synchronization, mirroring how
 // a convergecast wave propagates through a real network.
+//
+// It is the small-N reference implementation: the level-parallel fast
+// engine is the scalable concurrent path, and cross-engine tests assert
+// both produce identical results and meters. The per-node channel array is
+// allocated once and reused across operations, so repeated queries don't
+// rebuild it; an engine therefore runs one operation at a time (each run
+// owns its own engine, so this was already the usage pattern).
 type GoroutineEngine struct {
-	nw *netsim.Network
+	nw    *netsim.Network
+	chans []chan wire.Payload
 }
 
 var _ Ops = (*GoroutineEngine)(nil)
@@ -31,6 +39,26 @@ func (e *GoroutineEngine) Network() *netsim.Network { return e.nw }
 // Name implements Ops.
 func (e *GoroutineEngine) Name() string { return "goroutine" }
 
+// channels returns the reusable per-node channel array, draining any value
+// a failed previous operation left behind (on a decode error a parent can
+// return without consuming every child's send).
+func (e *GoroutineEngine) channels() []chan wire.Payload {
+	n := e.nw.N()
+	for len(e.chans) < n {
+		// One buffered slot per uber-go guidance: the receiver may not have
+		// reached its receive yet; buffering decouples the send.
+		e.chans = append(e.chans, make(chan wire.Payload, 1))
+	}
+	chans := e.chans[:n]
+	for _, ch := range chans {
+		select {
+		case <-ch:
+		default:
+		}
+	}
+	return chans
+}
+
 // Broadcast implements Ops. Each node goroutine blocks on its parent
 // channel, applies the payload, then forwards to its children. The sender
 // performs the meter charge so each counter cell has a single writer per
@@ -38,10 +66,7 @@ func (e *GoroutineEngine) Name() string { return "goroutine" }
 func (e *GoroutineEngine) Broadcast(p wire.Payload, apply Applier) {
 	tree := e.nw.Tree
 	n := e.nw.N()
-	down := make([]chan wire.Payload, n)
-	for i := range down {
-		down[i] = make(chan wire.Payload, 1)
-	}
+	down := e.channels()
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
@@ -67,12 +92,7 @@ func (e *GoroutineEngine) Broadcast(p wire.Payload, apply Applier) {
 func (e *GoroutineEngine) Convergecast(c Combiner) (any, error) {
 	tree := e.nw.Tree
 	n := e.nw.N()
-	up := make([]chan wire.Payload, n)
-	for i := range up {
-		// One buffered slot per uber-go guidance: the parent may not have
-		// reached its receive yet; buffering decouples the send.
-		up[i] = make(chan wire.Payload, 1)
-	}
+	up := e.channels()
 	errs := make(chan error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)

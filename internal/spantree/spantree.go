@@ -4,11 +4,15 @@
 //
 // Two interchangeable engines implement the same Ops interface:
 //
+//   - Fast engine: a level-ordered schedule — sequential by default, and
+//     level-parallel (a worker pool sweeps each level's nodes) on wide
+//     trees, which is the scalable concurrent path. Payload buffers are
+//     pooled in per-worker wire.Arenas, so a warm convergecast allocates
+//     nothing.
 //   - Goroutine engine: every node is a goroutine; partials flow through
 //     channels along tree edges, so the synchronization structure mirrors a
-//     real convergecast wave.
-//   - Fast engine: a level-ordered sequential schedule, used for large-N
-//     sweeps.
+//     real convergecast wave. Kept as the small-N reference implementation
+//     the fast engine is differentially tested against.
 //
 // Both produce identical results and identical bit meters (asserted by
 // cross-engine tests), because all accounting happens at the encode/decode
@@ -17,8 +21,13 @@ package spantree
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
+	"sensoragg/internal/bitio"
+	"sensoragg/internal/faults"
 	"sensoragg/internal/netsim"
+	"sensoragg/internal/topology"
 	"sensoragg/internal/wire"
 )
 
@@ -40,6 +49,45 @@ type Combiner interface {
 	// Decode parses a received partial.
 	Decode(pl wire.Payload) (any, error)
 }
+
+// AppendCombiner is an optional Combiner extension for pooled payloads:
+// AppendPartial writes exactly the bits Encode would produce into a
+// caller-supplied writer, letting the engine borrow a pooled buffer
+// instead of allocating a payload per tree edge. Implementations keep
+// Encode as the copying fallback (typically delegating to AppendPartial)
+// for payloads that escape the engine's checkout window.
+type AppendCombiner interface {
+	Combiner
+	// AppendPartial appends p's encoding to w.
+	AppendPartial(w *bitio.Writer, p any)
+}
+
+// ScalarCombiner is an optional Combiner specialization for aggregates
+// whose partial state fits in two machine words (COUNT and SUM use one,
+// MIN/MAX uses two). The fast engine then keeps partials in flat uint64
+// slices instead of `any` slots, eliminating the per-node interface boxing
+// that otherwise dominates allocation on large convergecasts. The wire
+// format is unchanged — AppendScalar must emit exactly the bits Encode
+// would — so the scalar path is byte-identical to the generic one
+// (asserted by tests).
+type ScalarCombiner interface {
+	Combiner
+	// LocalScalar is Local with the partial packed into (x, y).
+	LocalScalar(n *netsim.Node) (x, y uint64)
+	// MergeScalar folds child partial (bx, by) into accumulator (ax, ay).
+	MergeScalar(ax, ay, bx, by uint64) (x, y uint64)
+	// AppendScalar encodes the partial, emitting the same bits as Encode.
+	AppendScalar(w *bitio.Writer, x, y uint64)
+	// DecodeScalar parses a partial encoded by AppendScalar.
+	DecodeScalar(pl wire.Payload) (x, y uint64, err error)
+	// ScalarResult converts the root partial to the value Convergecast
+	// returns — the same value the generic path would produce.
+	ScalarResult(x, y uint64) any
+}
+
+// scalarPair is one packed partial on the scalar convergecast path,
+// interleaved so a child's partial costs one cache line.
+type scalarPair struct{ x, y uint64 }
 
 // Applier reacts to a broadcast payload at a node. It runs once per node,
 // possibly concurrently across nodes.
@@ -74,20 +122,85 @@ type Ops interface {
 type FastEngine struct {
 	nw   *netsim.Network
 	view *TreeView
+
+	// workers selects the execution schedule: 1 runs strictly sequential,
+	// 0 (the default) auto-parallelizes wide levels across GOMAXPROCS
+	// workers, and any k > 1 forces every level with ≥2 nodes across k
+	// workers (the deterministic forced-parallel mode tests pin down).
+	workers int
+	// pooled selects arena-backed payloads for AppendCombiners; false
+	// falls back to the copying Encode path (the unpooled reference mode).
+	pooled bool
+
+	// sc is the engine's reusable execution scratch. A full-view engine
+	// parks it on the network (netsim.Network.TreeScratch), so repeated
+	// queries against one (possibly pooled) run network reuse the level
+	// schedule, stash writers, and arenas instead of rebuilding them; a
+	// healed-view engine gets private scratch. An engine runs one
+	// operation at a time — it belongs to a single run — so a warm
+	// operation allocates nothing.
+	sc *fastScratch
+
+	// rootX, rootY hold the root partial of the scalar fast path for the
+	// current operation.
+	rootX, rootY uint64
+	// watching caches Meter.Watching for the current operation: with no
+	// watched edge the engine batches each node's receive charges into one
+	// atomic update; with one it falls back to exact per-edge Charge.
+	watching bool
+}
+
+// fastScratch is the reusable execution state of a fast engine: the level
+// schedule and fan-out counts derived from the (immutable) view, per-node
+// stash writers, boxed-partial storage, and the payload arenas.
+type fastScratch struct {
+	// tree is the full spanning tree this scratch was derived from, nil
+	// for scratch private to a healed-view engine.
+	tree     *topology.Tree
+	view     *TreeView
+	levels   [][]topology.NodeID
+	partials []any
+	pairs    []scalarPair
+	stash    []*bitio.Writer
+	fanout   []int32
+	arenas   []*wire.Arena
 }
 
 var _ Ops = (*FastEngine)(nil)
 
-// NewFast returns a fast engine over nw's full spanning tree.
+// minParallelLevel is the level width below which the auto schedule stays
+// sequential: narrower levels don't amortize the goroutine fan-out.
+const minParallelLevel = 512
+
+// NewFast returns a fast engine over nw's full spanning tree, reusing the
+// execution scratch parked on the network by earlier engines of the same
+// tree (and parking fresh scratch there otherwise).
 func NewFast(nw *netsim.Network) *FastEngine {
-	return &FastEngine{nw: nw, view: FullView(nw.Tree)}
+	if s, ok := nw.TreeScratch().(*fastScratch); ok && s.tree == nw.Tree {
+		return &FastEngine{nw: nw, view: s.view, sc: s, pooled: true}
+	}
+	s := &fastScratch{tree: nw.Tree, view: FullView(nw.Tree)}
+	nw.SetTreeScratch(s)
+	return &FastEngine{nw: nw, view: s.view, sc: s, pooled: true}
 }
 
 // NewFastView returns a fast engine executing over an explicit tree view —
-// typically the repaired tree a Heal run produced.
+// typically the repaired tree a Heal run produced. View-specific scratch
+// is private to the engine.
 func NewFastView(nw *netsim.Network, view *TreeView) *FastEngine {
-	return &FastEngine{nw: nw, view: view}
+	return &FastEngine{nw: nw, view: view, sc: &fastScratch{view: view}, pooled: true}
 }
+
+// SetWorkers pins the engine's schedule: 1 = strictly sequential, 0 = auto
+// (parallel sweeps over levels wider than minParallelLevel), k > 1 = force
+// k workers over every level. Results and meters are identical across all
+// settings; only wall-clock changes.
+func (e *FastEngine) SetWorkers(k int) { e.workers = k }
+
+// SetPooled toggles arena-backed payload buffers (default on). The
+// unpooled mode goes through each combiner's copying Encode and exists for
+// the pooled-vs-unpooled identity tests.
+func (e *FastEngine) SetPooled(on bool) { e.pooled = on }
 
 // Network returns the underlying network.
 func (e *FastEngine) Network() *netsim.Network { return e.nw }
@@ -98,12 +211,86 @@ func (e *FastEngine) View() *TreeView { return e.view }
 // Name implements Ops.
 func (e *FastEngine) Name() string { return "fast" }
 
-// Broadcast implements Ops.
+// Broadcast implements Ops. Per-node work is independent (each node only
+// touches its own state and the shared immutable payload), so wide
+// networks are swept by the worker pool; charges are atomic and identical
+// regardless of schedule.
 func (e *FastEngine) Broadcast(p wire.Payload, apply Applier) {
+	e.watching = e.nw.Meter.Watching()
+	n := len(e.view.Order)
+	if e.sc.fanout == nil {
+		v := e.view
+		e.sc.fanout = make([]int32, len(v.Parent))
+		for u := range e.sc.fanout {
+			e.sc.fanout[u] = int32(len(v.Children[u]))
+		}
+	}
 	v := e.view
-	for _, u := range v.Order {
-		if u != v.Root {
-			e.nw.Meter.Charge(v.Parent[u], u, p.Bits())
+	if full := n == len(v.Parent); full && !e.watching {
+		// Full-view fast path: the metering of a uniform broadcast is one
+		// flat pass over the cells; the appliers (if any) sweep
+		// separately. Charges commute, so the linear order is free.
+		m := e.nw.Meter
+		bits := p.Bits()
+		if w := e.workersFor(n); w > 1 {
+			p, apply := p, apply
+			parallelChunks(n, w, func(_, lo, hi int) {
+				m.ChargeBroadcastSeq(bits, e.sc.fanout, v.Root, lo, hi)
+				if apply != nil {
+					for i := lo; i < hi; i++ {
+						apply(e.nw.Nodes[i], p)
+					}
+				}
+			})
+			return
+		}
+		m.ChargeBroadcastSeq(bits, e.sc.fanout, v.Root, 0, n)
+		if apply != nil {
+			for i := 0; i < n; i++ {
+				apply(e.nw.Nodes[i], p)
+			}
+		}
+		return
+	}
+	if w := e.workersFor(n); w > 1 {
+		// Shadowing keeps the escaping closure from moving the parameters
+		// to the heap on the sequential path (see Convergecast).
+		p, apply := p, apply
+		parallelChunks(n, w, func(_, lo, hi int) {
+			e.broadcastRange(p, apply, lo, hi)
+		})
+		return
+	}
+	e.broadcastRange(p, apply, 0, n)
+}
+
+// broadcastRange delivers p to the view's order slots [lo, hi). Each node
+// charges its own fan-out (send side) and its own receive, so chunked
+// parallel sweeps charge every edge exactly once. Per-node work is
+// independent and charges commute, so the sweep order is free: the full
+// sequential sweep walks nodes in ID order — linear through the meter
+// cells and node array — instead of BFS order.
+func (e *FastEngine) broadcastRange(p wire.Payload, apply Applier, lo, hi int) {
+	v := e.view
+	full := lo == 0 && hi == len(v.Order) && len(v.Order) == len(v.Parent)
+	m := e.nw.Meter
+	bits := p.Bits()
+	for i := lo; i < hi; i++ {
+		u := v.Order[i]
+		if full {
+			u = topology.NodeID(i)
+		}
+		if e.watching {
+			if u != v.Root {
+				m.Charge(v.Parent[u], u, bits)
+			}
+		} else {
+			if k := e.sc.fanout[u]; k > 0 {
+				m.ChargeSendOnlySeq(u, bits, int(k))
+			}
+			if u != v.Root {
+				m.ChargeRxSeq(u, bits)
+			}
 		}
 		if apply != nil {
 			apply(e.nw.Nodes[u], p)
@@ -111,32 +298,375 @@ func (e *FastEngine) Broadcast(p wire.Payload, apply Applier) {
 	}
 }
 
-// Convergecast implements Ops.
+// Convergecast implements Ops: a level-order sweep from the deepest level
+// up. Nodes within one level have disjoint subtrees, so each level may be
+// swept in parallel; partials land at distinct indices, meter charges are
+// atomic, and the fault plan's per-message decisions are sequenced per
+// sender (each child sends to its parent exactly once per convergecast),
+// so every schedule produces byte-identical results and meters.
+//
+// When the combiner implements AppendCombiner and pooling is on (the
+// default), each edge's payload borrows a pooled buffer from the sweeping
+// worker's arena and is released after decoding — the steady-state
+// convergecast allocates nothing.
 func (e *FastEngine) Convergecast(c Combiner) (any, error) {
+	e.watching = e.nw.Meter.Watching()
+	if sc, ok := c.(ScalarCombiner); ok && e.pooled {
+		return e.convergecastScalar(sc)
+	}
 	v := e.view
+	n := len(v.Parent)
+	if cap(e.sc.partials) < n {
+		e.sc.partials = make([]any, n)
+	}
+	partials := e.sc.partials[:n]
+	ac, _ := c.(AppendCombiner)
+	if !e.pooled {
+		ac = nil
+	}
 	plan := e.nw.Faults
-	partials := make([]any, e.nw.N())
-	order := v.Order
-	for i := len(order) - 1; i >= 0; i-- {
-		u := order[i]
-		acc := c.Local(e.nw.Nodes[u])
-		for _, child := range v.Children[u] {
-			pl := c.Encode(partials[child])
-			partials[child] = nil
-			deliveries := 1
-			if plan != nil {
-				deliveries = plan.Deliveries(child, u)
-			}
-			for d := 0; d < deliveries; d++ {
-				e.nw.Meter.Charge(child, u, pl.Bits())
-				dec, err := c.Decode(pl)
-				if err != nil {
-					return nil, fmt.Errorf("spantree: decoding partial from node %d: %w", child, err)
+	levels := e.levelSchedule()
+	for li := len(levels) - 1; li >= 0; li-- {
+		lv := levels[li]
+		w := e.workersFor(len(lv))
+		if w <= 1 {
+			a := e.arena(0)
+			for _, u := range lv {
+				if err := e.gather(u, c, ac, a, plan, partials); err != nil {
+					return nil, err
 				}
-				acc = c.Merge(acc, dec)
+			}
+			continue
+		}
+		for i := len(e.sc.arenas); i < w; i++ {
+			e.sc.arenas = append(e.sc.arenas, wire.NewArena())
+		}
+		errs := make([]error, w)
+		// Shadow the captured variables inside this branch: the escaping
+		// closure would otherwise move them to the heap at declaration and
+		// charge the sequential path one allocation per call.
+		c, ac := c, ac
+		parallelChunks(len(lv), w, func(worker, lo, hi int) {
+			a := e.sc.arenas[worker]
+			for i := lo; i < hi; i++ {
+				if err := e.gather(lv[i], c, ac, a, plan, partials); err != nil {
+					errs[worker] = err
+					return
+				}
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
 			}
 		}
-		partials[u] = acc
 	}
-	return partials[v.Root], nil
+	out := partials[v.Root]
+	partials[v.Root] = nil
+	return out, nil
+}
+
+// gather runs one node's convergecast step: local partial, then each
+// child's encoded partial charged, decoded, and merged in child order.
+func (e *FastEngine) gather(u topology.NodeID, c Combiner, ac AppendCombiner, a *wire.Arena, plan *faults.Plan, partials []any) error {
+	acc := c.Local(e.nw.Nodes[u])
+	m := e.nw.Meter
+	recvBits := 0
+	for _, child := range e.view.Children[u] {
+		var pl wire.Payload
+		var w *bitio.Writer
+		if ac != nil {
+			w = a.Writer(64)
+			ac.AppendPartial(w, partials[child])
+			pl = wire.Borrowed(w)
+		} else {
+			pl = c.Encode(partials[child])
+		}
+		partials[child] = nil
+		deliveries := 1
+		if plan != nil {
+			deliveries = plan.Deliveries(child, u)
+		}
+		var err error
+		for d := 0; d < deliveries; d++ {
+			if e.watching {
+				m.Charge(child, u, pl.Bits())
+			} else {
+				m.ChargeSendOnlySeq(child, pl.Bits(), 1)
+				recvBits += pl.Bits()
+			}
+			var dec any
+			if dec, err = c.Decode(pl); err != nil {
+				err = fmt.Errorf("spantree: decoding partial from node %d: %w", child, err)
+				break
+			}
+			acc = c.Merge(acc, dec)
+		}
+		if w != nil {
+			a.Release(w)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if recvBits > 0 {
+		m.ChargeRxSeq(u, recvBits)
+	}
+	partials[u] = acc
+	return nil
+}
+
+// convergecastScalar is Convergecast for ScalarCombiners: the same level
+// sweep, charges, and fault decisions, with partials in flat uint64 pairs
+// instead of boxed `any` slots.
+func (e *FastEngine) convergecastScalar(sc ScalarCombiner) (any, error) {
+	v := e.view
+	n := len(v.Parent)
+	plan := e.nw.Faults
+	if e.watching || (plan != nil && plan.Spec().MessageLevel()) {
+		// Per-edge charging (watched-edge accounting, or drop/dup
+		// decisions that reshape what each endpoint pays).
+		return e.convergecastScalarEdges(sc, plan)
+	}
+	// Reliable fast path: every node encodes its own partial once into its
+	// dedicated stash writer (created lazily, reused for the engine's
+	// lifetime) and charges its whole step against its own meter cell
+	// while the cell is cache-hot; the parent reads the stashed payload
+	// without ever touching the child's cell. Identical counters, two cold
+	// cache lines less per edge.
+	if cap(e.sc.stash) < n {
+		e.sc.stash = make([]*bitio.Writer, n)
+	}
+	stash := e.sc.stash[:n]
+	levels := e.levelSchedule()
+	for li := len(levels) - 1; li >= 0; li-- {
+		lv := levels[li]
+		w := e.workersFor(len(lv))
+		if w <= 1 {
+			for _, u := range lv {
+				if err := e.gatherScalarStash(u, sc, stash); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		errs := make([]error, w)
+		sc := sc
+		parallelChunks(len(lv), w, func(worker, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if err := e.gatherScalarStash(lv[i], sc, stash); err != nil {
+					errs[worker] = err
+					return
+				}
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sc.ScalarResult(e.rootX, e.rootY), nil
+}
+
+// gatherScalarStash runs one node's step on the reliable scalar path:
+// decode and merge the children's stashed payloads, then encode this
+// node's partial for its parent into the node's dedicated writer,
+// charging the node's send and receive sides in one meter-cell visit.
+func (e *FastEngine) gatherScalarStash(u topology.NodeID, sc ScalarCombiner, stash []*bitio.Writer) error {
+	ax, ay := sc.LocalScalar(e.nw.Nodes[u])
+	recvBits := 0
+	for _, child := range e.view.Children[u] {
+		pl := wire.Borrowed(stash[child])
+		recvBits += pl.Bits()
+		bx, by, err := sc.DecodeScalar(pl)
+		if err != nil {
+			return fmt.Errorf("spantree: decoding partial from node %d: %w", child, err)
+		}
+		ax, ay = sc.MergeScalar(ax, ay, bx, by)
+	}
+	sentBits := -1
+	if u != e.view.Root {
+		w := stash[u]
+		if w == nil {
+			w = bitio.NewWriter(64)
+			stash[u] = w
+		} else {
+			w.Reset()
+		}
+		sc.AppendScalar(w, ax, ay)
+		sentBits = w.Len()
+	} else {
+		e.rootX, e.rootY = ax, ay
+	}
+	e.nw.Meter.ChargeNodeSeq(u, sentBits, recvBits)
+	return nil
+}
+
+// convergecastScalarEdges is the scalar sweep with per-edge charging: the
+// path for watched-edge runs and message-level fault plans, where each
+// delivery's fate (and its exact (from, to) pair) must be priced
+// individually.
+func (e *FastEngine) convergecastScalarEdges(sc ScalarCombiner, plan *faults.Plan) (any, error) {
+	v := e.view
+	n := len(v.Parent)
+	if cap(e.sc.pairs) < n {
+		e.sc.pairs = make([]scalarPair, n)
+	}
+	pairs := e.sc.pairs[:n]
+	levels := e.levelSchedule()
+	for li := len(levels) - 1; li >= 0; li-- {
+		lv := levels[li]
+		w := e.workersFor(len(lv))
+		if w <= 1 {
+			a := e.arena(0)
+			for _, u := range lv {
+				if err := e.gatherScalar(u, sc, a, plan, pairs); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		for i := len(e.sc.arenas); i < w; i++ {
+			e.sc.arenas = append(e.sc.arenas, wire.NewArena())
+		}
+		errs := make([]error, w)
+		sc := sc
+		parallelChunks(len(lv), w, func(worker, lo, hi int) {
+			a := e.sc.arenas[worker]
+			for i := lo; i < hi; i++ {
+				if err := e.gatherScalar(lv[i], sc, a, plan, pairs); err != nil {
+					errs[worker] = err
+					return
+				}
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	root := pairs[v.Root]
+	return sc.ScalarResult(root.x, root.y), nil
+}
+
+// gatherScalar is gather on packed uint64 partials.
+func (e *FastEngine) gatherScalar(u topology.NodeID, sc ScalarCombiner, a *wire.Arena, plan *faults.Plan, pairs []scalarPair) error {
+	ax, ay := sc.LocalScalar(e.nw.Nodes[u])
+	m := e.nw.Meter
+	recvBits := 0
+	for _, child := range e.view.Children[u] {
+		w := a.Writer(64)
+		cp := pairs[child]
+		sc.AppendScalar(w, cp.x, cp.y)
+		pl := wire.Borrowed(w)
+		deliveries := 1
+		if plan != nil {
+			deliveries = plan.Deliveries(child, u)
+		}
+		var err error
+		for d := 0; d < deliveries; d++ {
+			if e.watching {
+				m.Charge(child, u, pl.Bits())
+			} else {
+				m.ChargeSendOnlySeq(child, pl.Bits(), 1)
+				recvBits += pl.Bits()
+			}
+			var bx, by uint64
+			if bx, by, err = sc.DecodeScalar(pl); err != nil {
+				err = fmt.Errorf("spantree: decoding partial from node %d: %w", child, err)
+				break
+			}
+			ax, ay = sc.MergeScalar(ax, ay, bx, by)
+		}
+		a.Release(w)
+		if err != nil {
+			return err
+		}
+	}
+	if recvBits > 0 {
+		m.ChargeRxSeq(u, recvBits)
+	}
+	pairs[u] = scalarPair{x: ax, y: ay}
+	return nil
+}
+
+// levelSchedule groups the view's nodes by depth, each level in BFS order.
+// The view is immutable for the engine's lifetime, so the grouping is
+// computed once.
+func (e *FastEngine) levelSchedule() [][]topology.NodeID {
+	if e.sc.levels != nil {
+		return e.sc.levels
+	}
+	v := e.view
+	depth := make([]int, len(v.Parent))
+	maxd := 0
+	for _, u := range v.Order {
+		if u == v.Root {
+			continue
+		}
+		depth[u] = depth[v.Parent[u]] + 1
+		if depth[u] > maxd {
+			maxd = depth[u]
+		}
+	}
+	levels := make([][]topology.NodeID, maxd+1)
+	for _, u := range v.Order {
+		levels[depth[u]] = append(levels[depth[u]], u)
+	}
+	e.sc.levels = levels
+	return levels
+}
+
+// arena returns the worker's payload arena, growing the pool on first use.
+// Callers on the parallel path must pre-extend the pool before fanning
+// out; this accessor itself is not safe for concurrent growth.
+func (e *FastEngine) arena(i int) *wire.Arena {
+	for len(e.sc.arenas) <= i {
+		e.sc.arenas = append(e.sc.arenas, wire.NewArena())
+	}
+	return e.sc.arenas[i]
+}
+
+// workersFor resolves the schedule for one sweep of the given width under
+// the engine's workers setting.
+func (e *FastEngine) workersFor(width int) int {
+	switch {
+	case e.workers == 1 || width < 2:
+		return 1
+	case e.workers > 1:
+		if e.workers > width {
+			return width
+		}
+		return e.workers
+	default: // auto
+		if width < minParallelLevel {
+			return 1
+		}
+		w := runtime.GOMAXPROCS(0)
+		if w > width {
+			w = width
+		}
+		return w
+	}
+}
+
+// parallelChunks splits [0, n) into contiguous chunks across workers and
+// invokes fn(worker, lo, hi) on each, waiting for completion.
+func parallelChunks(n, workers int, fn func(worker, lo, hi int)) {
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w*chunk < n; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
 }

@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"testing"
+
+	"sensoragg/internal/bitio"
+)
+
+func TestArenaRecyclesWriters(t *testing.T) {
+	a := NewArena()
+	w1 := a.Writer(32)
+	w1.WriteBits(0b1011, 4)
+	a.Release(w1)
+	w2 := a.Writer(32)
+	if w2 != w1 {
+		t.Errorf("arena did not recycle the released writer")
+	}
+	if w2.Len() != 0 {
+		t.Errorf("recycled writer not reset: %d bits", w2.Len())
+	}
+}
+
+func TestBorrowedAliasesAndCloneEscapes(t *testing.T) {
+	a := NewArena()
+	w := a.Writer(16)
+	w.WriteBits(0xAB, 8)
+	p := Borrowed(w)
+	if p.Bits() != 8 {
+		t.Fatalf("borrowed payload has %d bits, want 8", p.Bits())
+	}
+	clone := p.Clone()
+
+	// Mutating the writer changes the borrowed payload (it aliases) but
+	// not the clone (it escaped).
+	a.Release(w)
+	w2 := a.Writer(16)
+	w2.WriteBits(0xCD, 8)
+
+	got, err := clone.Reader().ReadBits(8)
+	if err != nil || got != 0xAB {
+		t.Errorf("clone reads %#x (%v), want 0xAB", got, err)
+	}
+	aliased, err := p.Reader().ReadBits(8)
+	if err != nil || aliased != 0xCD {
+		t.Errorf("borrowed payload reads %#x (%v), want the overwritten 0xCD", aliased, err)
+	}
+}
+
+func TestBorrowedMatchesFromWriter(t *testing.T) {
+	var w bitio.Writer
+	w.WriteGamma(12345)
+	w.WriteBits(0b10, 2)
+	b := Borrowed(&w)
+	f := FromWriter(&w)
+	if b.Bits() != f.Bits() {
+		t.Fatalf("bit lengths differ: borrowed %d, copied %d", b.Bits(), f.Bits())
+	}
+	br, fr := b.Reader(), f.Reader()
+	for br.Remaining() > 0 {
+		x, _ := br.ReadBit()
+		y, _ := fr.ReadBit()
+		if x != y {
+			t.Fatal("borrowed and copied payloads differ")
+		}
+	}
+}
+
+func TestCloneEmptyPayload(t *testing.T) {
+	if c := Empty.Clone(); c.Bits() != 0 {
+		t.Errorf("cloned empty payload has %d bits", c.Bits())
+	}
+}

@@ -21,7 +21,9 @@ type Payload struct {
 }
 
 // FromWriter snapshots the writer's bits into a Payload. The writer may be
-// reused afterwards.
+// reused afterwards. The copy is what lets the payload escape the run that
+// produced it; hot paths that control the payload's lifetime use an Arena
+// and Borrowed instead.
 func FromWriter(w *bitio.Writer) Payload {
 	b := make([]byte, len(w.Bytes()))
 	copy(b, w.Bytes())
