@@ -430,6 +430,84 @@ func BenchmarkTreeBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkMedianBatched — the k-ary probe plane against classic bisection
+// on one 4096-node grid: "bisect" is the Fig. 1 binary search, width=k
+// batches k COUNT probes per CountVec sweep. The sweeps/op metric is the
+// round count the batching compresses.
+func BenchmarkMedianBatched(b *testing.B) {
+	net := gridNet(4096, workload.Uniform, 17)
+	nw := net.Network()
+	b.Run("bisect", func(b *testing.B) {
+		before := nw.Meter.Snapshot()
+		var sweeps int
+		for i := 0; i < b.N; i++ {
+			res, err := core.Median(net)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sweeps += res.CountCalls
+		}
+		reportBits(b, nw, before)
+		b.ReportMetric(float64(sweeps)/float64(b.N), "sweeps/op")
+	})
+	for _, width := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			before := nw.Meter.Snapshot()
+			var sweeps int
+			for i := 0; i < b.N; i++ {
+				res, err := core.MedianBatched(net, width)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sweeps += res.Sweeps
+			}
+			reportBits(b, nw, before)
+			b.ReportMetric(float64(sweeps)/float64(b.N), "sweeps/op")
+		})
+	}
+}
+
+// BenchmarkMultiQuantile — five quantiles answered by one shared k-ary
+// probe schedule vs five separate batched searches: the sharing is where
+// the probe plane wins outright on every axis (sweeps, bits, wall-clock).
+func BenchmarkMultiQuantile(b *testing.B) {
+	phis := []float64{0.05, 0.25, 0.5, 0.75, 0.95}
+	ranks := make([]core.BatchRank, len(phis))
+	for i, phi := range phis {
+		ranks[i] = core.BatchRank{Phi: phi}
+	}
+	net := gridNet(4096, workload.Uniform, 18)
+	nw := net.Network()
+	b.Run("shared", func(b *testing.B) {
+		before := nw.Meter.Snapshot()
+		var sweeps int
+		for i := 0; i < b.N; i++ {
+			res, err := core.SelectRanksBatched(net, ranks, core.DefaultProbeWidth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sweeps += res.Sweeps
+		}
+		reportBits(b, nw, before)
+		b.ReportMetric(float64(sweeps)/float64(b.N), "sweeps/op")
+	})
+	b.Run("separate", func(b *testing.B) {
+		before := nw.Meter.Snapshot()
+		var sweeps int
+		for i := 0; i < b.N; i++ {
+			for j := range ranks {
+				res, err := core.SelectRanksBatched(net, ranks[j:j+1], core.DefaultProbeWidth)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sweeps += res.Sweeps
+			}
+		}
+		reportBits(b, nw, before)
+		b.ReportMetric(float64(sweeps)/float64(b.N), "sweeps/op")
+	})
+}
+
 // BenchmarkEngineMedian8 — the concurrency acceptance gate: 8 independent
 // exact-median queries on independently-seeded 4096-node grids, executed
 // through the query engine serially (worker pool of 1) and in parallel

@@ -26,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"sensoragg/internal/core"
@@ -43,11 +45,14 @@ type options struct {
 	query    string
 	k        uint64
 	phi      float64
+	phis     string
+	aggs     string
 	eps      float64
 	beta     float64
 	engine   string
 	sketchP  int
 	children int
+	probeW   int
 
 	crash     float64
 	drop      float64
@@ -61,30 +66,40 @@ type options struct {
 	jsonOut  string
 }
 
+// registerFlags binds the CLI surface to o — split from main so the
+// flag-parsing tests drive a private FlagSet through the same definitions.
+func registerFlags(fs *flag.FlagSet, o *options) {
+	fs.StringVar(&o.topo, "topology", "grid", "line|ring|star|grid|torus|complete|btree|rgg")
+	fs.IntVar(&o.n, "n", 1024, "number of nodes")
+	fs.StringVar(&o.wl, "workload", "uniform", "uniform|zipf|gaussian|exponential|bimodal|constant|fewdistinct|drift")
+	fs.Uint64Var(&o.maxX, "maxx", 0, "value domain bound X (default 4·n)")
+	fs.Uint64Var(&o.seed, "seed", 1, "random seed")
+	fs.StringVar(&o.query, "query", "median", "median|quantile|quantiles|fused|os|min|max|count|sum|avg|distinct|apxdistinct|apxmedian|apxmedian2|gk|sampling|gossip|gossipdistinct|qdigest|collectall|singlehop|buildtree")
+	fs.Uint64Var(&o.k, "k", 0, "rank for -query os (default N/2)")
+	fs.Float64Var(&o.phi, "phi", 0.5, "quantile for -query quantile")
+	fs.StringVar(&o.phis, "phis", "0.25,0.5,0.9", "comma-separated quantile fractions for -query quantiles")
+	fs.StringVar(&o.aggs, "aggs", "", "comma-separated aggregates for -query fused (default count,sum,min,max)")
+	fs.Float64Var(&o.eps, "eps", 0.25, "failure probability ε for randomized queries")
+	fs.Float64Var(&o.beta, "beta", 1.0/64, "precision β for apxmedian2")
+	fs.StringVar(&o.engine, "engine", "fast", "fast|goroutine")
+	fs.IntVar(&o.sketchP, "sketchp", core.DefaultSketchP, "LogLog register exponent p (m=2^p)")
+	fs.IntVar(&o.children, "maxchildren", netsim.DefaultMaxChildren, "spanning-tree degree bound (0=unbounded)")
+	fs.IntVar(&o.probeW, "probewidth", 0,
+		fmt.Sprintf("COUNT probes batched per selection sweep (0 = engine default %d, 1 = classic binary search)", core.DefaultProbeWidth))
+	fs.Float64Var(&o.crash, "crash", 0, "fault plan: node crash probability (root exempt)")
+	fs.Float64Var(&o.drop, "drop", 0, "fault plan: per-message loss probability")
+	fs.Float64Var(&o.dup, "dup", 0, "fault plan: per-message duplication probability")
+	fs.Float64Var(&o.linkfail, "linkfail", 0, "fault plan: permanent link failure probability")
+	fs.Uint64Var(&o.faultSeed, "faultseed", 0, "pin the fault stream to this seed (0 = per-run seed)")
+	fs.IntVar(&o.parallel, "parallel", 1, "run the query on this many independently-seeded networks")
+	fs.IntVar(&o.workers, "workers", 0, "worker-pool size (default GOMAXPROCS)")
+	fs.DurationVar(&o.timeout, "timeout", 0, "per-query deadline (0 = none)")
+	fs.StringVar(&o.jsonOut, "json", "", "write the batch report as JSON to this file")
+}
+
 func main() {
 	var o options
-	flag.StringVar(&o.topo, "topology", "grid", "line|ring|star|grid|torus|complete|btree|rgg")
-	flag.IntVar(&o.n, "n", 1024, "number of nodes")
-	flag.StringVar(&o.wl, "workload", "uniform", "uniform|zipf|gaussian|exponential|bimodal|constant|fewdistinct|drift")
-	flag.Uint64Var(&o.maxX, "maxx", 0, "value domain bound X (default 4·n)")
-	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
-	flag.StringVar(&o.query, "query", "median", "median|quantile|os|min|max|count|sum|avg|distinct|apxdistinct|apxmedian|apxmedian2|gk|sampling|gossip|gossipdistinct|qdigest|collectall|singlehop|buildtree")
-	flag.Uint64Var(&o.k, "k", 0, "rank for -query os (default N/2)")
-	flag.Float64Var(&o.phi, "phi", 0.5, "quantile for -query quantile")
-	flag.Float64Var(&o.eps, "eps", 0.25, "failure probability ε for randomized queries")
-	flag.Float64Var(&o.beta, "beta", 1.0/64, "precision β for apxmedian2")
-	flag.StringVar(&o.engine, "engine", "fast", "fast|goroutine")
-	flag.IntVar(&o.sketchP, "sketchp", core.DefaultSketchP, "LogLog register exponent p (m=2^p)")
-	flag.IntVar(&o.children, "maxchildren", netsim.DefaultMaxChildren, "spanning-tree degree bound (0=unbounded)")
-	flag.Float64Var(&o.crash, "crash", 0, "fault plan: node crash probability (root exempt)")
-	flag.Float64Var(&o.drop, "drop", 0, "fault plan: per-message loss probability")
-	flag.Float64Var(&o.dup, "dup", 0, "fault plan: per-message duplication probability")
-	flag.Float64Var(&o.linkfail, "linkfail", 0, "fault plan: permanent link failure probability")
-	flag.Uint64Var(&o.faultSeed, "faultseed", 0, "pin the fault stream to this seed (0 = per-run seed)")
-	flag.IntVar(&o.parallel, "parallel", 1, "run the query on this many independently-seeded networks")
-	flag.IntVar(&o.workers, "workers", 0, "worker-pool size (default GOMAXPROCS)")
-	flag.DurationVar(&o.timeout, "timeout", 0, "per-query deadline (0 = none)")
-	flag.StringVar(&o.jsonOut, "json", "", "write the batch report as JSON to this file")
+	registerFlags(flag.CommandLine, &o)
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -118,27 +133,47 @@ func (o options) spec(seed uint64) engine.Spec {
 	}
 }
 
-func (o options) querySpec() engine.Query {
-	return engine.Query{
-		Kind:    o.query,
-		K:       o.k,
-		Phi:     o.phi,
-		Eps:     o.eps,
-		Beta:    o.beta,
-		SketchP: o.sketchP,
+func (o options) querySpec() (engine.Query, error) {
+	q := engine.Query{
+		Kind:       o.query,
+		K:          o.k,
+		Phi:        o.phi,
+		Eps:        o.eps,
+		Beta:       o.beta,
+		SketchP:    o.sketchP,
+		ProbeWidth: o.probeW,
 	}
+	if o.query == engine.KindQuantiles {
+		for _, f := range strings.Split(o.phis, ",") {
+			phi, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return q, fmt.Errorf("-phis: bad fraction %q: %w", f, err)
+			}
+			q.Phis = append(q.Phis, phi)
+		}
+	}
+	if o.aggs != "" {
+		for _, a := range strings.Split(o.aggs, ",") {
+			q.Aggs = append(q.Aggs, strings.TrimSpace(a))
+		}
+	}
+	return q, nil
 }
 
 func run(o options) error {
 	if o.parallel < 1 {
 		return fmt.Errorf("-parallel must be >= 1")
 	}
+	query, err := o.querySpec()
+	if err != nil {
+		return err
+	}
 	jobs := make([]engine.Job, o.parallel)
 	for i := range jobs {
 		jobs[i] = engine.Job{
 			ID:    fmt.Sprintf("run-%d", i),
 			Spec:  o.spec(o.seed + uint64(i)),
-			Query: o.querySpec(),
+			Query: query,
 		}
 	}
 
@@ -170,7 +205,8 @@ func run(o options) error {
 			}
 			continue
 		}
-		line := fmt.Sprintf("%s (seed %d): answer %s", r.ID, r.Spec.Seed, engine.FormatValue(r.Value))
+		line := fmt.Sprintf("%s (seed %d): answer %s", r.ID, r.Spec.Seed,
+			engine.FormatValues(r.Value, r.Values))
 		if r.Detail != "" {
 			line += " (" + r.Detail + ")"
 		}

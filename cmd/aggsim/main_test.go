@@ -1,0 +1,95 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"sensoragg/internal/core"
+	"sensoragg/internal/engine"
+)
+
+// parse drives the real flag definitions through a private FlagSet.
+func parse(t *testing.T, args ...string) options {
+	t.Helper()
+	var o options
+	fs := flag.NewFlagSet("aggsim", flag.ContinueOnError)
+	registerFlags(fs, &o)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return o
+}
+
+// TestProbeWidthFlagDefaultsToEngineDefault: bare aggsim leaves the probe
+// width at 0, which the engine resolves to core.DefaultProbeWidth; an
+// explicit -probewidth flows through verbatim.
+func TestProbeWidthFlagDefaultsToEngineDefault(t *testing.T) {
+	o := parse(t)
+	q, err := o.querySpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ProbeWidth != 0 {
+		t.Errorf("default -probewidth = %d, want 0 (engine default)", q.ProbeWidth)
+	}
+	if got := q.WithDefaults(); got.ProbeWidth != core.DefaultProbeWidth {
+		t.Errorf("engine resolves probe width to %d, want %d", got.ProbeWidth, core.DefaultProbeWidth)
+	}
+
+	o = parse(t, "-probewidth", "16")
+	q, err = o.querySpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ProbeWidth != 16 {
+		t.Errorf("-probewidth 16 parsed as %d", q.ProbeWidth)
+	}
+	if got := q.WithDefaults(); got.ProbeWidth != 16 {
+		t.Errorf("engine overrode explicit probe width to %d", got.ProbeWidth)
+	}
+}
+
+// TestQuantilesAndFusedFlags: -phis and -aggs parse into the engine query.
+func TestQuantilesAndFusedFlags(t *testing.T) {
+	o := parse(t, "-query", "quantiles", "-phis", "0.1, 0.5,0.99")
+	q, err := o.querySpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != engine.KindQuantiles {
+		t.Errorf("kind = %q", q.Kind)
+	}
+	if len(q.Phis) != 3 || q.Phis[0] != 0.1 || q.Phis[1] != 0.5 || q.Phis[2] != 0.99 {
+		t.Errorf("phis = %v", q.Phis)
+	}
+
+	o = parse(t, "-query", "fused", "-aggs", "count, avg")
+	q, err = o.querySpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Aggs) != 2 || q.Aggs[0] != "count" || q.Aggs[1] != "avg" {
+		t.Errorf("aggs = %v", q.Aggs)
+	}
+
+	o = parse(t, "-query", "quantiles", "-phis", "0.5,bogus")
+	if _, err := o.querySpec(); err == nil {
+		t.Error("bad -phis fraction parsed without error")
+	}
+}
+
+// TestSpecMapping: the historical maxchildren contract (0 = unbounded) and
+// fault flags still map onto the engine spec.
+func TestSpecMapping(t *testing.T) {
+	o := parse(t, "-topology", "torus", "-n", "4096", "-maxchildren", "0", "-crash", "0.05", "-faultseed", "7")
+	s := o.spec(o.seed)
+	if s.Topology != "torus" || s.N != 4096 {
+		t.Errorf("spec = %+v", s)
+	}
+	if s.MaxChildren != -1 {
+		t.Errorf("maxchildren 0 should map to engine -1 (unbounded), got %d", s.MaxChildren)
+	}
+	if s.Faults.Crash != 0.05 || s.Faults.Seed != 7 {
+		t.Errorf("faults = %+v", s.Faults)
+	}
+}

@@ -5,6 +5,13 @@
 //	go test -bench=. -benchtime=20x -benchmem -run='^$' . | bench2json -o bench.json
 //	benchdiff -baseline BENCH_BASELINE.json -current bench.json
 //
+// Wall-clock numbers on shared runners are noisy, so -current may be
+// repeated (one bench2json artifact per bench run): the gate then compares
+// the per-benchmark minimum ns/op (and minimum allocs/op) across the
+// samples — the least-interfered-with run — instead of a single roll of
+// the dice. -samples N asserts exactly N artifacts were supplied, so a CI
+// wiring slip fails loudly instead of silently gating on fewer runs.
+//
 // Two metrics gate:
 //
 //   - ns/op: fails when current > baseline * (1 + -ns-tol), default 15%.
@@ -54,22 +61,44 @@ type Finding struct {
 	Detail     string
 }
 
+// pathList collects a repeatable flag.
+type pathList []string
+
+func (p *pathList) String() string     { return strings.Join(*p, ",") }
+func (p *pathList) Set(v string) error { *p = append(*p, v); return nil }
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline artifact (bench2json output)")
-	currentPath := flag.String("current", "", "current artifact to compare (bench2json output)")
+	var currentPaths pathList
+	flag.Var(&currentPaths, "current", "current artifact to compare (bench2json output); repeat for multiple samples")
+	samples := flag.Int("samples", 0, "require exactly this many -current artifacts (0 = any); gate on the min ns/op across them")
 	nsTol := flag.Float64("ns-tol", 0.15, "allowed fractional ns/op regression")
 	allocTol := flag.Float64("alloc-tol", 0, "allowed fractional allocs/op regression")
 	allocSlack := flag.Float64("alloc-slack", 2, "allowed absolute allocs/op slack")
 	forceNs := flag.Bool("force-ns", false, "compare ns/op even across different CPUs")
 	requireAll := flag.Bool("require-all", false, "fail when a baseline benchmark is missing from current")
 	update := flag.Bool("update", false, "rewrite the baseline from the current artifact and exit")
+	mdPath := flag.String("md", "", "also write the comparison as a markdown table to this file (e.g. a CI step summary)")
 	flag.Parse()
 
-	if *currentPath == "" {
+	if len(currentPaths) == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
 		os.Exit(2)
 	}
-	cur, err := readArtifact(*currentPath)
+	if *samples > 0 && len(currentPaths) != *samples {
+		fmt.Fprintf(os.Stderr, "benchdiff: -samples %d but %d -current artifact(s) supplied\n", *samples, len(currentPaths))
+		os.Exit(2)
+	}
+	arts := make([]*Artifact, 0, len(currentPaths))
+	for _, path := range currentPaths {
+		a, err := readArtifact(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		arts = append(arts, a)
+	}
+	cur, err := MergeSamples(arts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
@@ -108,11 +137,91 @@ func main() {
 		}
 		fmt.Printf("%-12s %s: %s\n", tag, f.Name, f.Detail)
 	}
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(Markdown(findings, len(arts), nsSkipped)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: writing %s: %v\n", *mdPath, err)
+			os.Exit(2)
+		}
+	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) against %s\n", regressions, *baselinePath)
 		os.Exit(1)
 	}
 	fmt.Printf("benchdiff: no regressions across %d benchmark(s)\n", len(findings))
+}
+
+// MergeSamples folds repeated bench runs into one artifact holding each
+// benchmark's minimum ns/op and minimum allocs/op — the run least disturbed
+// by runner noise. Samples must come from one machine: mixing CPUs inside
+// one -samples set would splice incomparable wall-clocks.
+func MergeSamples(arts []*Artifact) (*Artifact, error) {
+	if len(arts) == 1 {
+		return arts[0], nil
+	}
+	merged := &Artifact{Meta: arts[0].Meta}
+	idx := make(map[string]int)
+	// allocSeen marks entries whose sample actually carried -benchmem data
+	// (an "allocs/op" metric): a sample missing it reports AllocsPerOp 0,
+	// which must not win the min and silently disarm the alloc gate.
+	allocSeen := make(map[string]bool)
+	hasAllocs := func(e Entry) bool { _, ok := e.Metrics["allocs/op"]; return ok }
+	for _, a := range arts {
+		if a.Meta["cpu"] != merged.Meta["cpu"] {
+			return nil, fmt.Errorf("samples from different CPUs (%q vs %q) cannot be merged",
+				merged.Meta["cpu"], a.Meta["cpu"])
+		}
+		for _, e := range a.Entries {
+			i, ok := idx[e.Name]
+			if !ok {
+				idx[e.Name] = len(merged.Entries)
+				merged.Entries = append(merged.Entries, e)
+				allocSeen[e.Name] = hasAllocs(e)
+				continue
+			}
+			m := &merged.Entries[i]
+			if e.NsPerOp < m.NsPerOp {
+				m.NsPerOp = e.NsPerOp
+				m.Iterations = e.Iterations
+				m.Metrics = e.Metrics
+			}
+			if hasAllocs(e) && (!allocSeen[e.Name] || e.AllocsPerOp < m.AllocsPerOp) {
+				m.AllocsPerOp = e.AllocsPerOp
+				allocSeen[e.Name] = true
+			}
+			// Keep the metrics map consistent with the gated fields, so a
+			// baseline written by -update never carries an allocs/op that
+			// disagrees with the top-level value (clone before mutating —
+			// the map is shared with the source sample).
+			if allocSeen[e.Name] && m.Metrics != nil && m.Metrics["allocs/op"] != m.AllocsPerOp {
+				clone := make(map[string]float64, len(m.Metrics))
+				for k, v := range m.Metrics {
+					clone[k] = v
+				}
+				clone["allocs/op"] = m.AllocsPerOp
+				m.Metrics = clone
+			}
+		}
+	}
+	return merged, nil
+}
+
+// Markdown renders the findings as a GitHub-flavored table for step
+// summaries.
+func Markdown(findings []Finding, samples int, nsSkipped bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Bench gate (%d sample(s), min ns/op)\n\n", samples)
+	if nsSkipped {
+		b.WriteString("_ns/op gate skipped: runner CPU differs from the baseline's; allocs/op gate active._\n\n")
+	}
+	b.WriteString("| Benchmark | Status | Detail |\n|---|---|---|\n")
+	for _, f := range findings {
+		status := "✅ ok"
+		if f.Regression {
+			status = "❌ regression"
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s |\n", f.Name, status, strings.ReplaceAll(f.Detail, "|", "\\|"))
+	}
+	return b.String()
 }
 
 // Compare evaluates current against baseline under opts. nsSkipped reports

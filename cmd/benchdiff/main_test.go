@@ -1,13 +1,19 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func artifact(cpu string, entries ...Entry) *Artifact {
 	return &Artifact{Meta: map[string]string{"cpu": cpu}, Entries: entries}
 }
 
+// entry mirrors bench2json's output: the gated fields plus the metrics
+// map (whose "allocs/op" presence marks a -benchmem run).
 func entry(name string, ns, allocs float64) Entry {
-	return Entry{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+	return Entry{Name: name, NsPerOp: ns, AllocsPerOp: allocs,
+		Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
 }
 
 func count(findings []Finding) (regressions int) {
@@ -69,6 +75,88 @@ func TestCompareSkipsNsAcrossCPUs(t *testing.T) {
 	findings, skipped = Compare(base, cur, Options{NsTol: 0.15, AllocSlack: 2, ForceNs: true})
 	if skipped || count(findings) != 1 {
 		t.Fatalf("forced ns gate: skipped=%v findings=%+v", skipped, findings)
+	}
+}
+
+// TestMergeSamples: repeated runs gate on the per-benchmark minimum ns/op
+// and allocs/op, and refuse to splice runs from different machines.
+func TestMergeSamples(t *testing.T) {
+	a := artifact("x", entry("BenchmarkA-1", 1200, 10), entry("BenchmarkB-1", 900, 3))
+	b := artifact("x", entry("BenchmarkA-1", 1000, 11), entry("BenchmarkB-1", 950, 2))
+	merged, err := MergeSamples([]*Artifact{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Entry{}
+	for _, e := range merged.Entries {
+		byName[e.Name] = e
+	}
+	if e := byName["BenchmarkA-1"]; e.NsPerOp != 1000 || e.AllocsPerOp != 10 {
+		t.Errorf("BenchmarkA merged to ns=%g allocs=%g, want min 1000/10", e.NsPerOp, e.AllocsPerOp)
+	}
+	if e := byName["BenchmarkB-1"]; e.NsPerOp != 900 || e.AllocsPerOp != 2 {
+		t.Errorf("BenchmarkB merged to ns=%g allocs=%g, want min 900/2", e.NsPerOp, e.AllocsPerOp)
+	}
+
+	// A noisy outlier run no longer fails the ns gate when a clean sample
+	// exists.
+	base := artifact("x", entry("BenchmarkA-1", 1000, 10))
+	noisy := artifact("x", entry("BenchmarkA-1", 1900, 10))
+	clean := artifact("x", entry("BenchmarkA-1", 1050, 10))
+	merged, err = MergeSamples([]*Artifact{noisy, clean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, _ := Compare(base, merged, Options{NsTol: 0.15, AllocSlack: 2})
+	if count(findings) != 0 {
+		t.Errorf("min-of-samples should absorb the noisy run: %+v", findings)
+	}
+
+	if _, err := MergeSamples([]*Artifact{artifact("cpu-a"), artifact("cpu-b")}); err == nil {
+		t.Error("merging samples from different CPUs must error")
+	}
+
+	// A sample run without -benchmem (no allocs/op metric) reports
+	// AllocsPerOp 0; that zero must not win the min and disarm the alloc
+	// gate.
+	withAllocs := artifact("x", entry("BenchmarkA-1", 1000, 12))
+	noBenchmem := artifact("x", Entry{Name: "BenchmarkA-1", NsPerOp: 900,
+		Metrics: map[string]float64{"ns/op": 900}})
+	merged, err = MergeSamples([]*Artifact{withAllocs, noBenchmem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := merged.Entries[0]; e.AllocsPerOp != 12 || e.NsPerOp != 900 {
+		t.Errorf("benchmem-less sample disarmed the alloc gate: ns=%g allocs=%g, want 900/12",
+			e.NsPerOp, e.AllocsPerOp)
+	}
+	if got := merged.Entries[0].Metrics["allocs/op"]; got != 12 {
+		t.Errorf("merged metrics allocs/op = %g, want 12 (synced to the gated value)", got)
+	}
+
+	// A single sample passes through untouched.
+	only := artifact("x", entry("BenchmarkA-1", 1, 1))
+	merged, err = MergeSamples([]*Artifact{only})
+	if err != nil || merged != only {
+		t.Errorf("single sample should pass through: %v %v", merged, err)
+	}
+}
+
+// TestMarkdown renders a stable table for the CI step summary.
+func TestMarkdown(t *testing.T) {
+	md := Markdown([]Finding{
+		{Name: "BenchmarkA-1", Detail: "ns/op 1 -> 2"},
+		{Name: "BenchmarkB-1", Regression: true, Detail: "allocs/op 1 -> 9 (limit 3)"},
+	}, 2, true)
+	for _, want := range []string{
+		"2 sample(s)",
+		"ns/op gate skipped",
+		"| `BenchmarkA-1` | ✅ ok |",
+		"| `BenchmarkB-1` | ❌ regression |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
 	}
 }
 

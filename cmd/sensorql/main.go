@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"sensoragg/internal/agg"
+	"sensoragg/internal/core"
 	"sensoragg/internal/energy"
 	"sensoragg/internal/engine"
 	"sensoragg/internal/faults"
@@ -54,12 +55,16 @@ func main() {
 	}
 }
 
-// console holds the session state: the engine's topology cache plus the
-// currently selected deployment.
+// console holds the session state: the engine's topology cache, the
+// currently selected deployment, and the session-level protocol knobs.
 type console struct {
 	session *Session
 	net     *agg.Net
 	spec    engine.Spec
+	// probeWidth is the session's k-ary probe batch width for selection
+	// statements (SET PROBEWIDTH k); 0 means the engine default. A
+	// statement-level USING probewidth=k overrides it.
+	probeWidth int
 }
 
 // Session aliases the engine session so the type reads naturally here.
@@ -98,14 +103,17 @@ func run(spec engine.Spec) error {
 			if err := c.faultsCommand(line); err != nil {
 				fmt.Printf("error: %v\n", err)
 			}
+		case firstToken == "set":
+			if err := c.setCommand(line); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
 		default:
-			res, err := query.Exec(c.net, line)
+			res, err := c.exec(line)
 			if err != nil {
 				fmt.Printf("error: %v\n", err)
 				break
 			}
-			value := engine.FormatValue(res.Value)
-			fmt.Printf("%s   (%s)\n", value, res.Detail)
+			fmt.Printf("%s   (%s)\n", engine.FormatValues(res.Value, res.Values), res.Detail)
 			perQuery := float64(res.Comm.MaxPerNode)
 			fmt.Printf("cost: %d bits/node (max), %d total bits — ≈ %s on the hottest node\n",
 				res.Comm.MaxPerNode, res.Comm.TotalBits,
@@ -114,6 +122,48 @@ func run(spec engine.Spec) error {
 		fmt.Print("> ")
 	}
 	return scanner.Err()
+}
+
+// exec parses and runs one statement, injecting the session's probe-width
+// default when the statement didn't pin one with USING probewidth=k.
+func (c *console) exec(line string) (query.Result, error) {
+	q, err := query.Parse(line)
+	if err != nil {
+		return query.Result{}, err
+	}
+	if _, set := q.Options["probewidth"]; !set && c.probeWidth > 0 {
+		q.Options["probewidth"] = float64(c.probeWidth)
+	}
+	return query.Run(c.net, q)
+}
+
+// setCommand parses `set probewidth <k|default>` — the session knobs. Bare
+// `set` prints the current values.
+func (c *console) setCommand(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 1 {
+		if c.probeWidth == 0 {
+			fmt.Printf("probewidth: engine default (%d)\n", core.DefaultProbeWidth)
+		} else {
+			fmt.Printf("probewidth: %d\n", c.probeWidth)
+		}
+		return nil
+	}
+	if len(fields) != 3 || !strings.EqualFold(fields[1], "probewidth") {
+		return fmt.Errorf("usage: set probewidth <k|default>")
+	}
+	if strings.EqualFold(fields[2], "default") {
+		c.probeWidth = 0
+		fmt.Printf("probewidth: engine default (%d)\n", core.DefaultProbeWidth)
+		return nil
+	}
+	k, err := strconv.Atoi(fields[2])
+	if err != nil || k < 1 || k > core.MaxProbeWidth {
+		return fmt.Errorf("probewidth %q must be an integer in [1, %d] or \"default\"", fields[2], core.MaxProbeWidth)
+	}
+	c.probeWidth = k
+	fmt.Printf("probewidth: %d\n", k)
+	return nil
 }
 
 // use instantiates a per-console network for spec off the session cache.
@@ -232,8 +282,9 @@ func (c *console) netCommand(line string) error {
 func printHelp() {
 	fmt.Println(`aggregates:
   min(value) max(value) count(value) sum(value) avg(value)      Fact 2.1
-  median(value)                                  exact, Thm 3.2
+  median(value)                                  exact, Thm 3.2 (k-ary batched probes)
   quantile(value, PHI)                           exact k-order statistic, §3.4
+  quantiles(value, PHI, PHI, ...)                multi-quantile, one shared probe schedule
   apxmedian(value)  [USING eps=E]                randomized, Thm 4.5
   apxmedian2(value) [USING eps=E, beta=B]        polyloglog, Cor 4.8
   apxcount(value)                                one α-counting instance, Fact 2.2
@@ -241,11 +292,12 @@ func printHelp() {
   f2(value) [USING rows=R, cols=C]               AMS [1] second frequency moment
 clauses:
   WHERE value < C | value >= C | value BETWEEN A AND B | ... AND ...
-  USING key=value, ...
+  USING key=value, ...                   (probewidth=K overrides the session width)
 console:
   net [topology [n [workload [seed]]]]   switch deployment (cached trees)
   faults [off | crash=P drop=P dup=P linkfail=P seed=S]
                                          set the deployment's fault plan;
                                          crashes/dead links self-heal the tree
+  set probewidth <k|default>             COUNT probes batched per selection sweep
   cache                                  show session cache hits/misses`)
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sensoragg/internal/core"
+	"sensoragg/internal/engine"
+)
+
+func testConsole(t *testing.T) *console {
+	t.Helper()
+	c := &console{session: engine.NewSession()}
+	if err := c.use(engine.Spec{Topology: "grid", N: 64, Workload: "uniform", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSetProbeWidth covers the session knob's parsing: defaults, explicit
+// widths, reset to default, and rejection of junk.
+func TestSetProbeWidth(t *testing.T) {
+	c := testConsole(t)
+	if c.probeWidth != 0 {
+		t.Fatalf("fresh console probe width %d, want 0 (engine default %d)", c.probeWidth, core.DefaultProbeWidth)
+	}
+	if err := c.setCommand("set probewidth 16"); err != nil || c.probeWidth != 16 {
+		t.Errorf("set probewidth 16: width=%d err=%v", c.probeWidth, err)
+	}
+	if err := c.setCommand("SET PROBEWIDTH 4"); err != nil || c.probeWidth != 4 {
+		t.Errorf("SET PROBEWIDTH 4 (case-insensitive): width=%d err=%v", c.probeWidth, err)
+	}
+	if err := c.setCommand("set probewidth default"); err != nil || c.probeWidth != 0 {
+		t.Errorf("set probewidth default: width=%d err=%v", c.probeWidth, err)
+	}
+	if err := c.setCommand("set"); err != nil {
+		t.Errorf("bare set should print, not error: %v", err)
+	}
+	for _, bad := range []string{"set probewidth 0", "set probewidth -3", "set probewidth x", "set probewidth 2000", "set frobnitz 3"} {
+		if err := c.setCommand(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+// TestSessionWidthFlowsIntoStatements: the session default reaches the
+// selection path (visible in the k-ary detail string), and an explicit
+// USING probewidth wins over it.
+func TestSessionWidthFlowsIntoStatements(t *testing.T) {
+	c := testConsole(t)
+
+	res, err := c.exec("SELECT median(value)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Detail, "width 8") {
+		t.Errorf("engine-default run detail %q, want width %d", res.Detail, core.DefaultProbeWidth)
+	}
+
+	if err := c.setCommand("set probewidth 4"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.exec("SELECT median(value)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Detail, "width 4") {
+		t.Errorf("session width 4 run detail %q", res.Detail)
+	}
+
+	res, err = c.exec("SELECT median(value) USING probewidth=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Detail, "width 2") {
+		t.Errorf("USING probewidth=2 run detail %q", res.Detail)
+	}
+
+	// Multi-quantile rides the same knob and reports every value.
+	res, err = c.exec("SELECT quantiles(value, 0.25, 0.5, 0.9)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 3 {
+		t.Errorf("quantiles returned %d values", len(res.Values))
+	}
+}

@@ -66,3 +66,48 @@ func TestWarmCountQueryAllocs(t *testing.T) {
 		t.Errorf("warm COUNT query: %.1f allocs/op, want 0", allocs)
 	}
 }
+
+// TestWarmCountVecQueryAllocs bounds the batched probe plane's hot path: a
+// warm CountVec sweep with a reused probe set and destination buffer keeps
+// every partial in the engine's flat vector arena and every payload in the
+// stash writers. The single remaining allocation is the root partial's
+// interface boxing at the Ops.Convergecast boundary — the same one the
+// scalar path pays.
+func TestWarmCountVecQueryAllocs(t *testing.T) {
+	g := topology.Grid(7, 7)
+	maxX := uint64(4 * g.N())
+	values := workload.Generate(workload.Uniform, g.N(), maxX, 1)
+	nw := netsim.New(g, values, maxX, netsim.WithSeed(1))
+	ops := spantree.NewFast(nw)
+	ops.SetWorkers(1)
+	net := NewNet(ops)
+	preds := []wire.Pred{wire.Less(13), wire.Less(60), wire.Less(150), wire.True()}
+	dst := net.CountVec(core.Linear, preds, nil)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		dst = net.CountVec(core.Linear, preds, dst)
+	})
+	if allocs > 1 {
+		t.Errorf("warm CountVec query: %.1f allocs/op, want <= 1 (root boxing only)", allocs)
+	}
+}
+
+// TestWarmMultiAggregateAllocs: the fused COUNT+SUM+MIN+MAX sweep has the
+// same bound — vector arena partials, stash payloads, one root boxing.
+func TestWarmMultiAggregateAllocs(t *testing.T) {
+	g := topology.Grid(7, 7)
+	maxX := uint64(4 * g.N())
+	values := workload.Generate(workload.Uniform, g.N(), maxX, 1)
+	nw := netsim.New(g, values, maxX, netsim.WithSeed(1))
+	ops := spantree.NewFast(nw)
+	ops.SetWorkers(1)
+	net := NewNet(ops)
+	net.MultiAggregate(core.Linear, wire.True())
+
+	allocs := testing.AllocsPerRun(200, func() {
+		net.MultiAggregate(core.Linear, wire.True())
+	})
+	if allocs > 1 {
+		t.Errorf("warm fused sweep: %.1f allocs/op, want <= 1 (root boxing only)", allocs)
+	}
+}

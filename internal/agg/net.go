@@ -22,6 +22,8 @@ const (
 	opZoom
 	opSum
 	opFilter
+	opCountVec
+	opMultiAgg
 )
 
 const opBits = 3
@@ -54,8 +56,10 @@ type Net struct {
 
 	// bw is the reusable broadcast writer: a broadcast payload lives only
 	// for the duration of the (synchronous) Broadcast call, so it borrows
-	// this buffer instead of copying. A Net runs one protocol at a time.
-	bw bitio.Writer
+	// this buffer instead of copying. A Net runs one protocol at a time;
+	// busy guards that invariant (see bcast).
+	bw   bitio.Writer
+	busy bool
 	// Reusable combiner boxes for the Fact 2.1 primitives: passing a
 	// pointer into the Convergecast interface avoids re-boxing the
 	// combiner struct on every query. The combiners are read-only during
@@ -64,13 +68,31 @@ type Net struct {
 	ccomb  countCombiner
 	scomb  sumCombiner
 	mmcomb minMaxCombiner
+	cvcomb countVecCombiner
+	facomb fusedCombiner
+	// chainBuf backs the nested probe chain's threshold array across
+	// CountVec sweeps, so warm sweeps build it without allocating.
+	chainBuf []uint64
 }
 
-// bcast returns the reusable broadcast writer, reset for a new payload.
+// bcast returns the reusable broadcast writer, reset for a new payload, and
+// marks the Net busy until the protocol calls endProtocol. Every protocol
+// on a Net shares this writer (and the combiner boxes above), so a nested
+// protocol call — e.g. from inside a broadcast Applier or a combiner — would
+// silently clobber the outer protocol's borrowed payload. The guard turns
+// that latent corruption into an immediate panic.
 func (n *Net) bcast() *bitio.Writer {
+	if n.busy {
+		panic("agg: nested protocol call on one Net — the broadcast writer and combiner boxes are single-use per protocol; run nested protocols on a separate Net")
+	}
+	n.busy = true
 	n.bw.Reset()
 	return &n.bw
 }
+
+// endProtocol releases the broadcast writer and combiner boxes for the next
+// protocol. Deferred by every protocol entry point.
+func (n *Net) endProtocol() { n.busy = false }
 
 var _ core.Net = (*Net)(nil)
 
@@ -164,6 +186,7 @@ func header(w *bitio.Writer, op uint64, d core.Domain) {
 // convergecast carrying (present, min, max) — Fact 2.1's MIN and MAX.
 func (n *Net) MinMax(d core.Domain) (lo, hi uint64, ok bool) {
 	w := n.bcast()
+	defer n.endProtocol()
 	header(w, opMinMax, d)
 	n.ops.Broadcast(wire.Borrowed(w), nil)
 	n.mmcomb = minMaxCombiner{domain: d, width: n.valueWidth(d)}
@@ -180,6 +203,7 @@ func (n *Net) MinMax(d core.Domain) (lo, hi uint64, ok bool) {
 func (n *Net) Count(d core.Domain, pred wire.Pred) uint64 {
 	vw := n.valueWidth(d)
 	w := n.bcast()
+	defer n.endProtocol()
 	header(w, opCount, d)
 	pred.AppendTo(w, vw)
 	n.ops.Broadcast(wire.Borrowed(w), nil)
@@ -205,6 +229,7 @@ func (n *Net) instanceHasher(i uint64) hashing.Hasher {
 func (n *Net) ApxCountRep(d core.Domain, pred wire.Pred, r int) []float64 {
 	vw := n.valueWidth(d)
 	w := n.bcast()
+	defer n.endProtocol()
 	header(w, opApxCount, d)
 	pred.AppendTo(w, vw)
 	w.WriteGamma(uint64(r))
@@ -260,6 +285,7 @@ func (n *Net) fastSketchInstance(d core.Domain, pred wire.Pred, instance uint64)
 // (gamma-coded), each node rescales or deactivates its items locally.
 func (n *Net) Zoom(muHat uint64) {
 	w := n.bcast()
+	defer n.endProtocol()
 	header(w, opZoom, core.Linear)
 	w.WriteGamma(muHat)
 	maxX := n.nw.MaxX
@@ -303,6 +329,7 @@ func (n *Net) Reset() { n.nw.ResetItems() }
 func (n *Net) Filter(pred wire.Pred) {
 	vw := n.valueWidth(core.Linear)
 	w := n.bcast()
+	defer n.endProtocol()
 	header(w, opFilter, core.Linear)
 	pred.AppendTo(w, vw)
 	n.ops.Broadcast(wire.Borrowed(w), func(nd *netsim.Node, pl wire.Payload) {

@@ -3,6 +3,7 @@ package agg
 import (
 	"fmt"
 
+	"sensoragg/internal/bitio"
 	"sensoragg/internal/core"
 	"sensoragg/internal/wire"
 )
@@ -16,6 +17,7 @@ import (
 func (n *Net) Sum(d core.Domain, pred wire.Pred) uint64 {
 	vw := n.valueWidth(d)
 	w := n.bcast()
+	defer n.endProtocol()
 	header(w, opSum, d)
 	pred.AppendTo(w, vw)
 	n.ops.Broadcast(wire.Borrowed(w), nil)
@@ -55,4 +57,88 @@ func (n *Net) Average(d core.Domain, pred wire.Pred) (float64, bool) {
 // estimate.
 func (n *Net) ApxCount(d core.Domain, pred wire.Pred) float64 {
 	return n.ApxCountRep(d, pred, 1)[0]
+}
+
+// CountVec implements core.Net: the batched COUNTP probe plane. One
+// broadcast carries all k predicates under one opcode, one vector
+// convergecast returns the k counts — the sweep the k-ary selection search
+// batches its probes into. The counts are appended into dst[:0] (pass a
+// reused buffer to keep the warm path allocation-free); an empty probe set
+// returns dst[:0] without touching the network.
+//
+// When the predicates form a ⊆-chain (ascending strict-less thresholds,
+// optionally topped by TRUE — the shape every selection sweep probes), the
+// vector is delta-coded in both directions: the broadcast ships the first
+// threshold at full width and the remaining k−1 as fixed-width ascending
+// deltas (nodes reconstruct the chain by prefix-summing), and the
+// convergecast delta-gamma codes the monotone partial counts — so k probes
+// cost roughly one full probe plus k−1 deltas per edge, not k full probes.
+func (n *Net) CountVec(d core.Domain, preds []wire.Pred, dst []uint64) []uint64 {
+	if len(preds) == 0 {
+		return dst[:0]
+	}
+	vw := n.valueWidth(d)
+	w := n.bcast()
+	defer n.endProtocol()
+	header(w, opCountVec, d)
+	nested := nestedPreds(preds)
+	chain := nested && preds[len(preds)-1].Kind == wire.PredLess
+	w.WriteBool(chain)
+	w.WriteGamma(uint64(len(preds)))
+	if chain {
+		w.WriteBits(preds[0].A, vw)
+		if len(preds) > 1 {
+			deltaW := 1
+			for i := 1; i < len(preds); i++ {
+				if wd := bitio.WidthOf(preds[i].A - preds[i-1].A); wd > deltaW {
+					deltaW = wd
+				}
+			}
+			// Stored as width−1 so widths 1..64 fit the 6-bit field —
+			// width 64 happens on full-uint64 domains (the convergecast
+			// side encodes its delta width the same way).
+			w.WriteBits(uint64(deltaW-1), 6)
+			for i := 1; i < len(preds); i++ {
+				w.WriteBits(preds[i].A-preds[i-1].A, deltaW)
+			}
+		}
+	} else {
+		for _, p := range preds {
+			p.AppendTo(w, vw)
+		}
+	}
+	n.ops.Broadcast(wire.Borrowed(w), nil)
+	n.cvcomb = countVecCombiner{domain: d, preds: preds, nested: nested}
+	if nested {
+		n.chainBuf = buildChain(preds, n.chainBuf)
+		n.cvcomb.chain = n.chainBuf
+	}
+	out, err := n.ops.Convergecast(&n.cvcomb)
+	if err != nil {
+		panic(fmt.Sprintf("agg: countvec convergecast: %v", err))
+	}
+	return append(dst[:0], out.([]uint64)...)
+}
+
+// MultiAggregate runs the fused multi-aggregate sweep: COUNT, SUM, MIN and
+// MAX of the active items matching pred in domain d, answered by one
+// broadcast and one vector convergecast instead of four separate Fact 2.1
+// protocols. ok is false when no items match.
+func (n *Net) MultiAggregate(d core.Domain, pred wire.Pred) (count, sum, lo, hi uint64, ok bool) {
+	vw := n.valueWidth(d)
+	w := n.bcast()
+	defer n.endProtocol()
+	header(w, opMultiAgg, d)
+	pred.AppendTo(w, vw)
+	n.ops.Broadcast(wire.Borrowed(w), nil)
+	n.facomb = fusedCombiner{domain: d, pred: pred, width: vw}
+	out, err := n.ops.Convergecast(&n.facomb)
+	if err != nil {
+		panic(fmt.Sprintf("agg: fused convergecast: %v", err))
+	}
+	p := out.([]uint64)
+	if p[fusedCount] == 0 {
+		return 0, 0, 0, 0, false
+	}
+	return p[fusedCount], p[fusedSum], p[fusedLo], p[fusedHi], true
 }

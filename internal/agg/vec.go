@@ -1,0 +1,427 @@
+package agg
+
+import (
+	"fmt"
+
+	"sensoragg/internal/bitio"
+	"sensoragg/internal/core"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/spantree"
+	"sensoragg/internal/wire"
+)
+
+// This file implements the vectorized probe plane: one broadcast carries k
+// predicates (or one fused multi-aggregate request), one convergecast
+// returns a k-vector of partials. Batching k probes per sweep is what turns
+// the selection protocol's binary search into k-ary search — the classic
+// round-compression move (cf. Censor-Hillel et al., "Two for One, One for
+// All"): ~log k fewer tree sweeps per query.
+
+// countVecCombiner is the batched COUNTP: the counts of k predicates in one
+// convergecast. When the probe set forms a ⊆-chain (nested), partial counts
+// are nondecreasing at every node — each probe selects a superset of its
+// predecessor's items in every subtree — so the wire format delta-codes the
+// vector: gamma(c₀) followed by the k−1 count deltas at one shared fixed
+// width, word-packed so encoding and decoding touch the bit stream O(1)
+// times instead of k times. k probes then cost roughly one full count plus
+// k−1 small deltas per edge, not k full counts — and the per-edge codec
+// work stays nearly flat in k, which is what makes the k-ary sweep cheaper
+// in wall-clock, not only in rounds.
+type countVecCombiner struct {
+	domain core.Domain
+	preds  []wire.Pred
+	nested bool
+	// chain holds the thresholds of a nested Less-chain (TRUE as 2⁶⁴−1),
+	// so LocalVec buckets items with a closure-free binary search.
+	chain []uint64
+}
+
+var _ spantree.VecCombiner = (*countVecCombiner)(nil)
+
+// nestedPreds reports whether the probe set forms a ⊆-chain — ascending
+// strict-less thresholds, optionally topped by TRUE — which guarantees
+// monotone partial counts in every subtree and enables the delta-gamma
+// vector encoding. The selection search always probes such chains.
+func nestedPreds(preds []wire.Pred) bool {
+	for i, p := range preds {
+		switch p.Kind {
+		case wire.PredLess:
+			if i > 0 {
+				prev := preds[i-1]
+				if prev.Kind != wire.PredLess || prev.A > p.A {
+					return false
+				}
+			}
+		case wire.PredTrue:
+			// TRUE is the top of the chain: everything ⊆ TRUE. Anything
+			// after it would have to be TRUE again to stay nested; only
+			// the final slot may hold it.
+			if i != len(preds)-1 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// buildChain extracts the threshold array of a nested probe set into buf
+// (reused across sweeps): Less(t) contributes t, the optional trailing TRUE
+// contributes 2⁶⁴−1, which every value compares below.
+func buildChain(preds []wire.Pred, buf []uint64) []uint64 {
+	buf = buf[:0]
+	for _, p := range preds {
+		if p.Kind == wire.PredTrue {
+			buf = append(buf, ^uint64(0))
+		} else {
+			buf = append(buf, p.A)
+		}
+	}
+	return buf
+}
+
+func (c *countVecCombiner) VecWidth() int { return len(c.preds) }
+
+func (c *countVecCombiner) LocalVec(n *netsim.Node, dst []uint64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	if c.nested {
+		// Chain membership is monotone: item v matches probes
+		// [firstMatch, k). The dominant shape is one reading per node, so
+		// the single-item partial is written directly as a 0/1 step
+		// vector; multi-item nodes bucket by first match and prefix-sum.
+		if len(n.Items) == 1 {
+			it := n.Items[0]
+			if !it.Active {
+				return
+			}
+			lo := c.chainFirstMatch(domainValue(it, c.domain))
+			for i := lo; i < len(dst); i++ {
+				dst[i] = 1
+			}
+			return
+		}
+		for _, it := range n.Items {
+			if !it.Active {
+				continue
+			}
+			lo := c.chainFirstMatch(domainValue(it, c.domain))
+			if lo < len(dst) {
+				dst[lo]++
+			}
+		}
+		for i := 1; i < len(dst); i++ {
+			dst[i] += dst[i-1]
+		}
+		return
+	}
+	for _, it := range n.Items {
+		if !it.Active {
+			continue
+		}
+		v := domainValue(it, c.domain)
+		for i, p := range c.preds {
+			if p.Eval(v) {
+				dst[i]++
+			}
+		}
+	}
+}
+
+// chainFirstMatch returns the first chain index whose probe matches v —
+// the first probe the item counts toward. Less slots match v < threshold;
+// a trailing TRUE (sentinel 2⁶⁴−1, only ever the final slot) matches
+// everything, so a value of exactly 2⁶⁴−1 — which no strict-less
+// comparison admits — still lands on it. The predicate kind, not the
+// sentinel value, decides: a genuine Less(2⁶⁴−1) probe must not match it.
+func (c *countVecCombiner) chainFirstMatch(v uint64) int {
+	chain := c.chain
+	lo, hi := 0, len(chain)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v < chain[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == len(chain) && v == ^uint64(0) && len(c.preds) > 0 && c.preds[len(c.preds)-1].Kind == wire.PredTrue {
+		return len(c.preds) - 1
+	}
+	return lo
+}
+
+func (c *countVecCombiner) MergeVec(acc, src []uint64) {
+	for i, v := range src {
+		acc[i] += v
+	}
+}
+
+func (c *countVecCombiner) AppendVec(w *bitio.Writer, p []uint64) {
+	if !c.nested {
+		for _, v := range p {
+			w.WriteGamma(v)
+		}
+		return
+	}
+	w.WriteGamma(p[0])
+	if len(p) == 1 {
+		return
+	}
+	// Shared fixed width for the deltas (stored as width−1 in 6 bits, so
+	// widths 1..64 are representable), then the deltas word-packed
+	// MSB-first: one WriteBits call covers as many slots as fit 64 bits.
+	wmax := chainDeltaWidth(p)
+	w.WriteBits(uint64(wmax-1), 6)
+	for i := 1; i < len(p); {
+		m := 64 / wmax
+		if m > len(p)-i {
+			m = len(p) - i
+		}
+		var word uint64
+		for j := 0; j < m; j++ {
+			word = word<<uint(wmax) | (p[i+j] - p[i+j-1])
+		}
+		w.WriteBits(word, m*wmax)
+		i += m
+	}
+}
+
+// chainDeltaWidth is the shared fixed width of a monotone vector's
+// adjacent deltas — the single definition AppendVec and VecBits both
+// derive from, so the arithmetic charge of the direct path can never
+// drift from the emitted encoding.
+func chainDeltaWidth(p []uint64) int {
+	wmax := 1
+	for i := 1; i < len(p); i++ {
+		if wd := bitio.WidthOf(p[i] - p[i-1]); wd > wmax {
+			wmax = wd
+		}
+	}
+	return wmax
+}
+
+func (c *countVecCombiner) VecBits(p []uint64) int {
+	if !c.nested {
+		bits := 0
+		for _, v := range p {
+			bits += bitio.GammaWidth(v)
+		}
+		return bits
+	}
+	bits := bitio.GammaWidth(p[0])
+	if len(p) == 1 {
+		return bits
+	}
+	return bits + 6 + (len(p)-1)*chainDeltaWidth(p)
+}
+
+func (c *countVecCombiner) DecodeVec(pl wire.Payload, dst []uint64) error {
+	r := pl.Reader()
+	if !c.nested {
+		for i := range dst {
+			v, err := r.ReadGamma()
+			if err != nil {
+				return fmt.Errorf("agg: countvec slot %d: %w", i, err)
+			}
+			dst[i] = v
+		}
+		return nil
+	}
+	c0, err := r.ReadGamma()
+	if err != nil {
+		return fmt.Errorf("agg: countvec base count: %w", err)
+	}
+	dst[0] = c0
+	if len(dst) == 1 {
+		return nil
+	}
+	wf, err := r.ReadBits(6)
+	if err != nil {
+		return fmt.Errorf("agg: countvec delta width: %w", err)
+	}
+	wmax := int(wf) + 1
+	mask := uint64(1)<<uint(wmax) - 1
+	if wmax == 64 {
+		mask = ^uint64(0)
+	}
+	for i := 1; i < len(dst); {
+		m := 64 / wmax
+		if m > len(dst)-i {
+			m = len(dst) - i
+		}
+		word, err := r.ReadBits(m * wmax)
+		if err != nil {
+			return fmt.Errorf("agg: countvec deltas: %w", err)
+		}
+		for j := m - 1; j >= 0; j-- {
+			dst[i+j] = word & mask
+			word >>= uint(wmax)
+		}
+		i += m
+	}
+	for i := 1; i < len(dst); i++ {
+		dst[i] += dst[i-1]
+	}
+	return nil
+}
+
+func (c *countVecCombiner) VecResult(p []uint64) any { return p }
+
+// Generic Combiner methods: the copying reference path (unpooled fast
+// engine, goroutine engine). Byte-identical to the vector path.
+
+func (c *countVecCombiner) Local(n *netsim.Node) any {
+	dst := make([]uint64, len(c.preds))
+	c.LocalVec(n, dst)
+	return dst
+}
+
+func (c *countVecCombiner) Merge(acc, child any) any {
+	a := acc.([]uint64)
+	c.MergeVec(a, child.([]uint64))
+	return a
+}
+
+func (c *countVecCombiner) Encode(p any) wire.Payload {
+	w := bitio.NewWriter(64)
+	c.AppendVec(w, p.([]uint64))
+	return wire.FromWriter(w)
+}
+
+func (c *countVecCombiner) Decode(pl wire.Payload) (any, error) {
+	dst := make([]uint64, len(c.preds))
+	if err := c.DecodeVec(pl, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// fusedCombiner computes COUNT, SUM, MIN and MAX of the items matching one
+// predicate in a single convergecast — four Fact 2.1 protocols fused into
+// one vector sweep. Messages carry gamma(count), gamma(sum) and, when the
+// partial is non-empty, the two fixed-width extrema: O(log N + log X) bits,
+// the same order as one SUM message.
+type fusedCombiner struct {
+	domain core.Domain
+	pred   wire.Pred
+	width  int
+}
+
+// Slots of a fused partial. An empty partial is (0, 0, ^0, 0): the extrema
+// sentinels are absorbing under min/max merge, and count==0 keeps them off
+// the wire.
+const (
+	fusedCount = iota
+	fusedSum
+	fusedLo
+	fusedHi
+	fusedWidth
+)
+
+var _ spantree.VecCombiner = (*fusedCombiner)(nil)
+
+func (c *fusedCombiner) VecWidth() int { return fusedWidth }
+
+func (c *fusedCombiner) LocalVec(n *netsim.Node, dst []uint64) {
+	dst[fusedCount], dst[fusedSum] = 0, 0
+	dst[fusedLo], dst[fusedHi] = ^uint64(0), 0
+	for _, it := range n.Items {
+		if !it.Active {
+			continue
+		}
+		v := domainValue(it, c.domain)
+		if !c.pred.Eval(v) {
+			continue
+		}
+		dst[fusedCount]++
+		dst[fusedSum] += v
+		if v < dst[fusedLo] {
+			dst[fusedLo] = v
+		}
+		if v > dst[fusedHi] {
+			dst[fusedHi] = v
+		}
+	}
+}
+
+func (c *fusedCombiner) MergeVec(acc, src []uint64) {
+	acc[fusedCount] += src[fusedCount]
+	acc[fusedSum] += src[fusedSum]
+	if src[fusedLo] < acc[fusedLo] {
+		acc[fusedLo] = src[fusedLo]
+	}
+	if src[fusedHi] > acc[fusedHi] {
+		acc[fusedHi] = src[fusedHi]
+	}
+}
+
+func (c *fusedCombiner) AppendVec(w *bitio.Writer, p []uint64) {
+	w.WriteGamma(p[fusedCount])
+	w.WriteGamma(p[fusedSum])
+	if p[fusedCount] > 0 {
+		w.WriteBits(p[fusedLo], c.width)
+		w.WriteBits(p[fusedHi], c.width)
+	}
+}
+
+func (c *fusedCombiner) VecBits(p []uint64) int {
+	bits := bitio.GammaWidth(p[fusedCount]) + bitio.GammaWidth(p[fusedSum])
+	if p[fusedCount] > 0 {
+		bits += 2 * c.width
+	}
+	return bits
+}
+
+func (c *fusedCombiner) DecodeVec(pl wire.Payload, dst []uint64) error {
+	r := pl.Reader()
+	count, err := r.ReadGamma()
+	if err != nil {
+		return fmt.Errorf("agg: fused count: %w", err)
+	}
+	sum, err := r.ReadGamma()
+	if err != nil {
+		return fmt.Errorf("agg: fused sum: %w", err)
+	}
+	dst[fusedCount], dst[fusedSum] = count, sum
+	dst[fusedLo], dst[fusedHi] = ^uint64(0), 0
+	if count > 0 {
+		if dst[fusedLo], err = r.ReadBits(c.width); err != nil {
+			return fmt.Errorf("agg: fused min: %w", err)
+		}
+		if dst[fusedHi], err = r.ReadBits(c.width); err != nil {
+			return fmt.Errorf("agg: fused max: %w", err)
+		}
+	}
+	return nil
+}
+
+func (c *fusedCombiner) VecResult(p []uint64) any { return p }
+
+func (c *fusedCombiner) Local(n *netsim.Node) any {
+	dst := make([]uint64, fusedWidth)
+	c.LocalVec(n, dst)
+	return dst
+}
+
+func (c *fusedCombiner) Merge(acc, child any) any {
+	a := acc.([]uint64)
+	c.MergeVec(a, child.([]uint64))
+	return a
+}
+
+func (c *fusedCombiner) Encode(p any) wire.Payload {
+	w := bitio.NewWriter(64)
+	c.AppendVec(w, p.([]uint64))
+	return wire.FromWriter(w)
+}
+
+func (c *fusedCombiner) Decode(pl wire.Payload) (any, error) {
+	dst := make([]uint64, fusedWidth)
+	if err := c.DecodeVec(pl, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}

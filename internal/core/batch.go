@@ -1,0 +1,332 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"slices"
+
+	"sensoragg/internal/wire"
+)
+
+// DefaultProbeWidth is the default number of COUNT probes batched into one
+// CountVec sweep by the k-ary selection search. 8 probes per sweep cut the
+// Fig. 1 binary search's ~log₂X sequential sweeps to ~log₉X, a ≥3x sweep
+// reduction at the simulator's default domains; width 1 recovers classic
+// bisection probe-for-probe.
+const DefaultProbeWidth = 8
+
+// MaxProbeWidth caps the probe batch width. Beyond ~log₂X probes a sweep
+// cannot narrow any further, and the cap keeps a hostile or mistyped width
+// (engine specs and CLI flags feed this directly) from sizing gigabyte
+// probe buffers; SelectRanksBatched clamps rather than errors so every
+// entry point shares one rule.
+const MaxProbeWidth = 1024
+
+// BatchRank specifies one requested order statistic for the batched
+// selection search. Exactly one of the three forms is used:
+//
+//   - Median resolves to the paper's N/2 rank (Definition 2.3) once the
+//     protocol has learned N — the same statistic Median returns.
+//   - Phi, when nonzero, resolves to the ⌈Phi·N⌉-th smallest (min rank 1),
+//     the quantile convention of the query layer.
+//   - K is an absolute 1-based rank, as in OrderStatistic.
+type BatchRank struct {
+	K      uint64  `json:"k,omitempty"`
+	Phi    float64 `json:"phi,omitempty"`
+	Median bool    `json:"median,omitempty"`
+}
+
+// resolve turns the rank spec into the integer rank j in [1, n]: the search
+// answers the j-th smallest element of the active multiset.
+func (r BatchRank) resolve(n uint64) (uint64, error) {
+	var j uint64
+	switch {
+	case r.Median:
+		j = (n + 1) / 2 // ⌈N/2⌉: where Definition 2.3's half-integer rank lands
+	case r.Phi != 0:
+		if r.Phi < 0 || r.Phi > 1 {
+			return 0, fmt.Errorf("core: quantile phi %g out of (0,1]", r.Phi)
+		}
+		j = QuantileRank(r.Phi, n)
+	default:
+		if r.K == 0 {
+			return 0, errors.New("core: order statistic rank k must be >= 1")
+		}
+		j = r.K
+	}
+	if j > n {
+		return 0, fmt.Errorf("core: rank %d exceeds N=%d", j, n)
+	}
+	return j, nil
+}
+
+// QuantileRank is the quantile-to-rank convention shared by every layer:
+// the φ-quantile of an N-element multiset is the ⌈φ·N⌉-th smallest, with a
+// floor of rank 1. The engine and query layers resolve ground-truth ranks
+// through this same function, so the protocol answer and the simulator
+// truth can never disagree on rounding.
+func QuantileRank(phi float64, n uint64) uint64 {
+	k := uint64(phi * float64(n))
+	if float64(k) < phi*float64(n) {
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// BatchResult reports a batched selection run.
+type BatchResult struct {
+	// Values holds the selected order statistics, one per requested rank,
+	// in input order.
+	Values []uint64
+	// Sweeps is the number of CountVec probe sweeps executed — the
+	// round-trip count the batching compresses. The MinMax round is not
+	// included; COUNT(TRUE) is folded into the first sweep.
+	Sweeps int
+	// Probes is the total number of predicates shipped across all sweeps.
+	Probes int
+}
+
+// MedianBatched computes the exact median with the k-ary probe plane: the
+// same statistic as Median (Fig. 1), found with ~log k fewer tree sweeps by
+// batching probeWidth COUNT probes into every CountVec broadcast.
+func MedianBatched(net Net, probeWidth int) (BatchResult, error) {
+	return SelectRanksBatched(net, []BatchRank{{Median: true}}, probeWidth)
+}
+
+// SelectRanksBatched answers every requested order statistic with a shared
+// schedule of k-ary CountVec sweeps (k = probeWidth; values < 1 mean
+// DefaultProbeWidth).
+//
+// Each rank j maintains an integer candidate interval [lo, hi] with the
+// invariant c(lo) < j ≤ c(hi+1), where c(t) = |{x : x < t}| over the active
+// multiset; the answer is max{t : c(t) < j} — the j-th smallest element,
+// exactly what the Fig. 1 binary search returns. Every sweep subdivides the
+// unresolved intervals with up to k probe thresholds, ships them as one
+// ascending ⊆-chain of strict-less predicates (riding CountVec's
+// delta-gamma vector encoding), and — because every count is a global fact
+// about the one shared multiset — updates every rank's interval against
+// every probed threshold, not just its own. Multi-quantile therefore costs
+// barely more sweeps than a single median: the ranks share one probe
+// schedule.
+//
+// The first sweep additionally probes max+1, whose count is N — the
+// COUNT(TRUE) of Fig. 1 line 1 folded into the probe plane — so ranks
+// expressed as Median or Phi fractions resolve without a dedicated round.
+func SelectRanksBatched(net Net, ranks []BatchRank, probeWidth int) (BatchResult, error) {
+	var s rankSearcher
+	if len(ranks) == 0 {
+		return s.res, nil
+	}
+	if probeWidth < 1 {
+		probeWidth = DefaultProbeWidth
+	}
+	if probeWidth > MaxProbeWidth {
+		probeWidth = MaxProbeWidth
+	}
+	lo, hi, ok := net.MinMax(Linear)
+	if !ok {
+		return s.res, ErrEmpty
+	}
+	s.net = net
+	s.width = probeWidth
+	// One backing array for the probe thresholds and their counts, one for
+	// the resolved and deduplicated ranks: the searcher's whole state is a
+	// handful of allocations, keeping the engine's per-query allocation
+	// budget at the PR 3 level.
+	buf := make([]uint64, 2*probeWidth)
+	s.probes = buf[:0:probeWidth]
+	s.counts = buf[probeWidth:probeWidth]
+	s.preds = make([]wire.Pred, 0, probeWidth)
+
+	// Sweep 1: evenly spaced thresholds over (lo, hi], topped by a probe
+	// counting every active item (x < max+1, or TRUE when max+1 would wrap
+	// the threshold domain).
+	w := hi - lo
+	q := uint64(probeWidth - 1)
+	if q > w {
+		q = w
+	}
+	for i := uint64(1); i <= q; i++ {
+		s.probes = append(s.probes, probeAt(lo, w, i, q))
+	}
+	if hi == ^uint64(0) {
+		s.topTrue = true
+	} else {
+		s.probes = append(s.probes, hi+1)
+	}
+	s.sweep()
+	n := s.counts[len(s.counts)-1]
+	if n == 0 {
+		return s.res, ErrEmpty
+	}
+
+	// Resolve the requested ranks against N; one candidate interval per
+	// distinct rank, in first-appearance order.
+	rbuf := make([]uint64, 2*len(ranks))
+	s.js = rbuf[:len(ranks):len(ranks)]
+	s.uniq = rbuf[len(ranks):len(ranks)]
+	s.ivs = make([]interval, 0, len(ranks))
+	for i, r := range ranks {
+		j, err := r.resolve(n)
+		if err != nil {
+			return s.res, err
+		}
+		s.js[i] = j
+		if s.rankIndex(j) < 0 {
+			s.uniq = append(s.uniq, j)
+			s.ivs = append(s.ivs, interval{lo: lo, hi: hi})
+		}
+	}
+	s.applySweep()
+
+	for {
+		unresolved := 0
+		for _, iv := range s.ivs {
+			if iv.lo != iv.hi {
+				unresolved++
+			}
+		}
+		if unresolved == 0 {
+			break
+		}
+		// Budget the probe width across unresolved ranks; leftovers go to
+		// the earliest requested ranks. A rank left out this sweep (more
+		// unresolved ranks than probes) still narrows whenever a shared
+		// probe lands inside its interval, and gets its own probes once
+		// earlier ranks resolve.
+		s.probes = s.probes[:0]
+		base := s.width / unresolved
+		extra := s.width % unresolved
+		seen := 0
+		for vi := range s.ivs {
+			iv := s.ivs[vi]
+			if iv.lo == iv.hi {
+				continue
+			}
+			qr := uint64(base)
+			if seen < extra {
+				qr++
+			}
+			seen++
+			w := iv.hi - iv.lo
+			if qr > w {
+				qr = w
+			}
+			for i := uint64(1); i <= qr; i++ {
+				s.probes = append(s.probes, probeAt(iv.lo, w, i, qr))
+			}
+		}
+		sortDedupe(&s.probes)
+		s.sweep()
+		s.applySweep()
+		if s.res.Sweeps > 4096 {
+			return s.res, errors.New("core: batched selection failed to converge")
+		}
+	}
+
+	s.res.Values = make([]uint64, len(s.js))
+	for i, j := range s.js {
+		s.res.Values[i] = s.ivs[s.rankIndex(j)].lo
+	}
+	return s.res, nil
+}
+
+// interval is one rank's candidate range [lo, hi], maintained under the
+// invariant c(lo) < j ≤ c(hi+1).
+type interval struct{ lo, hi uint64 }
+
+// rankSearcher is the batched search's state: probe/count buffers, the
+// resolved ranks, and their candidate intervals. A struct with methods
+// rather than closures so the hot loop's state stays in a few fused
+// allocations.
+type rankSearcher struct {
+	net    Net
+	width  int
+	res    BatchResult
+	probes []uint64
+	counts []uint64
+	preds  []wire.Pred
+	js     []uint64
+	uniq   []uint64
+	ivs    []interval
+	// topTrue asks the next sweep to append one TRUE probe after the
+	// thresholds — the COUNT(TRUE) terminator of sweep 1 when the maximum
+	// sits at 2⁶⁴−1 and "x < max+1" has no representable threshold.
+	topTrue bool
+}
+
+// probeAt interpolates the i-th of q evenly spaced thresholds in
+// (lo, lo+w]: lo + ⌈i·(w+1)/(q+1)⌉-ish via ⌊·⌋, computed in 128 bits so
+// wide domains (w approaching 2⁶⁴) neither wrap nor collapse the probe
+// spread. Requires 1 ≤ i ≤ q ≤ w.
+func probeAt(lo, w, i, q uint64) uint64 {
+	if w == ^uint64(0) {
+		// w+1 is unrepresentable; the spacing ⌊w/(q+1)⌋+1 keeps the probes
+		// distinct, ascending, and within (lo, lo+w] without overflow.
+		return lo + i*(w/(q+1)+1)
+	}
+	phi, plo := bits.Mul64(i, w+1)
+	t, _ := bits.Div64(phi, plo, q+1)
+	return lo + t
+}
+
+// rankIndex locates rank j among the deduplicated ranks (−1 if absent); a
+// linear scan, since rank lists are short.
+func (s *rankSearcher) rankIndex(j uint64) int {
+	for i, u := range s.uniq {
+		if u == j {
+			return i
+		}
+	}
+	return -1
+}
+
+// sweep ships the pending probe thresholds as one CountVec round. A
+// pending topTrue appends the TRUE terminator after the thresholds, so the
+// chain stays nested and applySweep's probe/count alignment is unchanged
+// (the extra count rides past the probe list as counts' final entry).
+func (s *rankSearcher) sweep() {
+	s.preds = s.preds[:0]
+	for _, t := range s.probes {
+		s.preds = append(s.preds, wire.Less(t))
+	}
+	if s.topTrue {
+		s.preds = append(s.preds, wire.True())
+		s.topTrue = false
+	}
+	s.counts = s.net.CountVec(Linear, s.preds, s.counts)
+	s.res.Sweeps++
+	s.res.Probes += len(s.preds)
+}
+
+// applySweep folds the latest counts into every interval: c(t) < j pushes
+// that rank's floor up to t, c(t) ≥ j caps its ceiling at t−1. By the
+// invariant and monotonicity of c, probes outside an interval are no-ops,
+// so sharing every probe with every rank is always sound.
+func (s *rankSearcher) applySweep() {
+	for pi, t := range s.probes {
+		c := s.counts[pi]
+		for vi, j := range s.uniq {
+			iv := &s.ivs[vi]
+			if c < j {
+				if t > iv.lo && t <= iv.hi {
+					iv.lo = t
+				}
+			} else if t > iv.lo && t <= iv.hi {
+				iv.hi = t - 1
+			}
+		}
+	}
+}
+
+// sortDedupe sorts the probe thresholds ascending and removes duplicates in
+// place — overlapping intervals of nearby ranks propose the same thresholds,
+// and the ⊆-chain encoding requires ascending order.
+func sortDedupe(probes *[]uint64) {
+	slices.Sort(*probes)
+	*probes = slices.Compact(*probes)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -10,11 +11,14 @@ import (
 // They operate on plain slices (simulator-side omniscience), never on the
 // network.
 
-// SortedCopy returns an ascending copy of values.
+// SortedCopy returns an ascending copy of values. slices.Sort (pdqsort on
+// native uint64 comparisons) rather than sort.Slice: ground-truth sorting
+// runs once per engine query and the reflect-based swapper was a visible
+// slice of short-query profiles.
 func SortedCopy(values []uint64) []uint64 {
 	s := make([]uint64, len(values))
 	copy(s, values)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	return s
 }
 

@@ -161,6 +161,16 @@ func (l *LocalNet) Count(d Domain, pred wire.Pred) uint64 {
 	return c
 }
 
+// CountVec implements Net: the batched COUNTP probe plane, evaluated
+// directly over the slice.
+func (l *LocalNet) CountVec(d Domain, preds []wire.Pred, dst []uint64) []uint64 {
+	dst = dst[:0]
+	for _, p := range preds {
+		dst = append(dst, l.Count(d, p))
+	}
+	return dst
+}
+
 // ApxCountRep implements Net: r independent LogLog estimates over the
 // active items matching pred. Instance seeds advance a persistent counter
 // so every call uses fresh hash functions.

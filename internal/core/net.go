@@ -59,6 +59,13 @@ type Net interface {
 	// Count runs the deterministic COUNTP protocol (§3.1) over active items
 	// in domain d.
 	Count(d Domain, pred wire.Pred) uint64
+	// CountVec runs the batched COUNTP probe plane: one protocol round
+	// answers every predicate in preds at once, appending the counts into
+	// dst[:0] (pass a reused buffer to keep hot search loops
+	// allocation-free). An empty probe set returns dst[:0] with no
+	// communication. The k-ary selection search (SelectRanksBatched) is
+	// built on it.
+	CountVec(d Domain, preds []wire.Pred, dst []uint64) []uint64
 	// ApxCountRep runs r independent α-counting instances (Definition 2.1,
 	// Fact 2.2) over active items in domain d satisfying pred and returns
 	// the r estimates — the body of subroutine REP COUNTP (Fig. 2).

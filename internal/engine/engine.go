@@ -38,10 +38,16 @@ type Result struct {
 	// sketch width, ...).
 	Value  float64 `json:"value"`
 	Detail string  `json:"detail,omitempty"`
-	// Truth is the simulator-side ground truth when TruthKnown.
-	Truth      float64 `json:"truth,omitempty"`
-	TruthKnown bool    `json:"truth_known"`
-	// Exact reports Value == Truth (only meaningful when TruthKnown).
+	// Values carries the full answer vector of multi-valued kinds
+	// (quantiles, fused multi-aggregates); Value then holds Values[0].
+	Values []float64 `json:"values,omitempty"`
+	// Truth is the simulator-side ground truth when TruthKnown; Truths is
+	// its vector counterpart for multi-valued kinds.
+	Truth      float64   `json:"truth,omitempty"`
+	Truths     []float64 `json:"truths,omitempty"`
+	TruthKnown bool      `json:"truth_known"`
+	// Exact reports Value == Truth — elementwise over the vectors for
+	// multi-valued kinds (only meaningful when TruthKnown).
 	Exact bool `json:"exact"`
 
 	// BitsPerNode is the paper's complexity measure for this run: max over
@@ -223,13 +229,24 @@ func resultFrom(spec Spec, q Query, ans answer, d netsim.Delta, wall time.Durati
 		Query:       q.withDefaults(),
 		Value:       ans.value,
 		Detail:      ans.detail,
+		Values:      ans.values,
 		Truth:       ans.truth,
+		Truths:      ans.truths,
 		TruthKnown:  ans.truthKnown,
 		Exact:       ans.truthKnown && ans.value == ans.truth,
 		BitsPerNode: d.MaxPerNode,
 		TotalBits:   d.TotalBits,
 		Messages:    d.Messages,
 		WallNS:      wall.Nanoseconds(),
+	}
+	if ans.truthKnown && len(ans.truths) == len(ans.values) && len(ans.values) > 0 {
+		r.Exact = true
+		for i := range ans.values {
+			if ans.values[i] != ans.truths[i] {
+				r.Exact = false
+				break
+			}
+		}
 	}
 	if ans.heal != nil {
 		r.Crashed = ans.heal.Crashed

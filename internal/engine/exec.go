@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 
 	"sensoragg/internal/agg"
@@ -46,6 +45,12 @@ const (
 	KindSingleHop      = "singlehop"
 	KindBuildTree      = "buildtree"
 	KindStatement      = "statement"
+	// KindQuantiles answers every quantile in Query.Phis with one shared
+	// k-ary probe schedule (core.SelectRanksBatched).
+	KindQuantiles = "quantiles"
+	// KindFused answers COUNT+SUM+MIN+MAX (Query.Aggs) with one fused
+	// vector sweep instead of one sweep per aggregate.
+	KindFused = "fused"
 )
 
 // Query is one aggregate query specification.
@@ -64,6 +69,16 @@ type Query struct {
 	SketchP int `json:"sketch_p,omitempty"`
 	// Statement is a sensorql statement, used when Kind == "statement".
 	Statement string `json:"statement,omitempty"`
+	// ProbeWidth is the number of COUNT probes batched per CountVec sweep
+	// in the selection queries (median/os/quantile/quantiles): 0 means the
+	// engine default (core.DefaultProbeWidth), 1 runs the classic
+	// one-probe-per-sweep binary search — the unbatched reference path.
+	ProbeWidth int `json:"probe_width,omitempty"`
+	// Phis are the quantile fractions for KindQuantiles, each in (0,1].
+	Phis []float64 `json:"phis,omitempty"`
+	// Aggs selects the aggregates KindFused reports, a subset of
+	// count|sum|min|max|avg; empty means count,sum,min,max.
+	Aggs []string `json:"aggs,omitempty"`
 }
 
 func (q Query) withDefaults() Query {
@@ -76,8 +91,19 @@ func (q Query) withDefaults() Query {
 	if q.SketchP == 0 {
 		q.SketchP = core.DefaultSketchP
 	}
+	if q.ProbeWidth == 0 {
+		q.ProbeWidth = core.DefaultProbeWidth
+	}
+	if q.Kind == KindFused && len(q.Aggs) == 0 {
+		q.Aggs = []string{"count", "sum", "min", "max"}
+	}
 	return q
 }
+
+// WithDefaults returns the query with unset tunables resolved to the
+// engine defaults — the normalization every run applies, exported for CLIs
+// and tests that inspect the resolved configuration.
+func (q Query) WithDefaults() Query { return q.withDefaults() }
 
 // String labels the query for reports.
 func (q Query) String() string {
@@ -93,6 +119,10 @@ type answer struct {
 	detail     string
 	truth      float64
 	truthKnown bool
+	// values/truths carry the full result vector of multi-valued kinds
+	// (quantiles, fused); value/truth then hold the first entry.
+	values []float64
+	truths []float64
 	// heal is the self-healing repair run that preceded the query, when
 	// the run's fault plan had structural faults.
 	heal *spantree.HealResult
@@ -234,6 +264,15 @@ func executeKind(nw *netsim.Network, spec Spec, q Query, ops spantree.Ops, net *
 
 	switch q.Kind {
 	case KindMedian:
+		if q.ProbeWidth > 1 {
+			res, err := core.MedianBatched(net, q.ProbeWidth)
+			if err != nil {
+				return answer{}, err
+			}
+			return exactUint(res.Values[0],
+				fmt.Sprintf("%d k-ary sweeps (width %d)", res.Sweeps, q.ProbeWidth),
+				core.TrueMedian(sorted())), nil
+		}
 		res, err := core.Median(net)
 		if err != nil {
 			return answer{}, err
@@ -246,16 +285,95 @@ func executeKind(nw *netsim.Network, spec Spec, q Query, ops spantree.Ops, net *
 			if q.Phi <= 0 || q.Phi > 1 {
 				return answer{}, fmt.Errorf("engine: quantile phi %g out of (0,1]", q.Phi)
 			}
-			k = uint64(math.Ceil(q.Phi * float64(len(values))))
+			k = core.QuantileRank(q.Phi, uint64(len(values)))
 		}
 		if k == 0 {
 			k = uint64((len(values) + 1) / 2)
+		}
+		if q.ProbeWidth > 1 {
+			res, err := core.SelectRanksBatched(net, []core.BatchRank{{K: k}}, q.ProbeWidth)
+			if err != nil {
+				return answer{}, err
+			}
+			return exactUint(res.Values[0],
+				fmt.Sprintf("rank %d, %d k-ary sweeps (width %d)", k, res.Sweeps, q.ProbeWidth),
+				core.TrueOrderStatistic(sorted(), int(k))), nil
 		}
 		res, err := core.OrderStatistic(net, k)
 		if err != nil {
 			return answer{}, err
 		}
 		return exactUint(res.Value, fmt.Sprintf("rank %d", k), core.TrueOrderStatistic(sorted(), int(k))), nil
+
+	case KindQuantiles:
+		if len(q.Phis) == 0 {
+			return answer{}, fmt.Errorf("engine: quantiles requires at least one phi")
+		}
+		// Ranks are φ-resolved against the protocol-counted N inside the
+		// search (folded into the first sweep), so the kind degrades under
+		// message faults exactly like median does: a corrupted count skews
+		// the answer instead of tripping a rank-vs-population mismatch.
+		ranks := make([]core.BatchRank, len(q.Phis))
+		for i, phi := range q.Phis {
+			if phi <= 0 || phi > 1 {
+				return answer{}, fmt.Errorf("engine: quantile phi %g out of (0,1]", phi)
+			}
+			ranks[i] = core.BatchRank{Phi: phi}
+		}
+		res, err := core.SelectRanksBatched(net, ranks, q.ProbeWidth)
+		if err != nil {
+			return answer{}, err
+		}
+		ans := answer{
+			detail: fmt.Sprintf("%d quantiles in %d shared k-ary sweeps (width %d)",
+				len(q.Phis), res.Sweeps, q.ProbeWidth),
+			truthKnown: true,
+		}
+		for i, v := range res.Values {
+			k := core.QuantileRank(q.Phis[i], uint64(len(values)))
+			ans.values = append(ans.values, float64(v))
+			ans.truths = append(ans.truths, float64(core.TrueOrderStatistic(sorted(), int(k))))
+		}
+		ans.value, ans.truth = ans.values[0], ans.truths[0]
+		return ans, nil
+
+	case KindFused:
+		count, sum, lo, hi, ok := net.MultiAggregate(core.Linear, wire.True())
+		if !ok {
+			return answer{}, fmt.Errorf("engine: empty network")
+		}
+		var tSum uint64
+		tLo, tHi := values[0], values[0]
+		for _, v := range values {
+			tSum += v
+			if v < tLo {
+				tLo = v
+			}
+			if v > tHi {
+				tHi = v
+			}
+		}
+		got := map[string]float64{
+			"count": float64(count), "sum": float64(sum),
+			"min": float64(lo), "max": float64(hi),
+			"avg": float64(sum) / float64(count),
+		}
+		want := map[string]float64{
+			"count": float64(len(values)), "sum": float64(tSum),
+			"min": float64(tLo), "max": float64(tHi),
+			"avg": float64(tSum) / float64(len(values)),
+		}
+		ans := answer{detail: "fused vector sweep (count+sum+min+max)", truthKnown: true}
+		for _, a := range q.Aggs {
+			v, known := got[a]
+			if !known {
+				return answer{}, fmt.Errorf("engine: unknown fused aggregate %q (count|sum|min|max|avg)", a)
+			}
+			ans.values = append(ans.values, v)
+			ans.truths = append(ans.truths, want[a])
+		}
+		ans.value, ans.truth = ans.values[0], ans.truths[0]
+		return ans, nil
 
 	case KindApxMedian:
 		res, err := core.ApxMedian(net, core.ApxParams{Epsilon: q.Eps})
@@ -408,7 +526,7 @@ func executeKind(nw *netsim.Network, spec Spec, q Query, ops spantree.Ops, net *
 		if err != nil {
 			return answer{}, err
 		}
-		return answer{value: res.Value, detail: res.Detail}, nil
+		return answer{value: res.Value, detail: res.Detail, values: res.Values}, nil
 
 	default:
 		return answer{}, fmt.Errorf("engine: unknown query kind %q", q.Kind)
@@ -418,7 +536,8 @@ func executeKind(nw *netsim.Network, spec Spec, q Query, ops spantree.Ops, net *
 // Kinds returns every query kind the engine executes, for CLI help.
 func Kinds() []string {
 	return []string{
-		KindMedian, KindOrderStat, KindQuantile, KindApxMedian, KindApxMedian2,
+		KindMedian, KindOrderStat, KindQuantile, KindQuantiles, KindFused,
+		KindApxMedian, KindApxMedian2,
 		KindMin, KindMax, KindCount, KindSum, KindAvg,
 		KindDistinct, KindApxDistinct, KindQDigest, KindGK, KindSampling,
 		KindGossip, KindGossipDistinct, KindCollectAll, KindSingleHop,

@@ -21,6 +21,8 @@ func allKindQueries(n int, seed uint64) []Job {
 			spec = Spec{Topology: "complete", N: 64, Workload: string(workload.Uniform), Seed: seed}
 		case KindQuantile:
 			q.Phi = 0.9
+		case KindQuantiles:
+			q.Phis = []float64{0.1, 0.5, 0.99}
 		case KindStatement:
 			q.Statement = "SELECT median(value)"
 		}
@@ -99,6 +101,8 @@ func TestParallelMatchesSerialFaulty(t *testing.T) {
 		{Kind: KindMax},
 		{Kind: KindDistinct},
 		{Kind: KindApxDistinct},
+		{Kind: KindQuantiles, Phis: []float64{0.25, 0.5, 0.9}},
+		{Kind: KindFused},
 	}
 	fs := faults.Spec{Crash: 0.04, Drop: 0.02, Dup: 0.02}
 	var jobs []Job

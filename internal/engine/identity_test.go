@@ -17,6 +17,15 @@ func identityFields(t *testing.T, label string, got, want Result) {
 	if got.Value != want.Value {
 		t.Errorf("%s: value %v, want %v", label, got.Value, want.Value)
 	}
+	if len(got.Values) != len(want.Values) {
+		t.Errorf("%s: values %v, want %v", label, got.Values, want.Values)
+	} else {
+		for i := range got.Values {
+			if got.Values[i] != want.Values[i] {
+				t.Errorf("%s: values[%d] = %v, want %v", label, i, got.Values[i], want.Values[i])
+			}
+		}
+	}
 	if got.Detail != want.Detail {
 		t.Errorf("%s: detail %q, want %q", label, got.Detail, want.Detail)
 	}
@@ -44,6 +53,8 @@ func queryFor(kind string) Query {
 		q.Statement = "SELECT count(value)"
 	case KindQuantile:
 		q.Phi = 0.75
+	case KindQuantiles:
+		q.Phis = []float64{0.25, 0.5, 0.9}
 	}
 	return q
 }

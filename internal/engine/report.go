@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"sensoragg/internal/stats"
@@ -118,6 +119,20 @@ func FormatValue(v float64) string {
 		return fmt.Sprintf("%d", int64(v))
 	}
 	return fmt.Sprintf("%.3f", v)
+}
+
+// FormatValues renders a multi-value answer the way the CLIs print it —
+// "[v1 v2 ...]" — falling back to FormatValue for single answers, so
+// every console formats result vectors identically.
+func FormatValues(value float64, values []float64) string {
+	if len(values) < 2 {
+		return FormatValue(value)
+	}
+	parts := make([]string, len(values))
+	for i, v := range values {
+		parts[i] = FormatValue(v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }
 
 // WriteJSON renders the report as indented JSON.

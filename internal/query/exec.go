@@ -15,8 +15,12 @@ import (
 
 // Result reports an executed query.
 type Result struct {
-	// Value is the numeric answer.
+	// Value is the numeric answer (the first entry of Values for
+	// multi-valued aggregates).
 	Value float64
+	// Values carries every answer of a multi-valued aggregate (quantiles);
+	// nil for single-valued queries.
+	Values []float64
 	// Detail is a human-readable elaboration (iterations, error bars, ...).
 	Detail string
 	// Comm is the communication the query cost, in the paper's measure.
@@ -76,7 +80,7 @@ func Run(net *agg.Net, q *Query) (Result, error) {
 		est := net.ApxCount(core.Linear, pred)
 		return finish(est, fmt.Sprintf("α-counting instance, σ=%.3f", net.ApxSigma())), nil
 
-	case AggMedian, AggQuantile, AggApxMedian, AggApxMedian2:
+	case AggMedian, AggQuantile, AggQuantiles, AggApxMedian, AggApxMedian2:
 		return selection(net, q, before)
 
 	case AggDistinct:
@@ -99,10 +103,29 @@ func filteredMinMax(net *agg.Net, q *Query) (lo, hi uint64, ok bool) {
 	return net.MinMax(core.Linear)
 }
 
+// probeWidth resolves the k-ary probe batch width for selection queries
+// from the USING clause: `USING probewidth=K` (session consoles inject
+// their SET PROBEWIDTH default here). Unset means core.DefaultProbeWidth;
+// width 1 runs the classic one-probe-per-sweep binary search.
+func probeWidth(q *Query) (int, error) {
+	w, ok := q.Options["probewidth"]
+	if !ok {
+		return core.DefaultProbeWidth, nil
+	}
+	if w != math.Trunc(w) || w < 1 || w > core.MaxProbeWidth {
+		return 0, fmt.Errorf("query: probewidth %g must be an integer in [1, %d]", w, core.MaxProbeWidth)
+	}
+	return int(w), nil
+}
+
 // selection runs the order-statistic family over the (possibly filtered)
 // active multiset.
 func selection(net *agg.Net, q *Query, before netsim.Snapshot) (Result, error) {
 	nw := net.Network()
+	pw, err := probeWidth(q)
+	if err != nil {
+		return Result{}, err
+	}
 	if q.Where != nil {
 		net.Filter(*q.Where)
 		defer net.Reset()
@@ -112,6 +135,14 @@ func selection(net *agg.Net, q *Query, before netsim.Snapshot) (Result, error) {
 	}
 	switch q.Agg {
 	case AggMedian:
+		if pw > 1 {
+			res, err := core.MedianBatched(net, pw)
+			if err != nil {
+				return Result{}, err
+			}
+			return finish(float64(res.Values[0]),
+				fmt.Sprintf("exact, %d k-ary sweeps (width %d)", res.Sweeps, pw)), nil
+		}
 		res, err := core.Median(net)
 		if err != nil {
 			return Result{}, err
@@ -119,19 +150,45 @@ func selection(net *agg.Net, q *Query, before netsim.Snapshot) (Result, error) {
 		return finish(float64(res.Value), fmt.Sprintf("exact, %d search iterations", res.Iterations)), nil
 
 	case AggQuantile:
+		if pw > 1 {
+			res, err := core.SelectRanksBatched(net, []core.BatchRank{{Phi: q.Phi}}, pw)
+			if err != nil {
+				return Result{}, err
+			}
+			return finish(float64(res.Values[0]),
+				fmt.Sprintf("exact φ=%g, %d k-ary sweeps (width %d)", q.Phi, res.Sweeps, pw)), nil
+		}
 		n := net.Count(core.Linear, wire.True())
 		if n == 0 {
 			return Result{}, fmt.Errorf("query: no items match")
 		}
-		k := uint64(math.Ceil(q.Phi * float64(n)))
-		if k < 1 {
-			k = 1
-		}
+		k := core.QuantileRank(q.Phi, n)
 		res, err := core.OrderStatistic(net, k)
 		if err != nil {
 			return Result{}, err
 		}
 		return finish(float64(res.Value), fmt.Sprintf("exact rank %d of %d", k, n)), nil
+
+	case AggQuantiles:
+		// Parse enforces this for statements; guard the exported Run path.
+		if len(q.Phis) == 0 {
+			return Result{}, fmt.Errorf("query: quantiles needs at least one fraction")
+		}
+		ranks := make([]core.BatchRank, len(q.Phis))
+		for i, phi := range q.Phis {
+			ranks[i] = core.BatchRank{Phi: phi}
+		}
+		res, err := core.SelectRanksBatched(net, ranks, pw)
+		if err != nil {
+			return Result{}, err
+		}
+		out := finish(float64(res.Values[0]),
+			fmt.Sprintf("exact, %d quantiles in %d shared k-ary sweeps (width %d)",
+				len(q.Phis), res.Sweeps, pw))
+		for _, v := range res.Values {
+			out.Values = append(out.Values, float64(v))
+		}
+		return out, nil
 
 	case AggApxMedian:
 		params := core.ApxParams{Epsilon: q.Options["eps"]}

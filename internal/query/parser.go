@@ -21,6 +21,7 @@ const (
 	AggAvg        AggKind = "avg"
 	AggMedian     AggKind = "median"
 	AggQuantile   AggKind = "quantile"
+	AggQuantiles  AggKind = "quantiles"
 	AggApxMedian  AggKind = "apxmedian"
 	AggApxMedian2 AggKind = "apxmedian2"
 	AggDistinct   AggKind = "distinct"
@@ -35,6 +36,9 @@ type Query struct {
 	Agg AggKind
 	// Phi is the quantile fraction for AggQuantile (in (0,1]).
 	Phi float64
+	// Phis are the quantile fractions for AggQuantiles, each in (0,1],
+	// answered with one shared probe schedule.
+	Phis []float64
 	// Where restricts the queried multiset; nil means all items.
 	Where *wire.Pred
 	// Options are the USING key=value pairs (protocol tuning).
@@ -128,7 +132,8 @@ func (p *parser) expectKind(k tokenKind, what string) (token, error) {
 
 var validAggs = map[AggKind]bool{
 	AggMin: true, AggMax: true, AggCount: true, AggSum: true, AggAvg: true,
-	AggMedian: true, AggQuantile: true, AggApxMedian: true, AggApxMedian2: true,
+	AggMedian: true, AggQuantile: true, AggQuantiles: true,
+	AggApxMedian: true, AggApxMedian2: true,
 	AggDistinct: true, AggApxCount: true, AggF2: true,
 }
 
@@ -161,6 +166,28 @@ func (p *parser) parseAgg(q *Query) error {
 			return fmt.Errorf("query: quantile fraction %q out of (0,1]", num.text)
 		}
 		q.Phi = phi
+	}
+	if agg == AggQuantiles {
+		if p.peek().kind != tokComma {
+			return fmt.Errorf("query: quantiles needs at least one fraction at position %d", p.peek().pos)
+		}
+		for p.peek().kind == tokComma {
+			p.next()
+			num, err := p.expectKind(tokNumber, "quantile fraction")
+			if err != nil {
+				return err
+			}
+			phi, err := strconv.ParseFloat(num.text, 64)
+			if err != nil || phi <= 0 || phi > 1 {
+				return fmt.Errorf("query: quantile fraction %q out of (0,1]", num.text)
+			}
+			for _, prev := range q.Phis {
+				if prev == phi {
+					return fmt.Errorf("query: duplicate quantile rank %s", num.text)
+				}
+			}
+			q.Phis = append(q.Phis, phi)
+		}
 	}
 	_, err = p.expectKind(tokRParen, "')'")
 	return err

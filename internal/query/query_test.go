@@ -67,6 +67,44 @@ func TestParseStatements(t *testing.T) {
 
 func predPtr(p wire.Pred) *wire.Pred { return &p }
 
+// TestParseQuantiles covers the multi-quantile form and its edge cases,
+// asserting the exact error surface the console shows.
+func TestParseQuantiles(t *testing.T) {
+	q, err := Parse("SELECT quantiles(value, 0.25, 0.5, 0.9)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Agg != AggQuantiles {
+		t.Errorf("agg = %q, want %q", q.Agg, AggQuantiles)
+	}
+	if len(q.Phis) != 3 || q.Phis[0] != 0.25 || q.Phis[1] != 0.5 || q.Phis[2] != 0.9 {
+		t.Errorf("phis = %v", q.Phis)
+	}
+
+	// The upper bound 1 is a legal rank (the maximum).
+	q, err = Parse("SELECT quantiles(value, 1)")
+	if err != nil || len(q.Phis) != 1 || q.Phis[0] != 1 {
+		t.Errorf("quantiles(value, 1): phis=%v err=%v", q.Phis, err)
+	}
+
+	for _, tc := range []struct {
+		in, want string
+	}{
+		// Empty rank list: the probe plane has nothing to probe.
+		{"SELECT quantiles(value)", "at least one fraction"},
+		// Duplicate ranks are a user error, not a silent dedupe.
+		{"SELECT quantiles(value, 0.5, 0.5)", "duplicate quantile rank"},
+		// Bounds: 0 selects nothing, above 1 is no rank at all.
+		{"SELECT quantiles(value, 0)", "out of (0,1]"},
+		{"SELECT quantiles(value, 0.5, 1.01)", "out of (0,1]"},
+	} {
+		_, err := Parse(tc.in)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q): err %v, want containing %q", tc.in, err, tc.want)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"",
@@ -134,6 +172,66 @@ func TestExecAggregates(t *testing.T) {
 		if res.Comm.TotalBits == 0 {
 			t.Errorf("%s charged nothing", tt.stmt)
 		}
+	}
+}
+
+// TestExecQuantiles: the multi-quantile statement answers every rank
+// exactly (matching separate quantile statements), reports all values, and
+// respects the probewidth option down to the width-1 reference search.
+func TestExecQuantiles(t *testing.T) {
+	const maxX = 1 << 12
+	values := workload.Generate(workload.Zipf, 64, maxX, 13)
+	sorted := core.SortedCopy(values)
+	net := testNet(t, values, maxX)
+
+	res, err := Exec(net, "SELECT quantiles(value, 0.1, 0.5, 0.99)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRanks := []int{7, 32, 64} // ⌈φ·64⌉
+	if len(res.Values) != 3 {
+		t.Fatalf("values = %v, want 3 entries", res.Values)
+	}
+	for i, k := range wantRanks {
+		if want := float64(core.TrueOrderStatistic(sorted, k)); res.Values[i] != want {
+			t.Errorf("quantile %d (rank %d) = %g, want %g", i, k, res.Values[i], want)
+		}
+	}
+	if res.Value != res.Values[0] {
+		t.Errorf("Value %g != Values[0] %g", res.Value, res.Values[0])
+	}
+
+	// probewidth=1 drives the same statement through one-probe sweeps and
+	// must agree; an invalid width errors with the full message.
+	one, err := Exec(net, "SELECT quantiles(value, 0.1, 0.5, 0.99) USING probewidth=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Values {
+		if one.Values[i] != res.Values[i] {
+			t.Errorf("width-1 quantile %d = %g, batched %g", i, one.Values[i], res.Values[i])
+		}
+	}
+	if one.Comm.Messages <= res.Comm.Messages {
+		t.Errorf("width-1 run used %d messages, batched %d — batching saved nothing",
+			one.Comm.Messages, res.Comm.Messages)
+	}
+	if _, err := Exec(net, "SELECT median(value) USING probewidth=0.5"); err == nil ||
+		!strings.Contains(err.Error(), "must be an integer in [1, 1024]") {
+		t.Errorf("fractional probewidth: err=%v", err)
+	}
+
+	// Batched and width-1 median agree too (same WHERE machinery).
+	batched, err := Exec(net, "SELECT median(value)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, err := Exec(net, "SELECT median(value) USING probewidth=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Value != classic.Value {
+		t.Errorf("batched median %g != classic %g", batched.Value, classic.Value)
 	}
 }
 

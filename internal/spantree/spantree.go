@@ -164,6 +164,14 @@ type fastScratch struct {
 	stash    []*bitio.Writer
 	fanout   []int32
 	arenas   []*wire.Arena
+	// vec is the flat partial arena of the vector convergecast path
+	// (node u owns [u·k, (u+1)·k)); vtmp holds one decode buffer per
+	// worker and vbits the per-node encoded lengths of the reliable
+	// direct path. All grow to the widest vector operation seen and are
+	// then reused, so warm vector sweeps allocate nothing.
+	vec   []uint64
+	vtmp  [][]uint64
+	vbits []int32
 }
 
 var _ Ops = (*FastEngine)(nil)
@@ -311,6 +319,9 @@ func (e *FastEngine) broadcastRange(p wire.Payload, apply Applier, lo, hi int) {
 // convergecast allocates nothing.
 func (e *FastEngine) Convergecast(c Combiner) (any, error) {
 	e.watching = e.nw.Meter.Watching()
+	if vc, ok := c.(VecCombiner); ok && e.pooled {
+		return e.convergecastVec(vc)
+	}
 	if sc, ok := c.(ScalarCombiner); ok && e.pooled {
 		return e.convergecastScalar(sc)
 	}

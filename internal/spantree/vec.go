@@ -1,0 +1,238 @@
+package spantree
+
+import (
+	"fmt"
+
+	"sensoragg/internal/bitio"
+	"sensoragg/internal/faults"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/wire"
+)
+
+// VecCombiner is an optional Combiner specialization for aggregates whose
+// partial state is a fixed-width vector of machine words — the batched
+// probe plane: one convergecast carries k counts (CountVec) or a fused
+// COUNT+SUM+MIN+MAX tuple instead of a single scalar. The fast engine then
+// keeps every node's partial in one flat per-run []uint64 arena
+// (node u owns the slice [u·k, (u+1)·k)), so a warm vector convergecast
+// allocates nothing and sweeps levels in parallel exactly like the scalar
+// path. The wire format is unchanged between paths — AppendVec must emit
+// exactly the bits Encode would — so the vector path is byte-identical to
+// the generic one (asserted by tests).
+type VecCombiner interface {
+	Combiner
+	// VecWidth returns the fixed vector width k of every partial in this
+	// operation. It must not change for the combiner's lifetime.
+	VecWidth() int
+	// LocalVec writes node n's own partial into dst (len VecWidth). dst may
+	// hold stale data from an earlier operation; implementations overwrite
+	// every slot.
+	LocalVec(n *netsim.Node, dst []uint64)
+	// MergeVec folds the child partial src into the accumulator acc
+	// (both len VecWidth). It must be insensitive to child order.
+	MergeVec(acc, src []uint64)
+	// AppendVec encodes the partial, emitting the same bits as Encode.
+	AppendVec(w *bitio.Writer, p []uint64)
+	// VecBits returns exactly the number of bits AppendVec(p) would emit.
+	// The reliable pooled path charges this length arithmetically and
+	// hands the partial to the parent in the shared arena instead of
+	// materializing the payload — same meters, same values, none of the
+	// per-edge codec cost. The faulty, watched, unpooled, and goroutine
+	// paths still round-trip every edge through AppendVec/DecodeVec, and
+	// the cross-engine identity tests assert the equivalence.
+	VecBits(p []uint64) int
+	// DecodeVec parses a partial encoded by AppendVec into dst
+	// (len VecWidth), overwriting every slot.
+	DecodeVec(pl wire.Payload, dst []uint64) error
+	// VecResult converts the root partial to the value Convergecast
+	// returns — the same value the generic path would produce. The slice
+	// may alias engine scratch; callers that keep it must copy.
+	VecResult(p []uint64) any
+}
+
+// vecScratch returns the flat partial arena (n·k words) and the per-worker
+// decode buffers for a vector operation, growing the reusable scratch when
+// an operation needs more than any predecessor did. Warm operations of the
+// same width reuse everything.
+func (e *FastEngine) vecScratch(n, k, workers int) (vec []uint64, tmps [][]uint64) {
+	if cap(e.sc.vec) < n*k {
+		e.sc.vec = make([]uint64, n*k)
+	}
+	for len(e.sc.vtmp) < workers {
+		e.sc.vtmp = append(e.sc.vtmp, nil)
+	}
+	for i := 0; i < workers; i++ {
+		if cap(e.sc.vtmp[i]) < k {
+			e.sc.vtmp[i] = make([]uint64, k)
+		} else {
+			e.sc.vtmp[i] = e.sc.vtmp[i][:k]
+		}
+	}
+	return e.sc.vec[:n*k], e.sc.vtmp
+}
+
+// maxLevelWorkers returns the widest schedule any level of the view can
+// trigger, so vector scratch can be sized once per operation.
+func (e *FastEngine) maxLevelWorkers() int {
+	w := 1
+	for _, lv := range e.levelSchedule() {
+		if lw := e.workersFor(len(lv)); lw > w {
+			w = lw
+		}
+	}
+	return w
+}
+
+// convergecastVec is Convergecast for VecCombiners: the same level sweep,
+// charges, and fault decisions as the scalar path, with partials in one
+// flat uint64 arena instead of boxed `any` slots.
+func (e *FastEngine) convergecastVec(vc VecCombiner) (any, error) {
+	k := vc.VecWidth()
+	if k <= 0 {
+		return nil, fmt.Errorf("spantree: vector combiner width %d", k)
+	}
+	v := e.view
+	n := len(v.Parent)
+	plan := e.nw.Faults
+	workers := e.maxLevelWorkers()
+	vec, tmps := e.vecScratch(n, k, workers)
+	if e.watching || (plan != nil && plan.Spec().MessageLevel()) {
+		return e.convergecastVecEdges(vc, plan, vec, tmps)
+	}
+	// Reliable fast path: every node's partial travels to its parent in
+	// the shared arena itself; the wire cost is charged from VecBits (the
+	// exact length AppendVec would emit, cached per node so the parent's
+	// receive side reads it instead of recomputing), and the whole step
+	// charges the node's meter cell in one visit.
+	if cap(e.sc.vbits) < n {
+		e.sc.vbits = make([]int32, n)
+	}
+	vbits := e.sc.vbits[:n]
+	levels := e.levelSchedule()
+	for li := len(levels) - 1; li >= 0; li-- {
+		lv := levels[li]
+		w := e.workersFor(len(lv))
+		if w <= 1 {
+			for _, u := range lv {
+				e.gatherVecDirect(u, vc, k, vec, vbits)
+			}
+			continue
+		}
+		vc := vc
+		parallelChunks(len(lv), w, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.gatherVecDirect(lv[i], vc, k, vec, vbits)
+			}
+		})
+	}
+	root := int(v.Root)
+	return vc.VecResult(vec[root*k : root*k+k]), nil
+}
+
+// gatherVecDirect runs one node's step on the reliable vector path: merge
+// the children's partials straight out of the arena, then price this
+// node's own send with VecBits, charging send and receive sides in one
+// meter-cell visit. Values and meters are byte-identical to the encoding
+// paths (VecBits == len(AppendVec), merge input == decoded payload),
+// which the engine-variant identity tests assert.
+func (e *FastEngine) gatherVecDirect(u topology.NodeID, vc VecCombiner, k int, vec []uint64, vbits []int32) {
+	acc := vec[int(u)*k : int(u)*k+k]
+	vc.LocalVec(e.nw.Nodes[u], acc)
+	recvBits := 0
+	for _, child := range e.view.Children[u] {
+		recvBits += int(vbits[child])
+		vc.MergeVec(acc, vec[int(child)*k:int(child)*k+k])
+	}
+	sentBits := -1
+	if u != e.view.Root {
+		sentBits = vc.VecBits(acc)
+		vbits[u] = int32(sentBits)
+	}
+	e.nw.Meter.ChargeNodeSeq(u, sentBits, recvBits)
+}
+
+// convergecastVecEdges is the vector sweep with per-edge charging: the path
+// for watched-edge runs and message-level fault plans, where each
+// delivery's fate (and its exact (from, to) pair) must be priced
+// individually.
+func (e *FastEngine) convergecastVecEdges(vc VecCombiner, plan *faults.Plan, vec []uint64, tmps [][]uint64) (any, error) {
+	k := vc.VecWidth()
+	v := e.view
+	levels := e.levelSchedule()
+	for li := len(levels) - 1; li >= 0; li-- {
+		lv := levels[li]
+		w := e.workersFor(len(lv))
+		if w <= 1 {
+			a := e.arena(0)
+			for _, u := range lv {
+				if err := e.gatherVec(u, vc, k, a, plan, vec, tmps[0]); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		for i := len(e.sc.arenas); i < w; i++ {
+			e.sc.arenas = append(e.sc.arenas, wire.NewArena())
+		}
+		errs := make([]error, w)
+		vc := vc
+		parallelChunks(len(lv), w, func(worker, lo, hi int) {
+			a := e.sc.arenas[worker]
+			tmp := tmps[worker]
+			for i := lo; i < hi; i++ {
+				if err := e.gatherVec(lv[i], vc, k, a, plan, vec, tmp); err != nil {
+					errs[worker] = err
+					return
+				}
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	root := int(v.Root)
+	return vc.VecResult(vec[root*k : root*k+k]), nil
+}
+
+// gatherVec is gather on flat vector partials with per-edge charging and
+// per-delivery fault decisions.
+func (e *FastEngine) gatherVec(u topology.NodeID, vc VecCombiner, k int, a *wire.Arena, plan *faults.Plan, vec, tmp []uint64) error {
+	acc := vec[int(u)*k : int(u)*k+k]
+	vc.LocalVec(e.nw.Nodes[u], acc)
+	m := e.nw.Meter
+	recvBits := 0
+	for _, child := range e.view.Children[u] {
+		w := a.Writer(64)
+		vc.AppendVec(w, vec[int(child)*k:int(child)*k+k])
+		pl := wire.Borrowed(w)
+		deliveries := 1
+		if plan != nil {
+			deliveries = plan.Deliveries(child, u)
+		}
+		var err error
+		for d := 0; d < deliveries; d++ {
+			if e.watching {
+				m.Charge(child, u, pl.Bits())
+			} else {
+				m.ChargeSendOnlySeq(child, pl.Bits(), 1)
+				recvBits += pl.Bits()
+			}
+			if err = vc.DecodeVec(pl, tmp); err != nil {
+				err = fmt.Errorf("spantree: decoding partial from node %d: %w", child, err)
+				break
+			}
+			vc.MergeVec(acc, tmp)
+		}
+		a.Release(w)
+		if err != nil {
+			return err
+		}
+	}
+	if recvBits > 0 {
+		m.ChargeRxSeq(u, recvBits)
+	}
+	return nil
+}
