@@ -556,6 +556,90 @@ func BenchmarkEngineMedian8(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineMedian8Fused — the fusion acceptance gate: 8 exact
+// medians against ONE 4096-node deployment, solo (8 independent batched
+// searches, each paying its own probe plane) vs fused (Options.Fuse merges
+// all 8 into one shared-sweep batch). The sweeps/op metric counts total
+// tree sweeps across the batch — fusion executes them once instead of 8
+// times — and bits/node prices the probe plane(s) in the paper's measure.
+func BenchmarkEngineMedian8Fused(b *testing.B) {
+	const runs = 8
+	spec := engine.Spec{Topology: "grid", N: 4096, Workload: "uniform", Seed: 1}
+	jobs := make([]engine.Job, runs)
+	for i := range jobs {
+		jobs[i] = engine.Job{Spec: spec, Query: engine.Query{Kind: engine.KindMedian}}
+	}
+	benchFusedBatch(b, jobs)
+}
+
+// BenchmarkFusedMixed — heterogeneous fusion: a median, five quantiles,
+// two order statistics, a fused aggregate, and the Fact 2.1 singletons
+// interleave in one shared schedule. The solo variant runs each with its
+// private plane.
+func BenchmarkFusedMixed(b *testing.B) {
+	spec := engine.Spec{Topology: "grid", N: 4096, Workload: "uniform", Seed: 1}
+	jobs := []engine.Job{
+		{Spec: spec, Query: engine.Query{Kind: engine.KindMedian}},
+		{Spec: spec, Query: engine.Query{Kind: engine.KindQuantiles, Phis: []float64{0.05, 0.25, 0.5, 0.75, 0.95}}},
+		{Spec: spec, Query: engine.Query{Kind: engine.KindOrderStat, K: 100}},
+		{Spec: spec, Query: engine.Query{Kind: engine.KindOrderStat, K: 4000}},
+		{Spec: spec, Query: engine.Query{Kind: engine.KindFused}},
+		{Spec: spec, Query: engine.Query{Kind: engine.KindCount}},
+		{Spec: spec, Query: engine.Query{Kind: engine.KindSum}},
+		{Spec: spec, Query: engine.Query{Kind: engine.KindAvg}},
+	}
+	benchFusedBatch(b, jobs)
+}
+
+// benchFusedBatch runs jobs solo and fused on a fixed 4-worker pool,
+// reporting total sweeps and per-node bits: the solo variant sums each
+// job's private plane, the fused variant reports the one shared plane
+// every member rode.
+func benchFusedBatch(b *testing.B, jobs []engine.Job) {
+	for _, bc := range []struct {
+		name string
+		fuse bool
+	}{
+		{"solo", false},
+		{"fused", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			eng := engine.New(engine.Options{Workers: 4, Fuse: bc.fuse})
+			for _, j := range jobs {
+				if _, err := eng.Session().Template(j.Spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var sweeps, bits int64
+			for i := 0; i < b.N; i++ {
+				results := eng.Run(context.Background(), jobs)
+				for _, r := range results {
+					if r.Failed() {
+						b.Fatal(r.Error)
+					}
+				}
+				if bc.fuse {
+					if !results[0].Fused {
+						b.Fatal("batch did not fuse")
+					}
+					sweeps += int64(results[0].SharedSweeps)
+					bits += results[0].BitsPerNode
+				} else {
+					for _, r := range results {
+						sweeps += int64(r.SharedSweeps)
+						bits += r.BitsPerNode
+					}
+				}
+			}
+			b.ReportMetric(float64(sweeps)/float64(b.N), "sweeps/op")
+			b.ReportMetric(float64(bits)/float64(b.N), "bits/node")
+			b.ReportMetric(float64(len(jobs)), "queries/op")
+		})
+	}
+}
+
 // BenchmarkEngineFaulty — E14's cost harness and the CI fault-sweep
 // datapoint: an exact median on a 24×24 grid under a 5% crash plan. Every
 // iteration re-runs the heartbeat/HELP/AVAIL/JOIN self-healing repair

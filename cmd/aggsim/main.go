@@ -19,6 +19,13 @@
 //	aggsim -query distinct -workload fewdistinct
 //	aggsim -query median -parallel 8 -workers 4 -json report.json
 //	aggsim -query median -n 576 -crash 0.05 -parallel 4
+//	aggsim -query median -parallel 8 -fuse
+//
+// -fuse turns the fan-out into a *fusion batch*: all runs target one
+// deployment (every job uses -seed) and the engine merges their probe
+// sweeps into one shared broadcast–convergecast schedule, so 8 medians
+// cost roughly one median's tree traffic. Fused results are marked
+// [fused] and carry shared_sweeps in the JSON report.
 package main
 
 import (
@@ -61,6 +68,7 @@ type options struct {
 	faultSeed uint64
 
 	parallel int
+	fuse     bool
 	workers  int
 	timeout  time.Duration
 	jsonOut  string
@@ -92,6 +100,7 @@ func registerFlags(fs *flag.FlagSet, o *options) {
 	fs.Float64Var(&o.linkfail, "linkfail", 0, "fault plan: permanent link failure probability")
 	fs.Uint64Var(&o.faultSeed, "faultseed", 0, "pin the fault stream to this seed (0 = per-run seed)")
 	fs.IntVar(&o.parallel, "parallel", 1, "run the query on this many independently-seeded networks")
+	fs.BoolVar(&o.fuse, "fuse", false, "fuse the -parallel runs into one shared-sweep batch on a single deployment (all runs use -seed; selection/aggregate kinds only)")
 	fs.IntVar(&o.workers, "workers", 0, "worker-pool size (default GOMAXPROCS)")
 	fs.DurationVar(&o.timeout, "timeout", 0, "per-query deadline (0 = none)")
 	fs.StringVar(&o.jsonOut, "json", "", "write the batch report as JSON to this file")
@@ -170,14 +179,21 @@ func run(o options) error {
 	}
 	jobs := make([]engine.Job, o.parallel)
 	for i := range jobs {
+		// Fusion amortizes sweeps across queries at one deployment, so
+		// -fuse pins every run to the same seed; the default fan-out keeps
+		// its independently-seeded networks.
+		seed := o.seed + uint64(i)
+		if o.fuse {
+			seed = o.seed
+		}
 		jobs[i] = engine.Job{
 			ID:    fmt.Sprintf("run-%d", i),
-			Spec:  o.spec(o.seed + uint64(i)),
+			Spec:  o.spec(seed),
 			Query: query,
 		}
 	}
 
-	eng := engine.New(engine.Options{Workers: o.workers, Timeout: o.timeout})
+	eng := engine.New(engine.Options{Workers: o.workers, Timeout: o.timeout, Fuse: o.fuse})
 
 	// Report the actual node count (grid/torus round down to a square),
 	// not the requested one; warming the template here also keeps topology
@@ -209,6 +225,9 @@ func run(o options) error {
 			engine.FormatValues(r.Value, r.Values))
 		if r.Detail != "" {
 			line += " (" + r.Detail + ")"
+		}
+		if r.Fused {
+			line += " [fused]"
 		}
 		if r.TruthKnown {
 			line += fmt.Sprintf(", truth %s", engine.FormatValue(r.Truth))

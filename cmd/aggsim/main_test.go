@@ -93,3 +93,15 @@ func TestSpecMapping(t *testing.T) {
 		t.Errorf("faults = %+v", s.Faults)
 	}
 }
+
+// TestFuseFlag: -fuse pins every parallel run to the same deployment seed
+// (fusion requires one shared network) and flows into the engine options.
+func TestFuseFlag(t *testing.T) {
+	o := parse(t, "-fuse", "-parallel", "4", "-seed", "9")
+	if !o.fuse {
+		t.Fatal("-fuse not parsed")
+	}
+	if o.spec(o.seed).Seed != 9 {
+		t.Errorf("fused spec seed = %d, want 9", o.spec(o.seed).Seed)
+	}
+}

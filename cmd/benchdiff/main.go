@@ -12,7 +12,7 @@
 // the dice. -samples N asserts exactly N artifacts were supplied, so a CI
 // wiring slip fails loudly instead of silently gating on fewer runs.
 //
-// Two metrics gate:
+// Three metrics gate:
 //
 //   - ns/op: fails when current > baseline * (1 + -ns-tol), default 15%.
 //     Wall-clock comparisons across different machines are noise, so the
@@ -22,6 +22,13 @@
 //     a small absolute slack of -alloc-slack to absorb one-time lazy
 //     initialization amortized over short runs). Allocation counts are
 //     hardware-independent, so this gate always applies.
+//   - bits/node: the paper's own complexity measure, reported by the cost
+//     benchmarks as a custom metric. Fails on regressions beyond -bits-tol
+//     (default 5%). Communication cost is fully deterministic and
+//     hardware-independent, so this gate always applies — a faster CPU
+//     cannot hide a protocol that started talking more. A baseline entry
+//     that carries bits/node but whose current run lost it fails under
+//     -require-all (a silently vanished metric must not disarm the gate).
 //
 // Benchmarks present only in the current artifact are reported as new;
 // benchmarks missing from the current artifact fail with -require-all.
@@ -50,6 +57,7 @@ type Options struct {
 	NsTol      float64
 	AllocTol   float64
 	AllocSlack float64
+	BitsTol    float64
 	ForceNs    bool
 	RequireAll bool
 }
@@ -75,6 +83,7 @@ func main() {
 	nsTol := flag.Float64("ns-tol", 0.15, "allowed fractional ns/op regression")
 	allocTol := flag.Float64("alloc-tol", 0, "allowed fractional allocs/op regression")
 	allocSlack := flag.Float64("alloc-slack", 2, "allowed absolute allocs/op slack")
+	bitsTol := flag.Float64("bits-tol", 0.05, "allowed fractional bits/node regression (deterministic, always gated)")
 	forceNs := flag.Bool("force-ns", false, "compare ns/op even across different CPUs")
 	requireAll := flag.Bool("require-all", false, "fail when a baseline benchmark is missing from current")
 	update := flag.Bool("update", false, "rewrite the baseline from the current artifact and exit")
@@ -121,6 +130,7 @@ func main() {
 		NsTol:      *nsTol,
 		AllocTol:   *allocTol,
 		AllocSlack: *allocSlack,
+		BitsTol:    *bitsTol,
 		ForceNs:    *forceNs,
 		RequireAll: *requireAll,
 	})
@@ -254,12 +264,35 @@ func Compare(base, cur *Artifact, opts Options) (findings []Finding, nsSkipped b
 			problems = append(problems, fmt.Sprintf("allocs/op %.1f -> %.1f (limit %.1f)",
 				b.AllocsPerOp, c.AllocsPerOp, limit))
 		}
+		// The communication gate: bits/node is exactly reproducible, so any
+		// regression beyond the tolerance is a protocol change, not noise.
+		baseBits, baseHas := b.Metrics["bits/node"]
+		curBits, curHas := c.Metrics["bits/node"]
+		okBits := ""
+		switch {
+		case baseHas && curHas:
+			if baseBits > 0 && curBits > baseBits*(1+opts.BitsTol) {
+				problems = append(problems, fmt.Sprintf("bits/node %.0f -> %.0f (%+.1f%%, tol %.0f%%)",
+					baseBits, curBits, 100*(curBits/baseBits-1), 100*opts.BitsTol))
+			} else {
+				okBits = fmt.Sprintf(", bits/node %.0f -> %.0f", baseBits, curBits)
+			}
+		case baseHas && !curHas:
+			// A benchmark that stopped reporting its communication cost
+			// would silently disarm this gate; under -require-all that is a
+			// failure, like a missing benchmark.
+			if opts.RequireAll {
+				problems = append(problems, "bits/node metric missing from current run")
+			} else {
+				okBits = ", bits/node metric missing from current run"
+			}
+		}
 		if len(problems) > 0 {
 			findings = append(findings, Finding{Name: b.Name, Regression: true, Detail: strings.Join(problems, "; ")})
 			continue
 		}
 		findings = append(findings, Finding{Name: b.Name,
-			Detail: fmt.Sprintf("ns/op %.0f -> %.0f, allocs/op %.1f -> %.1f", b.NsPerOp, c.NsPerOp, b.AllocsPerOp, c.AllocsPerOp)})
+			Detail: fmt.Sprintf("ns/op %.0f -> %.0f, allocs/op %.1f -> %.1f%s", b.NsPerOp, c.NsPerOp, b.AllocsPerOp, c.AllocsPerOp, okBits)})
 	}
 	for _, c := range cur.Entries {
 		if !seen[c.Name] {

@@ -172,3 +172,60 @@ func TestCompareMissingAndNew(t *testing.T) {
 		t.Fatalf("-require-all must fail on missing benchmark: %+v", findings)
 	}
 }
+
+// bitsEntry is entry plus the bits/node custom metric the cost benchmarks
+// report.
+func bitsEntry(name string, ns, allocs, bits float64) Entry {
+	e := entry(name, ns, allocs)
+	e.Metrics["bits/node"] = bits
+	return e
+}
+
+func TestCompareDetectsBitsRegression(t *testing.T) {
+	base := artifact("x", bitsEntry("BenchmarkA-1", 1000, 10, 800))
+	cur := artifact("x", bitsEntry("BenchmarkA-1", 1000, 10, 850))
+	findings, _ := Compare(base, cur, Options{NsTol: 0.15, AllocSlack: 2, BitsTol: 0.05})
+	if count(findings) != 1 || !strings.Contains(findings[0].Detail, "bits/node") {
+		t.Fatalf("want 1 bits/node regression, got %+v", findings)
+	}
+	// Within tolerance passes, and the detail surfaces the metric.
+	cur = artifact("x", bitsEntry("BenchmarkA-1", 1000, 10, 820))
+	findings, _ = Compare(base, cur, Options{NsTol: 0.15, AllocSlack: 2, BitsTol: 0.05})
+	if count(findings) != 0 || !strings.Contains(findings[0].Detail, "bits/node 800 -> 820") {
+		t.Fatalf("want clean bits/node comparison, got %+v", findings)
+	}
+	// Improvements are never regressions.
+	cur = artifact("x", bitsEntry("BenchmarkA-1", 1000, 10, 400))
+	if findings, _ = Compare(base, cur, Options{NsTol: 0.15, AllocSlack: 2, BitsTol: 0.05}); count(findings) != 0 {
+		t.Fatalf("bits/node improvement flagged: %+v", findings)
+	}
+}
+
+func TestCompareBitsGateSurvivesCPUChange(t *testing.T) {
+	// bits/node is deterministic: the gate stays armed when the ns gate
+	// auto-skips across different hardware.
+	base := artifact("cpu-a", bitsEntry("BenchmarkA-1", 1000, 10, 800))
+	cur := artifact("cpu-b", bitsEntry("BenchmarkA-1", 5000, 10, 900))
+	findings, skipped := Compare(base, cur, Options{NsTol: 0.15, AllocSlack: 2, BitsTol: 0.05})
+	if !skipped {
+		t.Fatal("ns gate not skipped across CPUs")
+	}
+	if count(findings) != 1 || !strings.Contains(findings[0].Detail, "bits/node") {
+		t.Fatalf("want the bits/node regression to survive the cpu change, got %+v", findings)
+	}
+}
+
+func TestCompareMissingBitsMetric(t *testing.T) {
+	base := artifact("x", bitsEntry("BenchmarkA-1", 1000, 10, 800))
+	cur := artifact("x", entry("BenchmarkA-1", 1000, 10)) // metric vanished
+	// Without -require-all: reported, not fatal.
+	findings, _ := Compare(base, cur, Options{NsTol: 0.15, AllocSlack: 2, BitsTol: 0.05})
+	if count(findings) != 0 || !strings.Contains(findings[0].Detail, "missing") {
+		t.Fatalf("want non-fatal missing-metric note, got %+v", findings)
+	}
+	// With -require-all: a vanished communication metric fails the gate.
+	findings, _ = Compare(base, cur, Options{NsTol: 0.15, AllocSlack: 2, BitsTol: 0.05, RequireAll: true})
+	if count(findings) != 1 || !strings.Contains(findings[0].Detail, "bits/node metric missing") {
+		t.Fatalf("want missing-metric regression under -require-all, got %+v", findings)
+	}
+}

@@ -8,6 +8,13 @@
 //	> SELECT distinct(value) USING sketch=1, m=256
 //	> net grid 4096 zipf 7
 //	> faults crash=0.05 dup=0.1
+//	> SET FUSE ON
+//	> SELECT median(value); SELECT quantile(value, 0.99); SELECT sum(value)
+//
+// With `SET FUSE ON`, a semicolon-separated line executes as one
+// shared-sweep fusion batch: the statements' probe thresholds merge into a
+// single broadcast–convergecast schedule (engine.RunFused), so the line
+// costs roughly one statement's tree traffic instead of one per statement.
 //
 // The `faults` command attaches an internal/faults plan to the deployment:
 // crashes and dead links trigger the spantree self-healing repair (cost
@@ -25,11 +32,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"sensoragg/internal/agg"
 	"sensoragg/internal/core"
@@ -65,6 +74,11 @@ type console struct {
 	// statements (SET PROBEWIDTH k); 0 means the engine default. A
 	// statement-level USING probewidth=k overrides it.
 	probeWidth int
+	// fuse enables shared-sweep fusion for semicolon-batched statements
+	// (SET FUSE ON|OFF): `SELECT median(value); SELECT quantile(value,
+	// 0.9)` then executes as one fusion batch — one merged probe schedule
+	// over the deployment instead of one schedule per statement.
+	fuse bool
 }
 
 // Session aliases the engine session so the type reads naturally here.
@@ -108,16 +122,25 @@ func run(spec engine.Spec) error {
 				fmt.Printf("error: %v\n", err)
 			}
 		default:
-			res, err := c.exec(line)
-			if err != nil {
-				fmt.Printf("error: %v\n", err)
+			stmts := splitStatements(line)
+			if len(stmts) > 1 && c.fuse {
+				if err := c.execFused(stmts, model); err != nil {
+					fmt.Printf("error: %v\n", err)
+				}
 				break
 			}
-			fmt.Printf("%s   (%s)\n", engine.FormatValues(res.Value, res.Values), res.Detail)
-			perQuery := float64(res.Comm.MaxPerNode)
-			fmt.Printf("cost: %d bits/node (max), %d total bits — ≈ %s on the hottest node\n",
-				res.Comm.MaxPerNode, res.Comm.TotalBits,
-				energy.FormatJoules(perQuery*(model.TxPerBit+model.RxPerBit)/2))
+			for _, stmt := range stmts {
+				res, err := c.exec(stmt)
+				if err != nil {
+					fmt.Printf("error: %v\n", err)
+					break
+				}
+				fmt.Printf("%s   (%s)\n", engine.FormatValues(res.Value, res.Values), res.Detail)
+				perQuery := float64(res.Comm.MaxPerNode)
+				fmt.Printf("cost: %d bits/node (max), %d total bits — ≈ %s on the hottest node\n",
+					res.Comm.MaxPerNode, res.Comm.TotalBits,
+					energy.FormatJoules(perQuery*(model.TxPerBit+model.RxPerBit)/2))
+			}
 		}
 		fmt.Print("> ")
 	}
@@ -137,8 +160,8 @@ func (c *console) exec(line string) (query.Result, error) {
 	return query.Run(c.net, q)
 }
 
-// setCommand parses `set probewidth <k|default>` — the session knobs. Bare
-// `set` prints the current values.
+// setCommand parses the session knobs — `set probewidth <k|default>` and
+// `set fuse <on|off>`. Bare `set` prints the current values.
 func (c *console) setCommand(line string) error {
 	fields := strings.Fields(line)
 	if len(fields) == 1 {
@@ -147,22 +170,164 @@ func (c *console) setCommand(line string) error {
 		} else {
 			fmt.Printf("probewidth: %d\n", c.probeWidth)
 		}
+		fmt.Printf("fuse: %s\n", onOff(c.fuse))
 		return nil
 	}
-	if len(fields) != 3 || !strings.EqualFold(fields[1], "probewidth") {
-		return fmt.Errorf("usage: set probewidth <k|default>")
+	if len(fields) != 3 {
+		return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off>")
 	}
-	if strings.EqualFold(fields[2], "default") {
-		c.probeWidth = 0
-		fmt.Printf("probewidth: engine default (%d)\n", core.DefaultProbeWidth)
+	switch {
+	case strings.EqualFold(fields[1], "probewidth"):
+		if strings.EqualFold(fields[2], "default") {
+			c.probeWidth = 0
+			fmt.Printf("probewidth: engine default (%d)\n", core.DefaultProbeWidth)
+			return nil
+		}
+		k, err := strconv.Atoi(fields[2])
+		if err != nil || k < 1 || k > core.MaxProbeWidth {
+			return fmt.Errorf("probewidth %q must be an integer in [1, %d] or \"default\"", fields[2], core.MaxProbeWidth)
+		}
+		c.probeWidth = k
+		fmt.Printf("probewidth: %d\n", k)
+		return nil
+	case strings.EqualFold(fields[1], "fuse"):
+		switch {
+		case strings.EqualFold(fields[2], "on"):
+			c.fuse = true
+		case strings.EqualFold(fields[2], "off"):
+			c.fuse = false
+		default:
+			return fmt.Errorf("fuse %q must be on or off", fields[2])
+		}
+		fmt.Printf("fuse: %s\n", onOff(c.fuse))
 		return nil
 	}
-	k, err := strconv.Atoi(fields[2])
-	if err != nil || k < 1 || k > core.MaxProbeWidth {
-		return fmt.Errorf("probewidth %q must be an integer in [1, %d] or \"default\"", fields[2], core.MaxProbeWidth)
+	return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off>")
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
 	}
-	c.probeWidth = k
-	fmt.Printf("probewidth: %d\n", k)
+	return "off"
+}
+
+// splitStatements splits a console line on ';' into trimmed non-empty
+// statements.
+func splitStatements(line string) []string {
+	parts := strings.Split(line, ";")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// fuseMember maps a parsed statement onto its fusion-batch slot: exact
+// selection statements become SelectStepper members, the Fact 2.1
+// aggregates become riders on the shared rounds. ok is false for
+// statements fusion cannot serve (WHERE clauses — each statement would
+// need its own filtered multiset — and the randomized/sketch families,
+// whose schedules are private).
+//
+// This deliberately parallels (not reuses) the engine's fusedMemberFor:
+// each mapping mirrors the solo semantics of its own layer, and those
+// differ on quantile rank resolution — a console `quantile(value, φ)`
+// resolves φ against the protocol-counted N (BatchRank.Phi, like
+// query.Run's batched path), while an engine KindQuantile job resolves it
+// against the simulator-side population (like exec.go). Collapsing the
+// two would break fused-vs-solo identity on one side or the other.
+func fuseMember(q *query.Query) (engine.FusedMember, bool) {
+	if q.Where != nil {
+		return engine.FusedMember{}, false
+	}
+	width := 0
+	if w, ok := q.Options["probewidth"]; ok {
+		if w != float64(int(w)) || w < 1 || w > float64(core.MaxProbeWidth) {
+			return engine.FusedMember{}, false
+		}
+		width = int(w)
+	}
+	switch q.Agg {
+	case query.AggMedian:
+		return engine.FusedMember{Ranks: []core.BatchRank{{Median: true}}, Width: width}, true
+	case query.AggQuantile:
+		if q.Phi <= 0 || q.Phi > 1 {
+			return engine.FusedMember{}, false
+		}
+		return engine.FusedMember{Ranks: []core.BatchRank{{Phi: q.Phi}}, Width: width}, true
+	case query.AggQuantiles:
+		if len(q.Phis) == 0 {
+			return engine.FusedMember{}, false
+		}
+		ranks := make([]core.BatchRank, len(q.Phis))
+		for i, phi := range q.Phis {
+			if phi <= 0 || phi > 1 {
+				return engine.FusedMember{}, false
+			}
+			ranks[i] = core.BatchRank{Phi: phi}
+		}
+		return engine.FusedMember{Ranks: ranks, Width: width}, true
+	case query.AggMin:
+		return engine.FusedMember{Aggs: []string{"min"}}, true
+	case query.AggMax:
+		return engine.FusedMember{Aggs: []string{"max"}}, true
+	case query.AggCount:
+		return engine.FusedMember{Aggs: []string{"count"}}, true
+	case query.AggSum:
+		return engine.FusedMember{Aggs: []string{"sum"}}, true
+	case query.AggAvg:
+		return engine.FusedMember{Aggs: []string{"avg"}}, true
+	}
+	return engine.FusedMember{}, false
+}
+
+// execFused runs semicolon-batched statements as one fusion batch on the
+// console's deployment: every statement's probes merge into one shared
+// sweep schedule (engine.RunFused), and the cost line prices the whole
+// plane once — the same bits would have been paid per statement without
+// fusion.
+func (c *console) execFused(stmts []string, model energy.Model) error {
+	members := make([]engine.FusedMember, len(stmts))
+	for i, s := range stmts {
+		q, err := query.Parse(s)
+		if err != nil {
+			return err
+		}
+		if _, set := q.Options["probewidth"]; !set && c.probeWidth > 0 {
+			q.Options["probewidth"] = float64(c.probeWidth)
+		}
+		mb, ok := fuseMember(q)
+		if !ok {
+			return fmt.Errorf("%q is not fusable (exact selection/aggregate without WHERE); SET FUSE OFF to run the batch sequentially", s)
+		}
+		members[i] = mb
+	}
+	nw := c.net.Network()
+	before := nw.Meter.Snapshot()
+	res, err := engine.RunFused(context.Background(), c.net, members, time.Time{})
+	if err != nil {
+		return err
+	}
+	d := nw.Meter.Since(before)
+	for i, m := range res.Members {
+		if m.Err != nil {
+			fmt.Printf("%-2d %s: error: %v\n", i+1, stmts[i], m.Err)
+			continue
+		}
+		var vals []float64
+		for _, v := range m.Values {
+			vals = append(vals, float64(v))
+		}
+		vals = append(vals, m.AggValues...)
+		fmt.Printf("%-2d %s: %s\n", i+1, stmts[i], engine.FormatValues(vals[0], vals))
+	}
+	perPlane := float64(d.MaxPerNode)
+	fmt.Printf("fused: %d statements, %d shared sweeps — cost %d bits/node (max), %d total bits — ≈ %s on the hottest node\n",
+		len(stmts), res.Sweeps, d.MaxPerNode, d.TotalBits,
+		energy.FormatJoules(perPlane*(model.TxPerBit+model.RxPerBit)/2))
 	return nil
 }
 
@@ -299,5 +464,8 @@ console:
                                          set the deployment's fault plan;
                                          crashes/dead links self-heal the tree
   set probewidth <k|default>             COUNT probes batched per selection sweep
+  set fuse <on|off>                      fuse "stmt; stmt; ..." lines into one
+                                         shared-sweep batch (one probe plane
+                                         answers every statement at once)
   cache                                  show session cache hits/misses`)
 }

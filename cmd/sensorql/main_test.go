@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"sensoragg/internal/core"
 	"sensoragg/internal/engine"
+	"sensoragg/internal/query"
 )
 
 func testConsole(t *testing.T) *console {
@@ -83,5 +86,130 @@ func TestSessionWidthFlowsIntoStatements(t *testing.T) {
 	}
 	if len(res.Values) != 3 {
 		t.Errorf("quantiles returned %d values", len(res.Values))
+	}
+}
+
+// TestSetFuse covers the SET FUSE knob and the fused statement batch: the
+// semicolon line must answer every statement exactly as solo execution
+// does, for one shared plane's cost.
+func TestSetFuse(t *testing.T) {
+	c := testConsole(t)
+	if c.fuse {
+		t.Fatal("fresh console has fuse on")
+	}
+	if err := c.setCommand("set fuse on"); err != nil || !c.fuse {
+		t.Fatalf("set fuse on: fuse=%v err=%v", c.fuse, err)
+	}
+	if err := c.setCommand("SET FUSE OFF"); err != nil || c.fuse {
+		t.Fatalf("SET FUSE OFF: fuse=%v err=%v", c.fuse, err)
+	}
+	if err := c.setCommand("set fuse maybe"); err == nil {
+		t.Error("set fuse maybe accepted")
+	}
+}
+
+// TestFuseMemberMapping: statements map onto fusion-batch slots; WHERE
+// clauses and non-exact aggregates stay out.
+func TestFuseMemberMapping(t *testing.T) {
+	fusable := []string{
+		"SELECT median(value)",
+		"SELECT quantile(value, 0.9)",
+		"SELECT quantiles(value, 0.25, 0.5)",
+		"SELECT count(value)",
+		"SELECT sum(value)",
+		"SELECT min(value)",
+		"SELECT max(value)",
+		"SELECT avg(value)",
+		"SELECT median(value) USING probewidth=4",
+	}
+	for _, s := range fusable {
+		q, err := query.Parse(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if _, ok := fuseMember(q); !ok {
+			t.Errorf("%q should be fusable", s)
+		}
+	}
+	unfusable := []string{
+		"SELECT median(value) WHERE value < 100",
+		"SELECT apxmedian(value)",
+		"SELECT distinct(value)",
+		"SELECT apxcount(value)",
+	}
+	for _, s := range unfusable {
+		q, err := query.Parse(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if _, ok := fuseMember(q); ok {
+			t.Errorf("%q should not be fusable", s)
+		}
+	}
+}
+
+// TestExecFusedMatchesSolo: the fused batch's answers equal the statements
+// run one at a time, and the whole batch costs less than the solo total.
+func TestExecFusedMatchesSolo(t *testing.T) {
+	stmts := []string{
+		"SELECT median(value)",
+		"SELECT quantile(value, 0.9)",
+		"SELECT count(value)",
+		"SELECT sum(value)",
+	}
+	solo := testConsole(t)
+	var soloVals []float64
+	var soloBits, soloMessages int64
+	for _, s := range stmts {
+		res, err := solo.exec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloVals = append(soloVals, res.Value)
+		soloBits += res.Comm.TotalBits
+		soloMessages += res.Comm.Messages
+	}
+
+	c := testConsole(t)
+	members := make([]engine.FusedMember, len(stmts))
+	for i, s := range stmts {
+		q, err := query.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, ok := fuseMember(q)
+		if !ok {
+			t.Fatalf("%q not fusable", s)
+		}
+		members[i] = mb
+	}
+	nw := c.net.Network()
+	before := nw.Meter.Snapshot()
+	res, err := engine.RunFused(context.Background(), c.net, members, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := nw.Meter.Since(before)
+	for i, m := range res.Members {
+		if m.Err != nil {
+			t.Fatalf("%s: %v", stmts[i], m.Err)
+		}
+		got := m.AggValues
+		for _, v := range m.Values {
+			got = append([]float64{float64(v)}, got...)
+		}
+		if got[0] != soloVals[i] {
+			t.Errorf("%s: fused %g != solo %g", stmts[i], got[0], soloVals[i])
+		}
+	}
+	// Rounds are where fusion wins outright (4 statements, one plane);
+	// total bits also drop, though less than the round ratio on a tiny
+	// 64-node deployment because the merged chain packs more probes into
+	// each surviving sweep.
+	if 2*delta.Messages >= soloMessages {
+		t.Errorf("fused batch used %d messages vs %d solo total — want <half", delta.Messages, soloMessages)
+	}
+	if delta.TotalBits >= soloBits {
+		t.Errorf("fused batch cost %d bits vs %d solo total — want strictly less", delta.TotalBits, soloBits)
 	}
 }

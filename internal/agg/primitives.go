@@ -81,6 +81,16 @@ func (n *Net) CountVec(d core.Domain, preds []wire.Pred, dst []uint64) []uint64 
 	w := n.bcast()
 	defer n.endProtocol()
 	header(w, opCountVec, d)
+	nested := n.appendProbeSet(w, preds, vw)
+	out := n.runCountVec(d, preds, nested, false)
+	return append(dst[:0], out...)
+}
+
+// appendProbeSet writes the probe-plane broadcast body shared by CountVec
+// and CountVecSum: the chain/general flag, the probe count, and either the
+// delta-coded threshold chain or the individually-encoded predicates. It
+// reports whether the probe set is nested (the ⊆-chain shape).
+func (n *Net) appendProbeSet(w *bitio.Writer, preds []wire.Pred, vw int) bool {
 	nested := nestedPreds(preds)
 	chain := nested && preds[len(preds)-1].Kind == wire.PredLess
 	w.WriteBool(chain)
@@ -107,8 +117,15 @@ func (n *Net) CountVec(d core.Domain, preds []wire.Pred, dst []uint64) []uint64 
 			p.AppendTo(w, vw)
 		}
 	}
-	n.ops.Broadcast(wire.Borrowed(w), nil)
-	n.cvcomb = countVecCombiner{domain: d, preds: preds, nested: nested}
+	return nested
+}
+
+// runCountVec broadcasts the already-written probe payload and runs the
+// vector convergecast, returning the root's partial vector (k counts,
+// plus the trailing sum slot when withSum).
+func (n *Net) runCountVec(d core.Domain, preds []wire.Pred, nested, withSum bool) []uint64 {
+	n.ops.Broadcast(wire.Borrowed(&n.bw), nil)
+	n.cvcomb = countVecCombiner{domain: d, preds: preds, nested: nested, withSum: withSum}
 	if nested {
 		n.chainBuf = buildChain(preds, n.chainBuf)
 		n.cvcomb.chain = n.chainBuf
@@ -117,7 +134,30 @@ func (n *Net) CountVec(d core.Domain, preds []wire.Pred, dst []uint64) []uint64 
 	if err != nil {
 		panic(fmt.Sprintf("agg: countvec convergecast: %v", err))
 	}
-	return append(dst[:0], out.([]uint64)...)
+	return out.([]uint64)
+}
+
+// CountVecSum is CountVec widened by the fused-aggregate rider: the same
+// single broadcast–convergecast answers the k probe counts and carries the
+// SUM of all active items in one extra vector slot — so a fusion batch
+// whose members want COUNT/SUM/AVG aggregates pays no extra sweep for
+// them (COUNT rides the chain's top probe, MIN/MAX ride the batch's
+// MinMax round). The broadcast reuses the MultiAggregate opcode with the
+// vector-form flag set; one bit distinguishes the two shapes on the wire.
+// The counts are appended into dst[:0]; an empty probe set returns dst[:0]
+// and sum 0 without touching the network.
+func (n *Net) CountVecSum(d core.Domain, preds []wire.Pred, dst []uint64) (counts []uint64, sum uint64) {
+	if len(preds) == 0 {
+		return dst[:0], 0
+	}
+	vw := n.valueWidth(d)
+	w := n.bcast()
+	defer n.endProtocol()
+	header(w, opMultiAgg, d)
+	w.WriteBool(true) // vector probe-plane form
+	nested := n.appendProbeSet(w, preds, vw)
+	out := n.runCountVec(d, preds, nested, true)
+	return append(dst[:0], out[:len(preds)]...), out[len(preds)]
 }
 
 // MultiAggregate runs the fused multi-aggregate sweep: COUNT, SUM, MIN and
@@ -129,6 +169,7 @@ func (n *Net) MultiAggregate(d core.Domain, pred wire.Pred) (count, sum, lo, hi 
 	w := n.bcast()
 	defer n.endProtocol()
 	header(w, opMultiAgg, d)
+	w.WriteBool(false) // scalar form (the vector form is CountVecSum)
 	pred.AppendTo(w, vw)
 	n.ops.Broadcast(wire.Borrowed(w), nil)
 	n.facomb = fusedCombiner{domain: d, pred: pred, width: vw}

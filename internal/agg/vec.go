@@ -31,9 +31,25 @@ type countVecCombiner struct {
 	domain core.Domain
 	preds  []wire.Pred
 	nested bool
+	// withSum widens the vector by one trailing slot carrying the SUM of
+	// all active items — the aggregate rider of the fused sweep
+	// (CountVecSum): fused-aggregate queries in a fusion batch get their
+	// SUM from the same convergecast that answers the selection probes.
+	// The slot is additive under merge and gamma-coded after the count
+	// part, so it costs O(log ΣX) bits per edge, not another sweep.
+	withSum bool
 	// chain holds the thresholds of a nested Less-chain (TRUE as 2⁶⁴−1),
 	// so LocalVec buckets items with a closure-free binary search.
 	chain []uint64
+}
+
+// vecWidth is the partial-vector width: one slot per predicate, plus the
+// optional sum rider.
+func (c *countVecCombiner) vecWidth() int {
+	if c.withSum {
+		return len(c.preds) + 1
+	}
+	return len(c.preds)
 }
 
 var _ spantree.VecCombiner = (*countVecCombiner)(nil)
@@ -81,11 +97,21 @@ func buildChain(preds []wire.Pred, buf []uint64) []uint64 {
 	return buf
 }
 
-func (c *countVecCombiner) VecWidth() int { return len(c.preds) }
+func (c *countVecCombiner) VecWidth() int { return c.vecWidth() }
 
 func (c *countVecCombiner) LocalVec(n *netsim.Node, dst []uint64) {
 	for i := range dst {
 		dst[i] = 0
+	}
+	if c.withSum {
+		var sum uint64
+		for _, it := range n.Items {
+			if it.Active {
+				sum += domainValue(it, c.domain)
+			}
+		}
+		dst[len(c.preds)] = sum
+		dst = dst[:len(c.preds)]
 	}
 	if c.nested {
 		// Chain membership is monotone: item v matches probes
@@ -160,6 +186,19 @@ func (c *countVecCombiner) MergeVec(acc, src []uint64) {
 }
 
 func (c *countVecCombiner) AppendVec(w *bitio.Writer, p []uint64) {
+	if c.withSum {
+		// The monotone delta packing covers the count part only; the sum
+		// rider is gamma-coded after it (it is additive, not monotone in
+		// the chain).
+		c.appendCounts(w, p[:len(c.preds)])
+		w.WriteGamma(p[len(c.preds)])
+		return
+	}
+	c.appendCounts(w, p)
+}
+
+// appendCounts encodes the count part of a partial vector.
+func (c *countVecCombiner) appendCounts(w *bitio.Writer, p []uint64) {
 	if !c.nested {
 		for _, v := range p {
 			w.WriteGamma(v)
@@ -204,6 +243,15 @@ func chainDeltaWidth(p []uint64) int {
 }
 
 func (c *countVecCombiner) VecBits(p []uint64) int {
+	if c.withSum {
+		return c.countBits(p[:len(c.preds)]) + bitio.GammaWidth(p[len(c.preds)])
+	}
+	return c.countBits(p)
+}
+
+// countBits is the encoded length of the count part, the arithmetic twin
+// of appendCounts.
+func (c *countVecCombiner) countBits(p []uint64) int {
 	if !c.nested {
 		bits := 0
 		for _, v := range p {
@@ -220,6 +268,22 @@ func (c *countVecCombiner) VecBits(p []uint64) int {
 
 func (c *countVecCombiner) DecodeVec(pl wire.Payload, dst []uint64) error {
 	r := pl.Reader()
+	if c.withSum {
+		if err := c.decodeCounts(r, dst[:len(c.preds)]); err != nil {
+			return err
+		}
+		sum, err := r.ReadGamma()
+		if err != nil {
+			return fmt.Errorf("agg: countvec sum rider: %w", err)
+		}
+		dst[len(c.preds)] = sum
+		return nil
+	}
+	return c.decodeCounts(r, dst)
+}
+
+// decodeCounts parses the count part encoded by appendCounts.
+func (c *countVecCombiner) decodeCounts(r *bitio.Reader, dst []uint64) error {
 	if !c.nested {
 		for i := range dst {
 			v, err := r.ReadGamma()
@@ -274,7 +338,7 @@ func (c *countVecCombiner) VecResult(p []uint64) any { return p }
 // engine, goroutine engine). Byte-identical to the vector path.
 
 func (c *countVecCombiner) Local(n *netsim.Node) any {
-	dst := make([]uint64, len(c.preds))
+	dst := make([]uint64, c.vecWidth())
 	c.LocalVec(n, dst)
 	return dst
 }
@@ -292,7 +356,7 @@ func (c *countVecCombiner) Encode(p any) wire.Payload {
 }
 
 func (c *countVecCombiner) Decode(pl wire.Payload) (any, error) {
-	dst := make([]uint64, len(c.preds))
+	dst := make([]uint64, c.vecWidth())
 	if err := c.DecodeVec(pl, dst); err != nil {
 		return nil, err
 	}

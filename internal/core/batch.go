@@ -116,148 +116,71 @@ func MedianBatched(net Net, probeWidth int) (BatchResult, error) {
 // The first sweep additionally probes max+1, whose count is N — the
 // COUNT(TRUE) of Fig. 1 line 1 folded into the probe plane — so ranks
 // expressed as Median or Phi fractions resolve without a dedicated round.
+//
+// The search state lives in a SelectStepper; this function is the
+// single-query driver (one MinMax round, then one CountVec per Propose).
+// The engine's fusion scheduler drives many steppers through one merged
+// schedule instead — same narrowing logic, shared sweeps.
 func SelectRanksBatched(net Net, ranks []BatchRank, probeWidth int) (BatchResult, error) {
-	var s rankSearcher
+	var res BatchResult
 	if len(ranks) == 0 {
-		return s.res, nil
+		return res, nil
 	}
-	if probeWidth < 1 {
-		probeWidth = DefaultProbeWidth
-	}
-	if probeWidth > MaxProbeWidth {
-		probeWidth = MaxProbeWidth
-	}
+	st := NewSelectStepper(ranks, probeWidth)
 	lo, hi, ok := net.MinMax(Linear)
 	if !ok {
-		return s.res, ErrEmpty
+		return res, ErrEmpty
 	}
-	s.net = net
-	s.width = probeWidth
-	// One backing array for the probe thresholds and their counts, one for
-	// the resolved and deduplicated ranks: the searcher's whole state is a
-	// handful of allocations, keeping the engine's per-query allocation
-	// budget at the PR 3 level.
-	buf := make([]uint64, 2*probeWidth)
-	s.probes = buf[:0:probeWidth]
-	s.counts = buf[probeWidth:probeWidth]
-	s.preds = make([]wire.Pred, 0, probeWidth)
+	st.Bounds(lo, hi)
 
-	// Sweep 1: evenly spaced thresholds over (lo, hi], topped by a probe
-	// counting every active item (x < max+1, or TRUE when max+1 would wrap
-	// the threshold domain).
-	w := hi - lo
-	q := uint64(probeWidth - 1)
-	if q > w {
-		q = w
-	}
-	for i := uint64(1); i <= q; i++ {
-		s.probes = append(s.probes, probeAt(lo, w, i, q))
-	}
-	if hi == ^uint64(0) {
-		s.topTrue = true
-	} else {
-		s.probes = append(s.probes, hi+1)
-	}
-	s.sweep()
-	n := s.counts[len(s.counts)-1]
-	if n == 0 {
-		return s.res, ErrEmpty
-	}
+	// One backing array for the probe thresholds and their counts (+1 slot
+	// for the sweep-1 top probe): the driver's whole state is a handful of
+	// allocations, keeping the engine's per-query allocation budget at the
+	// PR 3 level.
+	width := st.Width()
+	buf := make([]uint64, 2*(width+1))
+	probes := buf[: 0 : width+1]
+	counts := buf[width+1 : width+1]
+	preds := make([]wire.Pred, 0, width+1)
 
-	// Resolve the requested ranks against N; one candidate interval per
-	// distinct rank, in first-appearance order.
-	rbuf := make([]uint64, 2*len(ranks))
-	s.js = rbuf[:len(ranks):len(ranks)]
-	s.uniq = rbuf[len(ranks):len(ranks)]
-	s.ivs = make([]interval, 0, len(ranks))
-	for i, r := range ranks {
-		j, err := r.resolve(n)
-		if err != nil {
-			return s.res, err
+	for !st.Done() {
+		probes = st.Propose(probes[:0])
+		sortDedupe(&probes)
+		top, trueTop := !st.Resolved(), st.WantTrueTop()
+		if top && !trueTop {
+			probes = append(probes, hi+1)
 		}
-		s.js[i] = j
-		if s.rankIndex(j) < 0 {
-			s.uniq = append(s.uniq, j)
-			s.ivs = append(s.ivs, interval{lo: lo, hi: hi})
+		preds = preds[:0]
+		for _, t := range probes {
+			preds = append(preds, wire.Less(t))
+		}
+		if trueTop {
+			preds = append(preds, wire.True())
+		}
+		counts = net.CountVec(Linear, preds, counts)
+		res.Sweeps++
+		res.Probes += len(preds)
+		if top {
+			n := counts[len(counts)-1]
+			if n == 0 {
+				return res, ErrEmpty
+			}
+			if err := st.ResolveN(n); err != nil {
+				return res, err
+			}
+		}
+		st.Observe(probes, counts[:len(probes)])
+		if res.Sweeps > MaxSelectSweeps {
+			return res, ErrNoConverge
 		}
 	}
-	s.applySweep()
-
-	for {
-		unresolved := 0
-		for _, iv := range s.ivs {
-			if iv.lo != iv.hi {
-				unresolved++
-			}
-		}
-		if unresolved == 0 {
-			break
-		}
-		// Budget the probe width across unresolved ranks; leftovers go to
-		// the earliest requested ranks. A rank left out this sweep (more
-		// unresolved ranks than probes) still narrows whenever a shared
-		// probe lands inside its interval, and gets its own probes once
-		// earlier ranks resolve.
-		s.probes = s.probes[:0]
-		base := s.width / unresolved
-		extra := s.width % unresolved
-		seen := 0
-		for vi := range s.ivs {
-			iv := s.ivs[vi]
-			if iv.lo == iv.hi {
-				continue
-			}
-			qr := uint64(base)
-			if seen < extra {
-				qr++
-			}
-			seen++
-			w := iv.hi - iv.lo
-			if qr > w {
-				qr = w
-			}
-			for i := uint64(1); i <= qr; i++ {
-				s.probes = append(s.probes, probeAt(iv.lo, w, i, qr))
-			}
-		}
-		sortDedupe(&s.probes)
-		s.sweep()
-		s.applySweep()
-		if s.res.Sweeps > 4096 {
-			return s.res, errors.New("core: batched selection failed to converge")
-		}
-	}
-
-	s.res.Values = make([]uint64, len(s.js))
-	for i, j := range s.js {
-		s.res.Values[i] = s.ivs[s.rankIndex(j)].lo
-	}
-	return s.res, nil
+	res.Values = st.Values(make([]uint64, 0, len(ranks)))
+	return res, nil
 }
 
 // interval is one rank's candidate range [lo, hi], maintained under the
 // invariant c(lo) < j ≤ c(hi+1).
 type interval struct{ lo, hi uint64 }
-
-// rankSearcher is the batched search's state: probe/count buffers, the
-// resolved ranks, and their candidate intervals. A struct with methods
-// rather than closures so the hot loop's state stays in a few fused
-// allocations.
-type rankSearcher struct {
-	net    Net
-	width  int
-	res    BatchResult
-	probes []uint64
-	counts []uint64
-	preds  []wire.Pred
-	js     []uint64
-	uniq   []uint64
-	ivs    []interval
-	// topTrue asks the next sweep to append one TRUE probe after the
-	// thresholds — the COUNT(TRUE) terminator of sweep 1 when the maximum
-	// sits at 2⁶⁴−1 and "x < max+1" has no representable threshold.
-	topTrue bool
-}
 
 // probeAt interpolates the i-th of q evenly spaced thresholds in
 // (lo, lo+w]: lo + ⌈i·(w+1)/(q+1)⌉-ish via ⌊·⌋, computed in 128 bits so
@@ -272,55 +195,6 @@ func probeAt(lo, w, i, q uint64) uint64 {
 	phi, plo := bits.Mul64(i, w+1)
 	t, _ := bits.Div64(phi, plo, q+1)
 	return lo + t
-}
-
-// rankIndex locates rank j among the deduplicated ranks (−1 if absent); a
-// linear scan, since rank lists are short.
-func (s *rankSearcher) rankIndex(j uint64) int {
-	for i, u := range s.uniq {
-		if u == j {
-			return i
-		}
-	}
-	return -1
-}
-
-// sweep ships the pending probe thresholds as one CountVec round. A
-// pending topTrue appends the TRUE terminator after the thresholds, so the
-// chain stays nested and applySweep's probe/count alignment is unchanged
-// (the extra count rides past the probe list as counts' final entry).
-func (s *rankSearcher) sweep() {
-	s.preds = s.preds[:0]
-	for _, t := range s.probes {
-		s.preds = append(s.preds, wire.Less(t))
-	}
-	if s.topTrue {
-		s.preds = append(s.preds, wire.True())
-		s.topTrue = false
-	}
-	s.counts = s.net.CountVec(Linear, s.preds, s.counts)
-	s.res.Sweeps++
-	s.res.Probes += len(s.preds)
-}
-
-// applySweep folds the latest counts into every interval: c(t) < j pushes
-// that rank's floor up to t, c(t) ≥ j caps its ceiling at t−1. By the
-// invariant and monotonicity of c, probes outside an interval are no-ops,
-// so sharing every probe with every rank is always sound.
-func (s *rankSearcher) applySweep() {
-	for pi, t := range s.probes {
-		c := s.counts[pi]
-		for vi, j := range s.uniq {
-			iv := &s.ivs[vi]
-			if c < j {
-				if t > iv.lo && t <= iv.hi {
-					iv.lo = t
-				}
-			} else if t > iv.lo && t <= iv.hi {
-				iv.hi = t - 1
-			}
-		}
-	}
 }
 
 // sortDedupe sorts the probe thresholds ascending and removes duplicates in

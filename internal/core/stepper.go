@@ -1,0 +1,233 @@
+package core
+
+import "errors"
+
+// SelectStepper is the k-ary selection search of SelectRanksBatched with
+// its narrowing loop inverted into explicit propose-thresholds /
+// consume-counts steps, so an external scheduler can drive several
+// heterogeneous searches — a median, five quantiles, an order statistic —
+// through one shared probe schedule (the engine's shared-sweep query
+// fusion). One stepper is one query's search state; the driver owns the
+// communication:
+//
+//	st := NewSelectStepper(ranks, width)
+//	lo, hi, _ := net.MinMax(core.Linear)
+//	st.Bounds(lo, hi)
+//	for !st.Done() {
+//	    probes = st.Propose(probes[:0])   // merge many steppers' proposals here
+//	    counts := ...                     // one CountVec sweep over the union
+//	    if !st.Resolved() { st.ResolveN(n) } // n = the sweep's all-active count
+//	    st.Observe(probes, counts)
+//	}
+//	values := st.Values(nil)
+//
+// Because every count is a global fact about the one shared multiset,
+// Observe may be fed any superset of the stepper's own proposals: probes
+// contributed by other members of a fused batch narrow this stepper's
+// intervals too (probes outside an interval are no-ops by monotonicity of
+// the counting function). Driving a single stepper with exactly its own
+// proposals reproduces SelectRanksBatched's schedule probe-for-probe —
+// that function is now a thin driver over one stepper.
+type SelectStepper struct {
+	width int
+	ranks []BatchRank
+
+	lo, hi   uint64
+	bounded  bool
+	resolved bool
+
+	js   []uint64
+	uniq []uint64
+	ivs  []interval
+}
+
+// NewSelectStepper builds the search state for the requested ranks.
+// probeWidth < 1 means DefaultProbeWidth; widths above MaxProbeWidth clamp
+// (the same rule every entry point shares).
+func NewSelectStepper(ranks []BatchRank, probeWidth int) *SelectStepper {
+	if probeWidth < 1 {
+		probeWidth = DefaultProbeWidth
+	}
+	if probeWidth > MaxProbeWidth {
+		probeWidth = MaxProbeWidth
+	}
+	return &SelectStepper{width: probeWidth, ranks: ranks}
+}
+
+// Width returns the stepper's probe budget per sweep.
+func (s *SelectStepper) Width() int { return s.width }
+
+// NumRanks returns the number of requested order statistics.
+func (s *SelectStepper) NumRanks() int { return len(s.ranks) }
+
+// Bounds seeds the candidate value interval from the shared MinMax round.
+// It must be called once, before the first Propose.
+func (s *SelectStepper) Bounds(lo, hi uint64) {
+	s.lo, s.hi = lo, hi
+	s.bounded = true
+}
+
+// Resolved reports whether the requested ranks have been resolved against
+// the active count N. Until then, every sweep must include the all-active
+// top probe (threshold hi+1, or TRUE when hi is 2⁶⁴−1) whose count the
+// driver feeds back through ResolveN.
+func (s *SelectStepper) Resolved() bool { return s.resolved }
+
+// WantTrueTop reports that the top probe cannot be expressed as a
+// strict-less threshold because the maximum sits at 2⁶⁴−1: the driver must
+// append the TRUE terminator instead of probing hi+1.
+func (s *SelectStepper) WantTrueTop() bool { return !s.resolved && s.hi == ^uint64(0) }
+
+// ResolveN resolves the requested ranks against the protocol-counted
+// active total N: one candidate interval per distinct rank, in
+// first-appearance order. An unresolvable rank (zero, out of range) is the
+// query's error, reported here exactly as SelectRanksBatched reports it.
+func (s *SelectStepper) ResolveN(n uint64) error {
+	if n == 0 {
+		return ErrEmpty
+	}
+	rbuf := make([]uint64, 2*len(s.ranks))
+	s.js = rbuf[:len(s.ranks):len(s.ranks)]
+	s.uniq = rbuf[len(s.ranks):len(s.ranks)]
+	s.ivs = make([]interval, 0, len(s.ranks))
+	for i, r := range s.ranks {
+		j, err := r.resolve(n)
+		if err != nil {
+			return err
+		}
+		s.js[i] = j
+		if s.rankIndex(j) < 0 {
+			s.uniq = append(s.uniq, j)
+			s.ivs = append(s.ivs, interval{lo: s.lo, hi: s.hi})
+		}
+	}
+	s.resolved = true
+	return nil
+}
+
+// Done reports that every rank's interval has collapsed to a single value.
+func (s *SelectStepper) Done() bool {
+	if !s.resolved {
+		return false
+	}
+	for _, iv := range s.ivs {
+		if iv.lo != iv.hi {
+			return false
+		}
+	}
+	return true
+}
+
+// Propose appends the stepper's next probe thresholds to dst — up to Width
+// of them, never including the top probe (the driver appends that while
+// !Resolved()). Before N is known it proposes evenly spaced thresholds
+// over (lo, hi]; afterwards it budgets the width across the unresolved
+// ranks' intervals, leftovers to the earliest requested ranks — exactly
+// the schedule SelectRanksBatched probes. The driver must sort+dedupe the
+// (possibly merged) proposals before shipping: overlapping intervals of
+// nearby ranks propose duplicate thresholds, and the ⊆-chain encoding
+// requires ascending order.
+func (s *SelectStepper) Propose(dst []uint64) []uint64 {
+	if !s.bounded {
+		panic("core: SelectStepper.Propose before Bounds")
+	}
+	if !s.resolved {
+		w := s.hi - s.lo
+		q := uint64(s.width - 1)
+		if q > w {
+			q = w
+		}
+		for i := uint64(1); i <= q; i++ {
+			dst = append(dst, probeAt(s.lo, w, i, q))
+		}
+		return dst
+	}
+	unresolved := 0
+	for _, iv := range s.ivs {
+		if iv.lo != iv.hi {
+			unresolved++
+		}
+	}
+	if unresolved == 0 {
+		return dst
+	}
+	base := s.width / unresolved
+	extra := s.width % unresolved
+	seen := 0
+	for vi := range s.ivs {
+		iv := s.ivs[vi]
+		if iv.lo == iv.hi {
+			continue
+		}
+		q := uint64(base)
+		if seen < extra {
+			q++
+		}
+		seen++
+		w := iv.hi - iv.lo
+		if q > w {
+			q = w
+		}
+		for i := uint64(1); i <= q; i++ {
+			dst = append(dst, probeAt(iv.lo, w, i, q))
+		}
+	}
+	return dst
+}
+
+// Observe folds one sweep's (threshold, count) pairs into every rank's
+// interval: c(t) < j pushes that rank's floor up to t, c(t) ≥ j caps its
+// ceiling at t−1. Thresholds must be ascending; counts[i] is the number of
+// active items strictly below thresholds[i]. Probes outside an interval
+// are no-ops, so feeding the full merged chain of a fused batch is always
+// sound. Requires ResolveN first.
+func (s *SelectStepper) Observe(thresholds, counts []uint64) {
+	if !s.resolved {
+		panic("core: SelectStepper.Observe before ResolveN")
+	}
+	for pi, t := range thresholds {
+		c := counts[pi]
+		for vi, j := range s.uniq {
+			iv := &s.ivs[vi]
+			if c < j {
+				if t > iv.lo && t <= iv.hi {
+					iv.lo = t
+				}
+			} else if t > iv.lo && t <= iv.hi {
+				iv.hi = t - 1
+			}
+		}
+	}
+}
+
+// Values appends the selected order statistics, one per requested rank in
+// input order. Valid once Done.
+func (s *SelectStepper) Values(dst []uint64) []uint64 {
+	if !s.Done() {
+		panic("core: SelectStepper.Values before Done")
+	}
+	for _, j := range s.js {
+		dst = append(dst, s.ivs[s.rankIndex(j)].lo)
+	}
+	return dst
+}
+
+// rankIndex locates rank j among the deduplicated ranks (−1 if absent); a
+// linear scan, since rank lists are short.
+func (s *SelectStepper) rankIndex(j uint64) int {
+	for i, u := range s.uniq {
+		if u == j {
+			return i
+		}
+	}
+	return -1
+}
+
+// ErrNoConverge guards the narrowing loop of every stepper driver: a
+// miscounting network (which exact counting over a reliable or healed tree
+// rules out) must not spin forever.
+var ErrNoConverge = errors.New("core: batched selection failed to converge")
+
+// MaxSelectSweeps is the driver-side convergence bound shared by
+// SelectRanksBatched and the engine's fusion scheduler.
+const MaxSelectSweeps = 4096

@@ -65,6 +65,15 @@ type Result struct {
 	Unreachable int   `json:"unreachable,omitempty"`
 	RepairBits  int64 `json:"repair_bits,omitempty"`
 
+	// Fused marks a result answered by a shared-sweep fusion batch
+	// (Options.Fuse): its communication fields price the whole shared
+	// probe plane, which served every member of the batch at once.
+	// SharedSweeps is the number of probe sweeps in the plane that
+	// answered this query — the batch's shared schedule for a fused
+	// member, the query's own schedule for a solo batched selection.
+	Fused        bool `json:"fused,omitempty"`
+	SharedSweeps int  `json:"shared_sweeps,omitempty"`
+
 	WallNS int64  `json:"wall_ns"`
 	Error  string `json:"error,omitempty"`
 }
@@ -82,6 +91,13 @@ type Options struct {
 	Timeout time.Duration
 	// Session supplies the topology cache (nil → a fresh one).
 	Session *Session
+	// Fuse enables shared-sweep query fusion: concurrent fusable jobs
+	// against the same deployment and run seed execute as one batch on one
+	// forked network, their probe thresholds merged into shared CountVec
+	// sweeps (see fusion.go). Off by default — fused members report the
+	// batch's shared communication cost, which changes what Result meters
+	// mean, so callers opt in.
+	Fuse bool
 }
 
 // Engine executes query jobs on a bounded worker pool.
@@ -89,6 +105,7 @@ type Engine struct {
 	workers int
 	timeout time.Duration
 	session *Session
+	fuse    bool
 }
 
 // New returns an engine with the given options.
@@ -101,7 +118,7 @@ func New(opts Options) *Engine {
 	if s == nil {
 		s = NewSession()
 	}
-	return &Engine{workers: w, timeout: opts.Timeout, session: s}
+	return &Engine{workers: w, timeout: opts.Timeout, session: s, fuse: opts.Fuse}
 }
 
 // Workers returns the pool's concurrency bound.
@@ -110,43 +127,55 @@ func (e *Engine) Workers() int { return e.workers }
 // Session returns the engine's topology cache.
 func (e *Engine) Session() *Session { return e.session }
 
-// Run executes jobs on the worker pool and returns results in job order.
-// Individual failures (bad spec, protocol error, deadline) are reported in
-// the corresponding Result, never as a panic across the pool; Run itself
-// only returns early if ctx is cancelled, in which case unstarted jobs are
-// marked with the context error.
+// Run executes jobs on the worker pool and returns results strictly in job
+// order — every result is written at its job's index, so neither worker
+// scheduling, fusion batching, nor a mid-batch cancellation can reorder
+// the output (results[i] always answers jobs[i], even when only a prefix
+// of the batch ran before ctx fired). Individual failures (bad spec,
+// protocol error, deadline) are reported in the corresponding Result,
+// never as a panic across the pool; Run itself only returns early if ctx
+// is cancelled, in which case jobs that never started are marked with the
+// context error at their own indices.
+//
+// With Options.Fuse, jobs are first partitioned into execution units:
+// fusable jobs against one deployment become a fusion batch dispatched to
+// a single worker (see fusion.go); everything else runs solo exactly as
+// before.
 func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
-	idx := make(chan int)
+	units := e.planUnits(jobs)
+	uidx := make(chan int)
 	var wg sync.WaitGroup
 	workers := e.workers
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(units) {
+		workers = len(units)
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				results[i] = e.runOne(ctx, jobs[i])
+			for u := range uidx {
+				e.runUnit(ctx, jobs, units[u], results)
 			}
 		}()
 	}
-	dispatched := make([]bool, len(jobs))
+	dispatched := make([]bool, len(units))
 feed:
-	for i := range jobs {
+	for u := range units {
 		select {
-		case idx <- i:
-			dispatched[i] = true
+		case uidx <- u:
+			dispatched[u] = true
 		case <-ctx.Done():
 			break feed
 		}
 	}
-	close(idx)
+	close(uidx)
 	wg.Wait()
-	for i := range jobs {
-		if !dispatched[i] {
-			results[i] = failedResult(jobs[i], ctx.Err())
+	for u, unit := range units {
+		if !dispatched[u] {
+			for _, i := range unit {
+				results[i] = failedResult(jobs[i], ctx.Err())
+			}
 		}
 	}
 	return results
@@ -225,19 +254,20 @@ func (e *Engine) executeJob(spec Spec, job Job) Result {
 // delta, including the fault-impact fields of a healed run.
 func resultFrom(spec Spec, q Query, ans answer, d netsim.Delta, wall time.Duration) Result {
 	r := Result{
-		Spec:        spec,
-		Query:       q.withDefaults(),
-		Value:       ans.value,
-		Detail:      ans.detail,
-		Values:      ans.values,
-		Truth:       ans.truth,
-		Truths:      ans.truths,
-		TruthKnown:  ans.truthKnown,
-		Exact:       ans.truthKnown && ans.value == ans.truth,
-		BitsPerNode: d.MaxPerNode,
-		TotalBits:   d.TotalBits,
-		Messages:    d.Messages,
-		WallNS:      wall.Nanoseconds(),
+		Spec:         spec,
+		Query:        q.withDefaults(),
+		Value:        ans.value,
+		Detail:       ans.detail,
+		Values:       ans.values,
+		Truth:        ans.truth,
+		Truths:       ans.truths,
+		TruthKnown:   ans.truthKnown,
+		Exact:        ans.truthKnown && ans.value == ans.truth,
+		BitsPerNode:  d.MaxPerNode,
+		TotalBits:    d.TotalBits,
+		Messages:     d.Messages,
+		SharedSweeps: ans.sweeps,
+		WallNS:       wall.Nanoseconds(),
 	}
 	if ans.truthKnown && len(ans.truths) == len(ans.values) && len(ans.values) > 0 {
 		r.Exact = true

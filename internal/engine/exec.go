@@ -126,6 +126,10 @@ type answer struct {
 	// heal is the self-healing repair run that preceded the query, when
 	// the run's fault plan had structural faults.
 	heal *spantree.HealResult
+	// sweeps is the number of probe sweeps in the plane that answered the
+	// query (selection and fused-aggregate kinds); surfaces as
+	// Result.SharedSweeps.
+	sweeps int
 }
 
 // execute runs q against the per-run network nw. The network must be
@@ -269,15 +273,19 @@ func executeKind(nw *netsim.Network, spec Spec, q Query, ops spantree.Ops, net *
 			if err != nil {
 				return answer{}, err
 			}
-			return exactUint(res.Values[0],
+			ans := exactUint(res.Values[0],
 				fmt.Sprintf("%d k-ary sweeps (width %d)", res.Sweeps, q.ProbeWidth),
-				core.TrueMedian(sorted())), nil
+				core.TrueMedian(sorted()))
+			ans.sweeps = res.Sweeps
+			return ans, nil
 		}
 		res, err := core.Median(net)
 		if err != nil {
 			return answer{}, err
 		}
-		return exactUint(res.Value, fmt.Sprintf("%d binary-search iterations", res.Iterations), core.TrueMedian(sorted())), nil
+		ans := exactUint(res.Value, fmt.Sprintf("%d binary-search iterations", res.Iterations), core.TrueMedian(sorted()))
+		ans.sweeps = res.CountCalls
+		return ans, nil
 
 	case KindOrderStat, KindQuantile:
 		k := q.K
@@ -295,15 +303,19 @@ func executeKind(nw *netsim.Network, spec Spec, q Query, ops spantree.Ops, net *
 			if err != nil {
 				return answer{}, err
 			}
-			return exactUint(res.Values[0],
+			ans := exactUint(res.Values[0],
 				fmt.Sprintf("rank %d, %d k-ary sweeps (width %d)", k, res.Sweeps, q.ProbeWidth),
-				core.TrueOrderStatistic(sorted(), int(k))), nil
+				core.TrueOrderStatistic(sorted(), int(k)))
+			ans.sweeps = res.Sweeps
+			return ans, nil
 		}
 		res, err := core.OrderStatistic(net, k)
 		if err != nil {
 			return answer{}, err
 		}
-		return exactUint(res.Value, fmt.Sprintf("rank %d", k), core.TrueOrderStatistic(sorted(), int(k))), nil
+		ans := exactUint(res.Value, fmt.Sprintf("rank %d", k), core.TrueOrderStatistic(sorted(), int(k)))
+		ans.sweeps = res.CountCalls
+		return ans, nil
 
 	case KindQuantiles:
 		if len(q.Phis) == 0 {
@@ -328,6 +340,7 @@ func executeKind(nw *netsim.Network, spec Spec, q Query, ops spantree.Ops, net *
 			detail: fmt.Sprintf("%d quantiles in %d shared k-ary sweeps (width %d)",
 				len(q.Phis), res.Sweeps, q.ProbeWidth),
 			truthKnown: true,
+			sweeps:     res.Sweeps,
 		}
 		for i, v := range res.Values {
 			k := core.QuantileRank(q.Phis[i], uint64(len(values)))
@@ -363,7 +376,7 @@ func executeKind(nw *netsim.Network, spec Spec, q Query, ops spantree.Ops, net *
 			"min": float64(tLo), "max": float64(tHi),
 			"avg": float64(tSum) / float64(len(values)),
 		}
-		ans := answer{detail: "fused vector sweep (count+sum+min+max)", truthKnown: true}
+		ans := answer{detail: "fused vector sweep (count+sum+min+max)", truthKnown: true, sweeps: 1}
 		for _, a := range q.Aggs {
 			v, known := got[a]
 			if !known {

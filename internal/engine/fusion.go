@@ -1,0 +1,550 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"sensoragg/internal/agg"
+	"sensoragg/internal/core"
+	"sensoragg/internal/spantree"
+)
+
+// This file is the fusion scheduler: concurrent jobs that target the same
+// deployment (equal normalized spec and run seed) and are
+// fusion-compatible — selection searches, multi-quantiles, and the
+// Fact 2.1 aggregates — execute as one *fusion batch* on a single forked
+// network instead of per-job forks. Every sweep round merges the members'
+// outstanding probe thresholds into one deduplicated ascending chain and
+// ships it as a single CountVec broadcast–convergecast (agg.SweepMux);
+// aggregate members ride the same round via the widened CountVecSum
+// vector and the batch's shared MinMax round. The engine therefore pays
+// the tree traffic once per round for the whole batch — the first
+// optimization that amortizes sweeps *across* queries rather than within
+// one (PR 4 batched the probes within a query).
+//
+// Fusion preserves answers exactly: selection is an exact search whose
+// result does not depend on the probe schedule, and the aggregate riders
+// compute the same exact totals the standalone protocols do, so a fused
+// member's values and truths are byte-identical to its solo run for
+// reliable networks and for structural fault plans (crash/linkfail heal
+// the tree once per batch, then counts are exact over the survivors).
+// Message-level drop/dup plans corrupt traffic as a function of the
+// delivery sequence, which fusion necessarily changes — fused answers
+// under drop/dup are deterministic but may differ from solo ones, exactly
+// as the batched probe plane may differ from classic bisection.
+
+// FusedMember is one query's slot in a fusion batch. Exactly one of the
+// two forms is used: a selection member carries the ranks its
+// SelectStepper narrows (Width probes per sweep), an aggregate member
+// names the Fact 2.1 aggregates it reads off the shared rounds
+// (count|sum|min|max|avg).
+type FusedMember struct {
+	Ranks []core.BatchRank
+	Width int
+	Aggs  []string
+}
+
+// FusedMemberResult is one member's outcome.
+type FusedMemberResult struct {
+	// Values are a selection member's order statistics, one per rank.
+	Values []uint64
+	// AggValues are an aggregate member's answers, aligned with Aggs.
+	AggValues []float64
+	// Err reports a per-member failure (unresolvable rank, unknown
+	// aggregate, context cancellation) — the same error the member's solo
+	// run would report.
+	Err error
+	// Detached marks a member the batch's deadline expired on before its
+	// search resolved: it holds no answer and should be re-run solo (the
+	// engine gives detached members their own full deadline, so fusing can
+	// never fail a query that would have succeeded alone).
+	Detached bool
+}
+
+// FusedResult reports one executed fusion batch.
+type FusedResult struct {
+	Members []FusedMemberResult
+	// Sweeps is the number of shared probe sweeps the batch executed (the
+	// MinMax round is not counted); Probes is the total number of
+	// predicates shipped across them. Every member was answered by this
+	// one schedule — the numbers fusion compresses.
+	Sweeps int
+	Probes int
+	// N and Sum are the shared all-active count and sum riders (Sum only
+	// when some member asked for it); Lo and Hi the shared extrema.
+	N, Sum, Lo, Hi uint64
+}
+
+// RunFused executes members as one fusion batch over net: one MinMax
+// round, then shared CountVec sweeps until every member resolves. The
+// caller owns net (typically a private forked run network) and its meter.
+// A zero deadline disables the mid-batch detach check; ctx cancellation
+// fails unresolved members with the context error. The only top-level
+// error is an empty active multiset.
+func RunFused(ctx context.Context, net *agg.Net, members []FusedMember, deadline time.Time) (FusedResult, error) {
+	res := FusedResult{Members: make([]FusedMemberResult, len(members))}
+	steppers := make([]*core.SelectStepper, len(members))
+	needSum := false
+	for i, mb := range members {
+		if len(mb.Ranks) > 0 {
+			steppers[i] = core.NewSelectStepper(mb.Ranks, mb.Width)
+			continue
+		}
+		for _, a := range mb.Aggs {
+			switch a {
+			case "sum", "avg":
+				needSum = true
+			case "count", "min", "max":
+			default:
+				res.Members[i].Err = fmt.Errorf("engine: unknown fused aggregate %q (count|sum|min|max|avg)", a)
+			}
+		}
+	}
+
+	lo, hi, ok := net.MinMax(core.Linear)
+	if !ok {
+		return res, core.ErrEmpty
+	}
+	res.Lo, res.Hi = lo, hi
+	for _, st := range steppers {
+		if st != nil {
+			st.Bounds(lo, hi)
+		}
+	}
+
+	mux := agg.NewSweepMux(net)
+	var probeBuf []uint64
+	resolved := false // the shared top probe (N) has run
+	// finish marks every unresolved member the batch is abandoning.
+	// Members that already resolved keep their answers: control falls
+	// through to the assembly loop below, never out of RunFused early —
+	// a member is always either answered, failed, or detached.
+	finish := func(mark func(r *FusedMemberResult)) {
+		for i := range members {
+			r := &res.Members[i]
+			if r.Err != nil {
+				continue
+			}
+			if st := steppers[i]; st != nil {
+				if !st.Resolved() || !st.Done() {
+					mark(r)
+				}
+			} else if !resolved {
+				mark(r)
+			}
+		}
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			finish(func(r *FusedMemberResult) { r.Err = err })
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			finish(func(r *FusedMemberResult) { r.Detached = true })
+			break
+		}
+		mux.Begin()
+		work := false
+		for i, st := range steppers {
+			if st == nil || res.Members[i].Err != nil {
+				continue
+			}
+			if st.Resolved() && st.Done() {
+				continue
+			}
+			probeBuf = st.Propose(probeBuf[:0])
+			mux.Add(probeBuf)
+			work = true
+		}
+		if !resolved {
+			mux.AddTop(hi)
+			if needSum {
+				mux.AddSum()
+			}
+			work = true
+		}
+		if !work {
+			break
+		}
+		mux.Sweep(core.Linear)
+		if !resolved {
+			resolved = true
+			res.N, _ = mux.Top()
+			if needSum {
+				res.Sum, _ = mux.Sum()
+			}
+			if res.N == 0 {
+				res.Sweeps, res.Probes = mux.Sweeps, mux.ProbesShipped
+				return res, core.ErrEmpty
+			}
+			for i, st := range steppers {
+				if st == nil || res.Members[i].Err != nil {
+					continue
+				}
+				if err := st.ResolveN(res.N); err != nil {
+					res.Members[i].Err = err
+					steppers[i] = nil
+				}
+			}
+		}
+		// Every count is a global fact about the one shared multiset, so
+		// the full merged chain feeds every member: probes contributed by
+		// one query narrow the others' intervals too.
+		ts, cs := mux.Thresholds(), mux.Counts()
+		for i, st := range steppers {
+			if st != nil && res.Members[i].Err == nil && !st.Done() {
+				st.Observe(ts, cs)
+			}
+		}
+		if mux.Sweeps > core.MaxSelectSweeps {
+			finish(func(r *FusedMemberResult) { r.Err = core.ErrNoConverge })
+			break
+		}
+	}
+	res.Sweeps, res.Probes = mux.Sweeps, mux.ProbesShipped
+
+	for i, mb := range members {
+		r := &res.Members[i]
+		if r.Err != nil || r.Detached {
+			continue
+		}
+		if st := steppers[i]; st != nil {
+			r.Values = st.Values(make([]uint64, 0, st.NumRanks()))
+			continue
+		}
+		r.AggValues = make([]float64, 0, len(mb.Aggs))
+		for _, a := range mb.Aggs {
+			switch a {
+			case "count":
+				r.AggValues = append(r.AggValues, float64(res.N))
+			case "sum":
+				r.AggValues = append(r.AggValues, float64(res.Sum))
+			case "min":
+				r.AggValues = append(r.AggValues, float64(lo))
+			case "max":
+				r.AggValues = append(r.AggValues, float64(hi))
+			case "avg":
+				r.AggValues = append(r.AggValues, float64(res.Sum)/float64(res.N))
+			}
+		}
+	}
+	return res, nil
+}
+
+// fusableKind reports whether a query kind can join a fusion batch: the
+// exact selection family (driven by SelectStepper) and the Fact 2.1
+// aggregates (answered by the shared MinMax round, the chain's top probe,
+// and the CountVecSum rider). Randomized, sketch, gossip, radio, and
+// statement kinds keep their private schedules.
+func fusableKind(kind string) bool {
+	switch kind {
+	case KindMedian, KindOrderStat, KindQuantile, KindQuantiles,
+		KindFused, KindMin, KindMax, KindCount, KindSum, KindAvg:
+		return true
+	}
+	return false
+}
+
+// fuseKey groups fusable jobs: same normalized deployment, same run seed
+// (so a structural fault plan derived from the run seed crashes the same
+// nodes for every member, and the one shared fork is bit-identical to each
+// member's solo fork).
+type fuseKey struct {
+	spec Spec
+	seed uint64
+}
+
+// planUnits partitions jobs into execution units: a unit is either one
+// solo job or a fusion batch of ≥2 compatible jobs. Units are dispatched
+// to the worker pool as wholes; results are always written back by
+// original job index, so fusion never reorders a batch's results. The
+// goroutine reference engine is left unfused (its value is being an
+// independent implementation, not a fast one).
+func (e *Engine) planUnits(jobs []Job) [][]int {
+	units := make([][]int, 0, len(jobs))
+	if !e.fuse {
+		for i := range jobs {
+			units = append(units, []int{i})
+		}
+		return units
+	}
+	groups := make(map[fuseKey]int)
+	for i := range jobs {
+		spec := jobs[i].Spec.Normalize()
+		if !fusableKind(jobs[i].Query.Kind) || spec.TreeEngine == "goroutine" {
+			units = append(units, []int{i})
+			continue
+		}
+		key := fuseKey{spec: spec, seed: jobs[i].runSeed()}
+		if u, ok := groups[key]; ok {
+			units[u] = append(units[u], i)
+		} else {
+			groups[key] = len(units)
+			units = append(units, []int{i})
+		}
+	}
+	return units
+}
+
+// runUnit executes one unit, writing results by original job index.
+func (e *Engine) runUnit(ctx context.Context, jobs []Job, idxs []int, results []Result) {
+	if len(idxs) == 1 {
+		results[idxs[0]] = e.runOne(ctx, jobs[idxs[0]])
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		for _, i := range idxs {
+			results[i] = failedResult(jobs[i], err)
+		}
+		return
+	}
+	for _, i := range e.runFusedGroup(ctx, jobs, idxs, results) {
+		// Detached or unfusable members finish solo with their own full
+		// deadline: fusion must never fail a query that would have
+		// succeeded alone.
+		results[i] = e.runOne(ctx, jobs[i])
+	}
+}
+
+// fusedMemberFor translates a query into its batch slot. ok is false for
+// queries whose parameters the solo path would reject (bad phi, unknown
+// aggregate, ...): they fall back to solo execution, which reports exactly
+// the error it always has.
+func fusedMemberFor(q Query, values []uint64) (FusedMember, bool) {
+	switch q.Kind {
+	case KindMedian:
+		return FusedMember{Ranks: []core.BatchRank{{Median: true}}, Width: q.ProbeWidth}, true
+	case KindOrderStat:
+		k := q.K
+		if k == 0 {
+			k = uint64((len(values) + 1) / 2)
+		}
+		return FusedMember{Ranks: []core.BatchRank{{K: k}}, Width: q.ProbeWidth}, true
+	case KindQuantile:
+		if q.Phi <= 0 || q.Phi > 1 {
+			return FusedMember{}, false
+		}
+		k := core.QuantileRank(q.Phi, uint64(len(values)))
+		return FusedMember{Ranks: []core.BatchRank{{K: k}}, Width: q.ProbeWidth}, true
+	case KindQuantiles:
+		if len(q.Phis) == 0 {
+			return FusedMember{}, false
+		}
+		ranks := make([]core.BatchRank, len(q.Phis))
+		for i, phi := range q.Phis {
+			if phi <= 0 || phi > 1 {
+				return FusedMember{}, false
+			}
+			ranks[i] = core.BatchRank{Phi: phi}
+		}
+		return FusedMember{Ranks: ranks, Width: q.ProbeWidth}, true
+	case KindFused:
+		for _, a := range q.Aggs {
+			switch a {
+			case "count", "sum", "min", "max", "avg":
+			default:
+				return FusedMember{}, false
+			}
+		}
+		return FusedMember{Aggs: q.Aggs}, true
+	case KindCount:
+		return FusedMember{Aggs: []string{"count"}}, true
+	case KindSum:
+		return FusedMember{Aggs: []string{"sum"}}, true
+	case KindMin:
+		return FusedMember{Aggs: []string{"min"}}, true
+	case KindMax:
+		return FusedMember{Aggs: []string{"max"}}, true
+	case KindAvg:
+		return FusedMember{Aggs: []string{"avg"}}, true
+	}
+	return FusedMember{}, false
+}
+
+// runFusedGroup executes a fusion batch on one forked network and writes
+// member results by original index. It returns the indices that must
+// finish solo: members whose parameters need the solo error path, members
+// the deadline detached, and — on a batch-level panic — every member not
+// yet answered. A panicking batch skips the pool release, like a
+// panicking solo run.
+func (e *Engine) runFusedGroup(ctx context.Context, jobs []Job, idxs []int, results []Result) (solo []int) {
+	spec := jobs[idxs[0]].Spec.Normalize()
+	start := time.Now()
+	var deadline time.Time
+	if e.timeout > 0 {
+		deadline = start.Add(e.timeout)
+	}
+	written := make(map[int]bool, len(idxs))
+	defer func() {
+		if r := recover(); r != nil {
+			solo = solo[:0]
+			for _, i := range idxs {
+				if !written[i] {
+					solo = append(solo, i)
+				}
+			}
+		}
+	}()
+
+	nw, err := e.session.Instantiate(spec, jobs[idxs[0]].runSeed())
+	if err != nil {
+		for _, i := range idxs {
+			results[i] = failedResult(jobs[i], err)
+			written[i] = true
+		}
+		return solo
+	}
+	before := nw.Meter.Snapshot()
+	fe, hr, err := spantree.NewFastHealed(nw)
+	if err != nil {
+		nw.Release()
+		for _, i := range idxs {
+			results[i] = failedResult(jobs[i], err)
+			written[i] = true
+		}
+		return solo
+	}
+	switch spec.TreeEngine {
+	case "fast-serial":
+		fe.SetWorkers(1)
+		fe.SetPooled(false)
+	case "fast-parallel":
+		fe.SetWorkers(2 * runtime.GOMAXPROCS(0))
+	}
+	net := agg.NewNet(fe)
+	values := nw.AllItems()
+	if hr != nil {
+		values = survivingItems(nw, hr.View)
+	}
+
+	members := make([]FusedMember, 0, len(idxs))
+	memberIdx := make([]int, 0, len(idxs))
+	for _, ji := range idxs {
+		mb, ok := fusedMemberFor(jobs[ji].Query.withDefaults(), values)
+		if !ok {
+			solo = append(solo, ji)
+			continue
+		}
+		members = append(members, mb)
+		memberIdx = append(memberIdx, ji)
+	}
+	if len(memberIdx) < 2 {
+		// A batch of one has nothing to share; its solo run is the same
+		// protocol without the fusion bookkeeping.
+		nw.Release()
+		return append(solo, memberIdx...)
+	}
+
+	fres, ferr := RunFused(ctx, net, members, deadline)
+	d := nw.Meter.Since(before)
+	wall := time.Since(start)
+	if ferr != nil {
+		// Batch-impossible (empty active multiset): every member reports
+		// it through its own solo path.
+		nw.Release()
+		return append(solo, memberIdx...)
+	}
+
+	var sortedCache []uint64
+	sorted := func() []uint64 {
+		if sortedCache == nil {
+			sortedCache = core.SortedCopy(values)
+		}
+		return sortedCache
+	}
+	for mi, ji := range memberIdx {
+		mr := fres.Members[mi]
+		if mr.Detached {
+			solo = append(solo, ji)
+			continue
+		}
+		if mr.Err != nil {
+			results[ji] = failedResult(jobs[ji], mr.Err)
+			written[ji] = true
+			continue
+		}
+		q := jobs[ji].Query.withDefaults()
+		ans := fusedAnswer(q, mr, fres, len(members), values, sorted)
+		ans.heal = hr
+		r := resultFrom(spec, jobs[ji].Query, ans, d, wall)
+		r.ID = jobs[ji].ID
+		r.Fused = true
+		r.SharedSweeps = fres.Sweeps
+		results[ji] = r
+		written[ji] = true
+	}
+	nw.Release()
+	return solo
+}
+
+// fusedAnswer assembles a member's answer with exactly the value/truth
+// semantics of its solo execution in exec.go; only the detail string
+// differs (it names the shared schedule).
+func fusedAnswer(q Query, mr FusedMemberResult, fres FusedResult, batch int, values []uint64, sorted func() []uint64) answer {
+	detail := fmt.Sprintf("fused batch of %d: %d shared k-ary sweeps", batch, fres.Sweeps)
+	switch q.Kind {
+	case KindMedian:
+		return answer{value: float64(mr.Values[0]), detail: detail,
+			truth: float64(core.TrueMedian(sorted())), truthKnown: true, sweeps: fres.Sweeps}
+	case KindOrderStat:
+		k := q.K
+		if k == 0 {
+			k = uint64((len(values) + 1) / 2)
+		}
+		return answer{value: float64(mr.Values[0]), detail: fmt.Sprintf("rank %d, %s", k, detail),
+			truth: float64(core.TrueOrderStatistic(sorted(), int(k))), truthKnown: true, sweeps: fres.Sweeps}
+	case KindQuantile:
+		k := core.QuantileRank(q.Phi, uint64(len(values)))
+		return answer{value: float64(mr.Values[0]), detail: fmt.Sprintf("rank %d, %s", k, detail),
+			truth: float64(core.TrueOrderStatistic(sorted(), int(k))), truthKnown: true, sweeps: fres.Sweeps}
+	case KindQuantiles:
+		ans := answer{detail: fmt.Sprintf("%d quantiles, %s", len(q.Phis), detail), truthKnown: true, sweeps: fres.Sweeps}
+		for i, v := range mr.Values {
+			k := core.QuantileRank(q.Phis[i], uint64(len(values)))
+			ans.values = append(ans.values, float64(v))
+			ans.truths = append(ans.truths, float64(core.TrueOrderStatistic(sorted(), int(k))))
+		}
+		ans.value, ans.truth = ans.values[0], ans.truths[0]
+		return ans
+	default:
+		// Aggregate member: truths mirror exec.go's KindFused/Fact 2.1
+		// arithmetic over the surviving items.
+		var tSum uint64
+		tLo, tHi := values[0], values[0]
+		for _, v := range values {
+			tSum += v
+			if v < tLo {
+				tLo = v
+			}
+			if v > tHi {
+				tHi = v
+			}
+		}
+		want := map[string]float64{
+			"count": float64(len(values)), "sum": float64(tSum),
+			"min": float64(tLo), "max": float64(tHi),
+			"avg": float64(tSum) / float64(len(values)),
+		}
+		aggs := q.Aggs
+		if q.Kind != KindFused {
+			aggs = []string{map[string]string{
+				KindCount: "count", KindSum: "sum", KindMin: "min",
+				KindMax: "max", KindAvg: "avg",
+			}[q.Kind]}
+		}
+		ans := answer{detail: "aggregate rider, " + detail, truthKnown: true, sweeps: fres.Sweeps}
+		if q.Kind == KindFused {
+			for i, a := range aggs {
+				ans.values = append(ans.values, mr.AggValues[i])
+				ans.truths = append(ans.truths, want[a])
+			}
+			ans.value, ans.truth = ans.values[0], ans.truths[0]
+			return ans
+		}
+		ans.value, ans.truth = mr.AggValues[0], want[aggs[0]]
+		return ans
+	}
+}
