@@ -205,7 +205,7 @@ func run(o options) error {
 	}
 
 	start := time.Now()
-	results := eng.Run(context.Background(), jobs)
+	results := eng.Submit(context.Background(), jobs)
 	wall := time.Since(start)
 	report := engine.Collect(eng, results, wall)
 

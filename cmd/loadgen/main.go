@@ -1,0 +1,246 @@
+// Command loadgen drives the continuous-query serving layer the way a
+// dashboard fleet would: K subscribers register the same standing
+// statement, the deployment drifts epoch over epoch, and every epoch
+// answers all K on one fused probe plane with delta-narrowing seeding each
+// k-ary search from the answer history. It reports p50/p95 per-subscriber
+// epoch latency, the per-epoch bits/node (the paper measure) next to one
+// solo query's plane, and the delta-narrowing hit rate.
+//
+//	$ go run ./cmd/loadgen -subscribers 64 -epochs 10
+//	$ go run ./cmd/loadgen -subscribers 64 -epochs 10 -json
+//
+// Exit status is non-zero if any delivery failed or went missing, so CI
+// can use a short run as a smoke test of the serving stack.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"sensoragg/internal/engine"
+	"sensoragg/internal/serve"
+	"sensoragg/internal/topology"
+)
+
+func main() {
+	topo := flag.String("topology", "grid", "line|ring|star|grid|torus|complete|btree|rgg")
+	n := flag.Int("n", 4096, "number of nodes")
+	wl := flag.String("workload", "uniform", "input distribution")
+	seed := flag.Uint64("seed", 1, "random seed")
+	subscribers := flag.Int("subscribers", 64, "standing subscriptions")
+	epochs := flag.Int("epochs", 10, "epochs to advance")
+	window := flag.Duration("window", serve.DefaultFuseWindow, "group-commit fusion window")
+	drift := flag.Uint64("drift", 200, "per-node ±step random walk per epoch (0 = static values)")
+	statement := flag.String("statement", "SELECT median(value)", "the standing statement")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	spec := engine.Spec{Topology: *topo, N: *n, Workload: *wl, Seed: *seed}
+	rep, err := run(spec, *subscribers, *epochs, *window, *drift, *statement)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		rep.print()
+	}
+	if rep.Failed > 0 || rep.Missing > 0 {
+		os.Exit(1)
+	}
+}
+
+// report is loadgen's stable JSON output.
+type report struct {
+	Spec        engine.Spec `json:"spec"`
+	Statement   string      `json:"statement"`
+	Subscribers int         `json:"subscribers"`
+	Epochs      int         `json:"epochs"`
+	Drift       uint64      `json:"drift"`
+
+	// Deliveries counts results received on subscription channels; Missing
+	// is how many of the expected subscribers×epochs never arrived, Failed
+	// how many arrived as errors.
+	Deliveries int `json:"deliveries"`
+	Failed     int `json:"failed"`
+	Missing    int `json:"missing"`
+
+	// P50LatencyNS/P95LatencyNS are per-subscriber epoch latencies: epoch
+	// advance start to the subscriber receiving its result.
+	P50LatencyNS int64 `json:"p50_latency_ns"`
+	P95LatencyNS int64 `json:"p95_latency_ns"`
+
+	// EpochBitsPerNode is the mean per-epoch bits/node serving ALL
+	// subscribers (one fused plane); SoloBitsPerNode is one from-scratch
+	// solo query's plane for comparison.
+	EpochBitsPerNode float64 `json:"epoch_bits_per_node"`
+	SoloBitsPerNode  int64   `json:"solo_bits_per_node"`
+
+	// SeedHitRate is the fraction of steady-state deliveries (epoch ≥ 3,
+	// when a move estimate exists) whose seeded search contained the
+	// answer.
+	SeedHitRate float64 `json:"seed_hit_rate"`
+}
+
+func (r *report) print() {
+	spec := r.Spec
+	fmt.Printf("loadgen: %s N=%d X=%d workload %s — %d subscriber(s) × %d epoch(s), drift ±%d\n",
+		spec.Topology, spec.N, spec.MaxX, spec.Workload, r.Subscribers, r.Epochs, r.Drift)
+	fmt.Printf("deliveries: %d (%d failed, %d missing)\n", r.Deliveries, r.Failed, r.Missing)
+	fmt.Printf("per-subscriber epoch latency: p50 %s, p95 %s\n",
+		time.Duration(r.P50LatencyNS), time.Duration(r.P95LatencyNS))
+	ratio := 0.0
+	if r.SoloBitsPerNode > 0 {
+		ratio = r.EpochBitsPerNode / float64(r.SoloBitsPerNode)
+	}
+	fmt.Printf("epoch cost: %.0f bits/node serving all %d — one solo query costs %d bits/node (%.2fx)\n",
+		r.EpochBitsPerNode, r.Subscribers, r.SoloBitsPerNode, ratio)
+	fmt.Printf("delta-narrowing: %.0f%% of steady-state epochs answered inside the seeded window\n",
+		100*r.SeedHitRate)
+}
+
+type delivery struct {
+	epoch     int
+	latencyNS int64
+	bits      int64
+	seedHit   bool
+	failed    bool
+}
+
+func run(spec engine.Spec, subscribers, epochs int, window time.Duration, drift uint64, statement string) (*report, error) {
+	if subscribers < 1 || epochs < 1 {
+		return nil, fmt.Errorf("need at least 1 subscriber and 1 epoch")
+	}
+	spec = spec.Normalize()
+	eng := engine.New(engine.Options{})
+
+	// One solo from-scratch query prices the per-query plane the serving
+	// layer amortizes across the fleet.
+	soloQuery, _, err := serve.QueryFor(statement)
+	if err != nil {
+		return nil, err
+	}
+	solo := eng.Submit(context.Background(), []engine.Job{{Spec: spec, Query: soloQuery}})[0]
+	if solo.Failed() {
+		return nil, fmt.Errorf("solo %q: %s", statement, solo.Error)
+	}
+
+	rng := rand.New(rand.NewSource(int64(spec.Seed)))
+	svc, err := serve.New(serve.Options{
+		Spec:       spec,
+		Engine:     eng,
+		FuseWindow: window,
+		// Per-node ±drift random walk; AdvanceEpoch runs the closure from
+		// one goroutine, so the shared rng is safe.
+		Update: func(e int, node topology.NodeID, prev uint64) uint64 {
+			if drift == 0 {
+				return prev
+			}
+			next := int64(prev) + rng.Int63n(2*int64(drift)+1) - int64(drift)
+			if next < 0 {
+				next = 0
+			}
+			return uint64(next)
+		},
+		// Every epoch must be delivered, not shed: latency is the metric.
+		Buffer: epochs + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+
+	// starts[e] is written before epoch e advances; the result delivery
+	// inside AdvanceEpoch happens-after it, so consumers read it safely.
+	starts := make([]time.Time, epochs+1)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var deliveries []delivery
+
+	for i := 0; i < subscribers; i++ {
+		sub, err := svc.Subscribe(context.Background(), statement)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range sub.Results() {
+				d := delivery{
+					epoch:     r.Epoch,
+					latencyNS: time.Since(starts[r.Epoch]).Nanoseconds(),
+					bits:      r.BitsPerNode,
+					seedHit:   r.SeedHit,
+					failed:    r.Failed(),
+				}
+				mu.Lock()
+				deliveries = append(deliveries, d)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	for e := 1; e <= epochs; e++ {
+		starts[e] = time.Now()
+		svc.AdvanceEpoch(context.Background())
+	}
+	svc.Close() // closes the subscription channels, ending the consumers
+	wg.Wait()
+
+	rep := &report{
+		Spec:            spec,
+		Statement:       statement,
+		Subscribers:     subscribers,
+		Epochs:          epochs,
+		Drift:           drift,
+		Deliveries:      len(deliveries),
+		Missing:         subscribers*epochs - len(deliveries),
+		SoloBitsPerNode: solo.BitsPerNode,
+	}
+	latencies := make([]int64, 0, len(deliveries))
+	epochBits := make(map[int]int64, epochs)
+	steady, hits := 0, 0
+	for _, d := range deliveries {
+		if d.failed {
+			rep.Failed++
+			continue
+		}
+		latencies = append(latencies, d.latencyNS)
+		epochBits[d.epoch] = d.bits // fused: every delivery prices the one shared plane
+		if d.epoch >= 3 {
+			steady++
+			if d.seedHit {
+				hits++
+			}
+		}
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		rep.P50LatencyNS = latencies[len(latencies)/2]
+		rep.P95LatencyNS = latencies[len(latencies)*95/100]
+	}
+	var bits int64
+	for _, b := range epochBits {
+		bits += b
+	}
+	if len(epochBits) > 0 {
+		rep.EpochBitsPerNode = float64(bits) / float64(len(epochBits))
+	}
+	if steady > 0 {
+		rep.SeedHitRate = float64(hits) / float64(steady)
+	}
+	return rep, nil
+}

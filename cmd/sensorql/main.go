@@ -13,8 +13,15 @@
 //
 // With `SET FUSE ON`, a semicolon-separated line executes as one
 // shared-sweep fusion batch: the statements' probe thresholds merge into a
-// single broadcast–convergecast schedule (engine.RunFused), so the line
-// costs roughly one statement's tree traffic instead of one per statement.
+// single broadcast–convergecast schedule (engine.Submit with WithFusion),
+// so the line costs roughly one statement's tree traffic instead of one
+// per statement.
+//
+// The console also fronts the continuous-query serving layer: `subscribe
+// SELECT median(value)` registers a standing statement, `epoch [k]`
+// advances the deployment through the drift model (`set drift <step>`) and
+// answers every subscription on one fused probe plane, with delta-narrowing
+// seeding each epoch's k-ary search from the last answer.
 //
 // The `faults` command attaches an internal/faults plan to the deployment:
 // crashes and dead links trigger the spantree self-healing repair (cost
@@ -35,10 +42,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
 	"sensoragg/internal/agg"
 	"sensoragg/internal/core"
@@ -46,7 +53,9 @@ import (
 	"sensoragg/internal/engine"
 	"sensoragg/internal/faults"
 	"sensoragg/internal/query"
+	"sensoragg/internal/serve"
 	"sensoragg/internal/spantree"
+	"sensoragg/internal/topology"
 )
 
 func main() {
@@ -68,8 +77,11 @@ func main() {
 // currently selected deployment, and the session-level protocol knobs.
 type console struct {
 	session *Session
-	net     *agg.Net
-	spec    engine.Spec
+	// eng runs fused statement batches and backs the serving layer — one
+	// Submit entrypoint, sharing the console's topology cache.
+	eng  *engine.Engine
+	net  *agg.Net
+	spec engine.Spec
 	// probeWidth is the session's k-ary probe batch width for selection
 	// statements (SET PROBEWIDTH k); 0 means the engine default. A
 	// statement-level USING probewidth=k overrides it.
@@ -79,13 +91,28 @@ type console struct {
 	// 0.9)` then executes as one fusion batch — one merged probe schedule
 	// over the deployment instead of one schedule per statement.
 	fuse bool
+
+	// Serving state: a lazily-built serve.Service over the current
+	// deployment, the console's standing subscriptions by ID, and the
+	// per-epoch drift amplitude for `set drift` (0 = static values).
+	svc      *serve.Service
+	subs     map[int]*serve.Subscription
+	drift    uint64
+	driftRng *rand.Rand
 }
 
 // Session aliases the engine session so the type reads naturally here.
 type Session = engine.Session
 
+// newConsole builds a console around one engine, whose session cache every
+// layer (solo statements, fused batches, the serving layer) shares.
+func newConsole() *console {
+	eng := engine.New(engine.Options{})
+	return &console{session: eng.Session(), eng: eng}
+}
+
 func run(spec engine.Spec) error {
-	c := &console{session: engine.NewSession()}
+	c := newConsole()
 	if err := c.use(spec); err != nil {
 		return err
 	}
@@ -119,6 +146,18 @@ func run(spec engine.Spec) error {
 			}
 		case firstToken == "set":
 			if err := c.setCommand(line); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+		case firstToken == "subscribe":
+			if err := c.subscribeCommand(line); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+		case firstToken == "unsubscribe":
+			if err := c.unsubscribeCommand(line); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+		case firstToken == "epoch":
+			if err := c.epochCommand(line, model); err != nil {
 				fmt.Printf("error: %v\n", err)
 			}
 		default:
@@ -160,8 +199,9 @@ func (c *console) exec(line string) (query.Result, error) {
 	return query.Run(c.net, q)
 }
 
-// setCommand parses the session knobs — `set probewidth <k|default>` and
-// `set fuse <on|off>`. Bare `set` prints the current values.
+// setCommand parses the session knobs — `set probewidth <k|default>`,
+// `set fuse <on|off>`, and `set drift <step|off>`. Bare `set` prints the
+// current values.
 func (c *console) setCommand(line string) error {
 	fields := strings.Fields(line)
 	if len(fields) == 1 {
@@ -171,10 +211,15 @@ func (c *console) setCommand(line string) error {
 			fmt.Printf("probewidth: %d\n", c.probeWidth)
 		}
 		fmt.Printf("fuse: %s\n", onOff(c.fuse))
+		if c.drift == 0 {
+			fmt.Println("drift: off (static values across epochs)")
+		} else {
+			fmt.Printf("drift: ±%d per node per epoch\n", c.drift)
+		}
 		return nil
 	}
 	if len(fields) != 3 {
-		return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off>")
+		return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off> | set drift <step|off>")
 	}
 	switch {
 	case strings.EqualFold(fields[1], "probewidth"):
@@ -201,8 +246,21 @@ func (c *console) setCommand(line string) error {
 		}
 		fmt.Printf("fuse: %s\n", onOff(c.fuse))
 		return nil
+	case strings.EqualFold(fields[1], "drift"):
+		if strings.EqualFold(fields[2], "off") {
+			c.drift = 0
+			fmt.Println("drift: off (static values across epochs)")
+			return nil
+		}
+		step, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil || step == 0 || step > 1<<62 {
+			return fmt.Errorf("drift %q must be a positive step or \"off\"", fields[2])
+		}
+		c.drift = step
+		fmt.Printf("drift: ±%d per node per epoch\n", step)
+		return nil
 	}
-	return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off>")
+	return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off> | set drift <step|off>")
 }
 
 func onOff(b bool) string {
@@ -225,72 +283,72 @@ func splitStatements(line string) []string {
 	return out
 }
 
-// fuseMember maps a parsed statement onto its fusion-batch slot: exact
-// selection statements become SelectStepper members, the Fact 2.1
-// aggregates become riders on the shared rounds. ok is false for
+// fusedQuery maps a parsed statement onto the engine job a fusion batch
+// runs: exact selection statements become seeded-stepper members, the
+// Fact 2.1 aggregates become riders on the shared rounds. ok is false for
 // statements fusion cannot serve (WHERE clauses — each statement would
 // need its own filtered multiset — and the randomized/sketch families,
 // whose schedules are private).
 //
-// This deliberately parallels (not reuses) the engine's fusedMemberFor:
-// each mapping mirrors the solo semantics of its own layer, and those
-// differ on quantile rank resolution — a console `quantile(value, φ)`
-// resolves φ against the protocol-counted N (BatchRank.Phi, like
-// query.Run's batched path), while an engine KindQuantile job resolves it
-// against the simulator-side population (like exec.go). Collapsing the
-// two would break fused-vs-solo identity on one side or the other.
-func fuseMember(q *query.Query) (engine.FusedMember, bool) {
+// A console `quantile(value, φ)` maps to KindQuantiles, not KindQuantile:
+// the plural kind resolves φ against the protocol-counted N (BatchRank.Phi,
+// like query.Run's batched path), which keeps fused answers byte-identical
+// to the console's solo execution. KindQuantile resolves against the
+// simulator-side population — exec.go's semantics, not the console's.
+func fusedQuery(q *query.Query) (engine.Query, bool) {
 	if q.Where != nil {
-		return engine.FusedMember{}, false
+		return engine.Query{}, false
 	}
-	width := 0
+	eq := engine.Query{}
 	if w, ok := q.Options["probewidth"]; ok {
 		if w != float64(int(w)) || w < 1 || w > float64(core.MaxProbeWidth) {
-			return engine.FusedMember{}, false
+			return engine.Query{}, false
 		}
-		width = int(w)
+		eq.ProbeWidth = int(w)
 	}
 	switch q.Agg {
 	case query.AggMedian:
-		return engine.FusedMember{Ranks: []core.BatchRank{{Median: true}}, Width: width}, true
+		eq.Kind = engine.KindMedian
 	case query.AggQuantile:
 		if q.Phi <= 0 || q.Phi > 1 {
-			return engine.FusedMember{}, false
+			return engine.Query{}, false
 		}
-		return engine.FusedMember{Ranks: []core.BatchRank{{Phi: q.Phi}}, Width: width}, true
+		eq.Kind = engine.KindQuantiles
+		eq.Phis = []float64{q.Phi}
 	case query.AggQuantiles:
 		if len(q.Phis) == 0 {
-			return engine.FusedMember{}, false
+			return engine.Query{}, false
 		}
-		ranks := make([]core.BatchRank, len(q.Phis))
-		for i, phi := range q.Phis {
+		for _, phi := range q.Phis {
 			if phi <= 0 || phi > 1 {
-				return engine.FusedMember{}, false
+				return engine.Query{}, false
 			}
-			ranks[i] = core.BatchRank{Phi: phi}
 		}
-		return engine.FusedMember{Ranks: ranks, Width: width}, true
+		eq.Kind = engine.KindQuantiles
+		eq.Phis = q.Phis
 	case query.AggMin:
-		return engine.FusedMember{Aggs: []string{"min"}}, true
+		eq.Kind = engine.KindMin
 	case query.AggMax:
-		return engine.FusedMember{Aggs: []string{"max"}}, true
+		eq.Kind = engine.KindMax
 	case query.AggCount:
-		return engine.FusedMember{Aggs: []string{"count"}}, true
+		eq.Kind = engine.KindCount
 	case query.AggSum:
-		return engine.FusedMember{Aggs: []string{"sum"}}, true
+		eq.Kind = engine.KindSum
 	case query.AggAvg:
-		return engine.FusedMember{Aggs: []string{"avg"}}, true
+		eq.Kind = engine.KindAvg
+	default:
+		return engine.Query{}, false
 	}
-	return engine.FusedMember{}, false
+	return eq, true
 }
 
 // execFused runs semicolon-batched statements as one fusion batch on the
 // console's deployment: every statement's probes merge into one shared
-// sweep schedule (engine.RunFused), and the cost line prices the whole
-// plane once — the same bits would have been paid per statement without
-// fusion.
+// sweep schedule (engine.Submit with WithFusion), and the cost line prices
+// the whole plane once — the same bits would have been paid per statement
+// without fusion.
 func (c *console) execFused(stmts []string, model energy.Model) error {
-	members := make([]engine.FusedMember, len(stmts))
+	jobs := make([]engine.Job, len(stmts))
 	for i, s := range stmts {
 		q, err := query.Parse(s)
 		if err != nil {
@@ -299,36 +357,180 @@ func (c *console) execFused(stmts []string, model energy.Model) error {
 		if _, set := q.Options["probewidth"]; !set && c.probeWidth > 0 {
 			q.Options["probewidth"] = float64(c.probeWidth)
 		}
-		mb, ok := fuseMember(q)
+		eq, ok := fusedQuery(q)
 		if !ok {
 			return fmt.Errorf("%q is not fusable (exact selection/aggregate without WHERE); SET FUSE OFF to run the batch sequentially", s)
 		}
-		members[i] = mb
+		jobs[i] = engine.Job{ID: fmt.Sprintf("stmt-%d", i+1), Spec: c.spec, Query: eq}
 	}
-	nw := c.net.Network()
-	before := nw.Meter.Snapshot()
-	res, err := engine.RunFused(context.Background(), c.net, members, time.Time{})
+	res := c.eng.Submit(context.Background(), jobs, engine.WithFusion())
+	for i, r := range res {
+		if r.Failed() {
+			fmt.Printf("%-2d %s: error: %s\n", i+1, stmts[i], r.Error)
+			continue
+		}
+		fmt.Printf("%-2d %s: %s\n", i+1, stmts[i], engine.FormatValues(r.Value, r.Values))
+	}
+	// Every fused member's communication fields price the one shared
+	// plane, so the first result speaks for the batch.
+	plane := res[0]
+	perPlane := float64(plane.BitsPerNode)
+	fmt.Printf("fused: %d statements, %d shared sweeps — cost %d bits/node (max), %d total bits — ≈ %s on the hottest node\n",
+		len(stmts), plane.SharedSweeps, plane.BitsPerNode, plane.TotalBits,
+		energy.FormatJoules(perPlane*(model.TxPerBit+model.RxPerBit)/2))
+	return nil
+}
+
+// service lazily builds the console's serve.Service over the current
+// deployment. The drift closure reads c.drift at each epoch, so `set
+// drift` takes effect without rebuilding the service.
+func (c *console) service() (*serve.Service, error) {
+	if c.svc != nil {
+		return c.svc, nil
+	}
+	c.driftRng = rand.New(rand.NewSource(int64(c.spec.Seed)))
+	svc, err := serve.New(serve.Options{
+		Spec:   c.spec,
+		Engine: c.eng,
+		Update: func(e int, node topology.NodeID, prev uint64) uint64 {
+			step := int64(c.drift)
+			if step == 0 {
+				return prev
+			}
+			// Per-node random walk of amplitude ±drift, deterministic from
+			// the deployment seed.
+			next := int64(prev) + c.driftRng.Int63n(2*step+1) - step
+			if next < 0 {
+				next = 0
+			}
+			return uint64(next) // the service clamps to MaxX
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.svc = svc
+	c.subs = make(map[int]*serve.Subscription)
+	return svc, nil
+}
+
+// closeService tears the serving layer down (deployment switched): every
+// subscription dies with the service it was registered on.
+func (c *console) closeService() {
+	if c.svc == nil {
+		return
+	}
+	c.svc.Close()
+	c.svc = nil
+	if len(c.subs) > 0 {
+		fmt.Printf("serving: deployment changed — %d subscription(s) closed, re-subscribe on the new network\n", len(c.subs))
+	}
+	c.subs = nil
+}
+
+// subscribeCommand registers `subscribe <statement>` as a standing query:
+// every subsequent `epoch` answers it on the shared fused plane.
+func (c *console) subscribeCommand(line string) error {
+	stmt := strings.TrimSpace(line[len("subscribe"):])
+	if stmt == "" {
+		return fmt.Errorf("usage: subscribe <statement>")
+	}
+	svc, err := c.service()
 	if err != nil {
 		return err
 	}
-	d := nw.Meter.Since(before)
-	for i, m := range res.Members {
-		if m.Err != nil {
-			fmt.Printf("%-2d %s: error: %v\n", i+1, stmts[i], m.Err)
+	sub, err := svc.Subscribe(context.Background(), stmt)
+	if err != nil {
+		return err
+	}
+	c.subs[sub.ID] = sub
+	fmt.Printf("subscribed [%d] %s — \"epoch\" delivers per-epoch answers\n", sub.ID, stmt)
+	return nil
+}
+
+// unsubscribeCommand detaches `unsubscribe <id>`.
+func (c *console) unsubscribeCommand(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return fmt.Errorf("usage: unsubscribe <id>")
+	}
+	id, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return fmt.Errorf("bad subscription id %q", fields[1])
+	}
+	sub, ok := c.subs[id]
+	if !ok {
+		return fmt.Errorf("no subscription [%d]", id)
+	}
+	sub.Unsubscribe()
+	delete(c.subs, id)
+	fmt.Printf("unsubscribed [%d]\n", id)
+	return nil
+}
+
+// epochCommand advances the deployment `epoch [k]` epochs: each advance
+// drifts the sensed values (see `set drift`) and re-answers every
+// subscription as one fused batch, delta-narrowing each selection from its
+// answer history.
+func (c *console) epochCommand(line string, model energy.Model) error {
+	fields := strings.Fields(line)
+	k := 1
+	if len(fields) > 1 {
+		var err error
+		if k, err = strconv.Atoi(fields[1]); err != nil || k < 1 || k > 1<<20 {
+			return fmt.Errorf("epoch count %q must be an integer in [1, %d]", fields[1], 1<<20)
+		}
+	}
+	if len(fields) > 2 {
+		return fmt.Errorf("usage: epoch [k]")
+	}
+	svc, err := c.service()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < k; i++ {
+		out := svc.AdvanceEpoch(context.Background())
+		if len(out) == 0 {
+			fmt.Printf("epoch %d: advanced (no subscriptions; \"subscribe <statement>\" first)\n", svc.Epoch())
 			continue
 		}
-		var vals []float64
-		for _, v := range m.Values {
-			vals = append(vals, float64(v))
+		for _, r := range out {
+			stmt := ""
+			if sub, ok := c.subs[r.SubID]; ok {
+				stmt = " " + sub.Statement()
+			}
+			if r.Failed() {
+				fmt.Printf("epoch %d [%d]%s: error: %s\n", r.Epoch, r.SubID, stmt, r.Error)
+				continue
+			}
+			seeded := ""
+			if r.SeedHit {
+				seeded = fmt.Sprintf(", seeded %d/%d sweeps", r.SeededSweeps, r.SharedSweeps)
+			}
+			perEpoch := float64(r.BitsPerNode)
+			fmt.Printf("epoch %d [%d]%s: %s — %d bits/node (max)%s — ≈ %s on the hottest node\n",
+				r.Epoch, r.SubID, stmt, engine.FormatValues(r.Value, r.Values),
+				r.BitsPerNode, seeded,
+				energy.FormatJoules(perEpoch*(model.TxPerBit+model.RxPerBit)/2))
 		}
-		vals = append(vals, m.AggValues...)
-		fmt.Printf("%-2d %s: %s\n", i+1, stmts[i], engine.FormatValues(vals[0], vals))
 	}
-	perPlane := float64(d.MaxPerNode)
-	fmt.Printf("fused: %d statements, %d shared sweeps — cost %d bits/node (max), %d total bits — ≈ %s on the hottest node\n",
-		len(stmts), res.Sweeps, d.MaxPerNode, d.TotalBits,
-		energy.FormatJoules(perPlane*(model.TxPerBit+model.RxPerBit)/2))
+	// The console prints from AdvanceEpoch's return value; drain the
+	// channel copies so slow-console epochs never count as drops.
+	for _, sub := range c.subs {
+		drainResults(sub.Results())
+	}
 	return nil
+}
+
+// drainResults empties a subscription channel without blocking.
+func drainResults(ch <-chan serve.Result) {
+	for {
+		select {
+		case <-ch:
+		default:
+			return
+		}
+	}
 }
 
 // use instantiates a per-console network for spec off the session cache.
@@ -337,6 +539,7 @@ func (c *console) execFused(stmts []string, model energy.Model) error {
 // the repair cost reported once here.
 func (c *console) use(spec engine.Spec) error {
 	spec = spec.Normalize()
+	c.closeService()
 	nw, err := c.session.Instantiate(spec, spec.Seed)
 	if err != nil {
 		return err
@@ -467,5 +670,14 @@ console:
   set fuse <on|off>                      fuse "stmt; stmt; ..." lines into one
                                          shared-sweep batch (one probe plane
                                          answers every statement at once)
+  set drift <step|off>                   per-epoch ±step random walk of every
+                                         node's reading (the epoch drift model)
+serving (continuous queries):
+  subscribe <statement>                  register a standing query
+  unsubscribe <id>                       drop it
+  epoch [k]                              advance k epochs: drift the values,
+                                         answer every subscription on one
+                                         fused plane, delta-narrowing each
+                                         selection from its answer history
   cache                                  show session cache hits/misses`)
 }

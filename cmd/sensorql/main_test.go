@@ -4,19 +4,20 @@ import (
 	"context"
 	"strings"
 	"testing"
-	"time"
 
 	"sensoragg/internal/core"
+	"sensoragg/internal/energy"
 	"sensoragg/internal/engine"
 	"sensoragg/internal/query"
 )
 
 func testConsole(t *testing.T) *console {
 	t.Helper()
-	c := &console{session: engine.NewSession()}
+	c := newConsole()
 	if err := c.use(engine.Spec{Topology: "grid", N: 64, Workload: "uniform", Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(c.closeService)
 	return c
 }
 
@@ -108,9 +109,10 @@ func TestSetFuse(t *testing.T) {
 	}
 }
 
-// TestFuseMemberMapping: statements map onto fusion-batch slots; WHERE
-// clauses and non-exact aggregates stay out.
-func TestFuseMemberMapping(t *testing.T) {
+// TestFusedQueryMapping: statements map onto fusion-batch jobs; WHERE
+// clauses and non-exact aggregates stay out, and a single quantile keeps
+// the console's protocol-counted φ resolution (KindQuantiles).
+func TestFusedQueryMapping(t *testing.T) {
 	fusable := []string{
 		"SELECT median(value)",
 		"SELECT quantile(value, 0.9)",
@@ -127,9 +129,16 @@ func TestFuseMemberMapping(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", s, err)
 		}
-		if _, ok := fuseMember(q); !ok {
+		if _, ok := fusedQuery(q); !ok {
 			t.Errorf("%q should be fusable", s)
 		}
+	}
+	q, err := query.Parse("SELECT quantile(value, 0.9)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, _ := fusedQuery(q); eq.Kind != engine.KindQuantiles || len(eq.Phis) != 1 {
+		t.Errorf("single quantile mapped to %s/%v, want KindQuantiles with one φ", eq.Kind, eq.Phis)
 	}
 	unfusable := []string{
 		"SELECT median(value) WHERE value < 100",
@@ -142,7 +151,7 @@ func TestFuseMemberMapping(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", s, err)
 		}
-		if _, ok := fuseMember(q); ok {
+		if _, ok := fusedQuery(q); ok {
 			t.Errorf("%q should not be fusable", s)
 		}
 	}
@@ -171,45 +180,137 @@ func TestExecFusedMatchesSolo(t *testing.T) {
 	}
 
 	c := testConsole(t)
-	members := make([]engine.FusedMember, len(stmts))
+	jobs := make([]engine.Job, len(stmts))
 	for i, s := range stmts {
 		q, err := query.Parse(s)
 		if err != nil {
 			t.Fatal(err)
 		}
-		mb, ok := fuseMember(q)
+		eq, ok := fusedQuery(q)
 		if !ok {
 			t.Fatalf("%q not fusable", s)
 		}
-		members[i] = mb
+		jobs[i] = engine.Job{Spec: c.spec, Query: eq}
 	}
-	nw := c.net.Network()
-	before := nw.Meter.Snapshot()
-	res, err := engine.RunFused(context.Background(), c.net, members, time.Time{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	delta := nw.Meter.Since(before)
-	for i, m := range res.Members {
-		if m.Err != nil {
-			t.Fatalf("%s: %v", stmts[i], m.Err)
+	res := c.eng.Submit(context.Background(), jobs, engine.WithFusion())
+	for i, r := range res {
+		if r.Failed() {
+			t.Fatalf("%s: %s", stmts[i], r.Error)
 		}
-		got := m.AggValues
-		for _, v := range m.Values {
-			got = append([]float64{float64(v)}, got...)
+		if !r.Fused {
+			t.Errorf("%s did not fuse", stmts[i])
 		}
-		if got[0] != soloVals[i] {
-			t.Errorf("%s: fused %g != solo %g", stmts[i], got[0], soloVals[i])
+		if r.Value != soloVals[i] {
+			t.Errorf("%s: fused %g != solo %g", stmts[i], r.Value, soloVals[i])
 		}
 	}
 	// Rounds are where fusion wins outright (4 statements, one plane);
 	// total bits also drop, though less than the round ratio on a tiny
 	// 64-node deployment because the merged chain packs more probes into
 	// each surviving sweep.
-	if 2*delta.Messages >= soloMessages {
-		t.Errorf("fused batch used %d messages vs %d solo total — want <half", delta.Messages, soloMessages)
+	if 2*res[0].Messages >= soloMessages {
+		t.Errorf("fused batch used %d messages vs %d solo total — want <half", res[0].Messages, soloMessages)
 	}
-	if delta.TotalBits >= soloBits {
-		t.Errorf("fused batch cost %d bits vs %d solo total — want strictly less", delta.TotalBits, soloBits)
+	if res[0].TotalBits >= soloBits {
+		t.Errorf("fused batch cost %d bits vs %d solo total — want strictly less", res[0].TotalBits, soloBits)
+	}
+}
+
+// TestServeCommands drives the serving layer through the console commands:
+// subscribe, advance epochs under drift, unsubscribe, and the lifecycle on
+// a deployment switch.
+func TestServeCommands(t *testing.T) {
+	c := testConsole(t)
+	model := energy.MoteDefaults()
+
+	if err := c.subscribeCommand("subscribe SELECT median(value)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.subscribeCommand("subscribe SELECT count(value)"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.subs) != 2 {
+		t.Fatalf("%d subscriptions, want 2", len(c.subs))
+	}
+	if err := c.subscribeCommand("subscribe SELECT nope(value)"); err == nil {
+		t.Error("bad statement subscribed")
+	}
+	if err := c.subscribeCommand("subscribe"); err == nil {
+		t.Error("empty subscribe accepted")
+	}
+
+	if err := c.setCommand("set drift 50"); err != nil || c.drift != 50 {
+		t.Fatalf("set drift 50: drift=%d err=%v", c.drift, err)
+	}
+	if err := c.epochCommand("epoch 4", model); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.svc.Epoch(); got != 4 {
+		t.Errorf("after epoch 4: service at epoch %d", got)
+	}
+	// The command prints from AdvanceEpoch's return and drains the
+	// channels, so no stale epochs are queued.
+	for id, sub := range c.subs {
+		select {
+		case r := <-sub.Results():
+			t.Errorf("sub [%d] still queues epoch %d after the drain", id, r.Epoch)
+		default:
+		}
+	}
+
+	for _, bad := range []string{"epoch 0", "epoch -2", "epoch x", "epoch 1 2"} {
+		if err := c.epochCommand(bad, model); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+
+	if err := c.unsubscribeCommand("unsubscribe 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.unsubscribeCommand("unsubscribe 1"); err == nil {
+		t.Error("double unsubscribe accepted")
+	}
+	if err := c.unsubscribeCommand("unsubscribe x"); err == nil {
+		t.Error("junk id accepted")
+	}
+	if err := c.epochCommand("epoch", model); err != nil {
+		t.Fatal(err)
+	}
+
+	// Switching deployments closes the service; the next subscribe builds
+	// a fresh one over the new network, back at epoch 0.
+	if err := c.netCommand("net grid 100"); err != nil {
+		t.Fatal(err)
+	}
+	if c.svc != nil || c.subs != nil {
+		t.Fatal("deployment switch left the service running")
+	}
+	if err := c.subscribeCommand("subscribe SELECT max(value)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.epochCommand("epoch", model); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.svc.Epoch(); got != 1 {
+		t.Errorf("fresh service at epoch %d, want 1", got)
+	}
+}
+
+// TestSetDrift covers the drift knob's parsing.
+func TestSetDrift(t *testing.T) {
+	c := testConsole(t)
+	if c.drift != 0 {
+		t.Fatalf("fresh console drift %d, want 0", c.drift)
+	}
+	if err := c.setCommand("SET DRIFT 120"); err != nil || c.drift != 120 {
+		t.Errorf("SET DRIFT 120: drift=%d err=%v", c.drift, err)
+	}
+	if err := c.setCommand("set drift off"); err != nil || c.drift != 0 {
+		t.Errorf("set drift off: drift=%d err=%v", c.drift, err)
+	}
+	for _, bad := range []string{"set drift 0", "set drift -4", "set drift fast"} {
+		if err := c.setCommand(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
 	}
 }

@@ -88,6 +88,11 @@ type BatchResult struct {
 	Sweeps int
 	// Probes is the total number of predicates shipped across all sweeps.
 	Probes int
+	// SeededSweeps is the number of sweeps biased by delta-narrowing seed
+	// windows (SelectRanksSeeded); SeedHit reports whether every hinted
+	// answer landed inside its window.
+	SeededSweeps int
+	SeedHit      bool
 }
 
 // MedianBatched computes the exact median with the k-ary probe plane: the
@@ -122,11 +127,23 @@ func MedianBatched(net Net, probeWidth int) (BatchResult, error) {
 // The engine's fusion scheduler drives many steppers through one merged
 // schedule instead — same narrowing logic, shared sweeps.
 func SelectRanksBatched(net Net, ranks []BatchRank, probeWidth int) (BatchResult, error) {
+	return SelectRanksSeeded(net, ranks, probeWidth, nil)
+}
+
+// SelectRanksSeeded is SelectRanksBatched with delta-narrowing: seeds[i]
+// biases rank i's probe schedule toward a window believed to contain the
+// answer (typically last epoch's answer ± a drift margin; see SeedWindow).
+// Answers are byte-identical to the unseeded search — a window only
+// reorders which thresholds get probed first — so a stale seed costs
+// sweeps, never correctness. nil (or length-mismatched) seeds reproduce
+// SelectRanksBatched exactly.
+func SelectRanksSeeded(net Net, ranks []BatchRank, probeWidth int, seeds []SeedWindow) (BatchResult, error) {
 	var res BatchResult
 	if len(ranks) == 0 {
 		return res, nil
 	}
 	st := NewSelectStepper(ranks, probeWidth)
+	st.SeedHints(seeds)
 	lo, hi, ok := net.MinMax(Linear)
 	if !ok {
 		return res, ErrEmpty
@@ -175,6 +192,8 @@ func SelectRanksBatched(net Net, ranks []BatchRank, probeWidth int) (BatchResult
 		}
 	}
 	res.Values = st.Values(make([]uint64, 0, len(ranks)))
+	res.SeededSweeps = st.SeededSweeps()
+	res.SeedHit = st.SeedHit()
 	return res, nil
 }
 

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// seededVsScratch runs the same rank list seeded and unseeded over one
+// multiset and asserts the answers are byte-identical — the delta-narrowing
+// correctness invariant (a window biases the schedule, never the result).
+func seededVsScratch(t *testing.T, values []uint64, maxX uint64, ranks []BatchRank, seeds []SeedWindow) (scratch, seeded BatchResult) {
+	t.Helper()
+	var err error
+	scratch, err = SelectRanksBatched(NewLocalNet(values, maxX), ranks, DefaultProbeWidth)
+	if err != nil {
+		t.Fatalf("from-scratch: %v", err)
+	}
+	seeded, err = SelectRanksSeeded(NewLocalNet(values, maxX), ranks, DefaultProbeWidth, seeds)
+	if err != nil {
+		t.Fatalf("seeded: %v", err)
+	}
+	if len(scratch.Values) != len(seeded.Values) {
+		t.Fatalf("value count: scratch %d, seeded %d", len(scratch.Values), len(seeded.Values))
+	}
+	for i := range scratch.Values {
+		if scratch.Values[i] != seeded.Values[i] {
+			t.Fatalf("rank %d: from-scratch %d != seeded %d (seeds %v)",
+				i, scratch.Values[i], seeded.Values[i], seeds)
+		}
+	}
+	return scratch, seeded
+}
+
+// TestSeededIdentityAcrossDrift simulates the serving layer's epoch loop:
+// the multiset drifts, the next query is seeded from an extrapolated
+// prediction (last answer + last move, ± max(32, |last move|) — the serve
+// layer's delta-narrowing policy), and the seeded search must (a) answer
+// identically to the from-scratch search at every drift rate, and (b) use
+// strictly fewer sweeps once the move estimate is in hand.
+func TestSeededIdentityAcrossDrift(t *testing.T) {
+	const n, maxX = 1024, uint64(4 * 1024)
+	rng := rand.New(rand.NewPCG(7, 11))
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = rng.Uint64N(maxX + 1)
+	}
+	ranks := []BatchRank{{Median: true}}
+
+	for _, drift := range []uint64{0, 5, 40, maxX / 20} { // up to 5% of the domain
+		var prev, lastMove uint64
+		for epoch := 0; epoch < 6; epoch++ {
+			if epoch > 0 {
+				for i := range values {
+					next := values[i] + drift
+					if next > maxX {
+						next = maxX
+					}
+					values[i] = next
+				}
+			}
+			var seeds []SeedWindow
+			if epoch >= 2 { // one answer + one move observed
+				center := prev + lastMove
+				margin := max(lastMove, 32)
+				lo := uint64(0)
+				if center > margin {
+					lo = center - margin
+				}
+				seeds = []SeedWindow{{Lo: lo, Hi: center + margin}}
+			}
+			scratch, seeded := seededVsScratch(t, values, maxX, ranks, seeds)
+			if seeds != nil {
+				if !seeded.SeedHit {
+					t.Errorf("drift %d epoch %d: seed missed although the move estimate is exact", drift, epoch)
+				}
+				if seeded.Sweeps >= scratch.Sweeps {
+					t.Errorf("drift %d epoch %d: seeded %d sweeps, from-scratch %d — want strictly fewer",
+						drift, epoch, seeded.Sweeps, scratch.Sweeps)
+				}
+			}
+			if epoch > 0 {
+				lastMove = seeded.Values[0] - prev
+			}
+			prev = seeded.Values[0]
+		}
+	}
+}
+
+// TestSeededMissStaysExact: windows that do NOT contain the answer — below
+// it, above it, or absurdly tight — still produce the exact answer, report
+// SeedHit=false, and converge within the unseeded sweep count + the one
+// sweep spent disproving the window.
+func TestSeededMissStaysExact(t *testing.T) {
+	const n, maxX = 512, uint64(2048)
+	rng := rand.New(rand.NewPCG(3, 5))
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = rng.Uint64N(maxX + 1)
+	}
+	truth, err := SelectRanksBatched(NewLocalNet(values, maxX), []BatchRank{{Median: true}}, DefaultProbeWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := truth.Values[0]
+
+	for name, win := range map[string]SeedWindow{
+		"below":      {Lo: 0, Hi: med / 2},
+		"above":      {Lo: med + maxX/4, Hi: maxX},
+		"adjacent":   {Lo: med + 1, Hi: med + 2},
+		"inverted":   {Lo: 10, Hi: 0}, // the no-hint sentinel
+		"degenerate": {Lo: med + 100, Hi: med + 100},
+	} {
+		t.Run(name, func(t *testing.T) {
+			scratch, seeded := seededVsScratch(t, values, maxX, []BatchRank{{Median: true}},
+				[]SeedWindow{win})
+			if seeded.SeedHit {
+				t.Errorf("window %+v reported a hit on answer %d", win, med)
+			}
+			if seeded.Sweeps > scratch.Sweeps+1 {
+				t.Errorf("miss cost %d sweeps vs %d from scratch — want at most one extra", seeded.Sweeps, scratch.Sweeps)
+			}
+		})
+	}
+}
+
+// TestSeededMultiRank: per-rank windows on a quantile list, including a
+// mix of hits, misses, and no-hint sentinels, answer identically to the
+// shared-schedule batched search.
+func TestSeededMultiRank(t *testing.T) {
+	const n, maxX = 700, uint64(2800)
+	rng := rand.New(rand.NewPCG(13, 17))
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = rng.Uint64N(maxX + 1)
+	}
+	ranks := []BatchRank{{Phi: 0.1}, {Phi: 0.5}, {Phi: 0.9}}
+	truth, err := SelectRanksBatched(NewLocalNet(values, maxX), ranks, DefaultProbeWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []SeedWindow{
+		{Lo: truth.Values[0] - min(truth.Values[0], 20), Hi: truth.Values[0] + 20}, // hit
+		{Lo: 1, Hi: 0},                    // no hint
+		{Lo: 0, Hi: truth.Values[2] / 10}, // miss, far below
+	}
+	_, seeded := seededVsScratch(t, values, maxX, ranks, seeds)
+	if seeded.SeedHit {
+		t.Error("batch with a missing window must not report SeedHit")
+	}
+	if seeded.SeededSweeps == 0 {
+		t.Error("hint-biased sweeps not accounted")
+	}
+}
+
+// TestSeedHintsLengthMismatchIgnored: a wrong-length seed slice is ignored
+// and reproduces the unseeded schedule sweep-for-sweep.
+func TestSeedHintsLengthMismatchIgnored(t *testing.T) {
+	values := []uint64{5, 9, 1, 44, 23, 17, 3, 30}
+	const maxX = 64
+	ranks := []BatchRank{{Median: true}, {K: 2}}
+	scratch, err := SelectRanksBatched(NewLocalNet(values, maxX), ranks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := SelectRanksSeeded(NewLocalNet(values, maxX), ranks, 4,
+		[]SeedWindow{{Lo: 0, Hi: 10}}) // one window, two ranks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Sweeps != scratch.Sweeps || seeded.Probes != scratch.Probes || seeded.SeededSweeps != 0 || seeded.SeedHit {
+		t.Errorf("mismatched seeds changed the schedule: %+v vs %+v", seeded, scratch)
+	}
+	for i := range scratch.Values {
+		if scratch.Values[i] != seeded.Values[i] {
+			t.Errorf("value %d differs", i)
+		}
+	}
+}

@@ -39,7 +39,32 @@ type SelectStepper struct {
 	js   []uint64
 	uniq []uint64
 	ivs  []interval
+
+	// hints are the delta-narrowing seed windows, aligned with ranks;
+	// ivHints realigns them with the deduplicated intervals at ResolveN.
+	hints        []SeedWindow
+	ivHints      []SeedWindow
+	seededSweeps int
 }
+
+// SeedWindow is a delta-narrowing hint: the caller's belief about where a
+// rank's answer lies — typically last epoch's answer ± a drift margin.
+// Hints bias the probe schedule toward the window (its boundaries are
+// probed first, so one sweep either collapses the search into the window
+// or disproves it); they never constrain the candidate interval, so a
+// stale hint costs sweeps, not correctness. Hi < Lo means "no hint for
+// this rank".
+type SeedWindow struct {
+	Lo uint64 `json:"lo"`
+	Hi uint64 `json:"hi"`
+}
+
+// valid reports whether the window actually hints (Hi < Lo is the no-hint
+// sentinel).
+func (w SeedWindow) valid() bool { return w.Lo <= w.Hi }
+
+// Contains reports whether v lies inside the window.
+func (w SeedWindow) Contains(v uint64) bool { return w.valid() && w.Lo <= v && v <= w.Hi }
 
 // NewSelectStepper builds the search state for the requested ranks.
 // probeWidth < 1 means DefaultProbeWidth; widths above MaxProbeWidth clamp
@@ -59,6 +84,42 @@ func (s *SelectStepper) Width() int { return s.width }
 
 // NumRanks returns the number of requested order statistics.
 func (s *SelectStepper) NumRanks() int { return len(s.ranks) }
+
+// SeedHints attaches delta-narrowing windows, one per requested rank in
+// input order (wins[i] seeds ranks[i]); a slice whose length does not
+// match the rank count is ignored. Must be called before the first
+// Propose. See SeedWindow for the semantics.
+func (s *SelectStepper) SeedHints(wins []SeedWindow) {
+	if len(wins) != len(s.ranks) {
+		return
+	}
+	s.hints = wins
+}
+
+// SeededSweeps reports how many Propose rounds were biased by an active
+// seed hint — the sweeps during which the search was betting on (or
+// testing) the windows rather than narrowing from scratch.
+func (s *SelectStepper) SeededSweeps() int { return s.seededSweeps }
+
+// SeedHit reports whether at least one valid hint was attached and every
+// hinted rank's answer landed inside its window. Valid once Done.
+func (s *SelectStepper) SeedHit() bool {
+	if len(s.hints) == 0 || !s.Done() {
+		return false
+	}
+	hinted := false
+	for i, j := range s.js {
+		w := s.hints[i]
+		if !w.valid() {
+			continue
+		}
+		hinted = true
+		if !w.Contains(s.ivs[s.rankIndex(j)].lo) {
+			return false
+		}
+	}
+	return hinted
+}
 
 // Bounds seeds the candidate value interval from the shared MinMax round.
 // It must be called once, before the first Propose.
@@ -99,6 +160,11 @@ func (s *SelectStepper) ResolveN(n uint64) error {
 		if s.rankIndex(j) < 0 {
 			s.uniq = append(s.uniq, j)
 			s.ivs = append(s.ivs, interval{lo: s.lo, hi: s.hi})
+			// Duplicate ranks share one interval; the first requested
+			// rank's hint wins.
+			if len(s.hints) > 0 {
+				s.ivHints = append(s.ivHints, s.hints[i])
+			}
 		}
 	}
 	s.resolved = true
@@ -132,8 +198,14 @@ func (s *SelectStepper) Propose(dst []uint64) []uint64 {
 		panic("core: SelectStepper.Propose before Bounds")
 	}
 	if !s.resolved {
-		w := s.hi - s.lo
 		q := uint64(s.width - 1)
+		if len(s.hints) > 0 {
+			if seeded := s.proposeHinted(dst, interval{lo: s.lo, hi: s.hi}, s.hints, q); seeded != nil {
+				s.seededSweeps++
+				return seeded
+			}
+		}
+		w := s.hi - s.lo
 		if q > w {
 			q = w
 		}
@@ -154,6 +226,7 @@ func (s *SelectStepper) Propose(dst []uint64) []uint64 {
 	base := s.width / unresolved
 	extra := s.width % unresolved
 	seen := 0
+	seededRound := false
 	for vi := range s.ivs {
 		iv := s.ivs[vi]
 		if iv.lo == iv.hi {
@@ -164,6 +237,13 @@ func (s *SelectStepper) Propose(dst []uint64) []uint64 {
 			q++
 		}
 		seen++
+		if len(s.ivHints) > 0 {
+			if seeded := s.proposeHinted(dst, iv, s.ivHints[vi:vi+1], q); seeded != nil {
+				dst = seeded
+				seededRound = true
+				continue
+			}
+		}
 		w := iv.hi - iv.lo
 		if q > w {
 			q = w
@@ -172,7 +252,89 @@ func (s *SelectStepper) Propose(dst []uint64) []uint64 {
 			dst = append(dst, probeAt(iv.lo, w, i, q))
 		}
 	}
+	if seededRound {
+		s.seededSweeps++
+	}
 	return dst
+}
+
+// proposeHinted appends hint-biased probe thresholds for the candidate
+// interval iv: each window's boundaries first (so this sweep either
+// confirms the answer lies inside — collapsing the interval into the
+// window — or pushes the interval past it), then the remaining budget
+// spread inside the windows. Returns nil when no window can still narrow
+// iv (hint exhausted, disproven, or the interval is already inside it) —
+// the caller then falls back to the even-spread schedule, which restores
+// the unseeded narrowing guarantee.
+func (s *SelectStepper) proposeHinted(dst []uint64, iv interval, wins []SeedWindow, budget uint64) []uint64 {
+	narrowing := 0
+	for _, w := range wins {
+		if s.hintNarrows(iv, w) {
+			narrowing++
+		}
+	}
+	if narrowing == 0 || budget == 0 {
+		return nil
+	}
+	base := budget / uint64(narrowing)
+	extra := budget % uint64(narrowing)
+	seen := uint64(0)
+	proposed := false
+	for _, w := range wins {
+		if !s.hintNarrows(iv, w) {
+			continue
+		}
+		q := base
+		if seen < extra {
+			q++
+		}
+		seen++
+		if q == 0 {
+			continue
+		}
+		effLo := max(w.Lo, iv.lo)
+		effHi := min(w.Hi, iv.hi)
+		if effLo > iv.lo {
+			dst = append(dst, effLo)
+			proposed = true
+			q--
+		}
+		if q > 0 && effHi < iv.hi {
+			dst = append(dst, effHi+1)
+			proposed = true
+			q--
+		}
+		width := effHi - effLo
+		if q > width {
+			q = width
+		}
+		for i := uint64(1); i <= q; i++ {
+			dst = append(dst, probeAt(effLo, width, i, q))
+			proposed = true
+		}
+	}
+	if !proposed {
+		return nil
+	}
+	return dst
+}
+
+// hintNarrows reports whether window w still intersects iv AND can
+// contribute a probe strictly inside (iv.lo, iv.hi] — i.e. the hint has
+// neither been disproven nor fully absorbed the interval.
+func (s *SelectStepper) hintNarrows(iv interval, w SeedWindow) bool {
+	if !w.valid() {
+		return false
+	}
+	effLo := max(w.Lo, iv.lo)
+	effHi := min(w.Hi, iv.hi)
+	if effLo > effHi {
+		return false
+	}
+	// Either boundary strictly inside the interval is a narrowing probe;
+	// so is any inner threshold when the clamped window is wider than one
+	// value.
+	return effLo > iv.lo || effHi < iv.hi || effHi-effLo > 0
 }
 
 // Observe folds one sweep's (threshold, count) pairs into every rank's

@@ -13,12 +13,52 @@ import (
 // Job is one query against one deployment. RunSeed seeds the forked
 // network's node random streams; 0 means "use the spec's seed", which makes
 // a single job bit-identical to constructing the network serially with
-// netsim.New and running the query directly.
+// netsim.New and running the query directly. Overlay, when non-nil,
+// replaces the forked network's sensed values before execution — the
+// serving layer's epoch injection.
 type Job struct {
-	ID      string `json:"id,omitempty"`
-	Spec    Spec   `json:"spec"`
-	Query   Query  `json:"query"`
-	RunSeed uint64 `json:"run_seed,omitempty"`
+	ID      string   `json:"id,omitempty"`
+	Spec    Spec     `json:"spec"`
+	Query   Query    `json:"query"`
+	RunSeed uint64   `json:"run_seed,omitempty"`
+	Overlay *Overlay `json:"overlay,omitempty"`
+}
+
+// Overlay injects externally evolved sensed values into a job's forked run
+// network: Values replaces the full item multiset in node order (the
+// AllItems order), clamped to the deployment's domain, before the query
+// executes. The serving layer uses it to run subscriptions against epoch
+// state the epoch scheduler evolves outside the fork pool. Jobs sharing
+// one *Overlay (same pointer) against the same deployment may fuse; jobs
+// with different overlays never do — they see different multisets.
+type Overlay struct {
+	// Epoch labels the injected state (informational; surfaced by serve).
+	Epoch int `json:"epoch"`
+	// Values is the full multiset in node order; its length must equal the
+	// deployment's item count.
+	Values []uint64 `json:"values"`
+}
+
+// apply writes the overlay's values over the forked network's items,
+// clamping to the domain exactly like epoch.Runner's update step.
+func (o *Overlay) apply(nw *netsim.Network) error {
+	if len(o.Values) != nw.NumItems() {
+		return fmt.Errorf("engine: overlay carries %d values for %d items", len(o.Values), nw.NumItems())
+	}
+	k := 0
+	for _, nd := range nw.Nodes {
+		for i := range nd.Items {
+			v := o.Values[k]
+			k++
+			if v > nw.MaxX {
+				v = nw.MaxX
+			}
+			nd.Items[i].Orig = v
+			nd.Items[i].Cur = v
+			nd.Items[i].Active = true
+		}
+	}
+	return nil
 }
 
 func (j Job) runSeed() uint64 {
@@ -29,6 +69,29 @@ func (j Job) runSeed() uint64 {
 }
 
 // Result reports one executed job.
+//
+// The JSON encoding is a stable schema — aggsim -json, sensorql, loadgen,
+// and the serve layer all emit it, and downstream tooling may rely on it:
+//
+//   - Identification: "id" (caller's job ID), "spec", "query" (normalized,
+//     defaults resolved).
+//   - Answer: "value" (+"values" for multi-valued kinds), "detail";
+//     "truth"/"truths"/"truth_known"/"exact" carry the simulator-side
+//     ground truth comparison.
+//   - Communication: "bits_per_node" (the paper measure: max over nodes of
+//     bits sent+received), "total_bits", "messages".
+//   - Faults: "crashed", "unreachable", "repair_bits" (healed runs only).
+//   - Fusion: "fused" marks a shared-sweep batch member; "shared_sweeps"
+//     is the probe-plane schedule length that answered the query (the
+//     batch's shared schedule when fused, the query's own otherwise).
+//   - Delta-narrowing: "seeded_sweeps" counts the sweeps biased by the
+//     query's seed windows; "seed_hit" reports that every hinted rank's
+//     answer landed inside its window (false on any miss or when no valid
+//     window was attached). Seeding never changes "value".
+//   - "wall_ns" is host-side wall time; "error" is set iff the job failed.
+//
+// Fields marked omitempty vanish at their zero values; absence means the
+// zero value, never "unknown".
 type Result struct {
 	ID    string `json:"id,omitempty"`
 	Spec  Spec   `json:"spec"`
@@ -73,6 +136,11 @@ type Result struct {
 	// member, the query's own schedule for a solo batched selection.
 	Fused        bool `json:"fused,omitempty"`
 	SharedSweeps int  `json:"shared_sweeps,omitempty"`
+
+	// SeededSweeps and SeedHit report the delta-narrowing outcome of a
+	// seeded selection query (Query.SeedWindows); see the schema comment.
+	SeededSweeps int  `json:"seeded_sweeps,omitempty"`
+	SeedHit      bool `json:"seed_hit,omitempty"`
 
 	WallNS int64  `json:"wall_ns"`
 	Error  string `json:"error,omitempty"`
@@ -127,21 +195,35 @@ func (e *Engine) Workers() int { return e.workers }
 // Session returns the engine's topology cache.
 func (e *Engine) Session() *Session { return e.session }
 
-// Run executes jobs on the worker pool and returns results strictly in job
-// order — every result is written at its job's index, so neither worker
-// scheduling, fusion batching, nor a mid-batch cancellation can reorder
-// the output (results[i] always answers jobs[i], even when only a prefix
-// of the batch ran before ctx fired). Individual failures (bad spec,
-// protocol error, deadline) are reported in the corresponding Result,
-// never as a panic across the pool; Run itself only returns early if ctx
-// is cancelled, in which case jobs that never started are marked with the
-// context error at their own indices.
+// Run executes jobs with the engine's configured options.
 //
-// With Options.Fuse, jobs are first partitioned into execution units:
+// Deprecated: Run is Submit with no options; call Submit.
+func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
+	return e.Submit(ctx, jobs)
+}
+
+// RunOne executes a single job synchronously.
+//
+// Deprecated: RunOne is Submit of a one-job slice; call Submit.
+func (e *Engine) RunOne(ctx context.Context, job Job) Result {
+	return e.Submit(ctx, []Job{job})[0]
+}
+
+// runAll executes jobs on the worker pool and returns results strictly in
+// job order — every result is written at its job's index, so neither
+// worker scheduling, fusion batching, nor a mid-batch cancellation can
+// reorder the output (results[i] always answers jobs[i], even when only a
+// prefix of the batch ran before ctx fired). Individual failures (bad
+// spec, protocol error, deadline) are reported in the corresponding
+// Result, never as a panic across the pool; runAll itself only returns
+// early if ctx is cancelled, in which case jobs that never started are
+// marked with the context error at their own indices.
+//
+// With fusion enabled, jobs are first partitioned into execution units:
 // fusable jobs against one deployment become a fusion batch dispatched to
 // a single worker (see fusion.go); everything else runs solo exactly as
 // before.
-func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
+func (e *Engine) runAll(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	units := e.planUnits(jobs)
 	uidx := make(chan int)
@@ -181,13 +263,8 @@ feed:
 	return results
 }
 
-// RunOne executes a single job synchronously (worker pool of one).
-func (e *Engine) RunOne(ctx context.Context, job Job) Result {
-	return e.runOne(ctx, job)
-}
-
 func failedResult(job Job, err error) Result {
-	return Result{ID: job.ID, Spec: job.Spec.Normalize(), Query: job.Query.withDefaults(), Error: err.Error()}
+	return Result{ID: job.ID, Spec: job.Spec.Normalize(), Query: job.Query.WithDefaults(), Error: err.Error()}
 }
 
 // runOne forks a per-run network off the session cache and executes the
@@ -237,6 +314,12 @@ func (e *Engine) executeJob(spec Spec, job Job) Result {
 	if err != nil {
 		return failedResult(job, err)
 	}
+	if job.Overlay != nil {
+		if err := job.Overlay.apply(nw); err != nil {
+			nw.Release()
+			return failedResult(job, err)
+		}
+	}
 	before := nw.Meter.Snapshot()
 	ans, err := execute(nw, spec, job.Query)
 	if err != nil {
@@ -255,7 +338,7 @@ func (e *Engine) executeJob(spec Spec, job Job) Result {
 func resultFrom(spec Spec, q Query, ans answer, d netsim.Delta, wall time.Duration) Result {
 	r := Result{
 		Spec:         spec,
-		Query:        q.withDefaults(),
+		Query:        q.WithDefaults(),
 		Value:        ans.value,
 		Detail:       ans.detail,
 		Values:       ans.values,
@@ -267,6 +350,8 @@ func resultFrom(spec Spec, q Query, ans answer, d netsim.Delta, wall time.Durati
 		TotalBits:    d.TotalBits,
 		Messages:     d.Messages,
 		SharedSweeps: ans.sweeps,
+		SeededSweeps: ans.seededSweeps,
+		SeedHit:      ans.seedHit,
 		WallNS:       wall.Nanoseconds(),
 	}
 	if ans.truthKnown && len(ans.truths) == len(ans.values) && len(ans.values) > 0 {
@@ -286,10 +371,10 @@ func resultFrom(spec Spec, q Query, ans answer, d netsim.Delta, wall time.Durati
 	return r
 }
 
-// Execute runs one query serially against an existing per-run network —
-// the engine's execution path without the pool, used by callers that manage
-// their own networks (and by tests asserting parallel == serial).
-func Execute(nw *netsim.Network, spec Spec, q Query) (Result, error) {
+// executeSerial runs one query serially against an existing per-run
+// network — the engine's execution path without the pool, used by tests
+// asserting parallel == serial. External callers go through Engine.Submit.
+func executeSerial(nw *netsim.Network, spec Spec, q Query) (Result, error) {
 	spec = spec.Normalize()
 	before := nw.Meter.Snapshot()
 	start := time.Now()

@@ -28,7 +28,7 @@ func serialReference(t *testing.T, job Job) Result {
 	values := workload.Generate(workload.Kind(spec.Workload), g.N(), spec.MaxX, spec.Seed)
 	nw := netsim.New(g, values, spec.MaxX,
 		netsim.WithSeed(spec.Seed), netsim.WithMaxChildren(spec.MaxChildren))
-	res, err := Execute(nw, spec, job.Query)
+	res, err := executeSerial(nw, spec, job.Query)
 	if err != nil {
 		t.Fatalf("serial %s on %s: %v", job.Query, spec, err)
 	}

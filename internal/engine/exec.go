@@ -79,9 +79,18 @@ type Query struct {
 	// Aggs selects the aggregates KindFused reports, a subset of
 	// count|sum|min|max|avg; empty means count,sum,min,max.
 	Aggs []string `json:"aggs,omitempty"`
+	// SeedWindows are delta-narrowing hints for the selection kinds, one
+	// per requested rank in order (a single window for median/os/quantile,
+	// one per phi for quantiles; a length mismatch is ignored). A window
+	// biases the probe schedule toward where the answer was last epoch —
+	// it never changes the answer; see core.SeedWindow.
+	SeedWindows []core.SeedWindow `json:"seed_windows,omitempty"`
 }
 
-func (q Query) withDefaults() Query {
+// WithDefaults returns the query with unset tunables resolved to the
+// engine defaults — the normalization every run applies, exported for CLIs
+// and tests that inspect the resolved configuration.
+func (q Query) WithDefaults() Query {
 	if q.Eps == 0 {
 		q.Eps = 0.25
 	}
@@ -99,11 +108,6 @@ func (q Query) withDefaults() Query {
 	}
 	return q
 }
-
-// WithDefaults returns the query with unset tunables resolved to the
-// engine defaults — the normalization every run applies, exported for CLIs
-// and tests that inspect the resolved configuration.
-func (q Query) WithDefaults() Query { return q.withDefaults() }
 
 // String labels the query for reports.
 func (q Query) String() string {
@@ -130,6 +134,10 @@ type answer struct {
 	// query (selection and fused-aggregate kinds); surfaces as
 	// Result.SharedSweeps.
 	sweeps int
+	// seededSweeps/seedHit report the delta-narrowing outcome of a seeded
+	// selection; surface as Result.SeededSweeps/SeedHit.
+	seededSweeps int
+	seedHit      bool
 }
 
 // execute runs q against the per-run network nw. The network must be
@@ -143,7 +151,7 @@ type answer struct {
 // simulator-side ground truth shrinks to the surviving, reconnected nodes
 // — the population the healed tree can actually aggregate.
 func execute(nw *netsim.Network, spec Spec, q Query) (answer, error) {
-	q = q.withDefaults()
+	q = q.WithDefaults()
 
 	if spec.Faults.Active() && nw.Faults == nil {
 		if err := spec.Faults.Validate(); err != nil {
@@ -266,18 +274,25 @@ func executeKind(nw *netsim.Network, spec Spec, q Query, ops spantree.Ops, net *
 		return answer{value: float64(v), detail: detail, truth: float64(truth), truthKnown: true}
 	}
 
+	// seedAns transfers a seeded batch's delta-narrowing outcome onto the
+	// assembled answer.
+	seedAns := func(ans answer, res core.BatchResult) answer {
+		ans.sweeps = res.Sweeps
+		ans.seededSweeps = res.SeededSweeps
+		ans.seedHit = res.SeedHit
+		return ans
+	}
+
 	switch q.Kind {
 	case KindMedian:
 		if q.ProbeWidth > 1 {
-			res, err := core.MedianBatched(net, q.ProbeWidth)
+			res, err := core.SelectRanksSeeded(net, []core.BatchRank{{Median: true}}, q.ProbeWidth, q.SeedWindows)
 			if err != nil {
 				return answer{}, err
 			}
-			ans := exactUint(res.Values[0],
+			return seedAns(exactUint(res.Values[0],
 				fmt.Sprintf("%d k-ary sweeps (width %d)", res.Sweeps, q.ProbeWidth),
-				core.TrueMedian(sorted()))
-			ans.sweeps = res.Sweeps
-			return ans, nil
+				core.TrueMedian(sorted())), res), nil
 		}
 		res, err := core.Median(net)
 		if err != nil {
@@ -299,15 +314,13 @@ func executeKind(nw *netsim.Network, spec Spec, q Query, ops spantree.Ops, net *
 			k = uint64((len(values) + 1) / 2)
 		}
 		if q.ProbeWidth > 1 {
-			res, err := core.SelectRanksBatched(net, []core.BatchRank{{K: k}}, q.ProbeWidth)
+			res, err := core.SelectRanksSeeded(net, []core.BatchRank{{K: k}}, q.ProbeWidth, q.SeedWindows)
 			if err != nil {
 				return answer{}, err
 			}
-			ans := exactUint(res.Values[0],
+			return seedAns(exactUint(res.Values[0],
 				fmt.Sprintf("rank %d, %d k-ary sweeps (width %d)", k, res.Sweeps, q.ProbeWidth),
-				core.TrueOrderStatistic(sorted(), int(k)))
-			ans.sweeps = res.Sweeps
-			return ans, nil
+				core.TrueOrderStatistic(sorted(), int(k))), res), nil
 		}
 		res, err := core.OrderStatistic(net, k)
 		if err != nil {
@@ -332,15 +345,17 @@ func executeKind(nw *netsim.Network, spec Spec, q Query, ops spantree.Ops, net *
 			}
 			ranks[i] = core.BatchRank{Phi: phi}
 		}
-		res, err := core.SelectRanksBatched(net, ranks, q.ProbeWidth)
+		res, err := core.SelectRanksSeeded(net, ranks, q.ProbeWidth, q.SeedWindows)
 		if err != nil {
 			return answer{}, err
 		}
 		ans := answer{
 			detail: fmt.Sprintf("%d quantiles in %d shared k-ary sweeps (width %d)",
 				len(q.Phis), res.Sweeps, q.ProbeWidth),
-			truthKnown: true,
-			sweeps:     res.Sweeps,
+			truthKnown:   true,
+			sweeps:       res.Sweeps,
+			seededSweeps: res.SeededSweeps,
+			seedHit:      res.SeedHit,
 		}
 		for i, v := range res.Values {
 			k := core.QuantileRank(q.Phis[i], uint64(len(values)))

@@ -57,7 +57,7 @@ func TestZeroFaultPlanIsByteIdentical(t *testing.T) {
 			nw := netsim.New(g, values, spec.MaxX,
 				netsim.WithSeed(spec.Seed), netsim.WithMaxChildren(spec.MaxChildren))
 			nw.Faults = faults.New(faults.Spec{Seed: 1234}, nw.N(), nw.Root(), spec.Seed)
-			attached, err := Execute(nw, spec, job.Query)
+			attached, err := executeSerial(nw, spec, job.Query)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -44,6 +44,9 @@ type FusedMember struct {
 	Ranks []core.BatchRank
 	Width int
 	Aggs  []string
+	// Seeds are the member's delta-narrowing windows, one per rank (nil or
+	// mismatched length → unseeded); see core.SeedWindow.
+	Seeds []core.SeedWindow
 }
 
 // FusedMemberResult is one member's outcome.
@@ -61,6 +64,10 @@ type FusedMemberResult struct {
 	// engine gives detached members their own full deadline, so fusing can
 	// never fail a query that would have succeeded alone).
 	Detached bool
+	// SeededSweeps/SeedHit report a seeded selection member's
+	// delta-narrowing outcome (see core.SelectStepper).
+	SeededSweeps int
+	SeedHit      bool
 }
 
 // FusedResult reports one executed fusion batch.
@@ -77,19 +84,29 @@ type FusedResult struct {
 	N, Sum, Lo, Hi uint64
 }
 
-// RunFused executes members as one fusion batch over net: one MinMax
+// RunFused executes members as one fusion batch over net.
+//
+// Deprecated: the engine drives fusion itself — call Engine.Submit with
+// WithFusion. RunFused remains for callers that own their network and
+// meter directly.
+func RunFused(ctx context.Context, net *agg.Net, members []FusedMember, deadline time.Time) (FusedResult, error) {
+	return runFused(ctx, net, members, deadline)
+}
+
+// runFused executes members as one fusion batch over net: one MinMax
 // round, then shared CountVec sweeps until every member resolves. The
 // caller owns net (typically a private forked run network) and its meter.
 // A zero deadline disables the mid-batch detach check; ctx cancellation
 // fails unresolved members with the context error. The only top-level
 // error is an empty active multiset.
-func RunFused(ctx context.Context, net *agg.Net, members []FusedMember, deadline time.Time) (FusedResult, error) {
+func runFused(ctx context.Context, net *agg.Net, members []FusedMember, deadline time.Time) (FusedResult, error) {
 	res := FusedResult{Members: make([]FusedMemberResult, len(members))}
 	steppers := make([]*core.SelectStepper, len(members))
 	needSum := false
 	for i, mb := range members {
 		if len(mb.Ranks) > 0 {
 			steppers[i] = core.NewSelectStepper(mb.Ranks, mb.Width)
+			steppers[i].SeedHints(mb.Seeds)
 			continue
 		}
 		for _, a := range mb.Aggs {
@@ -213,6 +230,8 @@ func RunFused(ctx context.Context, net *agg.Net, members []FusedMember, deadline
 		}
 		if st := steppers[i]; st != nil {
 			r.Values = st.Values(make([]uint64, 0, st.NumRanks()))
+			r.SeededSweeps = st.SeededSweeps()
+			r.SeedHit = st.SeedHit()
 			continue
 		}
 		r.AggValues = make([]float64, 0, len(mb.Aggs))
@@ -251,10 +270,13 @@ func fusableKind(kind string) bool {
 // fuseKey groups fusable jobs: same normalized deployment, same run seed
 // (so a structural fault plan derived from the run seed crashes the same
 // nodes for every member, and the one shared fork is bit-identical to each
-// member's solo fork).
+// member's solo fork), and the same epoch overlay (same *Overlay pointer —
+// different overlays mean different multisets, which must never share a
+// probe plane).
 type fuseKey struct {
-	spec Spec
-	seed uint64
+	spec    Spec
+	seed    uint64
+	overlay *Overlay
 }
 
 // planUnits partitions jobs into execution units: a unit is either one
@@ -278,7 +300,7 @@ func (e *Engine) planUnits(jobs []Job) [][]int {
 			units = append(units, []int{i})
 			continue
 		}
-		key := fuseKey{spec: spec, seed: jobs[i].runSeed()}
+		key := fuseKey{spec: spec, seed: jobs[i].runSeed(), overlay: jobs[i].Overlay}
 		if u, ok := groups[key]; ok {
 			units[u] = append(units[u], i)
 		} else {
@@ -316,19 +338,19 @@ func (e *Engine) runUnit(ctx context.Context, jobs []Job, idxs []int, results []
 func fusedMemberFor(q Query, values []uint64) (FusedMember, bool) {
 	switch q.Kind {
 	case KindMedian:
-		return FusedMember{Ranks: []core.BatchRank{{Median: true}}, Width: q.ProbeWidth}, true
+		return FusedMember{Ranks: []core.BatchRank{{Median: true}}, Width: q.ProbeWidth, Seeds: q.SeedWindows}, true
 	case KindOrderStat:
 		k := q.K
 		if k == 0 {
 			k = uint64((len(values) + 1) / 2)
 		}
-		return FusedMember{Ranks: []core.BatchRank{{K: k}}, Width: q.ProbeWidth}, true
+		return FusedMember{Ranks: []core.BatchRank{{K: k}}, Width: q.ProbeWidth, Seeds: q.SeedWindows}, true
 	case KindQuantile:
 		if q.Phi <= 0 || q.Phi > 1 {
 			return FusedMember{}, false
 		}
 		k := core.QuantileRank(q.Phi, uint64(len(values)))
-		return FusedMember{Ranks: []core.BatchRank{{K: k}}, Width: q.ProbeWidth}, true
+		return FusedMember{Ranks: []core.BatchRank{{K: k}}, Width: q.ProbeWidth, Seeds: q.SeedWindows}, true
 	case KindQuantiles:
 		if len(q.Phis) == 0 {
 			return FusedMember{}, false
@@ -340,7 +362,7 @@ func fusedMemberFor(q Query, values []uint64) (FusedMember, bool) {
 			}
 			ranks[i] = core.BatchRank{Phi: phi}
 		}
-		return FusedMember{Ranks: ranks, Width: q.ProbeWidth}, true
+		return FusedMember{Ranks: ranks, Width: q.ProbeWidth, Seeds: q.SeedWindows}, true
 	case KindFused:
 		for _, a := range q.Aggs {
 			switch a {
@@ -397,6 +419,16 @@ func (e *Engine) runFusedGroup(ctx context.Context, jobs []Job, idxs []int, resu
 		}
 		return solo
 	}
+	if ov := jobs[idxs[0]].Overlay; ov != nil {
+		if err := ov.apply(nw); err != nil {
+			nw.Release()
+			for _, i := range idxs {
+				results[i] = failedResult(jobs[i], err)
+				written[i] = true
+			}
+			return solo
+		}
+	}
 	before := nw.Meter.Snapshot()
 	fe, hr, err := spantree.NewFastHealed(nw)
 	if err != nil {
@@ -423,7 +455,7 @@ func (e *Engine) runFusedGroup(ctx context.Context, jobs []Job, idxs []int, resu
 	members := make([]FusedMember, 0, len(idxs))
 	memberIdx := make([]int, 0, len(idxs))
 	for _, ji := range idxs {
-		mb, ok := fusedMemberFor(jobs[ji].Query.withDefaults(), values)
+		mb, ok := fusedMemberFor(jobs[ji].Query.WithDefaults(), values)
 		if !ok {
 			solo = append(solo, ji)
 			continue
@@ -438,7 +470,7 @@ func (e *Engine) runFusedGroup(ctx context.Context, jobs []Job, idxs []int, resu
 		return append(solo, memberIdx...)
 	}
 
-	fres, ferr := RunFused(ctx, net, members, deadline)
+	fres, ferr := runFused(ctx, net, members, deadline)
 	d := nw.Meter.Since(before)
 	wall := time.Since(start)
 	if ferr != nil {
@@ -466,13 +498,15 @@ func (e *Engine) runFusedGroup(ctx context.Context, jobs []Job, idxs []int, resu
 			written[ji] = true
 			continue
 		}
-		q := jobs[ji].Query.withDefaults()
+		q := jobs[ji].Query.WithDefaults()
 		ans := fusedAnswer(q, mr, fres, len(members), values, sorted)
 		ans.heal = hr
 		r := resultFrom(spec, jobs[ji].Query, ans, d, wall)
 		r.ID = jobs[ji].ID
 		r.Fused = true
 		r.SharedSweeps = fres.Sweeps
+		r.SeededSweeps = mr.SeededSweeps
+		r.SeedHit = mr.SeedHit
 		results[ji] = r
 		written[ji] = true
 	}

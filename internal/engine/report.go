@@ -108,7 +108,7 @@ func Collect(e *Engine, results []Result, batchWall time.Duration) *Report {
 // RunReport executes jobs and collects the batch into a report.
 func (e *Engine) RunReport(ctx context.Context, jobs []Job) *Report {
 	start := time.Now()
-	results := e.Run(ctx, jobs)
+	results := e.Submit(ctx, jobs)
 	return Collect(e, results, time.Since(start))
 }
 

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sensoragg/internal/core"
+)
+
+// TestSubmitMatchesDeprecatedSurfaces: the consolidated entrypoint answers
+// exactly like the Run/RunOne wrappers it replaces, with and without
+// fusion.
+func TestSubmitMatchesDeprecatedSurfaces(t *testing.T) {
+	jobs := []Job{
+		{Spec: gridSpec(144, 3), Query: Query{Kind: KindMedian}},
+		{Spec: gridSpec(144, 3), Query: Query{Kind: KindQuantile, Phi: 0.9}},
+		{Spec: gridSpec(144, 3), Query: Query{Kind: KindCount}},
+	}
+	eng := New(Options{Workers: 2})
+	plain := eng.Submit(context.Background(), jobs)
+	run := eng.Run(context.Background(), jobs)
+	for i := range jobs {
+		if plain[i].Value != run[i].Value || plain[i].BitsPerNode != run[i].BitsPerNode {
+			t.Errorf("job %d: Submit %+v != Run %+v", i, plain[i], run[i])
+		}
+	}
+	one := eng.RunOne(context.Background(), jobs[0])
+	if one.Value != plain[0].Value {
+		t.Errorf("RunOne %g != Submit %g", one.Value, plain[0].Value)
+	}
+
+	fusedEng := New(Options{Workers: 2, Fuse: true})
+	wantFused := fusedEng.Submit(context.Background(), jobs)
+	gotFused := eng.Submit(context.Background(), jobs, WithFusion())
+	for i := range jobs {
+		if wantFused[i].Value != gotFused[i].Value || wantFused[i].Fused != gotFused[i].Fused {
+			t.Errorf("job %d: WithFusion %+v != Options.Fuse %+v", i, gotFused[i], wantFused[i])
+		}
+	}
+}
+
+// TestSubmitProbeWidthOption: WithProbeWidth defaults unset query widths
+// and leaves explicit widths alone.
+func TestSubmitProbeWidthOption(t *testing.T) {
+	jobs := []Job{
+		{Spec: gridSpec(100, 5), Query: Query{Kind: KindMedian}},
+		{Spec: gridSpec(100, 5), Query: Query{Kind: KindMedian, ProbeWidth: 2}},
+	}
+	res := New(Options{}).Submit(context.Background(), jobs, WithProbeWidth(16))
+	if got := res[0].Query.ProbeWidth; got != 16 {
+		t.Errorf("unset width resolved to %d, want 16", got)
+	}
+	if got := res[1].Query.ProbeWidth; got != 2 {
+		t.Errorf("explicit width overridden to %d, want 2", got)
+	}
+	if jobs[0].Query.ProbeWidth != 0 {
+		t.Error("Submit mutated the caller's job slice")
+	}
+}
+
+// TestSubmitDeadlineOption: a hopeless per-call deadline fails the query
+// without touching the engine's configured timeout.
+func TestSubmitDeadlineOption(t *testing.T) {
+	eng := New(Options{})
+	job := Job{Spec: gridSpec(256, 7), Query: Query{Kind: KindMedian}}
+	res := eng.Submit(context.Background(), []Job{job}, WithDeadline(time.Nanosecond))
+	if !res[0].Failed() {
+		t.Error("nanosecond deadline did not fail the query")
+	}
+	if res := eng.Submit(context.Background(), []Job{job}); res[0].Failed() {
+		t.Errorf("per-call deadline leaked into the engine: %s", res[0].Error)
+	}
+}
+
+// TestSubmitOverlay: an overlay replaces the sensed multiset — the answer
+// and the ground truth both follow the injected values, solo and fused,
+// and jobs with different overlays never share a probe plane.
+func TestSubmitOverlay(t *testing.T) {
+	spec := gridSpec(64, 9)
+	n := spec.Normalize().N
+	flat := make([]uint64, n)
+	for i := range flat {
+		flat[i] = 77
+	}
+	ov := &Overlay{Epoch: 4, Values: flat}
+
+	jobs := []Job{
+		{Spec: spec, Query: Query{Kind: KindMedian}, Overlay: ov},
+		{Spec: spec, Query: Query{Kind: KindQuantile, Phi: 0.25}, Overlay: ov},
+		{Spec: spec, Query: Query{Kind: KindMedian}}, // no overlay: must not fuse with the others
+	}
+	res := New(Options{Fuse: true}).Submit(context.Background(), jobs)
+	for i := 0; i < 2; i++ {
+		if res[i].Failed() {
+			t.Fatalf("job %d: %s", i, res[i].Error)
+		}
+		if res[i].Value != 77 || !res[i].Exact {
+			t.Errorf("job %d: value %g exact=%v, want the injected 77", i, res[i].Value, res[i].Exact)
+		}
+		if !res[i].Fused {
+			t.Errorf("job %d: same-overlay jobs did not fuse", i)
+		}
+	}
+	if res[2].Failed() {
+		t.Fatalf("overlay-free job: %s", res[2].Error)
+	}
+	if res[2].Value == 77 && res[2].Fused {
+		t.Error("overlay leaked into the overlay-free job's batch")
+	}
+
+	short := &Overlay{Values: flat[:3]}
+	bad := New(Options{}).Submit(context.Background(), []Job{{Spec: spec, Query: Query{Kind: KindCount}, Overlay: short}})
+	if !bad[0].Failed() {
+		t.Error("length-mismatched overlay did not fail")
+	}
+}
+
+// TestSubmitSeededIdentity: SeedWindows never change the answer, solo or
+// fused, and a containing window reports SeedHit with biased sweeps.
+func TestSubmitSeededIdentity(t *testing.T) {
+	spec := gridSpec(256, 11)
+	base := Job{Spec: spec, Query: Query{Kind: KindMedian}}
+	eng := New(Options{})
+	want := eng.Submit(context.Background(), []Job{base})[0]
+	if want.Failed() {
+		t.Fatal(want.Error)
+	}
+	med := uint64(want.Value)
+
+	for name, win := range map[string]core.SeedWindow{
+		"hit":  {Lo: med - min(med, 16), Hi: med + 16},
+		"miss": {Lo: med + 100, Hi: med + 200},
+	} {
+		t.Run(name, func(t *testing.T) {
+			seeded := base
+			seeded.Query.SeedWindows = []core.SeedWindow{win}
+			got := eng.Submit(context.Background(), []Job{seeded})[0]
+			if got.Failed() {
+				t.Fatal(got.Error)
+			}
+			if got.Value != want.Value {
+				t.Errorf("seeded answer %g != unseeded %g", got.Value, want.Value)
+			}
+			if wantHit := name == "hit"; got.SeedHit != wantHit {
+				t.Errorf("SeedHit=%v, want %v", got.SeedHit, wantHit)
+			}
+			if got.SeededSweeps == 0 {
+				t.Error("no sweep was seed-biased")
+			}
+
+			// Fused pair: one seeded member, one unseeded — identical values.
+			plain := base
+			pair := eng.Submit(context.Background(), []Job{seeded, plain}, WithFusion())
+			for i, r := range pair {
+				if r.Failed() {
+					t.Fatalf("fused job %d: %s", i, r.Error)
+				}
+				if r.Value != want.Value {
+					t.Errorf("fused job %d: value %g != %g", i, r.Value, want.Value)
+				}
+				if !r.Fused {
+					t.Errorf("fused job %d did not fuse", i)
+				}
+			}
+			if wantHit := name == "hit"; pair[0].SeedHit != wantHit {
+				t.Errorf("fused SeedHit=%v, want %v", pair[0].SeedHit, wantHit)
+			}
+			if pair[1].SeedHit {
+				t.Error("unseeded member reported SeedHit")
+			}
+		})
+	}
+}

@@ -24,12 +24,19 @@ type UpdateFunc func(epoch int, node topology.NodeID, prev uint64) uint64
 // Record is one epoch's outcome.
 type Record struct {
 	Epoch int
-	// Value is the query answer this epoch.
+	// Value is the query answer this epoch, exact over the surviving
+	// (battery-alive) sensors.
 	Value float64
 	// MaxPerNode is the epoch's communication, paper measure.
 	MaxPerNode int64
 	// HottestEnergy is the cumulative energy of the most-drained node.
 	HottestEnergy float64
+	// Died lists the nodes whose battery was exhausted by this epoch's
+	// traffic; their readings leave the sensed multiset from the next
+	// epoch on.
+	Died []topology.NodeID
+	// Alive is the number of nodes still sensing after this epoch.
+	Alive int
 }
 
 // Runner executes a standing query across epochs.
@@ -44,8 +51,14 @@ type Runner struct {
 	Model energy.Model
 }
 
-// Run executes `epochs` rounds and returns the per-epoch records. It stops
-// early with the records so far if the hottest node's battery is exhausted.
+// Run executes `epochs` rounds and returns the per-epoch records. A node
+// whose battery is exhausted does not halt the stream: its readings leave
+// the sensed multiset and later epochs keep answering exactly over the
+// survivors — the same degrade-to-survivor-exact semantics engine runs
+// give crashed nodes — so a long-lived serving layer sees a continuous,
+// honestly shrinking answer rather than a dead stop. Run returns early
+// (with the records so far) only when every node is dead or the standing
+// query can no longer execute over the survivors.
 func (r *Runner) Run(epochs int) ([]Record, error) {
 	if r.Net == nil {
 		return nil, fmt.Errorf("epoch: Runner.Net is nil")
@@ -60,40 +73,69 @@ func (r *Runner) Run(epochs int) ([]Record, error) {
 	}
 	nw := r.Net.Network()
 	records := make([]Record, 0, epochs)
+	dead := make([]bool, nw.N())
+	alive := nw.N()
 
 	for e := 0; e < epochs; e++ {
-		if r.Update != nil {
-			r.applyUpdate(nw, e)
-		}
+		r.applyUpdate(nw, e, dead)
 		before := nw.Meter.Snapshot()
 		res, err := query.Run(r.Net, q)
 		if err != nil {
+			if alive < nw.N() {
+				// The survivors can no longer answer the statement (e.g. a
+				// selection over an empty multiset): report what we have.
+				return records, nil
+			}
 			return records, fmt.Errorf("epoch %d: %w", e, err)
 		}
 		d := nw.Meter.Since(before)
 		_, hottest := model.Hottest(nw.Meter)
-		records = append(records, Record{
+		rec := Record{
 			Epoch:         e,
 			Value:         res.Value,
 			MaxPerNode:    d.MaxPerNode,
 			HottestEnergy: hottest,
-		})
-		if hottest >= model.Battery {
-			break // first node death: the network partition event
+		}
+		// Battery exhaustion: newly dead nodes stop sensing — their items
+		// deactivate, so from the next epoch the answers are exact over the
+		// survivors. (The tree still relays through them; modeling relay
+		// death is the engine's structural-fault path.)
+		for _, nd := range nw.Nodes {
+			if dead[nd.ID] || model.NodeEnergy(nw.Meter, nd.ID) < model.Battery {
+				continue
+			}
+			dead[nd.ID] = true
+			alive--
+			rec.Died = append(rec.Died, nd.ID)
+			for i := range nd.Items {
+				nd.Items[i].Active = false
+			}
+		}
+		rec.Alive = alive
+		records = append(records, rec)
+		if alive == 0 {
+			break // the whole network is dead: nothing left to sense
 		}
 	}
 	return records, nil
 }
 
-// applyUpdate refreshes every node's readings in place. New readings are
-// sensing, not communication: no charge.
-func (r *Runner) applyUpdate(nw *netsim.Network, e int) {
+// applyUpdate refreshes the surviving nodes' readings in place. New
+// readings are sensing, not communication: no charge. Dead nodes neither
+// sense nor reactivate.
+func (r *Runner) applyUpdate(nw *netsim.Network, e int, dead []bool) {
 	for _, nd := range nw.Nodes {
+		if dead[nd.ID] {
+			continue
+		}
 		for i := range nd.Items {
 			it := &nd.Items[i]
-			next := r.Update(e, nd.ID, it.Orig)
-			if next > nw.MaxX {
-				next = nw.MaxX
+			next := it.Orig
+			if r.Update != nil {
+				next = r.Update(e, nd.ID, it.Orig)
+				if next > nw.MaxX {
+					next = nw.MaxX
+				}
 			}
 			it.Orig = next
 			it.Cur = next

@@ -68,20 +68,40 @@ func TestRunWithDrift(t *testing.T) {
 	}
 }
 
-func TestRunStopsAtFirstNodeDeath(t *testing.T) {
-	r, _ := runner(t, "SELECT count(value)", nil)
+func TestRunDegradesPastNodeDeath(t *testing.T) {
+	r, nw := runner(t, "SELECT count(value)", nil)
 	r.Model = energy.MoteDefaults()
-	r.Model.Battery = 1e-3 // tiny: dies within a couple of epochs
-	records, err := r.Run(1000)
+	r.Model.Battery = 1e-3 // tiny: deaths start within a couple of epochs
+	const epochs = 40
+	records, err := r.Run(epochs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(records) >= 1000 {
-		t.Errorf("runner did not stop at battery exhaustion (%d epochs)", len(records))
+	if len(records) < 3 {
+		t.Fatalf("only %d epochs ran", len(records))
 	}
-	last := records[len(records)-1]
-	if last.HottestEnergy < r.Model.Battery {
-		t.Errorf("stopped early at %g J with battery %g J", last.HottestEnergy, r.Model.Battery)
+	// Deaths must occur — and must not halt the stream: epochs continue
+	// with the count shrinking to the surviving population.
+	died := 0
+	for i, rec := range records {
+		died += len(rec.Died)
+		if rec.Alive != nw.N()-died {
+			t.Errorf("epoch %d: Alive=%d, want %d", i, rec.Alive, nw.N()-died)
+		}
+		if int(rec.Value) != nw.N()-(died-len(rec.Died)) {
+			t.Errorf("epoch %d: count %g, want the %d pre-epoch survivors",
+				i, rec.Value, nw.N()-(died-len(rec.Died)))
+		}
+	}
+	if died == 0 {
+		t.Fatal("battery never exhausted under a 1 mJ budget")
+	}
+	if len(records) > 1 && len(records) < epochs && records[len(records)-1].Alive != 0 {
+		t.Errorf("stream halted after %d epochs with %d nodes still alive",
+			len(records), records[len(records)-1].Alive)
+	}
+	if records[0].Value != float64(nw.N()) {
+		t.Errorf("epoch 0 count %g, want full population %d", records[0].Value, nw.N())
 	}
 }
 

@@ -30,11 +30,11 @@ func SelfHealing(cfg Config) (*stats.Table, error) {
 			Topology: "grid", N: n, Workload: string(workload.Uniform),
 			Seed: cfg.Seed, Faults: faults.Spec{Crash: rate},
 		}
-		med := eng.RunOne(context.Background(), engine.Job{Spec: spec, Query: engine.Query{Kind: engine.KindMedian}})
+		med := eng.Submit(context.Background(), []engine.Job{{Spec: spec, Query: engine.Query{Kind: engine.KindMedian}}})[0]
 		if med.Failed() {
 			return nil, fmt.Errorf("selfhealing: median at rate %.2f: %s", rate, med.Error)
 		}
-		cnt := eng.RunOne(context.Background(), engine.Job{Spec: spec, Query: engine.Query{Kind: engine.KindCount}})
+		cnt := eng.Submit(context.Background(), []engine.Job{{Spec: spec, Query: engine.Query{Kind: engine.KindCount}}})[0]
 		if cnt.Failed() {
 			return nil, fmt.Errorf("selfhealing: count at rate %.2f: %s", rate, cnt.Error)
 		}

@@ -36,7 +36,7 @@ func FaultSweep(cfg Config) (*stats.Table, error) {
 				Topology: "grid", N: n, Workload: string(workload.Uniform),
 				Seed: cfg.Seed, Faults: faults.Spec{Drop: drop},
 			}
-			r := eng.RunOne(context.Background(), engine.Job{Spec: spec, Query: engine.Query{Kind: kind}})
+			r := eng.Submit(context.Background(), []engine.Job{{Spec: spec, Query: engine.Query{Kind: kind}}})[0]
 			if r.Failed() {
 				return nil, fmt.Errorf("faultsweep: %s at drop %.2f: %s", kind, drop, r.Error)
 			}

@@ -33,7 +33,7 @@ func DuplicationSketches(cfg Config) (*stats.Table, error) {
 			Topology: "grid", N: n, Workload: string(workload.FewDistinct),
 			Seed: cfg.Seed, Faults: faults.Spec{Dup: dup},
 		}
-		r := eng.RunOne(context.Background(), engine.Job{Spec: spec, Query: engine.Query{Kind: kind}})
+		r := eng.Submit(context.Background(), []engine.Job{{Spec: spec, Query: engine.Query{Kind: kind}}})[0]
 		if r.Failed() {
 			return r, fmt.Errorf("dupsketches: %s at dup %.1f: %s", kind, dup, r.Error)
 		}

@@ -1,0 +1,555 @@
+// Package serve is the continuous-query layer: a long-lived Service wraps
+// the engine so dashboard-style clients subscribe once and receive a
+// stream of per-epoch answers, instead of re-issuing one-shot runs.
+//
+// Three mechanisms make serving cheap in the paper's measure (max over
+// nodes of bits sent+received):
+//
+//   - Group-commit fusion window. Ad-hoc queries are not executed on
+//     arrival: they are held for Options.FuseWindow (a few ms) so
+//     concurrent arrivals — and any epoch tick that lands inside the
+//     window — flush as ONE fusion batch on one shared probe plane
+//     (engine.WithFusion). The window bounds added latency; the fusion
+//     deadline-detach bounds the worst case for slow members.
+//
+//   - Epoch scheduler. AdvanceEpoch (or the Options.EpochInterval ticker)
+//     evolves the deployment's sensed values through the epoch drift
+//     model (epoch.UpdateFunc), injects them into the engine via a shared
+//     Job.Overlay, and re-executes every subscription as one fused batch:
+//     K subscribers per epoch cost ~one query's tree traffic.
+//
+//   - Delta-narrowing. A re-issued selection query seeds its k-ary search
+//     from an extrapolation of its own answer history (last answer + last
+//     move, ± max(32, |last move|)), so per-epoch sweeps scale with how
+//     far the statistic moved, not with the domain size. Seeds bias the
+//     probe schedule only — answers stay byte-identical to from-scratch
+//     search, and a miss costs at most one extra sweep (Result.SeedHit
+//     reports which happened).
+package serve
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"sensoragg/internal/core"
+	"sensoragg/internal/engine"
+	"sensoragg/internal/epoch"
+	"sensoragg/internal/query"
+	"sensoragg/internal/topology"
+)
+
+// DefaultFuseWindow is the group-commit window: long enough to collect a
+// burst of concurrent arrivals into one fusion batch, short enough to be
+// invisible next to human-facing latency budgets.
+const DefaultFuseWindow = 2 * time.Millisecond
+
+// SeedMarginFloor is the minimum half-width of a delta-narrowing window.
+// Margins below the probe spacing of a near-final sweep save nothing, and
+// a too-tight window turns estimator jitter into seed misses.
+const SeedMarginFloor = 32
+
+// Options configures a Service.
+type Options struct {
+	// Spec is the deployment every subscription and ad-hoc query runs
+	// against (normalized once). The serve layer assumes the engine's
+	// one-reading-per-node deployments.
+	Spec engine.Spec
+	// Engine executes the batches; nil builds a default engine.
+	Engine *engine.Engine
+	// FuseWindow is the group-commit window for ad-hoc arrivals; 0 means
+	// DefaultFuseWindow, negative flushes every arrival immediately
+	// (windowless, for tests).
+	FuseWindow time.Duration
+	// Update is the sensor drift model applied at every epoch advance;
+	// nil keeps values static.
+	Update epoch.UpdateFunc
+	// EpochInterval, when positive, advances epochs on a background
+	// ticker; otherwise the caller drives AdvanceEpoch.
+	EpochInterval time.Duration
+	// Buffer is each subscription channel's capacity (0 → 4). A
+	// subscriber that falls behind loses the oldest undelivered epochs —
+	// delivery never blocks the epoch stream — and the loss is counted on
+	// Subscription.Dropped.
+	Buffer int
+}
+
+// Result is one delivered answer: the engine result plus the serving
+// context (which epoch's state it answered, and for which subscription).
+type Result struct {
+	Epoch int `json:"epoch"`
+	SubID int `json:"sub_id,omitempty"`
+	engine.Result
+}
+
+// Service is the continuous-query service. All methods are safe for
+// concurrent use.
+type Service struct {
+	spec   engine.Spec
+	eng    *engine.Engine
+	window time.Duration
+	update epoch.UpdateFunc
+	buffer int
+	maxX   uint64
+
+	mu      sync.Mutex
+	closed  bool
+	epoch   int
+	values  []uint64        // current epoch's multiset, node order
+	overlay *engine.Overlay // shared by every job of the current epoch; nil before the first advance
+	subs    []*Subscription // ordered by ID: deterministic batch layout
+	nextID  int
+	pending []pendingQuery
+	adhocID int
+	timer   *time.Timer
+
+	tickStop chan struct{}
+	tickDone chan struct{}
+}
+
+type pendingQuery struct {
+	job  engine.Job
+	resp chan Result
+}
+
+// New builds the service and captures the deployment's initial sensed
+// values (epoch 0) from the engine's session cache.
+func New(opts Options) (*Service, error) {
+	eng := opts.Engine
+	if eng == nil {
+		eng = engine.New(engine.Options{})
+	}
+	spec := opts.Spec.Normalize()
+	nw, err := eng.Session().Instantiate(spec, spec.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("serve: instantiating %s: %w", spec, err)
+	}
+	values := nw.AllItems()
+	maxX := nw.MaxX
+	nw.Release()
+
+	window := opts.FuseWindow
+	if window == 0 {
+		window = DefaultFuseWindow
+	}
+	buffer := opts.Buffer
+	if buffer <= 0 {
+		buffer = 4
+	}
+	s := &Service{
+		spec:   spec,
+		eng:    eng,
+		window: window,
+		update: opts.Update,
+		buffer: buffer,
+		maxX:   maxX,
+		values: values,
+	}
+	if opts.EpochInterval > 0 {
+		s.tickStop = make(chan struct{})
+		s.tickDone = make(chan struct{})
+		go s.tickLoop(opts.EpochInterval)
+	}
+	return s, nil
+}
+
+func (s *Service) tickLoop(interval time.Duration) {
+	defer close(s.tickDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.AdvanceEpoch(context.Background())
+		case <-s.tickStop:
+			return
+		}
+	}
+}
+
+// Epoch returns the current epoch number (0 before the first advance).
+func (s *Service) Epoch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Subscription is one client's standing query. Results arrive on
+// Results() once per epoch advance until Unsubscribe (or service Close)
+// closes the channel.
+type Subscription struct {
+	// ID tags the subscription's results (Result.SubID).
+	ID int
+
+	svc  *Service
+	stmt string
+	q    engine.Query
+	ch   chan Result
+
+	// Delta-narrowing state, guarded by svc.mu: the last answers, the
+	// last epoch-over-epoch moves, and how many consecutive successful
+	// epochs seeded them. nranks == 0 disables seeding (non-selection
+	// statements).
+	nranks  int
+	prev    []uint64
+	move    []int64
+	seen    int
+	dropped int64
+}
+
+// Results is the channel of per-epoch answers.
+func (sub *Subscription) Results() <-chan Result { return sub.ch }
+
+// Statement returns the subscribed statement.
+func (sub *Subscription) Statement() string { return sub.stmt }
+
+// Dropped reports how many results were discarded because the subscriber
+// fell more than the channel buffer behind the epoch stream.
+func (sub *Subscription) Dropped() int64 {
+	sub.svc.mu.Lock()
+	defer sub.svc.mu.Unlock()
+	return sub.dropped
+}
+
+// Unsubscribe detaches the subscription and closes its channel. Safe to
+// call more than once.
+func (sub *Subscription) Unsubscribe() {
+	s := sub.svc
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub.detachLocked()
+}
+
+func (sub *Subscription) detachLocked() {
+	s := sub.svc
+	for i, have := range s.subs {
+		if have == sub {
+			s.subs = slices.Delete(s.subs, i, i+1)
+			close(sub.ch)
+			return
+		}
+	}
+}
+
+// Subscribe registers a standing statement. Every subsequent epoch
+// advance re-executes it (fused with the other subscriptions and any
+// ad-hoc arrivals in the window) and delivers a Result on the returned
+// subscription's channel. Cancelling ctx unsubscribes.
+func (s *Service) Subscribe(ctx context.Context, statement string) (*Subscription, error) {
+	q, nranks, err := QueryFor(statement)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: service closed")
+	}
+	s.nextID++
+	sub := &Subscription{
+		ID:     s.nextID,
+		svc:    s,
+		stmt:   statement,
+		q:      q,
+		ch:     make(chan Result, s.buffer),
+		nranks: nranks,
+		prev:   make([]uint64, nranks),
+		move:   make([]int64, nranks),
+	}
+	s.subs = append(s.subs, sub)
+	s.mu.Unlock()
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			<-ctx.Done()
+			sub.Unsubscribe()
+		}()
+	}
+	return sub, nil
+}
+
+// QueryFor maps a sensorql statement onto the engine query the serving
+// layer executes, plus the number of seeded ranks (0 = not seedable). The
+// exact selection and Fact 2.1 aggregate statements map to fusable engine
+// kinds; single quantiles map to KindQuantiles so φ resolves against the
+// protocol-counted N (the console's semantics). Anything else — WHERE
+// clauses, approximate aggregates — falls back to the statement executor,
+// which runs solo.
+func QueryFor(statement string) (engine.Query, int, error) {
+	pq, err := query.Parse(statement)
+	if err != nil {
+		return engine.Query{}, 0, fmt.Errorf("serve: %w", err)
+	}
+	if pq.Where == nil {
+		switch pq.Agg {
+		case query.AggMedian:
+			return engine.Query{Kind: engine.KindMedian}, 1, nil
+		case query.AggQuantile:
+			return engine.Query{Kind: engine.KindQuantiles, Phis: []float64{pq.Phi}}, 1, nil
+		case query.AggQuantiles:
+			return engine.Query{Kind: engine.KindQuantiles, Phis: slices.Clone(pq.Phis)}, len(pq.Phis), nil
+		case query.AggCount:
+			return engine.Query{Kind: engine.KindCount}, 0, nil
+		case query.AggSum:
+			return engine.Query{Kind: engine.KindSum}, 0, nil
+		case query.AggMin:
+			return engine.Query{Kind: engine.KindMin}, 0, nil
+		case query.AggMax:
+			return engine.Query{Kind: engine.KindMax}, 0, nil
+		case query.AggAvg:
+			return engine.Query{Kind: engine.KindAvg}, 0, nil
+		}
+	}
+	return engine.Query{Kind: engine.KindStatement, Statement: statement}, 0, nil
+}
+
+// seedsLocked builds the subscription's delta-narrowing windows: an
+// extrapolated center (last answer + last move) with margin
+// max(SeedMarginFloor, |last move|). nil until two successful epochs have
+// produced a move estimate — the full-range fallback.
+func (sub *Subscription) seedsLocked() []core.SeedWindow {
+	if sub.nranks == 0 || sub.seen < 2 {
+		return nil
+	}
+	out := make([]core.SeedWindow, sub.nranks)
+	for i := range out {
+		margin := sub.move[i]
+		if margin < 0 {
+			margin = -margin
+		}
+		if margin < SeedMarginFloor {
+			margin = SeedMarginFloor
+		}
+		center := int64(sub.prev[i]) + sub.move[i]
+		if center < 0 {
+			center = 0
+		}
+		lo := center - margin
+		if lo < 0 {
+			lo = 0
+		}
+		out[i] = core.SeedWindow{Lo: uint64(lo), Hi: uint64(center + margin)}
+	}
+	return out
+}
+
+// observeLocked folds an epoch's answer into the seeding state. A failed
+// epoch resets it: the next answer rebuilds the history from scratch
+// rather than extrapolating across a gap.
+func (sub *Subscription) observeLocked(r engine.Result) {
+	if sub.nranks == 0 {
+		return
+	}
+	if r.Failed() {
+		sub.seen = 0
+		return
+	}
+	vals := r.Values
+	if len(vals) == 0 {
+		vals = []float64{r.Value}
+	}
+	if len(vals) != sub.nranks {
+		sub.seen = 0
+		return
+	}
+	for i, v := range vals {
+		u := uint64(v)
+		if sub.seen > 0 {
+			sub.move[i] = int64(u) - int64(sub.prev[i])
+		}
+		sub.prev[i] = u
+	}
+	sub.seen++
+}
+
+// AdvanceEpoch evolves the deployment state one epoch through the drift
+// model and re-executes every subscription against it as one fused batch
+// — merging any ad-hoc queries already holding in the fusion window into
+// the same batch — then delivers the results. It returns the
+// subscriptions' results in subscription order (ad-hoc results go to
+// their callers). Concurrent AdvanceEpoch calls serialize on the state
+// evolution but execute their batches independently.
+func (s *Service) AdvanceEpoch(ctx context.Context) []Result {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.epoch++
+	e := s.epoch
+	if s.update != nil {
+		for i := range s.values {
+			next := s.update(e, topology.NodeID(i), s.values[i])
+			if next > s.maxX {
+				next = s.maxX
+			}
+			s.values[i] = next
+		}
+	}
+	ov := &engine.Overlay{Epoch: e, Values: slices.Clone(s.values)}
+	s.overlay = ov
+
+	subs := slices.Clone(s.subs)
+	jobs := make([]engine.Job, 0, len(subs))
+	for _, sub := range subs {
+		q := sub.q
+		q.SeedWindows = sub.seedsLocked()
+		jobs = append(jobs, engine.Job{
+			ID:      fmt.Sprintf("sub-%d@%d", sub.ID, e),
+			Spec:    s.spec,
+			Query:   q,
+			Overlay: ov,
+		})
+	}
+	pend := s.takePendingLocked()
+	for _, p := range pend {
+		job := p.job
+		job.Overlay = ov
+		jobs = append(jobs, job)
+	}
+	s.mu.Unlock()
+
+	results := s.eng.Submit(ctx, jobs, engine.WithFusion())
+
+	out := make([]Result, len(subs))
+	s.mu.Lock()
+	for i, sub := range subs {
+		sub.observeLocked(results[i])
+		r := Result{Epoch: e, SubID: sub.ID, Result: results[i]}
+		out[i] = r
+		if !slices.Contains(s.subs, sub) {
+			continue // unsubscribed while the batch ran
+		}
+		select {
+		case sub.ch <- r:
+		default:
+			// The subscriber is more than a buffer behind: shed the oldest
+			// undelivered epoch so the stream never blocks the scheduler.
+			select {
+			case <-sub.ch:
+				sub.dropped++
+			default:
+			}
+			select {
+			case sub.ch <- r:
+			default:
+				sub.dropped++
+			}
+		}
+	}
+	s.mu.Unlock()
+	for i, p := range pend {
+		p.resp <- Result{Epoch: e, Result: results[len(subs)+i]}
+	}
+	return out
+}
+
+// Query answers one ad-hoc statement against the current epoch's state.
+// The job is held in the group-commit window (Options.FuseWindow) so
+// concurrent callers — and an epoch advance landing inside the window —
+// fuse into one batch; the window is the latency price of the shared
+// probe plane. Cancelling ctx abandons the wait (the query may still
+// execute).
+func (s *Service) Query(ctx context.Context, statement string) (Result, error) {
+	q, _, err := QueryFor(statement)
+	if err != nil {
+		return Result{}, err
+	}
+	resp := make(chan Result, 1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Result{}, fmt.Errorf("serve: service closed")
+	}
+	s.adhocID++
+	job := engine.Job{
+		ID:      fmt.Sprintf("adhoc-%d", s.adhocID),
+		Spec:    s.spec,
+		Query:   q,
+		Overlay: s.overlay,
+	}
+	s.pending = append(s.pending, pendingQuery{job: job, resp: resp})
+	if s.timer == nil && s.window > 0 {
+		s.timer = time.AfterFunc(s.window, s.flushWindow)
+	}
+	windowless := s.window < 0
+	s.mu.Unlock()
+
+	if windowless {
+		s.flushWindow()
+	}
+	select {
+	case r := <-resp:
+		if r.Failed() {
+			return r, fmt.Errorf("serve: %s", r.Error)
+		}
+		return r, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// takePendingLocked claims the window's held queries and disarms the
+// timer. Callers flush the returned queries themselves.
+func (s *Service) takePendingLocked() []pendingQuery {
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	pend := s.pending
+	s.pending = nil
+	return pend
+}
+
+// flushWindow executes the window's held queries as one fused batch
+// against the current epoch state.
+func (s *Service) flushWindow() {
+	s.mu.Lock()
+	pend := s.takePendingLocked()
+	s.mu.Unlock()
+	if len(pend) == 0 {
+		return
+	}
+	jobs := make([]engine.Job, len(pend))
+	for i, p := range pend {
+		jobs[i] = p.job
+	}
+	results := s.eng.Submit(context.Background(), jobs, engine.WithFusion())
+	for i, p := range pend {
+		e := 0
+		if jobs[i].Overlay != nil {
+			e = jobs[i].Overlay.Epoch
+		}
+		p.resp <- Result{Epoch: e, Result: results[i]}
+	}
+}
+
+// Close stops the epoch ticker, fails queries still holding in the
+// window, and closes every subscription channel. The service rejects all
+// subsequent calls.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	pend := s.takePendingLocked()
+	subs := slices.Clone(s.subs)
+	s.subs = nil
+	tickStop, tickDone := s.tickStop, s.tickDone
+	s.mu.Unlock()
+
+	if tickStop != nil {
+		close(tickStop)
+		<-tickDone
+	}
+	for _, p := range pend {
+		r := Result{Result: engine.Result{Error: "serve: service closed"}}
+		p.resp <- r
+	}
+	for _, sub := range subs {
+		close(sub.ch)
+	}
+}
