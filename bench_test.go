@@ -801,4 +801,87 @@ func BenchmarkServeSubscribers(b *testing.B) {
 			}
 		})
 	}
+
+	// Non-identical fleet: 64 subscribers cycling three distinct standing
+	// statements. All three kinds share one fuse key, so every epoch still
+	// runs ONE batch — median and the five quantile ranks share the
+	// selection plane, count rides the protocol's N. The gate compares one
+	// mixed epoch against paying the three distinct statements' solo
+	// planes separately: fusion must beat even the deduplicated unfused
+	// strategy.
+	b.Run("mixed/subs=64", func(b *testing.B) {
+		statements := []string{
+			"SELECT median(value)",
+			"SELECT quantiles(value, 0.25, 0.5, 0.75, 0.9, 0.99)",
+			"SELECT count(value)",
+		}
+		eng := engine.New(engine.Options{Workers: 1})
+		var soloSum int64
+		for _, stmt := range statements {
+			q, _, err := serve.QueryFor(stmt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := eng.Submit(context.Background(), []engine.Job{{Spec: spec, Query: q}})[0]
+			if r.Failed() {
+				b.Fatal(r.Error)
+			}
+			soloSum += r.BitsPerNode
+		}
+
+		b.ReportAllocs()
+		svc, err := serve.New(serve.Options{
+			Spec:   spec,
+			Engine: engine.New(engine.Options{Workers: 4}),
+			Update: benchDrift(200),
+			Buffer: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		const subscribers = 64
+		for i := 0; i < subscribers; i++ {
+			if _, err := svc.Subscribe(context.Background(), statements[i%len(statements)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < 2; i++ {
+			for _, r := range svc.AdvanceEpoch(context.Background()) {
+				if r.Failed() {
+					b.Fatal(r.Error)
+				}
+			}
+		}
+		b.ResetTimer()
+		var bits int64
+		latNS := make([]float64, 0, b.N)
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			out := svc.AdvanceEpoch(context.Background())
+			latNS = append(latNS, float64(time.Since(start).Nanoseconds()))
+			fused := false
+			for _, r := range out {
+				if r.Failed() {
+					b.Fatal(r.Error)
+				}
+				fused = fused || r.Fused
+			}
+			if !fused {
+				b.Fatal("mixed fleet did not fuse")
+			}
+			bits += out[0].BitsPerNode
+		}
+		b.StopTimer()
+		perEpoch := float64(bits) / float64(b.N)
+		b.ReportMetric(perEpoch, "bits/node")
+		b.ReportMetric(float64(subscribers), "subscribers")
+		sort.Float64s(latNS)
+		b.ReportMetric(latNS[len(latNS)/2], "p50-epoch-ns")
+		b.ReportMetric(latNS[len(latNS)*95/100], "p95-epoch-ns")
+		if perEpoch > float64(soloSum) {
+			b.Fatalf("mixed fleet costs %.0f bits/node per epoch — more than the %d of running its 3 distinct statements solo",
+				perEpoch, soloSum)
+		}
+	})
 }

@@ -4,13 +4,23 @@
 // answers all K on one fused probe plane with delta-narrowing seeding each
 // k-ary search from the answer history. It reports p50/p95 per-subscriber
 // epoch latency, the per-epoch bits/node (the paper measure) next to one
-// solo query's plane, and the delta-narrowing hit rate.
+// solo query's plane, the delta-narrowing hit rate, and per-subscriber
+// shed-delivery counts.
 //
 //	$ go run ./cmd/loadgen -subscribers 64 -epochs 10
 //	$ go run ./cmd/loadgen -subscribers 64 -epochs 10 -json
+//	$ go run ./cmd/loadgen -obs-addr 127.0.0.1:9137 -linger 30s -json
 //
-// Exit status is non-zero if any delivery failed or went missing, so CI
-// can use a short run as a smoke test of the serving stack.
+// Observability is always on for the run: the JSON report embeds a final
+// metrics registry snapshot, the tail of the sweep/batch/epoch trace, and
+// git-commit provenance. With -obs-addr the live introspection endpoint
+// (/metrics, /healthz, /debug/trace, /debug/pprof) serves while the run
+// executes — and keeps serving for -linger afterwards so CI can scrape
+// the finished run's counters.
+//
+// Exit status is non-zero if any delivery failed, went missing, or was
+// shed to a slow subscriber, so CI can use a short run as a smoke test of
+// the serving stack.
 package main
 
 import (
@@ -20,11 +30,17 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"sensoragg/internal/engine"
+	"sensoragg/internal/obs"
+	"sensoragg/internal/obs/obshttp"
 	"sensoragg/internal/serve"
 	"sensoragg/internal/topology"
 )
@@ -40,14 +56,35 @@ func main() {
 	drift := flag.Uint64("drift", 200, "per-node ±step random walk per epoch (0 = static values)")
 	statement := flag.String("statement", "SELECT median(value)", "the standing statement")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	buffer := flag.Int("buffer", 0, "subscription channel depth (0 = deep enough for the whole run; small values exercise shed-oldest delivery)")
+	obsAddr := flag.String("obs-addr", "", "serve the live introspection endpoint (/metrics, /healthz, /debug/trace, /debug/pprof) on this address")
+	linger := flag.Duration("linger", 0, "keep the -obs-addr endpoint up this long after the run, so the final counters can be scraped")
 	flag.Parse()
 
+	// The whole run records into a fresh sink; the report embeds its
+	// final state.
+	sink := obs.Enable()
+	defer obs.Disable()
+	var obsSrv *obshttp.Server
+	if *obsAddr != "" {
+		var err error
+		obsSrv, err = obshttp.ListenAndServe(*obsAddr, sink, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer obsSrv.Close()
+		fmt.Fprintf(os.Stderr, "loadgen: obs endpoint on http://%s\n", obsSrv.Addr)
+	}
+
 	spec := engine.Spec{Topology: *topo, N: *n, Workload: *wl, Seed: *seed}
-	rep, err := run(spec, *subscribers, *epochs, *window, *drift, *statement)
+	rep, err := run(spec, *subscribers, *epochs, *window, *drift, *statement, *buffer)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
+	rep.Obs = snapshotObs(sink)
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -58,7 +95,12 @@ func main() {
 	} else {
 		rep.print()
 	}
-	if rep.Failed > 0 || rep.Missing > 0 {
+
+	if obsSrv != nil && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: lingering %s on http://%s for scrapes\n", *linger, obsSrv.Addr)
+		time.Sleep(*linger)
+	}
+	if rep.Failed > 0 || rep.Missing > 0 || rep.SubsDroppedTotal > 0 {
 		os.Exit(1)
 	}
 }
@@ -78,6 +120,13 @@ type report struct {
 	Failed     int `json:"failed"`
 	Missing    int `json:"missing"`
 
+	// DroppedPerSubscriber is each subscription's Dropped() count in
+	// subscription order; SubsDroppedTotal is their sum. Non-zero means
+	// the epoch stream shed deliveries to a slow subscriber, and loadgen
+	// exits non-zero.
+	DroppedPerSubscriber []int64 `json:"dropped_per_subscriber,omitempty"`
+	SubsDroppedTotal     int64   `json:"subs_dropped_total"`
+
 	// P50LatencyNS/P95LatencyNS are per-subscriber epoch latencies: epoch
 	// advance start to the subscriber receiving its result.
 	P50LatencyNS int64 `json:"p50_latency_ns"`
@@ -93,13 +142,66 @@ type report struct {
 	// when a move estimate exists) whose seeded search contained the
 	// answer.
 	SeedHitRate float64 `json:"seed_hit_rate"`
+
+	// Obs embeds the run's final observability state: the metrics
+	// registry snapshot, the trace tail, and provenance.
+	Obs *obsReport `json:"obs,omitempty"`
+}
+
+// obsReport is the embedded observability snapshot.
+type obsReport struct {
+	Metrics    obs.Snapshot `json:"metrics"`
+	TraceTail  []obs.Event  `json:"trace_tail"`
+	Provenance provenance   `json:"provenance"`
+}
+
+type provenance struct {
+	GitCommit string `json:"git_commit"`
+	GoVersion string `json:"go_version"`
+	Timestamp string `json:"timestamp"`
+}
+
+// traceTailLen bounds the trace excerpt embedded in the report (the full
+// ring is available on /debug/trace while the endpoint lingers).
+const traceTailLen = 64
+
+func snapshotObs(sink *obs.Sink) *obsReport {
+	return &obsReport{
+		Metrics:   sink.Metrics.Snapshot(),
+		TraceTail: sink.Tracer.Last(traceTailLen),
+		Provenance: provenance{
+			GitCommit: gitCommit(),
+			GoVersion: runtime.Version(),
+			Timestamp: time.Now().UTC().Format(time.RFC3339),
+		},
+	}
+}
+
+// gitCommit resolves the build's VCS revision: the stamped build info
+// when present (binaries built from a clean checkout), the working
+// tree's HEAD as a fallback (`go run` does not stamp VCS), else
+// "unknown".
+func gitCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	return "unknown"
 }
 
 func (r *report) print() {
 	spec := r.Spec
 	fmt.Printf("loadgen: %s N=%d X=%d workload %s — %d subscriber(s) × %d epoch(s), drift ±%d\n",
 		spec.Topology, spec.N, spec.MaxX, spec.Workload, r.Subscribers, r.Epochs, r.Drift)
-	fmt.Printf("deliveries: %d (%d failed, %d missing)\n", r.Deliveries, r.Failed, r.Missing)
+	fmt.Printf("deliveries: %d (%d failed, %d missing, %d dropped)\n", r.Deliveries, r.Failed, r.Missing, r.SubsDroppedTotal)
 	fmt.Printf("per-subscriber epoch latency: p50 %s, p95 %s\n",
 		time.Duration(r.P50LatencyNS), time.Duration(r.P95LatencyNS))
 	ratio := 0.0
@@ -110,6 +212,11 @@ func (r *report) print() {
 		r.EpochBitsPerNode, r.Subscribers, r.SoloBitsPerNode, ratio)
 	fmt.Printf("delta-narrowing: %.0f%% of steady-state epochs answered inside the seeded window\n",
 		100*r.SeedHitRate)
+	if r.Obs != nil {
+		fmt.Printf("obs: %d sweeps, %d broadcasts, %d epochs recorded (commit %s)\n",
+			r.Obs.Metrics.Counters["sweeps_total"], r.Obs.Metrics.Counters["broadcasts_total"],
+			r.Obs.Metrics.Counters["epochs_total"], r.Obs.Provenance.GitCommit)
+	}
 }
 
 type delivery struct {
@@ -120,7 +227,7 @@ type delivery struct {
 	failed    bool
 }
 
-func run(spec engine.Spec, subscribers, epochs int, window time.Duration, drift uint64, statement string) (*report, error) {
+func run(spec engine.Spec, subscribers, epochs int, window time.Duration, drift uint64, statement string, buffer int) (*report, error) {
 	if subscribers < 1 || epochs < 1 {
 		return nil, fmt.Errorf("need at least 1 subscriber and 1 epoch")
 	}
@@ -138,6 +245,12 @@ func run(spec engine.Spec, subscribers, epochs int, window time.Duration, drift 
 		return nil, fmt.Errorf("solo %q: %s", statement, solo.Error)
 	}
 
+	if buffer <= 0 {
+		// Deep enough that no epoch is ever shed: latency is the metric.
+		// An explicit -buffer exercises the shed-oldest delivery path
+		// instead, and any drop fails the run.
+		buffer = epochs + 1
+	}
 	rng := rand.New(rand.NewSource(int64(spec.Seed)))
 	svc, err := serve.New(serve.Options{
 		Spec:       spec,
@@ -155,8 +268,7 @@ func run(spec engine.Spec, subscribers, epochs int, window time.Duration, drift 
 			}
 			return uint64(next)
 		},
-		// Every epoch must be delivered, not shed: latency is the metric.
-		Buffer: epochs + 1,
+		Buffer: buffer,
 	})
 	if err != nil {
 		return nil, err
@@ -170,11 +282,13 @@ func run(spec engine.Spec, subscribers, epochs int, window time.Duration, drift 
 	var mu sync.Mutex
 	var deliveries []delivery
 
+	subs := make([]*serve.Subscription, 0, subscribers)
 	for i := 0; i < subscribers; i++ {
 		sub, err := svc.Subscribe(context.Background(), statement)
 		if err != nil {
 			return nil, err
 		}
+		subs = append(subs, sub)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -207,9 +321,16 @@ func run(spec engine.Spec, subscribers, epochs int, window time.Duration, drift 
 		Epochs:          epochs,
 		Drift:           drift,
 		Deliveries:      len(deliveries),
-		Missing:         subscribers*epochs - len(deliveries),
 		SoloBitsPerNode: solo.BitsPerNode,
 	}
+	for _, sub := range subs {
+		d := sub.Dropped()
+		rep.DroppedPerSubscriber = append(rep.DroppedPerSubscriber, d)
+		rep.SubsDroppedTotal += d
+	}
+	// A shed delivery is both dropped and missing; a consumer that never
+	// got the chance to receive it still expected it.
+	rep.Missing = subscribers*epochs - len(deliveries)
 	latencies := make([]int64, 0, len(deliveries))
 	epochBits := make(map[int]int64, epochs)
 	steady, hits := 0, 0

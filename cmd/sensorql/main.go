@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -52,6 +53,7 @@ import (
 	"sensoragg/internal/energy"
 	"sensoragg/internal/engine"
 	"sensoragg/internal/faults"
+	"sensoragg/internal/obs"
 	"sensoragg/internal/query"
 	"sensoragg/internal/serve"
 	"sensoragg/internal/spantree"
@@ -136,6 +138,8 @@ func run(spec engine.Spec) error {
 		case strings.EqualFold(line, "cache"):
 			hits, misses := c.session.Stats()
 			fmt.Printf("session cache: %d hits, %d misses\n", hits, misses)
+		case strings.EqualFold(line, "stats"):
+			c.statsCommand()
 		case firstToken == "net":
 			if err := c.netCommand(line); err != nil {
 				fmt.Printf("error: %v\n", err)
@@ -216,10 +220,11 @@ func (c *console) setCommand(line string) error {
 		} else {
 			fmt.Printf("drift: ±%d per node per epoch\n", c.drift)
 		}
+		fmt.Printf("obs: %s\n", onOff(obs.Active() != nil))
 		return nil
 	}
 	if len(fields) != 3 {
-		return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off> | set drift <step|off>")
+		return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off> | set drift <step|off> | set obs <on|off>")
 	}
 	switch {
 	case strings.EqualFold(fields[1], "probewidth"):
@@ -259,8 +264,65 @@ func (c *console) setCommand(line string) error {
 		c.drift = step
 		fmt.Printf("drift: ±%d per node per epoch\n", step)
 		return nil
+	case strings.EqualFold(fields[1], "obs"):
+		switch {
+		case strings.EqualFold(fields[2], "on"):
+			// Idempotent: keep an already-active sink so accumulated
+			// stats survive a redundant `set obs on`.
+			if obs.Active() == nil {
+				obs.Enable()
+			}
+			fmt.Println("obs: on — sweep/batch/epoch events and metrics recording (see `stats`)")
+		case strings.EqualFold(fields[2], "off"):
+			obs.Disable()
+			fmt.Println("obs: off")
+		default:
+			return fmt.Errorf("obs %q must be on or off", fields[2])
+		}
+		return nil
 	}
-	return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off> | set drift <step|off>")
+	return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off> | set drift <step|off> | set obs <on|off>")
+}
+
+// statsCommand prints a snapshot of the active observability registry —
+// the same numbers /metrics would expose — plus the trace depth.
+func (c *console) statsCommand() {
+	sk := obs.Active()
+	if sk == nil {
+		fmt.Println("obs: off — enable with `set obs on`")
+		return
+	}
+	snap := sk.Metrics.Snapshot()
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%-28s %d\n", n, snap.Counters[n])
+	}
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%-28s %.4f\n", n, snap.Gauges[n])
+	}
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		fmt.Printf("%-28s count=%d sum=%.4g mean=%.4g\n", n, h.Count, h.Sum, mean)
+	}
+	fmt.Printf("trace: %d events retained\n", sk.Tracer.Len())
 }
 
 func onOff(b bool) string {
@@ -672,6 +734,10 @@ console:
                                          answers every statement at once)
   set drift <step|off>                   per-epoch ±step random walk of every
                                          node's reading (the epoch drift model)
+  set obs <on|off>                       record sweep/batch/epoch events and
+                                         metrics (zero-cost while off)
+  stats                                  print the obs registry snapshot
+                                         (counters, gauges, histograms, trace depth)
 serving (continuous queries):
   subscribe <statement>                  register a standing query
   unsubscribe <id>                       drop it

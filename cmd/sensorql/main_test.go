@@ -8,6 +8,7 @@ import (
 	"sensoragg/internal/core"
 	"sensoragg/internal/energy"
 	"sensoragg/internal/engine"
+	"sensoragg/internal/obs"
 	"sensoragg/internal/query"
 )
 
@@ -312,5 +313,58 @@ func TestSetDrift(t *testing.T) {
 		if err := c.setCommand(bad); err == nil {
 			t.Errorf("%q accepted", bad)
 		}
+	}
+}
+
+// TestSetObsAndStats covers the observability knob end to end through the
+// console: toggling records real events, `stats` sees them, and toggling
+// on twice keeps the accumulated sink.
+func TestSetObsAndStats(t *testing.T) {
+	obs.Disable()
+	t.Cleanup(obs.Disable)
+	c := testConsole(t)
+
+	if err := c.setCommand("set obs on"); err != nil {
+		t.Fatal(err)
+	}
+	sk := obs.Active()
+	if sk == nil {
+		t.Fatal("set obs on left no active sink")
+	}
+	if _, err := c.exec("SELECT median(value)"); err != nil {
+		t.Fatal(err)
+	}
+	if sk.Sweeps.Value() == 0 || sk.Broadcasts.Value() == 0 {
+		t.Errorf("a median left no sweep/broadcast counts: sweeps=%d broadcasts=%d",
+			sk.Sweeps.Value(), sk.Broadcasts.Value())
+	}
+	if sk.Tracer.Len() == 0 {
+		t.Error("a median left no trace events")
+	}
+
+	// Idempotent re-enable keeps the sink (and its accumulated stats).
+	before := sk.Sweeps.Value()
+	if err := c.setCommand("SET OBS ON"); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Active() != sk {
+		t.Error("redundant `set obs on` replaced the sink")
+	}
+	if obs.Active().Sweeps.Value() != before {
+		t.Error("redundant `set obs on` reset the counters")
+	}
+
+	c.statsCommand() // prints a snapshot; must not panic with obs on
+
+	if err := c.setCommand("set obs off"); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Active() != nil {
+		t.Fatal("set obs off left a sink active")
+	}
+	c.statsCommand() // prints the "off" hint; must not panic with obs off
+
+	if err := c.setCommand("set obs maybe"); err == nil {
+		t.Error("`set obs maybe` accepted")
 	}
 }

@@ -1,0 +1,30 @@
+package agg
+
+import (
+	"sensoragg/internal/obs"
+	"sensoragg/internal/wire"
+)
+
+// obsCountVec records one probe-plane event per CountVec round: the
+// chain width (predicates carried by the single broadcast), the chain
+// shape, the sum-rider flag, and the bits of the already-encoded probe
+// broadcast (n.bw holds the full payload by the time runCountVec runs).
+// One event per round — never per predicate or per node — and the call
+// site guards on obs.Active(), so the disabled path stays a single
+// atomic load on the zero-alloc warm-query contract.
+func (n *Net) obsCountVec(sk *obs.Sink, preds []wire.Pred, nested, withSum bool) {
+	sk.Probes.Add(int64(len(preds)))
+	sk.ChainWidth.Observe(float64(len(preds)))
+	sk.Tracer.Emit("probe.countvec", 0,
+		obs.KV{K: "width", V: int64(len(preds))},
+		obs.KV{K: "nested", V: b2i(nested)},
+		obs.KV{K: "sum_rider", V: b2i(withSum)},
+		obs.KV{K: "bcast_bits", V: int64(n.bw.Len())})
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -5,6 +5,7 @@ import (
 
 	"sensoragg/internal/bitio"
 	"sensoragg/internal/core"
+	"sensoragg/internal/obs"
 	"sensoragg/internal/wire"
 )
 
@@ -124,6 +125,9 @@ func (n *Net) appendProbeSet(w *bitio.Writer, preds []wire.Pred, vw int) bool {
 // vector convergecast, returning the root's partial vector (k counts,
 // plus the trailing sum slot when withSum).
 func (n *Net) runCountVec(d core.Domain, preds []wire.Pred, nested, withSum bool) []uint64 {
+	if sk := obs.Active(); sk != nil {
+		n.obsCountVec(sk, preds, nested, withSum)
+	}
 	n.ops.Broadcast(wire.Borrowed(&n.bw), nil)
 	n.cvcomb = countVecCombiner{domain: d, preds: preds, nested: nested, withSum: withSum}
 	if nested {

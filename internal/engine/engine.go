@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sensoragg/internal/netsim"
+	"sensoragg/internal/obs"
 )
 
 // Job is one query against one deployment. RunSeed seeds the forked
@@ -226,6 +227,9 @@ func (e *Engine) RunOne(ctx context.Context, job Job) Result {
 func (e *Engine) runAll(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	units := e.planUnits(jobs)
+	if sk := obs.Active(); sk != nil {
+		e.obsSubmit(sk, jobs, units)
+	}
 	uidx := make(chan int)
 	var wg sync.WaitGroup
 	workers := e.workers
@@ -327,7 +331,11 @@ func (e *Engine) executeJob(spec Spec, job Job) Result {
 		return failedResult(job, err)
 	}
 	d := nw.Meter.Since(before)
-	r := resultFrom(spec, job.Query, ans, d, time.Since(start))
+	wall := time.Since(start)
+	if sk := obs.Active(); sk != nil {
+		e.obsSoloJob(sk, job, d, wall)
+	}
+	r := resultFrom(spec, job.Query, ans, d, wall)
 	r.ID = job.ID
 	nw.Release()
 	return r

@@ -8,6 +8,7 @@ import (
 
 	"sensoragg/internal/agg"
 	"sensoragg/internal/core"
+	"sensoragg/internal/obs"
 	"sensoragg/internal/spantree"
 )
 
@@ -323,7 +324,13 @@ func (e *Engine) runUnit(ctx context.Context, jobs []Job, idxs []int, results []
 		}
 		return
 	}
-	for _, i := range e.runFusedGroup(ctx, jobs, idxs, results) {
+	solo := e.runFusedGroup(ctx, jobs, idxs, results)
+	if len(solo) > 0 {
+		if sk := obs.Active(); sk != nil {
+			sk.FusionSolo.Add(int64(len(solo)))
+		}
+	}
+	for _, i := range solo {
 		// Detached or unfusable members finish solo with their own full
 		// deadline: fusion must never fail a query that would have
 		// succeeded alone.
@@ -487,9 +494,22 @@ func (e *Engine) runFusedGroup(ctx context.Context, jobs []Job, idxs []int, resu
 		}
 		return sortedCache
 	}
+	sk := obs.Active()
+	var span uint64
+	if sk != nil {
+		span = sk.Tracer.NextSpan()
+	}
+	detached := 0
 	for mi, ji := range memberIdx {
 		mr := fres.Members[mi]
 		if mr.Detached {
+			detached++
+			if sk != nil {
+				sk.FusionDetach.Add(1)
+				sk.Tracer.Emit("fusion.detach", span,
+					obs.KV{K: "job", V: int64(ji)},
+					obs.KV{K: "seeded_sweeps", V: int64(mr.SeededSweeps)})
+			}
 			solo = append(solo, ji)
 			continue
 		}
@@ -509,6 +529,9 @@ func (e *Engine) runFusedGroup(ctx context.Context, jobs []Job, idxs []int, resu
 		r.SeedHit = mr.SeedHit
 		results[ji] = r
 		written[ji] = true
+	}
+	if sk != nil {
+		e.obsFusedBatch(sk, span, jobs[idxs[0]], len(memberIdx), detached, fres.Sweeps, fres.Probes, d, wall)
 	}
 	nw.Release()
 	return solo

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("sweeps_total", "sweeps")
+	c.Add(3)
+	c.Add(2)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := reg.Counter("sweeps_total", "ignored"); again != c {
+		t.Fatalf("Counter not get-or-create: %p vs %p", again, c)
+	}
+
+	g := reg.Gauge("seed_hit_ratio", "ratio")
+	g.Set(0.75)
+	if got := g.Value(); got != 0.75 {
+		t.Fatalf("gauge = %v, want 0.75", got)
+	}
+
+	h := reg.Histogram("lat", "latency", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("hist count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Fatalf("hist sum = %v, want 556.5", h.Sum())
+	}
+	snap := reg.Snapshot()
+	hs := snap.Histograms["lat"]
+	// Cumulative: le=1 -> 2 (0.5 and the boundary value 1), le=10 -> 3,
+	// le=100 -> 4, +Inf -> 5.
+	wantCum := []int64{2, 3, 4, 5}
+	if len(hs.Buckets) != 4 {
+		t.Fatalf("buckets = %d, want 4", len(hs.Buckets))
+	}
+	for i, b := range hs.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket[%d] = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sweeps_total", "Sweeps executed.").Add(42)
+	reg.Gauge("seed_hit_ratio", "Hit ratio.").Set(0.5)
+	h := reg.Histogram("epoch_latency_seconds", "Epoch latency.", []float64{0.01, 0.1})
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE sweeps_total counter\nsweeps_total 42\n",
+		"# TYPE seed_hit_ratio gauge\nseed_hit_ratio 0.5\n",
+		"# TYPE epoch_latency_seconds histogram\n",
+		`epoch_latency_seconds_bucket{le="0.01"} 0`,
+		`epoch_latency_seconds_bucket{le="0.1"} 1`,
+		`epoch_latency_seconds_bucket{le="+Inf"} 2`,
+		"epoch_latency_seconds_sum 2.05\n",
+		"epoch_latency_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Sorted by name: epoch_latency_seconds before seed_hit_ratio before sweeps_total.
+	if !(strings.Index(out, "epoch_latency_seconds") < strings.Index(out, "seed_hit_ratio") &&
+		strings.Index(out, "seed_hit_ratio") < strings.Index(out, "sweeps_total")) {
+		t.Errorf("exposition not sorted by name:\n%s", out)
+	}
+}
+
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("subs_dropped_total", "").Add(1)
+	reg.Histogram("bits_per_node", "", []float64{64, 1024}).Observe(1e9)
+	raw, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatalf("snapshot must embed in JSON reports: %v", err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v\n%s", err, raw)
+	}
+	if !strings.Contains(string(raw), `"le":"+Inf"`) {
+		t.Errorf("overflow bucket not encoded as string: %s", raw)
+	}
+}
+
+func TestTracerRingAndSeq(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit("ev", 0, KV{K: "i", V: int64(i)})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	got := tr.Last(0)
+	if len(got) != 4 {
+		t.Fatalf("Last(0) = %d events, want 4", len(got))
+	}
+	// Oldest-first, seq strictly increasing, survives wraparound.
+	for i, ev := range got {
+		wantSeq := uint64(7 + i)
+		if ev.Seq != wantSeq {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if ev.Attrs()[0].V != int64(6+i) {
+			t.Errorf("event %d attr = %d, want %d", i, ev.Attrs()[0].V, 6+i)
+		}
+	}
+	last2 := tr.Last(2)
+	if len(last2) != 2 || last2[1].Seq != 10 {
+		t.Fatalf("Last(2) = %+v, want final seq 10", last2)
+	}
+}
+
+func TestTracerJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit("sweep.convergecast.vec", 7, KV{K: "bits", V: 128}, KV{K: "nodes", V: 49})
+	tr.Emit("epoch", 0, KV{K: "epoch", V: 3})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v\n%s", err, lines[0])
+	}
+	if first["name"] != "sweep.convergecast.vec" || first["span"] != float64(7) ||
+		first["bits"] != float64(128) || first["nodes"] != float64(49) {
+		t.Errorf("unexpected JSONL object: %v", first)
+	}
+	// MarshalJSON (report embedding) must agree with the JSONL writer.
+	ev := tr.Last(2)[0]
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != lines[0] {
+		t.Errorf("MarshalJSON %s != JSONL line %s", raw, lines[0])
+	}
+}
+
+func TestEventAttrOverflowDropped(t *testing.T) {
+	tr := NewTracer(2)
+	kvs := make([]KV, maxEventAttrs+3)
+	for i := range kvs {
+		kvs[i] = KV{K: "k", V: int64(i)}
+	}
+	tr.Emit("ev", 0, kvs...)
+	if got := len(tr.Last(1)[0].Attrs()); got != maxEventAttrs {
+		t.Fatalf("kept %d attrs, want %d", got, maxEventAttrs)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	defer Disable()
+	Disable()
+	if Active() != nil {
+		t.Fatal("Active() != nil after Disable")
+	}
+	s := Enable()
+	if Active() != s {
+		t.Fatal("Active() != Enable() result")
+	}
+	if s.Sweeps == nil || s.EpochLatency == nil || s.Tracer == nil {
+		t.Fatal("sink instruments not pre-bound")
+	}
+	s.Sweeps.Add(1)
+	if s.Metrics.Snapshot().Counters["sweeps_total"] != 1 {
+		t.Fatal("pre-bound counter not registered under its exposition name")
+	}
+	Disable()
+	if Active() != nil {
+		t.Fatal("Active() != nil after second Disable")
+	}
+}
+
+// TestConcurrentSink hammers one sink from many goroutines; run under
+// -race in CI.
+func TestConcurrentSink(t *testing.T) {
+	s := NewSink()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Sweeps.Add(1)
+				s.BitsPerNode.Observe(float64(i))
+				s.SeedHitRatio.Set(float64(g))
+				s.Tracer.Emit("ev", s.Tracer.NextSpan(), KV{K: "g", V: int64(g)}, KV{K: "i", V: int64(i)})
+			}
+		}(g)
+	}
+	var snapErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := s.Metrics.WritePrometheus(&buf); err != nil {
+				snapErr = err
+				return
+			}
+			s.Tracer.Last(100)
+		}
+	}()
+	wg.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	if got := s.Sweeps.Value(); got != 8*500 {
+		t.Fatalf("sweeps = %d, want %d", got, 8*500)
+	}
+	if got := s.BitsPerNode.Count(); got != 8*500 {
+		t.Fatalf("hist count = %d, want %d", got, 8*500)
+	}
+}

@@ -1,0 +1,121 @@
+// Package obshttp serves the introspection endpoint for an obs.Sink.
+//
+// It lives apart from obs so that binaries which only *record* never
+// link the HTTP stack: net/http's mere presence in a binary measurably
+// shifts the alloc-gated benchmarks (one extra allocation per op on the
+// engine gates), so the hot-path packages import obs alone and anything
+// that wants the endpoint imports this package — directly for its
+// ListenAndServe, or blank for serve.Options.ObsAddr, which reaches it
+// through the hook init registers with obs.RegisterEndpoint.
+package obshttp
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"sensoragg/internal/obs"
+)
+
+func init() {
+	obs.RegisterEndpoint(func(addr string, s *obs.Sink, healthy func() error) (obs.EndpointServer, error) {
+		return ListenAndServe(addr, s, healthy)
+	})
+}
+
+// Handler returns the introspection mux for a sink:
+//
+//	/metrics        Prometheus text exposition (version 0.0.4)
+//	/healthz        200 "ok" while healthy() returns nil, else 503
+//	/debug/trace    last K ring events as JSONL (?n=K, default 256)
+//	/debug/pprof/*  net/http/pprof
+//
+// healthy may be nil (always healthy).
+func Handler(s *obs.Sink, healthy func() error) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.Metrics.WritePrometheus(w)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if healthy != nil {
+			if err := healthy(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = s.Tracer.WriteJSONL(w, n)
+	})
+
+	// pprof registers on http.DefaultServeMux via init; mount its
+	// handlers explicitly so this mux stays self-contained.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	// Addr is the bound listen address (resolves ":0" to the real port).
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ListenAndServe binds addr and serves Handler(s, healthy) in a
+// background goroutine. It returns once the listener is bound, so
+// callers can scrape immediately.
+func ListenAndServe(addr string, s *obs.Sink, healthy func() error) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(s, healthy),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	out := &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}
+	go func() { _ = srv.Serve(ln) }()
+	return out, nil
+}
+
+// BoundAddr returns the bound listen address (obs.EndpointServer).
+func (s *Server) BoundAddr() string {
+	if s == nil {
+		return ""
+	}
+	return s.Addr
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

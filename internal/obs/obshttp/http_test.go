@@ -1,0 +1,120 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sensoragg/internal/obs"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	s := obs.NewSink()
+	s.Sweeps.Add(12)
+	s.EpochLatency.Observe(0.003)
+	s.Tracer.Emit("sweep.broadcast", 0, obs.KV{K: "bits", V: 64})
+	s.Tracer.Emit("epoch", 0, obs.KV{K: "epoch", V: 1})
+
+	var unhealthy error
+	srv := httptest.NewServer(Handler(s, func() error { return unhealthy }))
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, "sweeps_total 12") ||
+		!strings.Contains(body, "epoch_latency_seconds_count 1") {
+		t.Errorf("/metrics body missing expected series:\n%s", body)
+	}
+
+	code, body, _ = get(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	unhealthy = errors.New("closed")
+	code, _, _ = get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz while unhealthy = %d, want 503", code)
+	}
+	unhealthy = nil
+
+	code, body, hdr = get(t, srv, "/debug/trace?n=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("/debug/trace content-type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimRight(body, "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("n=1 returned %d lines:\n%s", len(lines), body)
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("trace line not JSON: %v\n%s", err, lines[0])
+	}
+	if ev["name"] != "epoch" {
+		t.Errorf("n=1 should return newest event, got %v", ev)
+	}
+
+	code, _, _ = get(t, srv, "/debug/trace?n=bogus")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad n = %d, want 400", code)
+	}
+
+	code, body, _ = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestListenAndServe(t *testing.T) {
+	s := obs.NewSink()
+	s.Broadcasts.Add(1)
+	srv, err := ListenAndServe("127.0.0.1:0", s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr == "" || strings.HasSuffix(srv.Addr, ":0") {
+		t.Fatalf("Addr not resolved: %q", srv.Addr)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "broadcasts_total 1") {
+		t.Errorf("metrics over real listener missing series:\n%s", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr)); err == nil {
+		t.Error("server still serving after Close")
+	}
+}

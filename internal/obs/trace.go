@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceCap is the ring capacity of a sink's tracer: enough for
+// several fused epochs of sweep events without unbounded growth.
+const DefaultTraceCap = 4096
+
+// maxEventAttrs bounds per-event attributes so Event stays a flat,
+// allocation-free value (the attr array lives inline in the ring slot).
+const maxEventAttrs = 8
+
+// KV is one int64-valued event attribute. All trace attributes are
+// int64 — categorical information (combiner kind, engine path) is
+// encoded in the event name instead, which keeps the ring slots flat.
+type KV struct {
+	K string
+	V int64
+}
+
+// Event is one trace record. Seq is a stable, strictly increasing ID
+// assigned under the ring lock (it survives ring wraparound: the
+// oldest retained event's Seq tells you how many were evicted). Span
+// groups related events (e.g. a fusion batch and its detach events);
+// span 0 means "not part of a span".
+type Event struct {
+	Seq   uint64
+	Unix  int64 // UnixNano timestamp
+	Name  string
+	Span  uint64
+	attrs [maxEventAttrs]KV
+	nattr int
+}
+
+// Attrs returns the event's attributes (aliasing internal storage; do
+// not mutate).
+func (e *Event) Attrs() []KV { return e.attrs[:e.nattr] }
+
+// MarshalJSON flattens the event to a single JSON object:
+// {"seq":3,"ns":...,"name":"sweep.broadcast","span":0,"bits":128,...}.
+// Names and attr keys are compile-time identifiers; they are quoted
+// with strconv.Quote for safety anyway.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return e.appendJSON(make([]byte, 0, 128)), nil
+}
+
+func (e *Event) appendJSON(b []byte) []byte {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, e.Seq, 10)
+	b = append(b, `,"ns":`...)
+	b = strconv.AppendInt(b, e.Unix, 10)
+	b = append(b, `,"name":`...)
+	b = strconv.AppendQuote(b, e.Name)
+	b = append(b, `,"span":`...)
+	b = strconv.AppendUint(b, e.Span, 10)
+	for _, kv := range e.attrs[:e.nattr] {
+		b = append(b, ',')
+		b = strconv.AppendQuote(b, kv.K)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, kv.V, 10)
+	}
+	return append(b, '}')
+}
+
+// Tracer is a fixed-capacity ring of events. Emit is mutex-guarded —
+// events are recorded at operation granularity (one per sweep, batch,
+// or epoch), not per node or edge, so the lock is uncontended relative
+// to the work each event describes.
+type Tracer struct {
+	mu    sync.Mutex
+	seq   uint64
+	buf   []Event
+	next  int // ring cursor: index of the slot Emit writes next
+	count int // number of valid events, <= len(buf)
+	span  atomic.Uint64
+}
+
+// NewTracer returns a tracer retaining the last capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// NextSpan allocates a fresh nonzero span ID (lock-free).
+func (t *Tracer) NextSpan() uint64 { return t.span.Add(1) }
+
+// Emit records one event. At most maxEventAttrs attributes are kept;
+// extras are dropped. The variadic slice is the caller's: call sites
+// construct it only inside an `if s := obs.Active(); s != nil` guard so
+// a disabled sink costs nothing.
+func (t *Tracer) Emit(name string, span uint64, kvs ...KV) {
+	now := time.Now().UnixNano()
+	t.mu.Lock()
+	t.seq++
+	ev := &t.buf[t.next]
+	ev.Seq = t.seq
+	ev.Unix = now
+	ev.Name = name
+	ev.Span = span
+	n := len(kvs)
+	if n > maxEventAttrs {
+		n = maxEventAttrs
+	}
+	copy(ev.attrs[:n], kvs[:n])
+	ev.nattr = n
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+	}
+	if t.count < len(t.buf) {
+		t.count++
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Last copies out the most recent n events in chronological order
+// (oldest first). n <= 0 or n > retained returns all retained events.
+func (t *Tracer) Last(n int) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > t.count {
+		n = t.count
+	}
+	out := make([]Event, n)
+	// Oldest requested event sits n slots behind the cursor.
+	start := t.next - n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = t.buf[(start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// WriteJSONL writes the most recent n events as JSON Lines, oldest
+// first (n <= 0 means all retained).
+func (t *Tracer) WriteJSONL(w io.Writer, n int) error {
+	events := t.Last(n)
+	buf := make([]byte, 0, 160)
+	for i := range events {
+		buf = events[i].appendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"sensoragg/internal/obs"
+)
+
+// Observability hooks for the serving layer: the epoch timeline (one
+// event per AdvanceEpoch carrying window fill, seed hit/miss and shed
+// deliveries), the group-commit window flushes, and the service-owned
+// introspection endpoint (Options.ObsAddr). Hooks fire once per epoch
+// or flush — never per subscriber — and call sites guard on
+// obs.Active(), so a service with observability off pays one atomic
+// load per epoch.
+
+// obsEpoch records one epoch-completion event and folds its signals
+// into the registry. The seed-hit ratio gauge is cumulative over the
+// sink's lifetime (hits / seeded selections), matching loadgen's
+// seed_hit_rate.
+func (s *Service) obsEpoch(sk *obs.Sink, epoch, subs, adhoc int, seedAttempts, seedHits, drops int64, wall time.Duration) {
+	sk.Epochs.Add(1)
+	sk.EpochLatency.Observe(wall.Seconds())
+	sk.WindowFill.Observe(float64(adhoc))
+	sk.SeedHits.Add(seedHits)
+	sk.SeedMisses.Add(seedAttempts - seedHits)
+	if h, m := sk.SeedHits.Value(), sk.SeedMisses.Value(); h+m > 0 {
+		sk.SeedHitRatio.Set(float64(h) / float64(h+m))
+	}
+	if drops > 0 {
+		sk.SubsDropped.Add(drops)
+	}
+	sk.Tracer.Emit("epoch", 0,
+		obs.KV{K: "epoch", V: int64(epoch)},
+		obs.KV{K: "subs", V: int64(subs)},
+		obs.KV{K: "adhoc", V: int64(adhoc)},
+		obs.KV{K: "seed_attempts", V: seedAttempts},
+		obs.KV{K: "seed_hits", V: seedHits},
+		obs.KV{K: "dropped", V: drops},
+		obs.KV{K: "latency_ns", V: wall.Nanoseconds()})
+}
+
+// startObs enables the global sink (if not already enabled) and serves
+// the introspection endpoint on addr. Called from New before the epoch
+// ticker starts. The endpoint itself lives in obs/obshttp — the
+// embedding binary must blank-import it, which keeps net/http out of
+// binaries that never set Options.ObsAddr.
+func (s *Service) startObs(addr string) error {
+	sink := obs.Active()
+	if sink == nil {
+		sink = obs.Enable()
+	}
+	srv, err := obs.ServeEndpoint(addr, sink, s.healthy)
+	if err != nil {
+		return err
+	}
+	s.obsSrv = srv
+	return nil
+}
+
+// healthy is the /healthz probe: the service is healthy until closed.
+func (s *Service) healthy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("serve: service closed")
+	}
+	return nil
+}
+
+// ObsAddr returns the bound address of the service's introspection
+// endpoint, or "" when Options.ObsAddr was not set. With ":0" in the
+// options this is where the real port shows up.
+func (s *Service) ObsAddr() string {
+	if s.obsSrv == nil {
+		return ""
+	}
+	return s.obsSrv.BoundAddr()
+}

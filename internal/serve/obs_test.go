@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"sensoragg/internal/obs"
+	_ "sensoragg/internal/obs/obshttp" // Options.ObsAddr needs the endpoint linked
+)
+
+// TestObsEndToEnd drives fused epochs through a service with the
+// introspection endpoint enabled and scrapes it over real HTTP: the
+// acceptance shape for the whole observability layer — non-zero
+// sweeps_total, seed_hit_ratio, and epoch_latency_seconds on /metrics,
+// and valid JSONL sweep/batch/epoch events on /debug/trace.
+func TestObsEndToEnd(t *testing.T) {
+	obs.Disable() // fresh sink regardless of test order
+	t.Cleanup(obs.Disable)
+
+	svc, err := New(Options{Spec: testSpec(17), Update: drift(200), ObsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	addr := svc.ObsAddr()
+	if addr == "" {
+		t.Fatal("ObsAddr empty with Options.ObsAddr set")
+	}
+	if obs.Active() == nil {
+		t.Fatal("Options.ObsAddr did not enable the sink")
+	}
+
+	const epochs = 5
+	for i := 0; i < 3; i++ { // a fused fleet: 3 subscribers → one batch per epoch
+		if _, err := svc.Subscribe(context.Background(), "SELECT median(value)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < epochs; e++ {
+		for _, r := range svc.AdvanceEpoch(context.Background()) {
+			if r.Failed() {
+				t.Fatalf("epoch %d: %s", e+1, r.Error)
+			}
+			if !r.Fused {
+				t.Fatalf("epoch %d: subscribers did not fuse", e+1)
+			}
+		}
+	}
+
+	scrape := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := scrape("/metrics")
+	for _, series := range []string{"sweeps_total", "broadcasts_total", "fusion_batch_size_count", "epoch_latency_seconds_count", "seed_hit_ratio"} {
+		found := false
+		for _, line := range strings.Split(metrics, "\n") {
+			var name string
+			var val float64
+			if _, err := fmt.Sscanf(line, "%s %g", &name, &val); err == nil && name == series {
+				found = true
+				if val == 0 {
+					t.Errorf("%s = 0 after %d fused epochs", series, epochs)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("/metrics missing %s:\n%s", series, metrics)
+		}
+	}
+	var elc int
+	if _, err := fmt.Sscanf(metrics[strings.Index(metrics, "epoch_latency_seconds_count"):], "epoch_latency_seconds_count %d", &elc); err != nil || elc != epochs {
+		t.Errorf("epoch_latency_seconds_count = %d (err %v), want %d", elc, err, epochs)
+	}
+
+	if !strings.Contains(scrape("/healthz"), "ok") {
+		t.Error("/healthz not ok on a live service")
+	}
+
+	trace := scrape("/debug/trace?n=4096")
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(trace, "\n"), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line not valid JSON: %v\n%s", err, line)
+		}
+		name, _ := ev["name"].(string)
+		seen[name] = true
+		if name == "fusion.batch" {
+			if ev["members"].(float64) != 3 {
+				t.Errorf("fusion.batch members = %v, want 3", ev["members"])
+			}
+			if ev["sweeps"].(float64) == 0 {
+				t.Errorf("fusion.batch with zero sweeps: %v", ev)
+			}
+		}
+	}
+	for _, want := range []string{"sweep.broadcast", "sweep.convergecast.vec", "probe.countvec", "fusion.batch", "engine.submit", "epoch"} {
+		if !seen[want] {
+			t.Errorf("trace missing %q events; saw %v", want, seen)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"sensoragg/internal/engine"
+	"sensoragg/internal/topology"
+)
+
+// TestSeedColdStart: delta-narrowing needs two observed answers before it
+// can estimate a move, so SeedWindows must be absent on a subscription's
+// first two epochs — the runs execute the full-range schedule with zero
+// seed-biased sweeps — and appear from the third epoch on.
+func TestSeedColdStart(t *testing.T) {
+	svc, err := New(Options{Spec: testSpec(11), Update: drift(400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	sub, err := svc.Subscribe(context.Background(), "SELECT median(value)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seeds := func() int {
+		svc.mu.Lock()
+		defer svc.mu.Unlock()
+		return len(sub.seedsLocked())
+	}
+	if n := seeds(); n != 0 {
+		t.Fatalf("seed windows before any epoch: %d, want none", n)
+	}
+
+	for e := 1; e <= 4; e++ {
+		out := svc.AdvanceEpoch(context.Background())
+		r := out[0]
+		if r.Failed() {
+			t.Fatalf("epoch %d: %s", e, r.Error)
+		}
+		if !r.Exact {
+			t.Errorf("epoch %d: answer %g not exact", e, r.Value)
+		}
+		if e <= 2 {
+			// Cold start: no seed may be attached and no sweep biased.
+			if r.SeededSweeps != 0 {
+				t.Errorf("epoch %d: %d seed-biased sweeps before a move estimate exists", e, r.SeededSweeps)
+			}
+			if r.SeedHit {
+				t.Errorf("epoch %d: SeedHit reported with no seed attached", e)
+			}
+			wantSeeds := 0
+			if e == 2 {
+				// After the 2nd answer the history is deep enough: the
+				// *next* epoch's job gets windows.
+				wantSeeds = 1
+			}
+			if n := seeds(); n != wantSeeds {
+				t.Errorf("after epoch %d: %d seed windows, want %d", e, n, wantSeeds)
+			}
+			continue
+		}
+		if r.SeededSweeps == 0 {
+			t.Errorf("epoch %d: steady drift but no seed-biased sweep", e)
+		}
+	}
+}
+
+// TestSeedMissCostsAtMostOneExtraSweep: a value jump the move estimator
+// could not predict must turn into a clean miss — the answer stays exact
+// and identical to a from-scratch run on the same epoch state, and the
+// mispredicted windows cost at most one extra sweep over that from-scratch
+// schedule (the stepper widens back to the full range after the seeded
+// probes come back empty).
+func TestSeedMissCostsAtMostOneExtraSweep(t *testing.T) {
+	const jumpEpoch = 4
+	update := func(e int, node topology.NodeID, prev uint64) uint64 {
+		if e == jumpEpoch {
+			return prev + 6000 // far outside margin = max(32, |move|≈100)
+		}
+		return prev + 100
+	}
+	svc, err := New(Options{Spec: testSpec(13), Update: update})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Subscribe(context.Background(), "SELECT median(value)"); err != nil {
+		t.Fatal(err)
+	}
+
+	for e := 1; e <= jumpEpoch; e++ {
+		out := svc.AdvanceEpoch(context.Background())
+		r := out[0]
+		if r.Failed() {
+			t.Fatalf("epoch %d: %s", e, r.Error)
+		}
+		scratch := svc.eng.Submit(context.Background(),
+			[]engine.Job{{Spec: svc.spec, Query: engine.Query{Kind: engine.KindMedian}, Overlay: svc.overlay}})[0]
+		if scratch.Failed() {
+			t.Fatalf("epoch %d scratch: %s", e, scratch.Error)
+		}
+		if r.Value != scratch.Value {
+			t.Errorf("epoch %d: served %g != from-scratch %g", e, r.Value, scratch.Value)
+		}
+		if e < jumpEpoch {
+			continue
+		}
+		// The jump epoch: seeds were attached (steady history) but the
+		// answer moved ~6000 — the window must miss.
+		if r.SeededSweeps == 0 {
+			t.Fatalf("jump epoch ran unseeded; the test would assert nothing")
+		}
+		if r.SeedHit {
+			t.Errorf("jump epoch: SeedHit=true, want a miss (answer moved 6000, margin ~100)")
+		}
+		if !r.Exact {
+			t.Errorf("jump epoch: missed seed broke exactness: %g", r.Value)
+		}
+		if r.SharedSweeps > scratch.SharedSweeps+1 {
+			t.Errorf("jump epoch: miss cost %d sweeps vs %d from scratch — more than 1 extra",
+				r.SharedSweeps, scratch.SharedSweeps)
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"sensoragg/internal/core"
 	"sensoragg/internal/engine"
 	"sensoragg/internal/epoch"
+	"sensoragg/internal/obs"
 	"sensoragg/internal/query"
 	"sensoragg/internal/topology"
 )
@@ -74,6 +75,15 @@ type Options struct {
 	// delivery never blocks the epoch stream — and the loss is counted on
 	// Subscription.Dropped.
 	Buffer int
+	// ObsAddr, when non-empty, enables the global observability sink
+	// (obs.Enable, unless one is already active) and serves the
+	// introspection endpoint — /metrics, /healthz, /debug/trace,
+	// /debug/pprof — on this address for the service's lifetime. Use
+	// ":0" to bind an ephemeral port (read it back from
+	// Service.ObsAddr). Empty keeps observability untouched. The
+	// embedding binary must blank-import sensoragg/internal/obs/obshttp;
+	// New fails otherwise.
+	ObsAddr string
 }
 
 // Result is one delivered answer: the engine result plus the serving
@@ -107,6 +117,8 @@ type Service struct {
 
 	tickStop chan struct{}
 	tickDone chan struct{}
+
+	obsSrv obs.EndpointServer // introspection endpoint; nil unless Options.ObsAddr was set
 }
 
 type pendingQuery struct {
@@ -146,6 +158,11 @@ func New(opts Options) (*Service, error) {
 		buffer: buffer,
 		maxX:   maxX,
 		values: values,
+	}
+	if opts.ObsAddr != "" {
+		if err := s.startObs(opts.ObsAddr); err != nil {
+			return nil, fmt.Errorf("serve: obs endpoint: %w", err)
+		}
 	}
 	if opts.EpochInterval > 0 {
 		s.tickStop = make(chan struct{})
@@ -371,6 +388,7 @@ func (sub *Subscription) observeLocked(r engine.Result) {
 // their callers). Concurrent AdvanceEpoch calls serialize on the state
 // evolution but execute their batches independently.
 func (s *Service) AdvanceEpoch(ctx context.Context) []Result {
+	start := time.Now()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -413,8 +431,15 @@ func (s *Service) AdvanceEpoch(ctx context.Context) []Result {
 	results := s.eng.Submit(ctx, jobs, engine.WithFusion())
 
 	out := make([]Result, len(subs))
+	var seedAttempts, seedHits, drops int64
 	s.mu.Lock()
 	for i, sub := range subs {
+		if len(jobs[i].Query.SeedWindows) > 0 {
+			seedAttempts++
+			if results[i].SeedHit {
+				seedHits++
+			}
+		}
 		sub.observeLocked(results[i])
 		r := Result{Epoch: e, SubID: sub.ID, Result: results[i]}
 		out[i] = r
@@ -429,16 +454,21 @@ func (s *Service) AdvanceEpoch(ctx context.Context) []Result {
 			select {
 			case <-sub.ch:
 				sub.dropped++
+				drops++
 			default:
 			}
 			select {
 			case sub.ch <- r:
 			default:
 				sub.dropped++
+				drops++
 			}
 		}
 	}
 	s.mu.Unlock()
+	if sk := obs.Active(); sk != nil {
+		s.obsEpoch(sk, e, len(subs), len(pend), seedAttempts, seedHits, drops, time.Since(start))
+	}
 	for i, p := range pend {
 		p.resp <- Result{Epoch: e, Result: results[len(subs)+i]}
 	}
@@ -511,6 +541,10 @@ func (s *Service) flushWindow() {
 	if len(pend) == 0 {
 		return
 	}
+	if sk := obs.Active(); sk != nil {
+		sk.WindowFill.Observe(float64(len(pend)))
+		sk.Tracer.Emit("window.flush", 0, obs.KV{K: "queries", V: int64(len(pend))})
+	}
 	jobs := make([]engine.Job, len(pend))
 	for i, p := range pend {
 		jobs[i] = p.job
@@ -551,5 +585,8 @@ func (s *Service) Close() {
 	}
 	for _, sub := range subs {
 		close(sub.ch)
+	}
+	if s.obsSrv != nil {
+		_ = s.obsSrv.Close()
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"sensoragg/internal/bitio"
 	"sensoragg/internal/faults"
 	"sensoragg/internal/netsim"
+	"sensoragg/internal/obs"
 	"sensoragg/internal/topology"
 	"sensoragg/internal/wire"
 )
@@ -225,6 +226,9 @@ func (e *FastEngine) Name() string { return "fast" }
 // regardless of schedule.
 func (e *FastEngine) Broadcast(p wire.Payload, apply Applier) {
 	e.watching = e.nw.Meter.Watching()
+	if sk := obs.Active(); sk != nil {
+		e.obsBroadcast(sk, p)
+	}
 	n := len(e.view.Order)
 	if e.sc.fanout == nil {
 		v := e.view
@@ -319,6 +323,9 @@ func (e *FastEngine) broadcastRange(p wire.Payload, apply Applier, lo, hi int) {
 // convergecast allocates nothing.
 func (e *FastEngine) Convergecast(c Combiner) (any, error) {
 	e.watching = e.nw.Meter.Watching()
+	if sk := obs.Active(); sk != nil {
+		e.obsConvergecast(sk, c)
+	}
 	if vc, ok := c.(VecCombiner); ok && e.pooled {
 		return e.convergecastVec(vc)
 	}
