@@ -575,6 +575,59 @@ func BenchmarkEngineMedian8Fused(b *testing.B) {
 	benchFusedBatch(b, jobs)
 }
 
+// BenchmarkEngineMedian8Byz — the Byzantine-robust tier's cost gate: 8
+// exact medians on independently-seeded 1024-node grids with 5% of nodes
+// lying, answered plain (the lies land, priced for contrast) and robust
+// (challenge-sum audits localize and quarantine the liars, per-sector
+// trimmed aggregation answers over the survivors). audit-bits prices the
+// localization in the paper's measure next to the query's own bits/node,
+// and quarantined/op counts the convicted liars per batch — the measured
+// robustness overhead row in BENCH_BASELINE.json.
+func BenchmarkEngineMedian8Byz(b *testing.B) {
+	const runs = 8
+	for _, bc := range []struct {
+		name   string
+		robust bool
+	}{
+		{"plain", false},
+		{"robust", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			jobs := make([]engine.Job, runs)
+			for i := range jobs {
+				jobs[i] = engine.Job{
+					Spec: engine.Spec{Topology: "grid", N: 1024, Workload: "uniform",
+						Seed: uint64(i + 1), Faults: faults.Spec{Byz: 0.05}},
+					Query: engine.Query{Kind: engine.KindMedian, Robust: bc.robust},
+				}
+			}
+			eng := engine.New(engine.Options{Workers: 4})
+			for _, j := range jobs {
+				if _, err := eng.Session().Template(j.Spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var bits, audit, quarantined int64
+			for i := 0; i < b.N; i++ {
+				results := eng.Submit(context.Background(), jobs)
+				for _, r := range results {
+					if r.Failed() {
+						b.Fatal(r.Error)
+					}
+					bits += r.BitsPerNode
+					audit += r.AuditBits
+					quarantined += int64(r.Quarantined)
+				}
+			}
+			b.ReportMetric(float64(bits)/float64(b.N)/runs, "bits/node")
+			b.ReportMetric(float64(audit)/float64(b.N)/runs, "audit-bits")
+			b.ReportMetric(float64(quarantined)/float64(b.N), "quarantined/op")
+		})
+	}
+}
+
 // BenchmarkFusedMixed — heterogeneous fusion: a median, five quantiles,
 // two order statistics, a fused aggregate, and the Fact 2.1 singletons
 // interleave in one shared schedule. The solo variant runs each with its

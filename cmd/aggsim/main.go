@@ -8,9 +8,14 @@
 // on a bounded worker pool. Results are deterministic: each run is
 // bit-identical to executing its network serially.
 //
-// Fault plans (-crash/-drop/-dup/-linkfail) inject deterministic faults
-// per run: structural faults trigger a self-healing tree repair before the
-// query, and the report gains crashed/unreachable/repair-bits columns.
+// Fault plans (-crash/-drop/-dup/-linkfail/-byz) inject deterministic
+// faults per run: structural faults trigger a self-healing tree repair
+// before the query, Byzantine nodes (-byz, discipline -byzmode) lie in
+// their convergecast partials, and the report gains
+// crashed/unreachable/repair-bits columns. -robust answers on the
+// Byzantine-robust tier — liars are audited and quarantined, sector
+// partials are trimmed to capacity, and each answer carries an
+// integrity bound.
 //
 // Examples:
 //
@@ -65,6 +70,9 @@ type options struct {
 	drop      float64
 	dup       float64
 	linkfail  float64
+	byz       float64
+	byzMode   string
+	robust    bool
 	faultSeed uint64
 
 	parallel int
@@ -98,6 +106,9 @@ func registerFlags(fs *flag.FlagSet, o *options) {
 	fs.Float64Var(&o.drop, "drop", 0, "fault plan: per-message loss probability")
 	fs.Float64Var(&o.dup, "dup", 0, "fault plan: per-message duplication probability")
 	fs.Float64Var(&o.linkfail, "linkfail", 0, "fault plan: permanent link failure probability")
+	fs.Float64Var(&o.byz, "byz", 0, "fault plan: Byzantine (lying) node probability (root exempt)")
+	fs.StringVar(&o.byzMode, "byzmode", "", "Byzantine lie discipline: corrupt|equivocate|collude (default corrupt)")
+	fs.BoolVar(&o.robust, "robust", false, "answer on the Byzantine-robust tier: audit + quarantine liars, trim sector partials, report integrity bounds")
 	fs.Uint64Var(&o.faultSeed, "faultseed", 0, "pin the fault stream to this seed (0 = per-run seed)")
 	fs.IntVar(&o.parallel, "parallel", 1, "run the query on this many independently-seeded networks")
 	fs.BoolVar(&o.fuse, "fuse", false, "fuse the -parallel runs into one shared-sweep batch on a single deployment (all runs use -seed; selection/aggregate kinds only)")
@@ -137,6 +148,8 @@ func (o options) spec(seed uint64) engine.Spec {
 			LinkFail: o.linkfail,
 			Drop:     o.drop,
 			Dup:      o.dup,
+			Byz:      o.byz,
+			ByzMode:  o.byzMode,
 			Seed:     o.faultSeed,
 		},
 	}
@@ -151,6 +164,7 @@ func (o options) querySpec() (engine.Query, error) {
 		Beta:       o.beta,
 		SketchP:    o.sketchP,
 		ProbeWidth: o.probeW,
+		Robust:     o.robust,
 	}
 	if o.query == engine.KindQuantiles {
 		for _, f := range strings.Split(o.phis, ",") {
@@ -238,6 +252,10 @@ func run(o options) error {
 		if r.Crashed > 0 || r.RepairBits > 0 {
 			line += fmt.Sprintf(" [%d crashed, %d unreachable, repair %d bits]",
 				r.Crashed, r.Unreachable, r.RepairBits)
+		}
+		if r.Robust {
+			line += fmt.Sprintf(" [robust: %d quarantined, %d suspected, bound ±%d items, audit %d bits]",
+				r.Quarantined, r.Suspected, r.IntegrityBound, r.AuditBits)
 		}
 		fmt.Printf("%s — %d bits/node, %d total bits, %d messages\n",
 			line, r.BitsPerNode, r.TotalBits, r.Messages)

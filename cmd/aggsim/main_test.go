@@ -105,3 +105,46 @@ func TestFuseFlag(t *testing.T) {
 		t.Errorf("fused spec seed = %d, want 9", o.spec(o.seed).Seed)
 	}
 }
+
+// TestByzAndRobustFlags: -byz/-byzmode land in the fault spec, -robust
+// lands on the query, and the defaults leave both off.
+func TestByzAndRobustFlags(t *testing.T) {
+	o := parse(t)
+	if spec := o.spec(1); spec.Faults.Byz != 0 || spec.Faults.ByzMode != "" {
+		t.Errorf("default byz plan not empty: %+v", spec.Faults)
+	}
+	if q, _ := o.querySpec(); q.Robust {
+		t.Error("robust defaulted on")
+	}
+
+	o = parse(t, "-byz", "0.05", "-byzmode", "equivocate", "-robust", "-query", "median")
+	spec := o.spec(7)
+	if spec.Faults.Byz != 0.05 || spec.Faults.ByzMode != "equivocate" {
+		t.Errorf("byz plan %+v", spec.Faults)
+	}
+	if err := spec.Faults.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q, err := o.querySpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Robust {
+		t.Error("-robust did not reach the query")
+	}
+
+	// A bad discipline surfaces at validation, where run() would fail.
+	o = parse(t, "-byz", "0.05", "-byzmode", "spoof")
+	if err := o.spec(1).Faults.Validate(); err == nil {
+		t.Error("byzmode=spoof validated")
+	}
+}
+
+// TestRobustRunEndToEnd drives run() itself: an adversarial robust
+// batch completes, and the robust fields ride the JSON report.
+func TestRobustRunEndToEnd(t *testing.T) {
+	o := parse(t, "-n", "128", "-byz", "0.06", "-robust", "-query", "median", "-parallel", "2")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}

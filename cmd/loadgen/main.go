@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"sensoragg/internal/engine"
+	"sensoragg/internal/faults"
 	"sensoragg/internal/obs"
 	"sensoragg/internal/obs/obshttp"
 	"sensoragg/internal/serve"
@@ -54,6 +55,9 @@ func main() {
 	epochs := flag.Int("epochs", 10, "epochs to advance")
 	window := flag.Duration("window", serve.DefaultFuseWindow, "group-commit fusion window")
 	drift := flag.Uint64("drift", 200, "per-node ±step random walk per epoch (0 = static values)")
+	byz := flag.Float64("byz", 0, "fault plan: Byzantine (lying) node probability (root exempt)")
+	byzMode := flag.String("byzmode", "", "Byzantine lie discipline: corrupt|equivocate|collude (default corrupt)")
+	robust := flag.Bool("robust", false, "serve every subscription on the Byzantine-robust tier (audits, quarantine, integrity bounds)")
 	statement := flag.String("statement", "SELECT median(value)", "the standing statement")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	buffer := flag.Int("buffer", 0, "subscription channel depth (0 = deep enough for the whole run; small values exercise shed-oldest delivery)")
@@ -77,8 +81,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: obs endpoint on http://%s\n", obsSrv.Addr)
 	}
 
-	spec := engine.Spec{Topology: *topo, N: *n, Workload: *wl, Seed: *seed}
-	rep, err := run(spec, *subscribers, *epochs, *window, *drift, *statement, *buffer)
+	spec := engine.Spec{Topology: *topo, N: *n, Workload: *wl, Seed: *seed,
+		Faults: faults.Spec{Byz: *byz, ByzMode: *byzMode}}
+	rep, err := run(spec, *subscribers, *epochs, *window, *drift, *statement, *buffer, *robust)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
@@ -142,6 +147,16 @@ type report struct {
 	// when a move estimate exists) whose seeded search contained the
 	// answer.
 	SeedHitRate float64 `json:"seed_hit_rate"`
+
+	// Robust marks a run served on the Byzantine-robust tier. The totals
+	// aggregate over all deliveries: QuarantinedTotal counts convicted
+	// liars (each epoch re-runs localization on its forked fault plan),
+	// and MaxIntegrityBound is the worst per-answer bound — 0 means every
+	// delivered answer was certified exact over the honest survivors.
+	Robust            bool   `json:"robust,omitempty"`
+	QuarantinedTotal  int64  `json:"quarantined_total,omitempty"`
+	SuspectedTotal    int64  `json:"suspected_total,omitempty"`
+	MaxIntegrityBound uint64 `json:"max_integrity_bound,omitempty"`
 
 	// Obs embeds the run's final observability state: the metrics
 	// registry snapshot, the trace tail, and provenance.
@@ -212,6 +227,10 @@ func (r *report) print() {
 		r.EpochBitsPerNode, r.Subscribers, r.SoloBitsPerNode, ratio)
 	fmt.Printf("delta-narrowing: %.0f%% of steady-state epochs answered inside the seeded window\n",
 		100*r.SeedHitRate)
+	if r.Robust {
+		fmt.Printf("robust tier: %d quarantined, %d suspected across deliveries, worst integrity bound ±%d items\n",
+			r.QuarantinedTotal, r.SuspectedTotal, r.MaxIntegrityBound)
+	}
 	if r.Obs != nil {
 		fmt.Printf("obs: %d sweeps, %d broadcasts, %d epochs recorded (commit %s)\n",
 			r.Obs.Metrics.Counters["sweeps_total"], r.Obs.Metrics.Counters["broadcasts_total"],
@@ -220,14 +239,17 @@ func (r *report) print() {
 }
 
 type delivery struct {
-	epoch     int
-	latencyNS int64
-	bits      int64
-	seedHit   bool
-	failed    bool
+	epoch       int
+	latencyNS   int64
+	bits        int64
+	seedHit     bool
+	failed      bool
+	quarantined int
+	suspected   int
+	bound       uint64
 }
 
-func run(spec engine.Spec, subscribers, epochs int, window time.Duration, drift uint64, statement string, buffer int) (*report, error) {
+func run(spec engine.Spec, subscribers, epochs int, window time.Duration, drift uint64, statement string, buffer int, robust bool) (*report, error) {
 	if subscribers < 1 || epochs < 1 {
 		return nil, fmt.Errorf("need at least 1 subscriber and 1 epoch")
 	}
@@ -239,6 +261,9 @@ func run(spec engine.Spec, subscribers, epochs int, window time.Duration, drift 
 	soloQuery, _, err := serve.QueryFor(statement)
 	if err != nil {
 		return nil, err
+	}
+	if robust && soloQuery.Kind != engine.KindStatement {
+		soloQuery.Robust = true
 	}
 	solo := eng.Submit(context.Background(), []engine.Job{{Spec: spec, Query: soloQuery}})[0]
 	if solo.Failed() {
@@ -269,6 +294,7 @@ func run(spec engine.Spec, subscribers, epochs int, window time.Duration, drift 
 			return uint64(next)
 		},
 		Buffer: buffer,
+		Robust: robust,
 	})
 	if err != nil {
 		return nil, err
@@ -294,11 +320,14 @@ func run(spec engine.Spec, subscribers, epochs int, window time.Duration, drift 
 			defer wg.Done()
 			for r := range sub.Results() {
 				d := delivery{
-					epoch:     r.Epoch,
-					latencyNS: time.Since(starts[r.Epoch]).Nanoseconds(),
-					bits:      r.BitsPerNode,
-					seedHit:   r.SeedHit,
-					failed:    r.Failed(),
+					epoch:       r.Epoch,
+					latencyNS:   time.Since(starts[r.Epoch]).Nanoseconds(),
+					bits:        r.BitsPerNode,
+					seedHit:     r.SeedHit,
+					failed:      r.Failed(),
+					quarantined: r.Quarantined,
+					suspected:   r.Suspected,
+					bound:       r.IntegrityBound,
 				}
 				mu.Lock()
 				deliveries = append(deliveries, d)
@@ -322,6 +351,7 @@ func run(spec engine.Spec, subscribers, epochs int, window time.Duration, drift 
 		Drift:           drift,
 		Deliveries:      len(deliveries),
 		SoloBitsPerNode: solo.BitsPerNode,
+		Robust:          robust,
 	}
 	for _, sub := range subs {
 		d := sub.Dropped()
@@ -341,6 +371,11 @@ func run(spec engine.Spec, subscribers, epochs int, window time.Duration, drift 
 		}
 		latencies = append(latencies, d.latencyNS)
 		epochBits[d.epoch] = d.bits // fused: every delivery prices the one shared plane
+		rep.QuarantinedTotal += int64(d.quarantined)
+		rep.SuspectedTotal += int64(d.suspected)
+		if d.bound > rep.MaxIntegrityBound {
+			rep.MaxIntegrityBound = d.bound
+		}
 		if d.epoch >= 3 {
 			steady++
 			if d.seedHit {

@@ -93,6 +93,11 @@ type console struct {
 	// 0.9)` then executes as one fusion batch — one merged probe schedule
 	// over the deployment instead of one schedule per statement.
 	fuse bool
+	// robust routes statements through the engine's Byzantine-robust
+	// tier (SET ROBUST ON|OFF): answers carry integrity accounting, and
+	// adversarial fault plans (`faults byz=...`) are localized and
+	// quarantined before the answer. Robust jobs never fuse.
+	robust bool
 
 	// Serving state: a lazily-built serve.Service over the current
 	// deployment, the console's standing subscriptions by ID, and the
@@ -166,13 +171,20 @@ func run(spec engine.Spec) error {
 			}
 		default:
 			stmts := splitStatements(line)
-			if len(stmts) > 1 && c.fuse {
+			if len(stmts) > 1 && c.fuse && !c.robust {
 				if err := c.execFused(stmts, model); err != nil {
 					fmt.Printf("error: %v\n", err)
 				}
 				break
 			}
 			for _, stmt := range stmts {
+				if c.robust {
+					if err := c.execRobustSolo(stmt, model); err != nil {
+						fmt.Printf("error: %v\n", err)
+						break
+					}
+					continue
+				}
 				res, err := c.exec(stmt)
 				if err != nil {
 					fmt.Printf("error: %v\n", err)
@@ -215,6 +227,7 @@ func (c *console) setCommand(line string) error {
 			fmt.Printf("probewidth: %d\n", c.probeWidth)
 		}
 		fmt.Printf("fuse: %s\n", onOff(c.fuse))
+		fmt.Printf("robust: %s\n", onOff(c.robust))
 		if c.drift == 0 {
 			fmt.Println("drift: off (static values across epochs)")
 		} else {
@@ -224,7 +237,7 @@ func (c *console) setCommand(line string) error {
 		return nil
 	}
 	if len(fields) != 3 {
-		return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off> | set drift <step|off> | set obs <on|off>")
+		return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off> | set robust <on|off> | set drift <step|off> | set obs <on|off>")
 	}
 	switch {
 	case strings.EqualFold(fields[1], "probewidth"):
@@ -250,6 +263,28 @@ func (c *console) setCommand(line string) error {
 			return fmt.Errorf("fuse %q must be on or off", fields[2])
 		}
 		fmt.Printf("fuse: %s\n", onOff(c.fuse))
+		return nil
+	case strings.EqualFold(fields[1], "robust"):
+		var want bool
+		switch {
+		case strings.EqualFold(fields[2], "on"):
+			want = true
+		case strings.EqualFold(fields[2], "off"):
+			want = false
+		default:
+			return fmt.Errorf("robust %q must be on or off", fields[2])
+		}
+		if want != c.robust {
+			c.robust = want
+			// The serving layer bakes Robust in at construction; rebuild
+			// it (and its subscriptions) on the next epoch.
+			c.closeService()
+		}
+		if c.robust {
+			fmt.Println("robust: on — statements answer on the Byzantine-robust tier (trimmed sectors, audits, integrity bounds; robust jobs run solo)")
+		} else {
+			fmt.Println("robust: off")
+		}
 		return nil
 	case strings.EqualFold(fields[1], "drift"):
 		if strings.EqualFold(fields[2], "off") {
@@ -281,7 +316,46 @@ func (c *console) setCommand(line string) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off> | set drift <step|off> | set obs <on|off>")
+	return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off> | set robust <on|off> | set drift <step|off> | set obs <on|off>")
+}
+
+// execRobustSolo runs one statement on the engine's Byzantine-robust
+// tier. Only the exact selection/aggregate statements the engine serves
+// robustly are accepted — the same set fusion takes.
+func (c *console) execRobustSolo(stmt string, model energy.Model) error {
+	q, err := query.Parse(stmt)
+	if err != nil {
+		return err
+	}
+	if _, set := q.Options["probewidth"]; !set && c.probeWidth > 0 {
+		q.Options["probewidth"] = float64(c.probeWidth)
+	}
+	eq, ok := fusedQuery(q)
+	if !ok {
+		return fmt.Errorf("%q has no robust path (exact selection/aggregate without WHERE); SET ROBUST OFF to run it plain", stmt)
+	}
+	eq.Robust = true
+	r := c.eng.Submit(context.Background(), []engine.Job{{ID: "robust", Spec: c.spec, Query: eq}})[0]
+	if r.Failed() {
+		return fmt.Errorf("%s", r.Error)
+	}
+	fmt.Printf("%s   (robust%s)\n", engine.FormatValues(r.Value, r.Values), robustDetail(r))
+	perQuery := float64(r.BitsPerNode)
+	fmt.Printf("cost: %d bits/node (max), %d total bits — ≈ %s on the hottest node\n",
+		r.BitsPerNode, r.TotalBits,
+		energy.FormatJoules(perQuery*(model.TxPerBit+model.RxPerBit)/2))
+	return nil
+}
+
+// robustDetail renders a robust result's integrity accounting for the
+// console: exact when nothing was suspected, otherwise who was caught
+// and how far the answer could be off.
+func robustDetail(r engine.Result) string {
+	if r.Quarantined == 0 && r.Suspected == 0 && r.IntegrityBound == 0 {
+		return ", integrity exact"
+	}
+	return fmt.Sprintf(", quarantined %d, suspected %d, bound ±%d items — audit %d rounds, %d bits",
+		r.Quarantined, r.Suspected, r.IntegrityBound, r.AuditRounds, r.AuditBits)
 }
 
 // statsCommand prints a snapshot of the active observability registry —
@@ -454,6 +528,7 @@ func (c *console) service() (*serve.Service, error) {
 	svc, err := serve.New(serve.Options{
 		Spec:   c.spec,
 		Engine: c.eng,
+		Robust: c.robust,
 		Update: func(e int, node topology.NodeID, prev uint64) uint64 {
 			step := int64(c.drift)
 			if step == 0 {
@@ -569,6 +644,9 @@ func (c *console) epochCommand(line string, model energy.Model) error {
 			if r.SeedHit {
 				seeded = fmt.Sprintf(", seeded %d/%d sweeps", r.SeededSweeps, r.SharedSweeps)
 			}
+			if r.Robust {
+				seeded += robustDetail(r.Result)
+			}
 			perEpoch := float64(r.BitsPerNode)
 			fmt.Printf("epoch %d [%d]%s: %s — %d bits/node (max)%s — ≈ %s on the hottest node\n",
 				r.Epoch, r.SubID, stmt, engine.FormatValues(r.Value, r.Values),
@@ -649,6 +727,10 @@ func (c *console) faultsCommand(line string) error {
 			fs.Seed = seed
 			continue
 		}
+		if strings.EqualFold(k, "byzmode") {
+			fs.ByzMode = strings.ToLower(v)
+			continue // Validate vets the mode name below
+		}
 		rate, err := strconv.ParseFloat(v, 64)
 		if err != nil {
 			return fmt.Errorf("bad rate %q: %w", v, err)
@@ -662,8 +744,10 @@ func (c *console) faultsCommand(line string) error {
 			fs.Drop = rate
 		case "dup":
 			fs.Dup = rate
+		case "byz":
+			fs.Byz = rate
 		default:
-			return fmt.Errorf("unknown fault %q (crash|linkfail|drop|dup|seed)", k)
+			return fmt.Errorf("unknown fault %q (crash|linkfail|drop|dup|byz|byzmode|seed)", k)
 		}
 	}
 	if err := fs.Validate(); err != nil {
@@ -725,13 +809,18 @@ clauses:
   USING key=value, ...                   (probewidth=K overrides the session width)
 console:
   net [topology [n [workload [seed]]]]   switch deployment (cached trees)
-  faults [off | crash=P drop=P dup=P linkfail=P seed=S]
+  faults [off | crash=P drop=P dup=P linkfail=P byz=P byzmode=M seed=S]
                                          set the deployment's fault plan;
-                                         crashes/dead links self-heal the tree
+                                         crashes/dead links self-heal the tree;
+                                         byz=P makes nodes lie, byzmode M is
+                                         corrupt|equivocate|collude
   set probewidth <k|default>             COUNT probes batched per selection sweep
   set fuse <on|off>                      fuse "stmt; stmt; ..." lines into one
                                          shared-sweep batch (one probe plane
                                          answers every statement at once)
+  set robust <on|off>                    answer on the Byzantine-robust tier:
+                                         audit and quarantine liars, trim sector
+                                         partials, report an integrity bound
   set drift <step|off>                   per-epoch ±step random walk of every
                                          node's reading (the epoch drift model)
   set obs <on|off>                       record sweep/batch/epoch events and

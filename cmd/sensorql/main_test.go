@@ -368,3 +368,102 @@ func TestSetObsAndStats(t *testing.T) {
 		t.Error("`set obs maybe` accepted")
 	}
 }
+
+// TestFaultsByzParsing: the faults command accepts byz rates and
+// byzmode disciplines, round-trips them into the deployment spec, and
+// rejects junk modes and byzmode-without-byz.
+func TestFaultsByzParsing(t *testing.T) {
+	c := testConsole(t)
+	if err := c.faultsCommand("faults byz=0.05 byzmode=equivocate seed=7"); err != nil {
+		t.Fatal(err)
+	}
+	if c.spec.Faults.Byz != 0.05 || c.spec.Faults.ByzMode != "equivocate" || c.spec.Faults.Seed != 7 {
+		t.Fatalf("spec faults %+v", c.spec.Faults)
+	}
+	if err := c.faultsCommand("faults byz=0.1 byzmode=COLLUDE"); err != nil {
+		t.Fatalf("byzmode should be case-insensitive: %v", err)
+	}
+	if c.spec.Faults.ByzMode != "collude" {
+		t.Fatalf("byzmode %q", c.spec.Faults.ByzMode)
+	}
+	for _, bad := range []string{
+		"faults byz=2",                 // rate out of range
+		"faults byz=0.1 byzmode=spoof", // unknown discipline
+		"faults byzmode=corrupt",       // mode without a rate
+		"faults byz=x",                 // unparsable rate
+	} {
+		if err := c.faultsCommand(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	if err := c.faultsCommand("faults off"); err != nil || c.spec.Faults.Active() {
+		t.Fatalf("faults off: %+v err=%v", c.spec.Faults, err)
+	}
+}
+
+// TestSetRobustAndExec: `set robust on` answers statements on the
+// Byzantine-robust tier — under an adversarial plan the robust answer
+// matches the honest truth while the plain answer need not — and
+// statements without a robust path are refused with guidance.
+func TestSetRobustAndExec(t *testing.T) {
+	c := testConsole(t)
+	if err := c.setCommand("set robust on"); err != nil || !c.robust {
+		t.Fatalf("set robust on: robust=%v err=%v", c.robust, err)
+	}
+	if err := c.faultsCommand("faults byz=0.08"); err != nil {
+		t.Fatal(err)
+	}
+	model := energy.MoteDefaults()
+	if err := c.execRobustSolo("SELECT median(value)", model); err != nil {
+		t.Fatalf("robust median: %v", err)
+	}
+	// Same job straight through the engine: the answer must be exact
+	// after localization (everything byz-flagged is quarantined).
+	r := c.eng.Submit(context.Background(), []engine.Job{{
+		Spec: c.spec, Query: engine.Query{Kind: engine.KindMedian, Robust: true},
+	}})[0]
+	if r.Failed() || !r.Robust || !r.Exact || r.IntegrityBound != 0 {
+		t.Fatalf("robust result %+v", r)
+	}
+	if err := c.execRobustSolo("SELECT count(value) WHERE value < 10", model); err == nil ||
+		!strings.Contains(err.Error(), "robust") {
+		t.Fatalf("WHERE clause should be refused on the robust tier, got %v", err)
+	}
+	if err := c.setCommand("set robust off"); err != nil || c.robust {
+		t.Fatalf("set robust off: robust=%v err=%v", c.robust, err)
+	}
+	if err := c.setCommand("set robust sideways"); err == nil {
+		t.Fatal("bad robust value accepted")
+	}
+}
+
+// TestStatsShowsByzCounters: the obs registry pre-registers the byz
+// tier's instruments, so `stats` surfaces them (and a robust run under
+// an adversary moves the quarantine counter).
+func TestStatsShowsByzCounters(t *testing.T) {
+	if obs.Active() != nil {
+		t.Skip("observability already active in this process")
+	}
+	obs.Enable()
+	defer obs.Disable()
+	c := testConsole(t)
+	if err := c.faultsCommand("faults byz=0.08"); err != nil {
+		t.Fatal(err)
+	}
+	r := c.eng.Submit(context.Background(), []engine.Job{{
+		Spec: c.spec, Query: engine.Query{Kind: engine.KindCount, Robust: true},
+	}})[0]
+	if r.Failed() {
+		t.Fatal(r.Error)
+	}
+	snap := obs.Active().Metrics.Snapshot()
+	if _, ok := snap.Counters["byz_suspected_total"]; !ok {
+		t.Error("byz_suspected_total not registered")
+	}
+	if _, ok := snap.Gauges["integrity_bound"]; !ok {
+		t.Error("integrity_bound not registered")
+	}
+	if r.Quarantined > 0 && snap.Counters["byz_quarantined_total"] == 0 {
+		t.Errorf("quarantined %d but byz_quarantined_total is 0", r.Quarantined)
+	}
+}

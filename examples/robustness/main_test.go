@@ -1,0 +1,45 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestAdversaryActOutput runs the example's lying-subtree scenario and
+// asserts the printed contract: the plain median is corrupted, the
+// robust median quarantines the liars, and the integrity bound line
+// certifies exactness. The scenario is fully deterministic (fixed
+// topology, workload, and fault seed), so the assertion is on the
+// actual rendered lines, not just "it ran".
+func TestAdversaryActOutput(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	adversaryAct() // log.Fatalf inside aborts the test process on a broken run
+	w.Close()
+	os.Stdout = old
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+
+	for _, want := range []string{
+		"a lying subtree (byz=0.08, 256 sensors)",
+		"✗ (the lie landed)",
+		"liars quarantined",
+		"integrity bound: ±0 items — the answer is certified exact over the honest survivors",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("example output missing %q\n--- output ---\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "0 liars quarantined") {
+		t.Errorf("adversary too quiet — no one was quarantined:\n%s", out)
+	}
+}

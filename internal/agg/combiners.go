@@ -9,6 +9,7 @@ import (
 
 	"sensoragg/internal/bitio"
 	"sensoragg/internal/core"
+	"sensoragg/internal/faults"
 	"sensoragg/internal/loglog"
 	"sensoragg/internal/netsim"
 	"sensoragg/internal/spantree"
@@ -40,6 +41,7 @@ type minMaxCombiner struct {
 
 var _ spantree.AppendCombiner = minMaxCombiner{}
 var _ spantree.ScalarCombiner = minMaxCombiner{}
+var _ spantree.ByzScalarCombiner = minMaxCombiner{}
 
 func (c minMaxCombiner) local(n *netsim.Node) minMaxPartial {
 	var p minMaxPartial
@@ -120,6 +122,38 @@ func (c minMaxCombiner) DecodeScalar(pl wire.Payload) (uint64, uint64, error) {
 	return lo, hi, nil
 }
 
+// CorruptScalar (spantree.ByzScalarCombiner) maps a lie word into the
+// minmax wire domain: an in-range fake minimum (any value ≤ the honest
+// max stays inside the fixed-width field and keeps lo ≤ hi, so the
+// message still decodes). A degenerate singleton partial at 0 lies on
+// the max instead. Empty partials have no value to corrupt — the wire
+// carries only the presence bit, so the lie would be detectable locally.
+func (c minMaxCombiner) CorruptScalar(x, y, lie uint64) (uint64, uint64) {
+	if x > y {
+		return x, y // empty partial: nothing in-domain to lie about
+	}
+	if y == ^uint64(0) {
+		lo := lie
+		if lo == x {
+			lo++
+		}
+		return lo, y
+	}
+	if y > 0 {
+		lo := lie % (y + 1)
+		if lo == x {
+			lo = (lo + 1) % (y + 1)
+		}
+		return lo, y
+	}
+	// x == y == 0: push the max up instead, clamped to the field width.
+	hi := 1 + lie%16
+	if mask := uint64(1)<<uint(c.width) - 1; c.width < 64 && hi > mask {
+		hi = mask
+	}
+	return x, hi
+}
+
 func (c minMaxCombiner) ScalarResult(x, y uint64) any {
 	if x > y {
 		return minMaxPartial{}
@@ -189,6 +223,7 @@ type countCombiner struct {
 
 var _ spantree.AppendCombiner = countCombiner{}
 var _ spantree.ScalarCombiner = countCombiner{}
+var _ spantree.ByzScalarCombiner = countCombiner{}
 
 func (c countCombiner) LocalScalar(n *netsim.Node) (uint64, uint64) {
 	var count uint64
@@ -214,6 +249,12 @@ func (c countCombiner) DecodeScalar(pl wire.Payload) (uint64, uint64, error) {
 		return 0, 0, fmt.Errorf("agg: count: %w", err)
 	}
 	return v, 0, nil
+}
+
+// CorruptScalar (spantree.ByzScalarCombiner): counts are gamma-coded, so
+// any corrupted value except the gamma sentinel is wire-legal.
+func (c countCombiner) CorruptScalar(x, y, lie uint64) (uint64, uint64) {
+	return faults.CorruptValue(x, lie), y
 }
 
 func (c countCombiner) ScalarResult(x, _ uint64) any { return x }
@@ -260,6 +301,7 @@ type sumCombiner struct {
 
 var _ spantree.AppendCombiner = sumCombiner{}
 var _ spantree.ScalarCombiner = sumCombiner{}
+var _ spantree.ByzScalarCombiner = sumCombiner{}
 
 func (c sumCombiner) LocalScalar(n *netsim.Node) (uint64, uint64) {
 	var sum uint64
@@ -285,6 +327,12 @@ func (c sumCombiner) DecodeScalar(pl wire.Payload) (uint64, uint64, error) {
 		return 0, 0, fmt.Errorf("agg: sum: %w", err)
 	}
 	return v, 0, nil
+}
+
+// CorruptScalar (spantree.ByzScalarCombiner): sums are gamma-coded like
+// counts; the same bounded corruption applies.
+func (c sumCombiner) CorruptScalar(x, y, lie uint64) (uint64, uint64) {
+	return faults.CorruptValue(x, lie), y
 }
 
 func (c sumCombiner) ScalarResult(x, _ uint64) any { return x }

@@ -5,6 +5,7 @@ import (
 
 	"sensoragg/internal/bitio"
 	"sensoragg/internal/core"
+	"sensoragg/internal/faults"
 	"sensoragg/internal/netsim"
 	"sensoragg/internal/spantree"
 	"sensoragg/internal/wire"
@@ -53,6 +54,7 @@ func (c *countVecCombiner) vecWidth() int {
 }
 
 var _ spantree.VecCombiner = (*countVecCombiner)(nil)
+var _ spantree.ByzVecCombiner = (*countVecCombiner)(nil)
 
 // nestedPreds reports whether the probe set forms a ⊆-chain — ascending
 // strict-less thresholds, optionally topped by TRUE — which guarantees
@@ -332,6 +334,30 @@ func (c *countVecCombiner) decodeCounts(r *bitio.Reader, dst []uint64) error {
 	return nil
 }
 
+// CorruptVec (spantree.ByzVecCombiner) maps a lie word into the probe
+// plane's wire domain. A nested ⊆-chain vector must stay monotone
+// nondecreasing or the delta packing breaks, so the lie is one uniform
+// additive shift of every count slot: deltas are untouched, and a
+// downward shift is bounded by the smallest count so no slot underflows.
+// Non-nested slots are gamma-coded independently and corrupted per slot.
+// The sum rider (additive, gamma-coded after the counts) lies separately.
+func (c *countVecCombiner) CorruptVec(p []uint64, lie uint64) {
+	k := len(c.preds)
+	if c.nested {
+		d := faults.CorruptValue(p[0], lie) - p[0]
+		for i := 0; i < k; i++ {
+			p[i] += d
+		}
+	} else {
+		for i := 0; i < k; i++ {
+			p[i] = faults.CorruptValue(p[i], lie+uint64(i)*0x9e3779b97f4a7c15)
+		}
+	}
+	if c.withSum {
+		p[k] = faults.CorruptValue(p[k], lie^0x5851f42d4c957f2d)
+	}
+}
+
 func (c *countVecCombiner) VecResult(p []uint64) any { return p }
 
 // Generic Combiner methods: the copying reference path (unpooled fast
@@ -386,6 +412,7 @@ const (
 )
 
 var _ spantree.VecCombiner = (*fusedCombiner)(nil)
+var _ spantree.ByzVecCombiner = (*fusedCombiner)(nil)
 
 func (c *fusedCombiner) VecWidth() int { return fusedWidth }
 
@@ -460,6 +487,23 @@ func (c *fusedCombiner) DecodeVec(pl wire.Payload, dst []uint64) error {
 		}
 	}
 	return nil
+}
+
+// CorruptVec (spantree.ByzVecCombiner): the fused wire format gates the
+// fixed-width extrema on count > 0, so the lie corrupts count and sum but
+// keeps the partial's emptiness — an empty partial stays empty (its only
+// wire content is two zero gammas) and a non-empty one keeps count ≥ 1 so
+// the extrema slots remain present and in range.
+func (c *fusedCombiner) CorruptVec(p []uint64, lie uint64) {
+	if p[fusedCount] == 0 {
+		return
+	}
+	count := faults.CorruptValue(p[fusedCount], lie)
+	if count == 0 {
+		count = p[fusedCount] + 1
+	}
+	p[fusedCount] = count
+	p[fusedSum] = faults.CorruptValue(p[fusedSum], lie^0x5851f42d4c957f2d)
 }
 
 func (c *fusedCombiner) VecResult(p []uint64) any { return p }

@@ -1,0 +1,256 @@
+// Package byz is the Byzantine-robust aggregation tier: it defends the
+// convergecast against nodes that lie (faults.Spec.Byz) and prices every
+// answer's residual exposure as an explicit integrity bound.
+//
+// The defense has three layers, all riding the paper's own machinery:
+//
+//   - Localization (Localize): a challenge-sum audit over subtrees. The
+//     root broadcasts a round nonce; every node folds a 16-bit challenge
+//     word χ(nonce, id) — a pure function of public identity — into a
+//     gamma-coded (sum, count) convergecast. The root knows the view, so
+//     it can compute every subtree's expected sums offline; a mismatch
+//     convicts the subtree. Descent re-audits the children of every
+//     mismatching subtree, and a subtree that mismatches while all its
+//     children pass pins the lie on its own root — which is quarantined
+//     (faults.Plan.Quarantine) and routed around by the existing
+//     HELP/AVAIL/JOIN healing wave (spantree.Heal treats quarantined
+//     nodes exactly like crashed ones). Rounds repeat until an audit
+//     pass is clean, so chains of liars unwind bottom-up.
+//   - Trimmed subtree aggregation (RobustNet): queries run per-sector —
+//     one aggregation per root-child subtree, relayed to the root — and
+//     every sector partial is clamped against the sector's item capacity
+//     (counts ≤ items, sums ≤ items·maxvalue, extrema in domain; a
+//     TRUE-predicate count must equal the capacity exactly). A partial
+//     that needed trimming marks its sector suspected.
+//   - Sketch cross-check (RobustNet.CrossCheck): a duplicate-insensitive
+//     LogLog estimate over the untrimmed tree, compared against the
+//     trimmed count — the estimator folds hashed item keys, which the
+//     value-corruption adversary cannot deflate, so a large deviation
+//     exposes lies that stayed under every trim threshold.
+//
+// The integrity bound is the sum of the item capacities of sectors that
+// are suspected but not quarantined: however those sectors lied, they
+// cannot displace the answer by more than their own item mass, so rank
+// answers (median, order statistics, counts) are correct to ± bound
+// positions. A clean run — and any run whose liars were all quarantined —
+// reports bound 0, and a robust run with no adversary produces values
+// identical to the non-robust engine (the sector partials sum to exactly
+// the global partials, so the k-ary probe schedule never diverges).
+//
+// Audit guarantees match the fault model's determinism: with a single
+// corrupted subtree the liar is identified exactly (its relayed audit sum
+// is corrupted by construction, while every honest subtree passes);
+// multiple colluding liars are unwound over rounds unless their
+// corruptions cancel inside one audit sum, which the seeded 16-bit
+// challenge words make a measure-zero coincidence. Like the repair
+// handshake, audit control frames ride the reliable ARQ link layer: their
+// bits are charged to the meter, but message-level drop/dup does not
+// forge audit evidence against honest subtrees.
+package byz
+
+import (
+	"fmt"
+
+	"sensoragg/internal/bitio"
+	"sensoragg/internal/faults"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/spantree"
+	"sensoragg/internal/topology"
+)
+
+// auditStream seeds the challenge-word stream independently of the fault
+// plan's own decision streams; chiStream2 derives the second, independent
+// challenge sum every audit carries — colluding liars whose corruptions
+// cancel in one sum (two shared-word bit-flips of opposite sign do) must
+// cancel in both simultaneously to slip one audit.
+const (
+	auditStream = 0xe7037ed1a0b428db
+	chiStream2  = 0x2545f4914f6cdd1d
+)
+
+// chi is node u's challenge word for a round nonce: 16 bits, a pure
+// function of (nonce, identity), so the root can evaluate any subtree's
+// expected sum without touching the network.
+func chi(nonce uint64, u topology.NodeID) uint64 {
+	return mix64(nonce+uint64(u)*0x9e3779b97f4a7c15) & 0xFFFF
+}
+
+// mix64 is the SplitMix64 finalizer (kept in sync with faults.mix64).
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Report is the outcome of one localization run.
+type Report struct {
+	// Suspected lists every subtree root that failed a challenge audit at
+	// any point of the descent — including honest ancestors of liars,
+	// which clear once the liar below them is quarantined.
+	Suspected []topology.NodeID
+	// Quarantined lists the convicted nodes, in conviction order.
+	Quarantined []topology.NodeID
+	// Rounds is the number of audit→quarantine→re-heal iterations,
+	// including the two consecutive clean passes that end the loop (a
+	// network that never lied reports 2).
+	Rounds int
+	// Audits is the number of subtree audits executed across all rounds.
+	Audits int
+	// AuditBits is the total audit and re-repair traffic charged to the
+	// meter by the localization (included in the run's totals).
+	AuditBits int64
+	// Healed is the re-heal that followed the last quarantine (nil when
+	// nothing was quarantined): the view the query should execute over.
+	Healed *spantree.HealResult
+}
+
+// Localize runs the challenge-sum audit over the view, quarantines every
+// convicted subtree root, re-heals around it, and repeats until an audit
+// pass comes back clean. It returns the report and the view the query
+// should execute over (the re-healed view after the last quarantine, or
+// the input view unchanged when the network audits clean).
+func Localize(nw *netsim.Network, view *spantree.TreeView) (*Report, *spantree.TreeView, error) {
+	plan := nw.Faults
+	rep := &Report{}
+	if plan == nil || !plan.Adversarial() {
+		rep.Rounds = 1
+		return rep, view, nil
+	}
+	before := nw.Meter.Snapshot()
+	seen := make(map[topology.NodeID]bool)
+	// Each round convicts at least one node while any audit mismatches
+	// (the deepest mismatching subtree has no mismatching children), so
+	// 2(N+1) rounds is a safe ceiling, never reached in practice. The
+	// loop only stops after two consecutive clean rounds: the second
+	// round re-audits under a fresh nonce, so colluding corruptions that
+	// happened to cancel under one challenge must cancel again under
+	// independent challenge words to stay hidden.
+	clean := 0
+	for round := 0; clean < 2 && round < 2*(nw.N()+1); round++ {
+		rep.Rounds++
+		nonce := mix64((nw.Seed() ^ auditStream) + uint64(round))
+		convicted := auditRound(nw, view, nonce, rep, seen)
+		if len(convicted) == 0 {
+			clean++
+			continue
+		}
+		clean = 0
+		for _, u := range convicted {
+			plan.Quarantine(u)
+		}
+		rep.Quarantined = append(rep.Quarantined, convicted...)
+		hr, err := spantree.Heal(nw)
+		if err != nil {
+			return nil, nil, fmt.Errorf("byz: re-heal after quarantine: %w", err)
+		}
+		rep.Healed = hr
+		view = hr.View
+	}
+	rep.AuditBits = nw.Meter.Since(before).TotalBits
+	return rep, view, nil
+}
+
+// auditRound descends from the root: audit every root-child subtree, and
+// inside every mismatching subtree re-audit the children. A subtree that
+// mismatches while all its children pass convicts its own root.
+func auditRound(nw *netsim.Network, view *spantree.TreeView, nonce uint64, rep *Report, seen map[topology.NodeID]bool) []topology.NodeID {
+	var convicted []topology.NodeID
+	var descend func(v topology.NodeID) bool
+	descend = func(v topology.NodeID) bool {
+		if auditSubtree(nw, view, v, nonce, rep) {
+			return false
+		}
+		if !seen[v] {
+			seen[v] = true
+			rep.Suspected = append(rep.Suspected, v)
+		}
+		childBad := false
+		for _, c := range view.Children[v] {
+			if descend(c) {
+				childBad = true
+			}
+		}
+		if !childBad {
+			convicted = append(convicted, v)
+		}
+		return true
+	}
+	for _, c := range view.Children[view.Root] {
+		descend(c)
+	}
+	return convicted
+}
+
+// auditSubtree runs the challenge-sum audit over v's subtree and reports
+// whether it matched the root's expectation. The audit is its own wire
+// protocol: the root relays a nonce frame down the tree path to v, v
+// floods it through the subtree, and the gamma-coded (Σχ, count) partial
+// converges back up and is relayed to the root — every bit charged to the
+// meter. Control frames are delivered reliably (the same ARQ assumption
+// as the repair handshake), but Byzantine nodes corrupt their partial —
+// including v itself, which lies in the relay — so a lying subtree cannot
+// audit clean.
+func auditSubtree(nw *netsim.Network, view *spantree.TreeView, v topology.NodeID, nonce uint64, rep *Report) bool {
+	plan := nw.Faults
+	m := nw.Meter
+	rep.Audits++
+
+	// Announce: 4-bit audit opcode plus the gamma-coded round counter
+	// (nodes derive the nonce from the shared plan seed), relayed along
+	// the root→v tree path and flooded down the subtree.
+	frameBits := 4 + bitio.GammaWidth(nonce&0xFF)
+	for u := v; u != view.Root; u = view.Parent[u] {
+		m.Charge(view.Parent[u], u, frameBits)
+	}
+
+	// Post-order convergecast over the subtree. The walk is iterative
+	// (explicit queue) so deep chain topologies cannot overflow the Go
+	// stack, and partials live in a map keyed by node — subtrees are
+	// usually a small fraction of the network. Each partial carries two
+	// challenge sums over independent streams plus the node count.
+	type partial struct{ x1, x2, y uint64 }
+	parts := make(map[topology.NodeID]partial)
+	var exp partial
+	order := []topology.NodeID{v}
+	for qi := 0; qi < len(order); qi++ {
+		u := order[qi]
+		order = append(order, view.Children[u]...)
+		if u != v {
+			m.Charge(view.Parent[u], u, frameBits) // subtree flood of the announce
+		}
+		exp.x1 += chi(nonce, u)
+		exp.x2 += chi(nonce^chiStream2, u)
+		exp.y++
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		p := partial{x1: chi(nonce, u), x2: chi(nonce^chiStream2, u), y: 1}
+		for _, c := range view.Children[u] {
+			cp := parts[c]
+			p.x1 += cp.x1
+			p.x2 += cp.x2
+			p.y += cp.y
+			delete(parts, c)
+		}
+		// Byzantine nodes corrupt the audit sums they report — interior
+		// nodes on the tree edge to their parent, v itself in the relay
+		// to the root below.
+		if plan.Byzantine(u) {
+			lie := plan.LieWord(u)
+			p.x1 = faults.CorruptValue(p.x1, lie)
+			p.x2 = faults.CorruptValue(p.x2, lie)
+		}
+		if u != v {
+			m.Charge(u, view.Parent[u], bitio.GammaWidth(p.x1)+bitio.GammaWidth(p.x2)+bitio.GammaWidth(p.y))
+		}
+		parts[u] = p
+	}
+	got := parts[v]
+	for u := v; u != view.Root; u = view.Parent[u] {
+		m.Charge(u, view.Parent[u], bitio.GammaWidth(got.x1)+bitio.GammaWidth(got.x2)+bitio.GammaWidth(got.y))
+	}
+	return got == exp
+}

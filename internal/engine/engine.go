@@ -129,6 +129,21 @@ type Result struct {
 	Unreachable int   `json:"unreachable,omitempty"`
 	RepairBits  int64 `json:"repair_bits,omitempty"`
 
+	// Robust runs (Query.Robust) report the byz tier's integrity
+	// accounting: subtree roots that failed a challenge audit or needed a
+	// partial trimmed, nodes convicted and quarantined (and routed around
+	// by the healing wave), the audit rounds and traffic, and the
+	// residual integrity bound — the maximum number of item positions the
+	// suspected-but-unquarantined sectors could still displace a rank
+	// answer by. IntegrityBound 0 means every partial satisfied every
+	// bound: the answer is exact over the surviving honest population.
+	Robust         bool   `json:"robust,omitempty"`
+	Suspected      int    `json:"suspected,omitempty"`
+	Quarantined    int    `json:"quarantined,omitempty"`
+	IntegrityBound uint64 `json:"integrity_bound,omitempty"`
+	AuditRounds    int    `json:"audit_rounds,omitempty"`
+	AuditBits      int64  `json:"audit_bits,omitempty"`
+
 	// Fused marks a result answered by a shared-sweep fusion batch
 	// (Options.Fuse): its communication fields price the whole shared
 	// probe plane, which served every member of the batch at once.
@@ -375,6 +390,21 @@ func resultFrom(spec Spec, q Query, ans answer, d netsim.Delta, wall time.Durati
 		r.Crashed = ans.heal.Crashed
 		r.Unreachable = ans.heal.Unreachable
 		r.RepairBits = ans.heal.Repair.TotalBits
+	}
+	if ri := ans.robust; ri != nil {
+		r.Robust = true
+		// Audit-phase suspects and trim-phase suspects are disjoint
+		// evidence: the former are historical (cleared or quarantined by
+		// the time the query ran), the latter are the live sectors the
+		// bound prices.
+		r.Suspected = len(ri.integrity.Suspected)
+		r.IntegrityBound = ri.integrity.BoundItems
+		if ri.rep != nil {
+			r.Suspected += len(ri.rep.Suspected)
+			r.Quarantined = len(ri.rep.Quarantined)
+			r.AuditRounds = ri.rep.Rounds
+			r.AuditBits = ri.rep.AuditBits
+		}
 	}
 	return r
 }

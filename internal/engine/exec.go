@@ -6,6 +6,7 @@ import (
 
 	"sensoragg/internal/agg"
 	"sensoragg/internal/baseline"
+	"sensoragg/internal/byz"
 	"sensoragg/internal/core"
 	"sensoragg/internal/distinct"
 	"sensoragg/internal/faults"
@@ -13,6 +14,7 @@ import (
 	"sensoragg/internal/gossip"
 	"sensoragg/internal/loglog"
 	"sensoragg/internal/netsim"
+	"sensoragg/internal/obs"
 	"sensoragg/internal/qdigest"
 	"sensoragg/internal/query"
 	"sensoragg/internal/sampling"
@@ -85,6 +87,15 @@ type Query struct {
 	// biases the probe schedule toward where the answer was last epoch —
 	// it never changes the answer; see core.SeedWindow.
 	SeedWindows []core.SeedWindow `json:"seed_windows,omitempty"`
+	// Robust runs the query on the Byzantine-robust tier (internal/byz):
+	// under an adversarial fault plan the engine first localizes and
+	// quarantines lying subtrees via challenge audits, then aggregates
+	// per root-child sector with trimmed partials, and the Result carries
+	// suspected/quarantined counts and an integrity bound. With no
+	// adversary the robust answer is value-identical to the plain one.
+	// Supported for the exact aggregate kinds
+	// (median/os/quantile/quantiles/count/sum/min/max/avg/fused).
+	Robust bool `json:"robust,omitempty"`
 }
 
 // WithDefaults returns the query with unset tunables resolved to the
@@ -138,6 +149,16 @@ type answer struct {
 	// selection; surface as Result.SeededSweeps/SeedHit.
 	seededSweeps int
 	seedHit      bool
+	// robust carries the byz tier's outcome for a Query.Robust run: the
+	// localization report (nil when no adversary was planned) and the
+	// aggregation plane's integrity accounting.
+	robust *robustInfo
+}
+
+// robustInfo is the byz-tier outcome attached to a robust answer.
+type robustInfo struct {
+	rep       *byz.Report
+	integrity byz.Integrity
 }
 
 // execute runs q against the per-run network nw. The network must be
@@ -189,6 +210,12 @@ func execute(nw *netsim.Network, spec Spec, q Query) (answer, error) {
 		// default auto schedule.
 		switch spec.TreeEngine {
 		case "fast-serial":
+			if p := nw.Faults; p != nil && p.Adversarial() {
+				// The unpooled reference path routes combiners through the
+				// generic gather, which has no lie-injection hook — an
+				// adversarial plan would silently not lie there.
+				return answer{}, fmt.Errorf("engine: adversarial fault plans (byz) require the pooled fast engine")
+			}
 			fe.SetWorkers(1)
 			fe.SetPooled(false)
 		case "fast-parallel":
@@ -203,17 +230,79 @@ func execute(nw *netsim.Network, spec Spec, q Query) (answer, error) {
 	default:
 		return answer{}, fmt.Errorf("engine: unknown tree engine %q", spec.TreeEngine)
 	}
-	net := agg.NewNet(ops, agg.WithSketchP(q.SketchP))
 	values := nw.AllItems()
 	if heal != nil {
 		values = survivingItems(nw, heal.View)
 	}
+	if q.Robust {
+		return executeRobust(nw, spec, q, ops, heal, values)
+	}
+	net := agg.NewNet(ops, agg.WithSketchP(q.SketchP))
 	ans, err := executeKind(nw, spec, q, ops, net, values)
 	if err != nil {
 		return answer{}, err
 	}
 	ans.heal = heal
 	return ans, nil
+}
+
+// executeRobust runs a Query.Robust job on the byz tier: localize and
+// quarantine lying subtrees (adversarial plans only — the audit protocol
+// costs traffic, so honest runs skip it), re-derive the execution view and
+// ground truth, cross-check the trimmed plane against the
+// duplicate-insensitive sketch, and dispatch the kind over a RobustNet.
+func executeRobust(nw *netsim.Network, spec Spec, q Query, ops spantree.Ops, heal *spantree.HealResult, values []uint64) (answer, error) {
+	if !robustKind(q.Kind) {
+		return answer{}, fmt.Errorf("engine: %s does not support robust mode (exact aggregate kinds only)", q.Kind)
+	}
+	fe, ok := ops.(*spantree.FastEngine)
+	if !ok {
+		return answer{}, fmt.Errorf("engine: robust mode requires the fast tree engine")
+	}
+	view := fe.View()
+	plan := nw.Faults
+	adversarial := plan != nil && plan.Adversarial()
+	var rep *byz.Report
+	if adversarial {
+		var err error
+		rep, view, err = byz.Localize(nw, view)
+		if err != nil {
+			return answer{}, err
+		}
+		if rep.Healed != nil {
+			heal = rep.Healed
+			values = survivingItems(nw, view)
+		}
+	}
+	rnet := byz.NewRobustNet(nw, view, byz.WithSketchP(q.SketchP))
+	if adversarial {
+		rnet.CrossCheck()
+	}
+	ans, err := executeKind(nw, spec, q, ops, rnet, values)
+	if err != nil {
+		return answer{}, err
+	}
+	ans.heal = heal
+	ans.robust = &robustInfo{rep: rep, integrity: rnet.Integrity()}
+	if sk := obs.Active(); sk != nil {
+		obsRobust(sk, ans.robust)
+	}
+	return ans, nil
+}
+
+// robustKind reports whether a query kind can run on the trimmed
+// sector-split plane: the exact aggregates whose primitives RobustNet
+// reproduces. The sketch, digest, gossip, and radio families have no
+// trimmed variant (the duplicate-insensitive sketches are the byz tier's
+// own cross-check layer), and statements compile to plans that may zoom
+// or filter, which the capacity model does not track.
+func robustKind(kind string) bool {
+	switch kind {
+	case KindMedian, KindOrderStat, KindQuantile, KindQuantiles,
+		KindCount, KindSum, KindMin, KindMax, KindAvg, KindFused:
+		return true
+	}
+	return false
 }
 
 // usesTree reports whether a query kind executes over the spanning tree
@@ -259,8 +348,25 @@ func survivingItems(nw *netsim.Network, view *spantree.TreeView) []uint64 {
 	return out
 }
 
+// aggregator is the primitive-protocol surface executeKind dispatches
+// over: *agg.Net provides it directly, and *byz.RobustNet provides the
+// trimmed sector-split variant for robust queries.
+type aggregator interface {
+	core.Net
+	Sum(core.Domain, wire.Pred) uint64
+	Min(core.Domain) (uint64, bool)
+	Max(core.Domain) (uint64, bool)
+	Average(core.Domain, wire.Pred) (float64, bool)
+	MultiAggregate(core.Domain, wire.Pred) (count, sum, lo, hi uint64, ok bool)
+}
+
+var (
+	_ aggregator = (*agg.Net)(nil)
+	_ aggregator = (*byz.RobustNet)(nil)
+)
+
 // executeKind dispatches the query kind over the prepared execution state.
-func executeKind(nw *netsim.Network, spec Spec, q Query, ops spantree.Ops, net *agg.Net, values []uint64) (answer, error) {
+func executeKind(nw *netsim.Network, spec Spec, q Query, ops spantree.Ops, net aggregator, values []uint64) (answer, error) {
 	// Sorting is only needed by the order-statistic truths; don't pay
 	// O(N log N) on every count/sum/sketch run.
 	var sortedCache []uint64
@@ -550,7 +656,11 @@ func executeKind(nw *netsim.Network, spec Spec, q Query, ops spantree.Ops, net *
 		}, nil
 
 	case KindStatement:
-		res, err := query.Exec(net, q.Statement)
+		an, ok := net.(*agg.Net)
+		if !ok {
+			return answer{}, fmt.Errorf("engine: statements do not support robust mode")
+		}
+		res, err := query.Exec(an, q.Statement)
 		if err != nil {
 			return answer{}, err
 		}

@@ -297,7 +297,10 @@ func (e *Engine) planUnits(jobs []Job) [][]int {
 	groups := make(map[fuseKey]int)
 	for i := range jobs {
 		spec := jobs[i].Spec.Normalize()
-		if !fusableKind(jobs[i].Query.Kind) || spec.TreeEngine == "goroutine" {
+		// Robust jobs stay solo: the byz tier aggregates per sector with
+		// its own trimmed plane, which the shared probe schedule cannot
+		// represent.
+		if !fusableKind(jobs[i].Query.Kind) || spec.TreeEngine == "goroutine" || jobs[i].Query.Robust {
 			units = append(units, []int{i})
 			continue
 		}

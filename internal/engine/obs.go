@@ -46,6 +46,34 @@ func (e *Engine) obsSoloJob(sk *obs.Sink, job Job, d netsim.Delta, wall time.Dur
 	sk.Tracer.Emit("job.solo", 0, ev[:]...)
 }
 
+// obsRobust records the byz-tier outcome of one robust job: suspected and
+// quarantined totals, the residual integrity bound, and one trace event
+// carrying the localization shape.
+func obsRobust(sk *obs.Sink, ri *robustInfo) {
+	suspected := int64(len(ri.integrity.Suspected))
+	var quarantined, rounds, auditBits int64
+	if ri.rep != nil {
+		suspected += int64(len(ri.rep.Suspected))
+		quarantined = int64(len(ri.rep.Quarantined))
+		rounds = int64(ri.rep.Rounds)
+		auditBits = ri.rep.AuditBits
+	}
+	if suspected > 0 {
+		sk.ByzSuspected.Add(suspected)
+	}
+	if quarantined > 0 {
+		sk.ByzQuarantined.Add(quarantined)
+	}
+	sk.IntegrityBound.Set(float64(ri.integrity.BoundItems))
+	sk.Tracer.Emit("byz.robust", 0,
+		obs.KV{K: "suspected", V: suspected},
+		obs.KV{K: "quarantined", V: quarantined},
+		obs.KV{K: "rounds", V: rounds},
+		obs.KV{K: "audit_bits", V: auditBits},
+		obs.KV{K: "bound_items", V: int64(ri.integrity.BoundItems)},
+		obs.KV{K: "trims", V: int64(ri.integrity.Trims)})
+}
+
 // obsFusedBatch records the batch-completion event of one fusion group:
 // member count, sweeps and probes shipped on the shared plane, detach
 // count, and the batch's bits/node. The span ID groups it with the

@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+
+	"sensoragg/internal/faults"
+	"sensoragg/internal/workload"
+)
+
+// robustQueries enumerates one runnable query per robust-capable kind.
+func robustQueries() []Query {
+	return []Query{
+		{Kind: KindMedian, Robust: true},
+		{Kind: KindOrderStat, K: 10, Robust: true},
+		{Kind: KindQuantile, Phi: 0.9, Robust: true},
+		{Kind: KindQuantiles, Phis: []float64{0.25, 0.5, 0.9}, Robust: true},
+		{Kind: KindCount, Robust: true},
+		{Kind: KindSum, Robust: true},
+		{Kind: KindMin, Robust: true},
+		{Kind: KindMax, Robust: true},
+		{Kind: KindAvg, Robust: true},
+		{Kind: KindFused, Robust: true},
+	}
+}
+
+// TestRobustZeroAdversaryValueIdentity: with no adversary in the plan —
+// including honest structural plans (crash, linkfail) — a robust run must
+// produce exactly the values of its non-robust twin, for every robust
+// kind. Run with -race in CI.
+func TestRobustZeroAdversaryValueIdentity(t *testing.T) {
+	// Message-level plans are absent deliberately: drop/dup fates are
+	// drawn per delivery, and the sector-split plane's sweeps are
+	// different deliveries than the full-tree sweep, so robust-vs-plain
+	// value identity is only promised for reliable-delivery plans.
+	plans := map[string]faults.Spec{
+		"no-faults":      {},
+		"crash":          {Crash: 0.04},
+		"linkfail":       {LinkFail: 0.03},
+		"crash+linkfail": {Crash: 0.03, LinkFail: 0.02},
+	}
+	for name, fs := range plans {
+		for _, q := range robustQueries() {
+			t.Run(name+"/"+q.Kind, func(t *testing.T) {
+				spec := gridSpec(196, 7)
+				spec.Faults = fs
+				robust := serialReference(t, Job{Spec: spec, Query: q})
+				plain := q
+				plain.Robust = false
+				ref := serialReference(t, Job{Spec: spec, Query: plain})
+				if robust.Value != ref.Value {
+					t.Fatalf("robust value %g != plain %g", robust.Value, ref.Value)
+				}
+				if len(robust.Values) != len(ref.Values) {
+					t.Fatalf("robust %d values, plain %d", len(robust.Values), len(ref.Values))
+				}
+				for i := range robust.Values {
+					if robust.Values[i] != ref.Values[i] {
+						t.Fatalf("values[%d]: robust %g plain %g", i, robust.Values[i], ref.Values[i])
+					}
+				}
+				if robust.Truth != ref.Truth {
+					t.Fatalf("robust truth %g != plain %g", robust.Truth, ref.Truth)
+				}
+				if !robust.Robust {
+					t.Fatal("robust result not marked Robust")
+				}
+				if robust.Suspected != 0 || robust.Quarantined != 0 || robust.IntegrityBound != 0 {
+					t.Fatalf("honest robust run reported integrity debt: %+v", robust)
+				}
+				if robust.Crashed != ref.Crashed || robust.Unreachable != ref.Unreachable {
+					t.Fatalf("fault impact diverged: robust (%d,%d) plain (%d,%d)",
+						robust.Crashed, robust.Unreachable, ref.Crashed, ref.Unreachable)
+				}
+			})
+		}
+	}
+}
+
+// TestRobustLocalizesAndBounds is the tier's acceptance test: under
+// adversarial plans (alone and mixed with crashes and link failures) a
+// robust run must quarantine liars, report the audit work, and land the
+// answer within the reported integrity bound of the surviving truth.
+func TestRobustLocalizesAndBounds(t *testing.T) {
+	plans := map[string]faults.Spec{
+		"byz":            {Byz: 0.04},
+		"byz-equivocate": {Byz: 0.04, ByzMode: faults.ByzEquivocate},
+		"byz-collude":    {Byz: 0.04, ByzMode: faults.ByzCollude},
+		"byz+crash":      {Byz: 0.03, Crash: 0.03},
+		"byz+linkfail":   {Byz: 0.03, LinkFail: 0.03},
+	}
+	sawQuarantine := false
+	for name, fs := range plans {
+		for seed := uint64(1); seed <= 3; seed++ {
+			spec := gridSpec(256, seed)
+			spec.Faults = fs
+			res := serialReference(t, Job{Spec: spec, Query: Query{Kind: KindMedian, Robust: true}})
+			if !res.Robust {
+				t.Fatalf("%s seed %d: result not marked robust", name, seed)
+			}
+			if res.Quarantined > 0 {
+				sawQuarantine = true
+				if res.AuditBits <= 0 || res.AuditRounds < 2 {
+					t.Fatalf("%s seed %d: quarantined %d but audit rounds %d bits %d",
+						name, seed, res.Quarantined, res.AuditRounds, res.AuditBits)
+				}
+			}
+			if !res.TruthKnown {
+				t.Fatalf("%s seed %d: truth unknown", name, seed)
+			}
+			// The answer must sit within IntegrityBound rank positions of
+			// the honest truth over the surviving population. With every
+			// liar quarantined the bound is 0 and the answer exact.
+			if res.IntegrityBound == 0 {
+				if !res.Exact {
+					t.Fatalf("%s seed %d: bound 0 but value %g != truth %g",
+						name, seed, res.Value, res.Truth)
+				}
+				continue
+			}
+			if !rankWindowContains(t, spec, res.Value, res.IntegrityBound) {
+				t.Fatalf("%s seed %d: value %g outside integrity bound %d of truth %g",
+					name, seed, res.Value, res.IntegrityBound, res.Truth)
+			}
+		}
+	}
+	if !sawQuarantine {
+		t.Fatal("no plan/seed quarantined anyone — adversary too quiet for the test to bite")
+	}
+}
+
+// rankWindowContains sorts the deployment's honest values and checks v
+// against the [k-bound, k+bound] rank window around the median rank of
+// the full population — a conservative window check (the surviving
+// population is a subset, so its median window sits inside this one
+// whenever at most bound items were excluded or displaced).
+func rankWindowContains(t *testing.T, spec Spec, v float64, bound uint64) bool {
+	t.Helper()
+	ns := spec.Normalize()
+	g, err := BuildGraph(ns.Topology, ns.N, ns.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := workload.Generate(workload.Kind(ns.Workload), g.N(), ns.MaxX, ns.Seed)
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	n := len(vals)
+	k := (n + 1) / 2
+	lo := k - 1 - int(bound)
+	if lo < 0 {
+		lo = 0
+	}
+	hi := k - 1 + int(bound)
+	if hi > n-1 {
+		hi = n - 1
+	}
+	return float64(vals[lo]) <= v && v <= float64(vals[hi])
+}
+
+// TestRobustRejections: unsupported combinations fail with an
+// explanation, not a protocol panic.
+func TestRobustRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		q    Query
+		want string
+	}{
+		{"statement", gridSpec(64, 1), Query{Kind: KindStatement, Statement: "SELECT median(value)", Robust: true}, "robust"},
+		{"sketch-kind", gridSpec(64, 1), Query{Kind: KindApxDistinct, Robust: true}, "robust"},
+		{"gossip-kind", gridSpec(64, 1), Query{Kind: KindGossip, Robust: true}, "robust"},
+		{"fast-serial-byz", func() Spec {
+			s := gridSpec(64, 1)
+			s.TreeEngine = "fast-serial"
+			s.Faults = faults.Spec{Byz: 0.1}
+			return s
+		}(), Query{Kind: KindMedian}, "pooled"},
+		{"goroutine-byz", func() Spec {
+			s := gridSpec(64, 1)
+			s.TreeEngine = "goroutine"
+			s.Faults = faults.Spec{Byz: 0.1}
+			return s
+		}(), Query{Kind: KindMedian}, "fast tree engine"},
+	}
+	e := New(Options{Workers: 2})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := e.Run(context.Background(), []Job{{Spec: tc.spec, Query: tc.q}})[0]
+			if !res.Failed() {
+				t.Fatalf("expected failure, got value %g", res.Value)
+			}
+			if !strings.Contains(res.Error, tc.want) {
+				t.Fatalf("error %q does not mention %q", res.Error, tc.want)
+			}
+		})
+	}
+}
+
+// TestRobustParallelMatchesSerial extends the engine's concurrency
+// contract to robust adversarial runs: parallel execution must be
+// bit-identical to serial — answers, meters, and integrity accounting.
+// Run with -race.
+func TestRobustParallelMatchesSerial(t *testing.T) {
+	var jobs []Job
+	for seed := uint64(1); seed <= 4; seed++ {
+		spec := gridSpec(196, seed)
+		spec.Faults = faults.Spec{Byz: 0.05, Crash: 0.02}
+		jobs = append(jobs,
+			Job{Spec: spec, Query: Query{Kind: KindMedian, Robust: true}},
+			Job{Spec: spec, Query: Query{Kind: KindCount, Robust: true}},
+			Job{Spec: spec, Query: Query{Kind: KindFused, Robust: true}},
+		)
+	}
+	e := New(Options{Workers: 6})
+	results := e.Run(context.Background(), jobs)
+	for i, got := range results {
+		if got.Failed() {
+			t.Fatalf("job %d failed: %s", i, got.Error)
+		}
+		want := serialReference(t, jobs[i])
+		if got.Value != want.Value || got.TotalBits != want.TotalBits || got.BitsPerNode != want.BitsPerNode {
+			t.Errorf("job %d: (%g,%d,%d) != serial (%g,%d,%d)",
+				i, got.Value, got.TotalBits, got.BitsPerNode,
+				want.Value, want.TotalBits, want.BitsPerNode)
+		}
+		if got.Suspected != want.Suspected || got.Quarantined != want.Quarantined ||
+			got.IntegrityBound != want.IntegrityBound || got.AuditBits != want.AuditBits {
+			t.Errorf("job %d: integrity (%d,%d,%d,%d) != serial (%d,%d,%d,%d)",
+				i, got.Suspected, got.Quarantined, got.IntegrityBound, got.AuditBits,
+				want.Suspected, want.Quarantined, want.IntegrityBound, want.AuditBits)
+		}
+	}
+}
+
+// TestNonRobustUnderAdversary: robust-mode-off queries still execute
+// under an adversarial plan — the lies land in the answer (that is the
+// point of the demo) but nothing panics and the fault plumbing stays
+// deterministic across runs.
+func TestNonRobustUnderAdversary(t *testing.T) {
+	spec := gridSpec(256, 3)
+	spec.Faults = faults.Spec{Byz: 0.05}
+	a := serialReference(t, Job{Spec: spec, Query: Query{Kind: KindMedian}})
+	b := serialReference(t, Job{Spec: spec, Query: Query{Kind: KindMedian}})
+	if a.Value != b.Value || a.TotalBits != b.TotalBits {
+		t.Fatalf("adversarial non-robust runs diverged: (%g,%d) vs (%g,%d)",
+			a.Value, a.TotalBits, b.Value, b.TotalBits)
+	}
+	if a.Robust || a.Quarantined != 0 {
+		t.Fatalf("non-robust run reported robust fields: %+v", a)
+	}
+}

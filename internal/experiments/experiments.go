@@ -2,11 +2,11 @@
 // theory note whose results are complexity theorems, so each experiment
 // measures the corresponding protocol on the simulator and checks the
 // predicted *shape* — growth exponents, who wins, where crossovers fall.
-// The experiment IDs (E1–E16) are indexed in DESIGN.md; cmd/experiments
+// The experiment IDs (E1–E17) are indexed in DESIGN.md; cmd/experiments
 // renders all tables for EXPERIMENTS.md, and bench_test.go exposes each as
-// a benchmark. E14–E16 exercise the internal/faults subsystem: crash
-// healing, loss sweeps, and duplicate-insensitive sketches, all through
-// the engine's fault plans.
+// a benchmark. E14–E17 exercise the internal/faults subsystem: crash
+// healing, loss sweeps, duplicate-insensitive sketches, and the
+// Byzantine-robust tier, all through the engine's fault plans.
 package experiments
 
 import (
@@ -55,6 +55,7 @@ var registry = []struct {
 	{"E14", SelfHealing},
 	{"E15", FaultSweep},
 	{"E16", DuplicationSketches},
+	{"E17", ByzantineSweep},
 }
 
 // IDs returns the experiment IDs in report order.

@@ -10,7 +10,10 @@
 //   - permanent link failures — an undirected edge delivers nothing, ever;
 //   - message loss — an individual delivery is dropped;
 //   - message duplication — an individual delivery arrives twice (a
-//     link-layer retransmission both endpoints pay for).
+//     link-layer retransmission both endpoints pay for);
+//   - Byzantine nodes — nodes that *lie*: they report corrupted partial
+//     aggregates instead of honest ones (the adversarial tier; the root,
+//     as the trusted base station, is exempt).
 //
 // All decisions are pure functions of (seed, identity): crashes hash the
 // node ID, link failures hash the undirected edge, and per-message faults
@@ -20,6 +23,17 @@
 // plan per run and still guarantee bit-identical parallel-vs-serial
 // results. An inactive plan (all rates zero) makes no decisions and holds
 // no state, so attaching one is byte-identical to attaching none.
+//
+// The Byzantine model is value corruption at the convergecast boundary:
+// a Byzantine node computes its subtree partial honestly, then reports a
+// lie drawn from a seeded stream (LieWord) that the combiner maps into its
+// legal wire domain. Three modes: "corrupt" nodes tell one consistent lie
+// per run, "equivocate" nodes draw a fresh lie per message (so what the
+// parent hears disagrees with what a re-audit hears), and "collude" nodes
+// all share a single seed-derived lie stream, modeling a coordinated
+// subtree set. Detection and quarantine live in internal/byz; a
+// quarantined node is excluded from the tree exactly like a crashed one
+// (Excluded), so spantree.Heal re-routes its honest descendants around it.
 //
 // Injection happens at the netsim radio/round boundary (see
 // netsim.Network.Faults) and at the spantree fast engine's convergecast
@@ -47,16 +61,36 @@ type Spec struct {
 	Drop float64 `json:"drop,omitempty"`
 	// Dup is the probability an individual message delivery arrives twice.
 	Dup float64 `json:"dup,omitempty"`
+	// Byz is the probability a node is Byzantine for the whole run: it
+	// reports corrupted convergecast partials drawn from the seeded lie
+	// stream. The root is exempt (trusted base station), and a node that
+	// is both crashed and Byzantine stays crashed — dead nodes don't lie.
+	Byz float64 `json:"byz,omitempty"`
+	// ByzMode selects the lie discipline: "corrupt" (default — one
+	// consistent lie per node per run), "equivocate" (a fresh lie per
+	// message), or "collude" (all Byzantine nodes share one lie stream).
+	ByzMode string `json:"byz_mode,omitempty"`
 	// Seed fixes the fault stream independently of the run seed; 0 means
 	// "derive from the run seed", which gives every engine run its own
 	// forked fault state.
 	Seed uint64 `json:"seed,omitempty"`
 }
 
+// Byzantine behavior modes.
+const (
+	ByzCorrupt    = "corrupt"
+	ByzEquivocate = "equivocate"
+	ByzCollude    = "collude"
+)
+
 // Active reports whether the spec injects any fault at all.
 func (s Spec) Active() bool {
-	return s.Crash > 0 || s.LinkFail > 0 || s.Drop > 0 || s.Dup > 0
+	return s.Crash > 0 || s.LinkFail > 0 || s.Drop > 0 || s.Dup > 0 || s.Byz > 0
 }
+
+// Adversarial reports whether the spec includes Byzantine (lying) nodes —
+// the faults only the robust query mode defends against.
+func (s Spec) Adversarial() bool { return s.Byz > 0 }
 
 // Structural reports whether the spec breaks the network's shape (crashed
 // nodes or dead links) — the faults spantree.Heal repairs. Message-level
@@ -71,13 +105,21 @@ func (s Spec) Validate() error {
 	for _, p := range []struct {
 		name string
 		v    float64
-	}{{"crash", s.Crash}, {"linkfail", s.LinkFail}, {"drop", s.Drop}, {"dup", s.Dup}} {
+	}{{"crash", s.Crash}, {"linkfail", s.LinkFail}, {"drop", s.Drop}, {"dup", s.Dup}, {"byz", s.Byz}} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("faults: %s rate %g out of [0,1]", p.name, p.v)
 		}
 	}
 	if s.Drop+s.Dup > 1 {
 		return fmt.Errorf("faults: drop+dup = %g exceeds 1", s.Drop+s.Dup)
+	}
+	switch s.ByzMode {
+	case "", ByzCorrupt, ByzEquivocate, ByzCollude:
+	default:
+		return fmt.Errorf("faults: byzmode %q (want corrupt|equivocate|collude)", s.ByzMode)
+	}
+	if s.ByzMode != "" && s.Byz <= 0 {
+		return fmt.Errorf("faults: byzmode %q without byz rate", s.ByzMode)
 	}
 	return nil
 }
@@ -95,6 +137,10 @@ func (s Spec) String() string {
 	add("linkfail", s.LinkFail)
 	add("drop", s.Drop)
 	add("dup", s.Dup)
+	add("byz", s.Byz)
+	if s.Byz > 0 && s.ByzMode != "" && s.ByzMode != ByzCorrupt {
+		parts = append(parts, fmt.Sprintf("byzmode=%s", s.ByzMode))
+	}
 	if len(parts) == 0 {
 		return "none"
 	}
@@ -117,13 +163,23 @@ type Plan struct {
 	crashed  []bool
 	nCrashed int
 	msgSeq   []uint64
+
+	// Adversarial state (nil/zero for honest plans).
+	byz         []bool
+	nByz        int
+	lieSeq      []uint64 // per-node equivocation counters
+	quarantined []bool   // lazily allocated by the first Quarantine
+	nQuar       int
 }
 
-// Decision streams keep crash, link, and message hashes independent.
+// Decision streams keep crash, link, message, membership, and lie hashes
+// independent.
 const (
 	streamCrash = 0x9e3779b97f4a7c15
 	streamLink  = 0xbf58476d1ce4e5b9
 	streamMsg   = 0x94d049bb133111eb
+	streamByz   = 0xd6e8feb86659fd93
+	streamLie   = 0xa0761d6478bd642f
 )
 
 // New instantiates the plan for an n-node network rooted at root. The
@@ -149,6 +205,19 @@ func New(spec Spec, n int, root topology.NodeID, runSeed uint64) *Plan {
 			if p.uniform(streamCrash, uint64(u), 0) < spec.Crash {
 				p.crashed[u] = true
 				p.nCrashed++
+			}
+		}
+	}
+	if spec.Byz > 0 {
+		p.byz = make([]bool, n)
+		p.lieSeq = make([]uint64, n)
+		for u := 0; u < n; u++ {
+			if topology.NodeID(u) == root || p.crashed[u] {
+				continue // the base station is trusted; dead nodes don't lie
+			}
+			if p.uniform(streamByz, uint64(u), 0) < spec.Byz {
+				p.byz[u] = true
+				p.nByz++
 			}
 		}
 	}
@@ -201,6 +270,103 @@ func (p *Plan) Deliveries(from, to topology.NodeID) int {
 		return 2
 	}
 	return 1
+}
+
+// Adversarial reports whether the plan includes Byzantine nodes.
+func (p *Plan) Adversarial() bool { return p.nByz > 0 }
+
+// Byzantine reports whether node u lies in this run. Quarantined nodes
+// still report true — quarantine excludes them from the tree (Excluded);
+// it does not reform them.
+func (p *Plan) Byzantine(u topology.NodeID) bool {
+	return p.byz != nil && p.byz[u]
+}
+
+// ByzantineCount returns the number of Byzantine nodes in the plan.
+func (p *Plan) ByzantineCount() int { return p.nByz }
+
+// LieWord draws the next 64-bit lie word for Byzantine node u — the seeded
+// randomness a combiner maps into an in-domain corrupted partial (see
+// CorruptValue). "corrupt" mode returns the same word for the node's whole
+// run; "equivocate" advances a per-node sequence so every message lies
+// differently; "collude" returns one shared stream for all Byzantine nodes.
+// Per-node sequence state makes concurrent calls for *different* nodes
+// safe (each convergecast step owns its node), matching Deliveries'
+// per-sender counters.
+func (p *Plan) LieWord(u topology.NodeID) uint64 {
+	base := mix64(p.seed ^ streamLie)
+	switch p.spec.ByzMode {
+	case ByzEquivocate:
+		seq := p.lieSeq[u]
+		p.lieSeq[u] = seq + 1
+		return mix64(mix64(base+uint64(u)) + seq)
+	case ByzCollude:
+		return mix64(base + 1)
+	default: // ByzCorrupt
+		return mix64(base + uint64(u))
+	}
+}
+
+// Quarantine excludes node u from the tree for the rest of the run — the
+// containment action the byz tier's localization takes once a subtree is
+// convicted of lying. Quarantining is idempotent and never applies to the
+// root.
+func (p *Plan) Quarantine(u topology.NodeID) {
+	if u == p.root {
+		return
+	}
+	if p.quarantined == nil {
+		p.quarantined = make([]bool, len(p.crashed))
+	}
+	if !p.quarantined[u] {
+		p.quarantined[u] = true
+		p.nQuar++
+	}
+}
+
+// Quarantined reports whether node u has been quarantined this run.
+func (p *Plan) Quarantined(u topology.NodeID) bool {
+	return p.quarantined != nil && p.quarantined[u]
+}
+
+// QuarantinedCount returns the number of quarantined nodes.
+func (p *Plan) QuarantinedCount() int { return p.nQuar }
+
+// Excluded reports whether node u is out of the tree — crashed or
+// quarantined. Tree repair (spantree.Heal) routes around excluded nodes,
+// so quarantining reuses the HELP/AVAIL/JOIN healing wave unchanged.
+func (p *Plan) Excluded(u topology.NodeID) bool {
+	return p.crashed[u] || (p.quarantined != nil && p.quarantined[u])
+}
+
+// ExcludedCount returns the number of excluded (crashed or quarantined)
+// nodes.
+func (p *Plan) ExcludedCount() int { return p.nCrashed + p.nQuar }
+
+// CorruptValue maps a lie word onto an honest value, producing the
+// corrupted value a Byzantine node reports instead. The low bits of the
+// word select the corruption style — bit-flip (one of the low 16 bits),
+// bounded positive bias (+1..+64), or a fixed lie in [0, 1024) — and the
+// result is guaranteed to differ from the honest value. Callers with
+// width-limited wire formats mask or clamp the result into their domain
+// (the guarantee is then theirs to re-establish; see the agg combiners).
+func CorruptValue(x, lie uint64) uint64 {
+	var y uint64
+	switch lie % 3 {
+	case 0:
+		y = x ^ (1 << ((lie >> 2) % 16))
+	case 1:
+		y = x + 1 + (lie>>8)%64
+	default:
+		y = (lie >> 16) % 1024
+	}
+	if y == x {
+		y = x ^ 1
+	}
+	if y == ^uint64(0) {
+		y-- // keep lies gamma-encodable
+	}
+	return y
 }
 
 // uniform hashes (seed, stream, a, b) to a float64 in [0, 1).

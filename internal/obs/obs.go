@@ -52,6 +52,11 @@ type Sink struct {
 	SeedMisses   *Counter   // seed_misses_total: seeded runs that fell back
 	SeedHitRatio *Gauge     // seed_hit_ratio: hits / (hits+misses), cumulative
 	SubsDropped  *Counter   // subs_dropped_total: deliveries shed to slow subscribers
+
+	// Byzantine-robust tier.
+	ByzSuspected   *Counter // byz_suspected_total: subtree roots suspected by audits or trims
+	ByzQuarantined *Counter // byz_quarantined_total: nodes convicted and quarantined
+	IntegrityBound *Gauge   // integrity_bound: last robust answer's residual bound (items)
 }
 
 // NewSink builds a sink with a fresh tracer and registry and every
@@ -85,6 +90,10 @@ func NewSink() *Sink {
 		SeedMisses:   reg.Counter("seed_misses_total", "Seeded selections that fell back to full range."),
 		SeedHitRatio: reg.Gauge("seed_hit_ratio", "Cumulative seed hits / seeded selections."),
 		SubsDropped:  reg.Counter("subs_dropped_total", "Epoch deliveries shed to slow subscribers."),
+
+		ByzSuspected:   reg.Counter("byz_suspected_total", "Subtree roots suspected by challenge audits or partial trims."),
+		ByzQuarantined: reg.Counter("byz_quarantined_total", "Nodes convicted by audit descent and quarantined."),
+		IntegrityBound: reg.Gauge("integrity_bound", "Residual integrity bound of the last robust answer, in items."),
 	}
 }
 

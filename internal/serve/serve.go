@@ -75,6 +75,12 @@ type Options struct {
 	// delivery never blocks the epoch stream — and the loss is counted on
 	// Subscription.Dropped.
 	Buffer int
+	// Robust, when set, executes every subscription and ad-hoc query in
+	// the engine's Byzantine-robust mode (engine.Query.Robust): answers
+	// carry integrity accounting and adversarial fault plans are
+	// localized and quarantined before answering. Statement-fallback
+	// queries (WHERE clauses) cannot run robust and keep the plain path.
+	Robust bool
 	// ObsAddr, when non-empty, enables the global observability sink
 	// (obs.Enable, unless one is already active) and serves the
 	// introspection endpoint — /metrics, /healthz, /debug/trace,
@@ -103,6 +109,7 @@ type Service struct {
 	update epoch.UpdateFunc
 	buffer int
 	maxX   uint64
+	robust bool
 
 	mu      sync.Mutex
 	closed  bool
@@ -157,6 +164,7 @@ func New(opts Options) (*Service, error) {
 		update: opts.Update,
 		buffer: buffer,
 		maxX:   maxX,
+		robust: opts.Robust,
 		values: values,
 	}
 	if opts.ObsAddr != "" {
@@ -259,6 +267,7 @@ func (s *Service) Subscribe(ctx context.Context, statement string) (*Subscriptio
 	if err != nil {
 		return nil, err
 	}
+	q = s.applyRobust(q)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -319,6 +328,16 @@ func QueryFor(statement string) (engine.Query, int, error) {
 		}
 	}
 	return engine.Query{Kind: engine.KindStatement, Statement: statement}, 0, nil
+}
+
+// applyRobust stamps Options.Robust onto a query. Statement-fallback
+// queries stay plain: the statement executor has no robust path, and a
+// hard failure would punish a WHERE clause for a service-level default.
+func (s *Service) applyRobust(q engine.Query) engine.Query {
+	if s.robust && q.Kind != engine.KindStatement {
+		q.Robust = true
+	}
+	return q
 }
 
 // seedsLocked builds the subscription's delta-narrowing windows: an
@@ -486,6 +505,7 @@ func (s *Service) Query(ctx context.Context, statement string) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	q = s.applyRobust(q)
 	resp := make(chan Result, 1)
 	s.mu.Lock()
 	if s.closed {

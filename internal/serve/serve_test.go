@@ -411,3 +411,53 @@ func TestEpochIntervalTicker(t *testing.T) {
 	for range sub.Results() {
 	} // must terminate: Close closes the channel
 }
+
+// TestRobustService: with Options.Robust set, subscriptions and ad-hoc
+// queries run in the engine's Byzantine-robust mode. Under an
+// adversarial fault plan the liars are quarantined before the answer,
+// and statement-fallback queries stay on the plain path instead of
+// failing the whole service.
+func TestRobustService(t *testing.T) {
+	spec := testSpec(5)
+	spec.N = 128
+	spec.Faults.Byz = 0.06
+	svc, err := New(Options{Spec: spec, Robust: true, FuseWindow: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	sub, err := svc.Subscribe(context.Background(), "SELECT median(value)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := svc.AdvanceEpoch(context.Background())
+	if len(out) != 1 || out[0].Failed() {
+		t.Fatalf("epoch results: %+v", out)
+	}
+	if !out[0].Robust {
+		t.Fatal("subscription result not marked robust")
+	}
+	if out[0].IntegrityBound != 0 || !out[0].Exact {
+		t.Fatalf("robust epoch answer not exact after localization: %+v", out[0].Result)
+	}
+	sub.Unsubscribe()
+
+	r, err := svc.Query(context.Background(), "SELECT sum(value)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Robust {
+		t.Fatal("ad-hoc result not marked robust")
+	}
+
+	// WHERE clauses fall back to the statement executor, which has no
+	// robust path — the service keeps them plain rather than failing.
+	r, err = svc.Query(context.Background(), "SELECT count(value) WHERE value < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Robust {
+		t.Fatal("statement fallback unexpectedly ran robust")
+	}
+}

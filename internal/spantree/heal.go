@@ -105,7 +105,12 @@ func Heal(nw *netsim.Network) (*HealResult, error) {
 		return nil, fmt.Errorf("spantree: root %d crashed — no querier to heal toward", root)
 	}
 	before := nw.Meter.Snapshot()
-	alive := func(u topology.NodeID) bool { return !plan.Crashed(u) }
+	// Quarantined nodes (the byz tier's containment of convicted liars)
+	// are treated exactly like crashed ones: their heartbeats go silent
+	// and the HELP/AVAIL/JOIN wave re-routes their honest descendants
+	// around them. With no quarantine, Excluded == Crashed and the repair
+	// is byte-identical to the honest-fault behavior.
+	alive := func(u topology.NodeID) bool { return !plan.Excluded(u) }
 
 	// Phase 1 — heartbeats parent → child over surviving tree links.
 	heard := make([]bool, n)
@@ -274,7 +279,7 @@ func Heal(nw *netsim.Network) (*HealResult, error) {
 // single policy point for "repair before tree queries" shared by the
 // query engine and the console.
 func NewFastHealed(nw *netsim.Network) (*FastEngine, *HealResult, error) {
-	if p := nw.Faults; p != nil && p.Spec().Structural() {
+	if p := nw.Faults; p != nil && (p.Spec().Structural() || p.QuarantinedCount() > 0) {
 		hr, err := Heal(nw)
 		if err != nil {
 			return nil, nil, err
@@ -282,6 +287,34 @@ func NewFastHealed(nw *netsim.Network) (*FastEngine, *HealResult, error) {
 		return NewFastView(nw, hr.View), hr, nil
 	}
 	return NewFast(nw), nil, nil
+}
+
+// SubtreeView carves the subtree rooted at r out of view v: r becomes the
+// root, its descendants keep their parents, and every other node is
+// excluded. Children and the underlying tree are shared with v (views are
+// immutable by convention), so the cost is one parent array and the
+// subtree's BFS order. The byz tier runs per-sector aggregations and
+// audits over these views.
+func SubtreeView(v *TreeView, r topology.NodeID) *TreeView {
+	n := len(v.Parent)
+	sub := &TreeView{
+		Root:     r,
+		Parent:   make([]topology.NodeID, n),
+		Children: v.Children,
+	}
+	for i := range sub.Parent {
+		sub.Parent[i] = excludedParent
+	}
+	sub.Parent[r] = -1
+	sub.Order = append(sub.Order, r)
+	for qi := 0; qi < len(sub.Order); qi++ {
+		u := sub.Order[qi]
+		for _, c := range v.Children[u] {
+			sub.Parent[c] = u
+			sub.Order = append(sub.Order, c)
+		}
+	}
+	return sub
 }
 
 // viewFromParents assembles a TreeView from a parent array in which

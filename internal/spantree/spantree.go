@@ -63,6 +63,33 @@ type AppendCombiner interface {
 	AppendPartial(w *bitio.Writer, p any)
 }
 
+// ByzScalarCombiner is an optional ScalarCombiner extension for the
+// adversarial fault tier: when the network's fault plan marks a node
+// Byzantine, the fast engine corrupts the node's outgoing partial at
+// store time — after the honest local+merge step, before the encoding its
+// parent reads — by calling CorruptScalar with the plan's next lie word
+// (faults.Plan.LieWord). The combiner owns the mapping from lie word to a
+// *legal* wire value (width masks, sentinels, monotonicity), so corrupted
+// partials always decode; combiners that do not implement the interface
+// are simply immune. The engine never corrupts the root: the base station
+// is the trusted querier.
+type ByzScalarCombiner interface {
+	ScalarCombiner
+	// CorruptScalar returns the lie reported instead of the honest
+	// partial (x, y). It must differ from (x, y) whenever the partial
+	// domain admits a second value, and must stay encodable.
+	CorruptScalar(x, y, lie uint64) (uint64, uint64)
+}
+
+// ByzVecCombiner is ByzScalarCombiner for vector partials: CorruptVec
+// rewrites p in place into the lie a Byzantine node reports. The combiner
+// must keep p inside its wire domain (e.g. a ⊆-chain count vector stays
+// monotone nondecreasing).
+type ByzVecCombiner interface {
+	VecCombiner
+	CorruptVec(p []uint64, lie uint64)
+}
+
 // ScalarCombiner is an optional Combiner specialization for aggregates
 // whose partial state fits in two machine words (COUNT and SUM use one,
 // MIN/MAX uses two). The fast engine then keeps partials in flat uint64
@@ -505,6 +532,11 @@ func (e *FastEngine) gatherScalarStash(u topology.NodeID, sc ScalarCombiner, sta
 	}
 	sentBits := -1
 	if u != e.view.Root {
+		if plan := e.nw.Faults; plan != nil && plan.Byzantine(u) {
+			if bc, ok := sc.(ByzScalarCombiner); ok {
+				ax, ay = bc.CorruptScalar(ax, ay, plan.LieWord(u))
+			}
+		}
 		w := stash[u]
 		if w == nil {
 			w = bitio.NewWriter(64)
@@ -605,6 +637,11 @@ func (e *FastEngine) gatherScalar(u topology.NodeID, sc ScalarCombiner, a *wire.
 	}
 	if recvBits > 0 {
 		m.ChargeRxSeq(u, recvBits)
+	}
+	if u != e.view.Root && plan != nil && plan.Byzantine(u) {
+		if bc, ok := sc.(ByzScalarCombiner); ok {
+			ax, ay = bc.CorruptScalar(ax, ay, plan.LieWord(u))
+		}
 	}
 	pairs[u] = scalarPair{x: ax, y: ay}
 	return nil

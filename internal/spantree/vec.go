@@ -146,6 +146,11 @@ func (e *FastEngine) gatherVecDirect(u topology.NodeID, vc VecCombiner, k int, v
 	}
 	sentBits := -1
 	if u != e.view.Root {
+		if plan := e.nw.Faults; plan != nil && plan.Byzantine(u) {
+			if bc, ok := vc.(ByzVecCombiner); ok {
+				bc.CorruptVec(acc, plan.LieWord(u))
+			}
+		}
 		sentBits = vc.VecBits(acc)
 		vbits[u] = int32(sentBits)
 	}
@@ -233,6 +238,11 @@ func (e *FastEngine) gatherVec(u topology.NodeID, vc VecCombiner, k int, a *wire
 	}
 	if recvBits > 0 {
 		m.ChargeRxSeq(u, recvBits)
+	}
+	if u != e.view.Root && plan != nil && plan.Byzantine(u) {
+		if bc, ok := vc.(ByzVecCombiner); ok {
+			bc.CorruptVec(acc, plan.LieWord(u))
+		}
 	}
 	return nil
 }
