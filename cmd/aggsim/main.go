@@ -85,7 +85,7 @@ type options struct {
 // registerFlags binds the CLI surface to o — split from main so the
 // flag-parsing tests drive a private FlagSet through the same definitions.
 func registerFlags(fs *flag.FlagSet, o *options) {
-	fs.StringVar(&o.topo, "topology", "grid", "line|ring|star|grid|torus|complete|btree|rgg")
+	fs.StringVar(&o.topo, "topology", "grid", "line|ring|star|grid|densegrid|torus|complete|btree|barbell|rgg")
 	fs.IntVar(&o.n, "n", 1024, "number of nodes")
 	fs.StringVar(&o.wl, "workload", "uniform", "uniform|zipf|gaussian|exponential|bimodal|constant|fewdistinct|drift")
 	fs.Uint64Var(&o.maxX, "maxx", 0, "value domain bound X (default 4·n)")

@@ -33,6 +33,18 @@
 // Benchmarks present only in the current artifact are reported as new;
 // benchmarks missing from the current artifact fail with -require-all.
 // Use -update to rewrite the baseline file from the current artifact.
+//
+// benchdiff is also the gate evaluator for the scenario lab: -scenario
+// takes a summary.json written by cmd/scenlab and re-evaluates every
+// declared release gate (max mean relative error, repair-bits variance
+// across reruns, convergence, minimum sample count) from the stored
+// rerun statistics — it does not trust the pass/fail verdict baked into
+// the artifact. Each gate is reported independently and all must pass.
+// Bench and scenario gates compose: supply -current, -scenario, or
+// both; under -require-all a scenario that declares no gates at all is
+// itself a failure.
+//
+//	benchdiff -scenario scenlab-out/summary.json -require-all
 package main
 
 import (
@@ -43,6 +55,7 @@ import (
 	"strings"
 
 	"sensoragg/internal/benchfmt"
+	"sensoragg/internal/scenario"
 )
 
 // Entry and Artifact alias the schema shared with cmd/bench2json
@@ -88,56 +101,71 @@ func main() {
 	requireAll := flag.Bool("require-all", false, "fail when a baseline benchmark is missing from current")
 	update := flag.Bool("update", false, "rewrite the baseline from the current artifact and exit")
 	mdPath := flag.String("md", "", "also write the comparison as a markdown table to this file (e.g. a CI step summary)")
+	scenarioPath := flag.String("scenario", "", "scenlab summary.json: re-evaluate every scenario release gate")
 	flag.Parse()
 
-	if len(currentPaths) == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+	if len(currentPaths) == 0 && *scenarioPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: at least one of -current or -scenario is required")
 		os.Exit(2)
 	}
 	if *samples > 0 && len(currentPaths) != *samples {
 		fmt.Fprintf(os.Stderr, "benchdiff: -samples %d but %d -current artifact(s) supplied\n", *samples, len(currentPaths))
 		os.Exit(2)
 	}
-	arts := make([]*Artifact, 0, len(currentPaths))
-	for _, path := range currentPaths {
-		a, err := readArtifact(path)
+
+	var findings []Finding
+	nsSkipped := false
+	if len(currentPaths) > 0 {
+		arts := make([]*Artifact, 0, len(currentPaths))
+		for _, path := range currentPaths {
+			a, err := readArtifact(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+				os.Exit(2)
+			}
+			arts = append(arts, a)
+		}
+		cur, err := MergeSamples(arts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 			os.Exit(2)
 		}
-		arts = append(arts, a)
-	}
-	cur, err := MergeSamples(arts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(2)
-	}
-	if *update {
-		if err := writeArtifact(*baselinePath, cur); err != nil {
+		if *update {
+			if err := writeArtifact(*baselinePath, cur); err != nil {
+				fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Printf("benchdiff: baseline %s updated (%d benchmarks)\n", *baselinePath, len(cur.Entries))
+			return
+		}
+		base, err := readArtifact(*baselinePath)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 			os.Exit(2)
 		}
-		fmt.Printf("benchdiff: baseline %s updated (%d benchmarks)\n", *baselinePath, len(cur.Entries))
-		return
-	}
-	base, err := readArtifact(*baselinePath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(2)
+		findings, nsSkipped = Compare(base, cur, Options{
+			NsTol:      *nsTol,
+			AllocTol:   *allocTol,
+			AllocSlack: *allocSlack,
+			BitsTol:    *bitsTol,
+			ForceNs:    *forceNs,
+			RequireAll: *requireAll,
+		})
+		if nsSkipped {
+			fmt.Printf("benchdiff: cpu differs (%q vs %q) — ns/op gate skipped, allocs/op gate active\n",
+				base.Meta["cpu"], cur.Meta["cpu"])
+		}
 	}
 
-	findings, nsSkipped := Compare(base, cur, Options{
-		NsTol:      *nsTol,
-		AllocTol:   *allocTol,
-		AllocSlack: *allocSlack,
-		BitsTol:    *bitsTol,
-		ForceNs:    *forceNs,
-		RequireAll: *requireAll,
-	})
-	if nsSkipped {
-		fmt.Printf("benchdiff: cpu differs (%q vs %q) — ns/op gate skipped, allocs/op gate active\n",
-			base.Meta["cpu"], cur.Meta["cpu"])
+	if *scenarioPath != "" {
+		sr, err := scenario.LoadSuiteResult(*scenarioPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, CompareScenarios(sr, *requireAll)...)
 	}
+
 	regressions := 0
 	for _, f := range findings {
 		tag := "ok"
@@ -148,16 +176,44 @@ func main() {
 		fmt.Printf("%-12s %s: %s\n", tag, f.Name, f.Detail)
 	}
 	if *mdPath != "" {
-		if err := os.WriteFile(*mdPath, []byte(Markdown(findings, len(arts), nsSkipped)), 0o644); err != nil {
+		if err := os.WriteFile(*mdPath, []byte(Markdown(findings, len(currentPaths), nsSkipped)), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "benchdiff: writing %s: %v\n", *mdPath, err)
 			os.Exit(2)
 		}
 	}
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) against %s\n", regressions, *baselinePath)
+		fmt.Fprintf(os.Stderr, "benchdiff: %d gate failure(s)\n", regressions)
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: no regressions across %d benchmark(s)\n", len(findings))
+	fmt.Printf("benchdiff: all %d gate(s) pass\n", len(findings))
+}
+
+// CompareScenarios re-evaluates every release gate of a scenlab suite
+// from its stored rerun statistics. The summary's own pass/fail verdict
+// is ignored: the gate math runs here, on the numbers, so a stale or
+// hand-edited verdict field can never green-light a merge. Each gate
+// becomes one independent finding; under requireAll a scenario that
+// declares no gates fails outright (an ungated scenario gates nothing).
+func CompareScenarios(sr *scenario.SuiteResult, requireAll bool) []Finding {
+	var findings []Finding
+	for i := range sr.Scenarios {
+		sum := &sr.Scenarios[i]
+		if requireAll && !sum.Gates.Declared() {
+			findings = append(findings, Finding{
+				Name:       "scenario/" + sum.Name,
+				Regression: true,
+				Detail:     "declares no gates (-require-all)",
+			})
+		}
+		for _, g := range scenario.Evaluate(sum) {
+			findings = append(findings, Finding{
+				Name:       "scenario/" + sum.Name + "/" + g.Gate,
+				Regression: !g.Pass,
+				Detail:     g.Detail,
+			})
+		}
+	}
+	return findings
 }
 
 // MergeSamples folds repeated bench runs into one artifact holding each

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"sensoragg/internal/scenario"
 )
 
 func artifact(cpu string, entries ...Entry) *Artifact {
@@ -227,5 +229,131 @@ func TestCompareMissingBitsMetric(t *testing.T) {
 	findings, _ = Compare(base, cur, Options{NsTol: 0.15, AllocSlack: 2, BitsTol: 0.05, RequireAll: true})
 	if count(findings) != 1 || !strings.Contains(findings[0].Detail, "bits/node metric missing") {
 		t.Fatalf("want missing-metric regression under -require-all, got %+v", findings)
+	}
+}
+
+// --- scenario gate mode ---
+
+func suiteWith(sums ...scenario.Summary) *scenario.SuiteResult {
+	return &scenario.SuiteResult{Tool: "scenlab", Scenarios: sums}
+}
+
+// gatedSummary is a 3-rerun scenario summary that passes its declared
+// gates; tests perturb one dimension at a time.
+func gatedSummary(name string) scenario.Summary {
+	limErr, limCV := 0.1, 0.5
+	sum := scenario.Summary{
+		Name:   name,
+		Reruns: 3,
+		Gates: scenario.Gates{
+			MaxMeanRelErr:   &limErr,
+			MaxRepairBitsCV: &limCV,
+			Converge:        true,
+			MinSamples:      6,
+		},
+		Samples:        9,
+		MeanRelErr:     0.02,
+		RepairBitsMean: 100,
+		RepairBitsStd:  10,
+		RepairBitsCV:   0.1,
+		Converged:      true,
+		RerunStats: []scenario.RerunStats{
+			{Rerun: 0, Samples: 3, RecoveryExact: true, RepairBits: 100},
+			{Rerun: 1, Samples: 3, RecoveryExact: true, RepairBits: 110},
+			{Rerun: 2, Samples: 3, RecoveryExact: true, RepairBits: 90},
+		},
+	}
+	return sum
+}
+
+func TestCompareScenariosAllPass(t *testing.T) {
+	findings := CompareScenarios(suiteWith(gatedSummary("s1"), gatedSummary("s2")), true)
+	if len(findings) != 8 {
+		t.Fatalf("want 8 findings (4 gates x 2 scenarios), got %d: %+v", len(findings), findings)
+	}
+	if count(findings) != 0 {
+		t.Fatalf("expected all pass: %+v", findings)
+	}
+	for _, f := range findings {
+		if !strings.HasPrefix(f.Name, "scenario/") {
+			t.Fatalf("finding name %q not namespaced", f.Name)
+		}
+	}
+}
+
+func TestCompareScenariosVarianceBoundary(t *testing.T) {
+	// CV exactly at the limit passes; any excess fails — mirroring the
+	// inclusive tolerance convention of the bench gates.
+	at := gatedSummary("at-limit")
+	at.RepairBitsCV = *at.Gates.MaxRepairBitsCV
+	over := gatedSummary("over-limit")
+	over.RepairBitsCV = *over.Gates.MaxRepairBitsCV * 1.0001
+	findings := CompareScenarios(suiteWith(at, over), false)
+	var atPass, overPass bool
+	for _, f := range findings {
+		switch f.Name {
+		case "scenario/at-limit/max-repair-bits-cv":
+			atPass = !f.Regression
+		case "scenario/over-limit/max-repair-bits-cv":
+			overPass = !f.Regression
+		}
+	}
+	if !atPass || overPass {
+		t.Fatalf("boundary: at-limit pass=%v over-limit pass=%v", atPass, overPass)
+	}
+}
+
+func TestCompareScenariosMissingRerun(t *testing.T) {
+	// A summary whose rerun stats don't cover every declared rerun is a
+	// harness failure, caught by the always-on sample gate.
+	sum := gatedSummary("truncated")
+	sum.RerunStats = sum.RerunStats[:2]
+	findings := CompareScenarios(suiteWith(sum), false)
+	failed := map[string]bool{}
+	for _, f := range findings {
+		if f.Regression {
+			failed[f.Name] = true
+		}
+	}
+	if !failed["scenario/truncated/min-samples"] {
+		t.Fatalf("missing rerun must fail min-samples: %+v", findings)
+	}
+	// And the variance gate refuses to certify on 2 reruns.
+	if !failed["scenario/truncated/max-repair-bits-cv"] {
+		t.Fatalf("variance gate must fail below %d reruns: %+v", scenario.MinRerunsForVariance, findings)
+	}
+}
+
+func TestCompareScenariosRequireAll(t *testing.T) {
+	// An ungated scenario is invisible to the gate step; -require-all
+	// turns that silence into a failure, like a vanished benchmark.
+	bare := scenario.Summary{
+		Name: "ungated", Reruns: 1, Samples: 3,
+		RerunStats: []scenario.RerunStats{{Samples: 3, RecoveryExact: true}},
+	}
+	if got := count(CompareScenarios(suiteWith(bare), false)); got != 0 {
+		t.Fatalf("without -require-all: %d regressions", got)
+	}
+	findings := CompareScenarios(suiteWith(bare), true)
+	var flagged bool
+	for _, f := range findings {
+		if f.Name == "scenario/ungated" && f.Regression {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Fatalf("-require-all must flag the ungated scenario: %+v", findings)
+	}
+}
+
+func TestCompareScenariosIgnoresStoredVerdict(t *testing.T) {
+	// The artifact's own Pass field is not trusted: the gate math runs on
+	// the stored statistics.
+	sum := gatedSummary("lying")
+	sum.MeanRelErr = 99
+	sr := suiteWith(sum)
+	sr.Pass = true // hand-edited artifact claims success
+	if count(CompareScenarios(sr, false)) == 0 {
+		t.Fatal("breached rel-err gate must fail regardless of stored verdict")
 	}
 }

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyScenario runs in well under a second: 16 nodes, 3 epochs, 2 reruns.
+const tinyScenario = `
+name: tiny
+seed: 5
+reruns: 2
+deployment:
+  topology: grid
+  n: 16
+  workload: uniform
+phases:
+  warmup: 1
+  inject: 1
+  recovery: 1
+faults:
+  crash: 0.1
+queries:
+  - median
+gates:
+  converge: true
+  min_samples: 6
+`
+
+func writeTiny(t *testing.T, body string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tiny.yaml"), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunSuitePassWithArtifacts(t *testing.T) {
+	dir := writeTiny(t, tinyScenario)
+	out := filepath.Join(t.TempDir(), "artifacts")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-suite", dir, "-out", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "PASS") {
+		t.Fatalf("stdout missing PASS: %s", stdout.String())
+	}
+	for _, f := range []string{"samples.jsonl", "summary.json", "provenance.json", "report.md"} {
+		if _, err := os.Stat(filepath.Join(out, f)); err != nil {
+			t.Errorf("artifact %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunGateBreachExits1(t *testing.T) {
+	// An impossible sample floor breaches the min-samples gate.
+	dir := writeTiny(t, strings.Replace(tinyScenario, "min_samples: 6", "min_samples: 1000", 1))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-suite", dir, "-q"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1; stdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "FAIL") {
+		t.Fatalf("stdout missing FAIL: %s", stdout.String())
+	}
+}
+
+func TestRunSingleScenarioAndRerunOverride(t *testing.T) {
+	dir := writeTiny(t, tinyScenario)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-scenario", filepath.Join(dir, "tiny.yaml"), "-reruns", "3"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "3 reruns") {
+		t.Fatalf("override not applied: %s", stdout.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no flags: exit %d, want 2", code)
+	}
+	if code := run([]string{"-suite", "x", "-scenario", "y"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("both flags: exit %d, want 2", code)
+	}
+	if code := run([]string{"-suite", "/does/not/exist"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing dir: exit %d, want 2", code)
+	}
+}

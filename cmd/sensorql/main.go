@@ -61,7 +61,7 @@ import (
 )
 
 func main() {
-	topo := flag.String("topology", "grid", "line|ring|star|grid|torus|complete|btree|rgg")
+	topo := flag.String("topology", "grid", "line|ring|star|grid|densegrid|torus|complete|btree|barbell|rgg")
 	n := flag.Int("n", 1024, "number of nodes")
 	wl := flag.String("workload", "uniform", "input distribution")
 	maxX := flag.Uint64("maxx", 0, "value domain bound X (default 4·n)")

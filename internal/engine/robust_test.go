@@ -35,6 +35,8 @@ func TestRobustZeroAdversaryValueIdentity(t *testing.T) {
 	// drawn per delivery, and the sector-split plane's sweeps are
 	// different deliveries than the full-tree sweep, so robust-vs-plain
 	// value identity is only promised for reliable-delivery plans.
+	// TestRobustZeroAdversaryMessageFaults pins down the weaker contract
+	// that does hold under drop/dup.
 	plans := map[string]faults.Spec{
 		"no-faults":      {},
 		"crash":          {Crash: 0.04},
@@ -248,5 +250,115 @@ func TestNonRobustUnderAdversary(t *testing.T) {
 	}
 	if a.Robust || a.Quarantined != 0 {
 		t.Fatalf("non-robust run reported robust fields: %+v", a)
+	}
+}
+
+// TestRobustZeroAdversaryMessageFaults closes the identity suite for
+// message-level plans (drop, dup — alone and mixed). Full value identity
+// with the plain twin cannot hold there: the sector-split plane's sweeps
+// consume different per-delivery fates than the full-tree sweep, and the
+// capacity audits legitimately fire on dup-inflated or drop-undercounted
+// honest partials. What the zero-adversary contract does promise, and
+// this test asserts for every robust kind:
+//
+//   - ground truth is fate-independent: Truth/Truths/TruthKnown match
+//     the plain twin exactly;
+//   - no honest node is ever convicted: Quarantined stays 0 (audits may
+//     *suspect* an inflated sector, but the descent must vindicate it);
+//   - integrity accounting is self-consistent: a nonzero IntegrityBound
+//     requires a suspicion to back it;
+//   - message faults are non-structural: no crashed or unreachable
+//     nodes, no repair traffic;
+//   - degradation is no worse than plain: the robust run errors exactly
+//     when its twin does (rank overflow on a drop-starved count), with
+//     the same message.
+//
+// Run with -race in CI, like the value-identity test above.
+func TestRobustZeroAdversaryMessageFaults(t *testing.T) {
+	plans := map[string]faults.Spec{
+		"drop":     {Drop: 0.1},
+		"dup":      {Dup: 0.1},
+		"drop+dup": {Drop: 0.05, Dup: 0.05},
+	}
+	eng := New(Options{Workers: 1})
+	run := func(job Job) Result { return eng.Submit(context.Background(), []Job{job})[0] }
+	for name, fs := range plans {
+		for _, q := range robustQueries() {
+			t.Run(name+"/"+q.Kind, func(t *testing.T) {
+				spec := gridSpec(196, 7)
+				spec.Faults = fs
+				robust := run(Job{Spec: spec, Query: q})
+				plain := q
+				plain.Robust = false
+				ref := run(Job{Spec: spec, Query: plain})
+
+				if robust.Error != ref.Error {
+					t.Fatalf("error divergence: robust %q plain %q", robust.Error, ref.Error)
+				}
+				if robust.Failed() {
+					return // both failed identically (e.g. drop-starved rank)
+				}
+				if !robust.Robust {
+					t.Fatal("robust result not marked Robust")
+				}
+				if robust.Truth != ref.Truth || robust.TruthKnown != ref.TruthKnown {
+					t.Fatalf("truth diverged: robust (%g,%v) plain (%g,%v)",
+						robust.Truth, robust.TruthKnown, ref.Truth, ref.TruthKnown)
+				}
+				if len(robust.Truths) != len(ref.Truths) {
+					t.Fatalf("robust %d truths, plain %d", len(robust.Truths), len(ref.Truths))
+				}
+				for i := range robust.Truths {
+					if robust.Truths[i] != ref.Truths[i] {
+						t.Fatalf("truths[%d]: robust %g plain %g", i, robust.Truths[i], ref.Truths[i])
+					}
+				}
+				if robust.Quarantined != 0 {
+					t.Fatalf("honest node convicted under %s: %+v", name, robust)
+				}
+				if robust.IntegrityBound > 0 && robust.Suspected == 0 {
+					t.Fatalf("integrity bound %d with no suspicion", robust.IntegrityBound)
+				}
+				if robust.Crashed != 0 || robust.Unreachable != 0 || robust.RepairBits != 0 {
+					t.Fatalf("message faults are non-structural, got %+v", robust)
+				}
+			})
+		}
+	}
+}
+
+// TestRobustMessageFaultsParallelMatchesSerial: robust runs under
+// message-level plans stay bit-identical between the worker pool and a
+// fresh single-worker engine — per-delivery fate streams must fork from
+// the run seed, never from pool scheduling. Run with -race in CI.
+func TestRobustMessageFaultsParallelMatchesSerial(t *testing.T) {
+	var jobs []Job
+	for seed := uint64(1); seed <= 4; seed++ {
+		spec := gridSpec(196, seed)
+		spec.Faults = faults.Spec{Drop: 0.06, Dup: 0.06}
+		jobs = append(jobs,
+			Job{Spec: spec, Query: Query{Kind: KindMedian, Robust: true}},
+			Job{Spec: spec, Query: Query{Kind: KindCount, Robust: true}},
+			Job{Spec: spec, Query: Query{Kind: KindFused, Robust: true}},
+		)
+	}
+	results := New(Options{Workers: 6}).Run(context.Background(), jobs)
+	serial := New(Options{Workers: 1})
+	for i, got := range results {
+		want := serial.Submit(context.Background(), []Job{jobs[i]})[0]
+		if got.Error != want.Error {
+			t.Fatalf("job %d: error %q != serial %q", i, got.Error, want.Error)
+		}
+		if got.Value != want.Value || got.TotalBits != want.TotalBits || got.BitsPerNode != want.BitsPerNode {
+			t.Errorf("job %d: (%g,%d,%d) != serial (%g,%d,%d)",
+				i, got.Value, got.TotalBits, got.BitsPerNode,
+				want.Value, want.TotalBits, want.BitsPerNode)
+		}
+		if got.Suspected != want.Suspected || got.Quarantined != want.Quarantined ||
+			got.IntegrityBound != want.IntegrityBound || got.AuditBits != want.AuditBits {
+			t.Errorf("job %d: integrity (%d,%d,%d,%d) != serial (%d,%d,%d,%d)",
+				i, got.Suspected, got.Quarantined, got.IntegrityBound, got.AuditBits,
+				want.Suspected, want.Quarantined, want.IntegrityBound, want.AuditBits)
+		}
 	}
 }

@@ -21,9 +21,6 @@
 package engine
 
 import (
-	"fmt"
-	"math"
-
 	"sensoragg/internal/faults"
 	"sensoragg/internal/netsim"
 	"sensoragg/internal/topology"
@@ -33,7 +30,8 @@ import (
 // Spec identifies a simulated deployment. Two jobs with equal (normalized)
 // specs execute against networks forked from one cached template.
 type Spec struct {
-	// Topology is one of line|ring|star|grid|torus|complete|btree|rgg.
+	// Topology is one of topology.Kinds():
+	// line|ring|star|grid|densegrid|torus|complete|btree|barbell|rgg.
 	Topology string `json:"topology"`
 	// N is the requested node count (grid/torus round down to a square).
 	N int `json:"n"`
@@ -92,29 +90,12 @@ func (s Spec) Normalize() Spec {
 }
 
 // BuildGraph constructs the topology named by kind with ~n nodes. The seed
-// only matters for random geometric graphs.
+// only matters for random geometric graphs. It delegates to the
+// topology.Build registry, so every generator registered there (including
+// the scenario lab's pathological shapes — barbell, densegrid) is a valid
+// Spec.Topology.
 func BuildGraph(kind string, n int, seed uint64) (*topology.Graph, error) {
-	side := int(math.Sqrt(float64(n)))
-	switch kind {
-	case "line":
-		return topology.Line(n), nil
-	case "ring":
-		return topology.Ring(n), nil
-	case "star":
-		return topology.Star(n), nil
-	case "grid":
-		return topology.Grid(side, side), nil
-	case "torus":
-		return topology.Torus(side, side), nil
-	case "complete":
-		return topology.Complete(n), nil
-	case "btree":
-		return topology.BinaryTree(n), nil
-	case "rgg":
-		return topology.RandomGeometric(n, 0, seed), nil
-	default:
-		return nil, fmt.Errorf("engine: unknown topology %q", kind)
-	}
+	return topology.Build(kind, n, seed)
 }
 
 // graphKey identifies a cached (graph, tree) pair. Only random geometric

@@ -1,0 +1,543 @@
+// Package scenario is the robustness scenario lab: declarative YAML fault
+// scenarios executed N times through the real query engine, producing
+// deterministic JSONL samples, a provenance manifest, a markdown report —
+// and statistical release gates evaluated over the reruns.
+//
+// A scenario declares a deployment (topology, size, workload), a phased
+// fault schedule (warmup → inject → recovery, counted in epochs), a query
+// mix answered every epoch on one fused probe plane, a fixed seed, and a
+// rerun count. Each rerun derives its own seed from the scenario seed, so
+// reruns differ (that is what the variance gates measure) while the whole
+// suite stays bit-reproducible: two invocations of the same suite emit
+// byte-identical JSONL. Accuracy is judged against the engine's survivor
+// ground truth, and sweep/probe/fusion counters come from the existing
+// internal/obs instruments — the harness re-derives nothing.
+//
+// The shape follows the llm-slo-ebpf-toolkit exemplar (SNIPPETS.md §2):
+// declarative scenarios with fixed seeds, three-phase injection, N reruns
+// feeding independent release gates, and a provenance manifest next to
+// every artifact.
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sensoragg/internal/engine"
+	"sensoragg/internal/faults"
+	"sensoragg/internal/topology"
+	"sensoragg/internal/workload"
+)
+
+// Deployment identifies the simulated network a scenario runs against.
+type Deployment struct {
+	// Topology is a topology.Kinds() name (default "grid").
+	Topology string `json:"topology"`
+	// N is the requested node count (default 256).
+	N int `json:"n"`
+	// Workload is the input distribution (default "zipf").
+	Workload string `json:"workload"`
+	// MaxChildren bounds the spanning-tree degree (0 = netsim default).
+	MaxChildren int `json:"max_children,omitempty"`
+}
+
+// Phases counts the epochs of the three-phase schedule. Warmup and
+// recovery epochs run with no faults; inject epochs run the scenario's
+// fault plan (a fresh plan per epoch, so crash sets churn epoch to
+// epoch). Any phase may be zero.
+type Phases struct {
+	Warmup   int `json:"warmup"`
+	Inject   int `json:"inject"`
+	Recovery int `json:"recovery"`
+}
+
+// Total returns the number of epochs per rerun.
+func (p Phases) Total() int { return p.Warmup + p.Inject + p.Recovery }
+
+// Phase names, in schedule order.
+const (
+	PhaseWarmup   = "warmup"
+	PhaseInject   = "inject"
+	PhaseRecovery = "recovery"
+)
+
+// phaseOf maps a 0-based epoch index to its phase name.
+func (p Phases) phaseOf(epoch int) string {
+	switch {
+	case epoch < p.Warmup:
+		return PhaseWarmup
+	case epoch < p.Warmup+p.Inject:
+		return PhaseInject
+	default:
+		return PhaseRecovery
+	}
+}
+
+// Gates are a scenario's release thresholds. Each declared gate is
+// evaluated independently over the rerun statistics and all must pass;
+// see Evaluate for the exact semantics. Nil pointers mean "not declared".
+type Gates struct {
+	// MaxMeanRelErr caps the mean relative error vs survivor ground truth
+	// over all samples (mean of per-rerun means).
+	MaxMeanRelErr *float64 `json:"max_mean_rel_err,omitempty"`
+	// MaxRepairBitsCV caps the dispersion of total repair bits across
+	// reruns, as a coefficient of variation (stddev/mean). A scenario
+	// whose healing cost swings wildly between seeds fails here even if
+	// every individual rerun looked fine.
+	MaxRepairBitsCV *float64 `json:"max_repair_bits_cv,omitempty"`
+	// Converge requires every rerun to terminate cleanly: no errored
+	// query in any phase, and every recovery-phase answer exact once the
+	// fault plan lifts.
+	Converge bool `json:"converge,omitempty"`
+	// MinSamples is the minimum number of JSONL samples the scenario must
+	// produce in total — a harness wiring slip (empty query mix, zero
+	// epochs, skipped reruns) fails loudly instead of gating on nothing.
+	MinSamples int `json:"min_samples,omitempty"`
+}
+
+// Declared reports whether any gate is configured.
+func (g Gates) Declared() bool {
+	return g.MaxMeanRelErr != nil || g.MaxRepairBitsCV != nil || g.Converge || g.MinSamples > 0
+}
+
+// Scenario is one declarative fault scenario.
+type Scenario struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description,omitempty"`
+	Seed        uint64      `json:"seed"`
+	Reruns      int         `json:"reruns"`
+	Deployment  Deployment  `json:"deployment"`
+	Phases      Phases      `json:"phases"`
+	Faults      faults.Spec `json:"faults"`
+	// Queries is the per-epoch query mix: one of median | os K |
+	// quantile PHI | quantiles PHI... | count | sum | min | max | avg |
+	// fused. Every epoch answers the whole mix on one fused submission.
+	Queries []string `json:"queries"`
+	// Robust runs the mix on the Byzantine-robust tier.
+	Robust bool `json:"robust,omitempty"`
+	// ProbeWidth overrides the k-ary probe width (0 = engine default).
+	ProbeWidth int   `json:"probe_width,omitempty"`
+	Gates      Gates `json:"gates"`
+	// File is the source path, for provenance (set by Load).
+	File string `json:"file,omitempty"`
+}
+
+var nameRe = regexp.MustCompile(`^[a-z0-9][a-z0-9-]*$`)
+
+// Defaults fills unset fields in place.
+func (s *Scenario) Defaults() {
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.Reruns == 0 {
+		s.Reruns = 3
+	}
+	if s.Deployment.Topology == "" {
+		s.Deployment.Topology = "grid"
+	}
+	if s.Deployment.N == 0 {
+		s.Deployment.N = 256
+	}
+	if s.Deployment.Workload == "" {
+		s.Deployment.Workload = "zipf"
+	}
+	if s.Phases.Total() == 0 {
+		s.Phases = Phases{Warmup: 1, Inject: 3, Recovery: 1}
+	}
+	if len(s.Queries) == 0 {
+		s.Queries = []string{"median"}
+	}
+}
+
+// Validate rejects malformed scenarios with the field spelled out.
+func (s *Scenario) Validate() error {
+	if !nameRe.MatchString(s.Name) {
+		return fmt.Errorf("scenario: name %q (want lowercase kebab-case)", s.Name)
+	}
+	known := false
+	for _, k := range topology.Kinds() {
+		if k == s.Deployment.Topology {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("scenario %s: unknown topology %q (want one of %v)", s.Name, s.Deployment.Topology, topology.Kinds())
+	}
+	if s.Deployment.N < 4 {
+		return fmt.Errorf("scenario %s: n = %d too small", s.Name, s.Deployment.N)
+	}
+	wkKnown := false
+	for _, k := range workload.Kinds() {
+		if string(k) == s.Deployment.Workload {
+			wkKnown = true
+		}
+	}
+	if !wkKnown {
+		return fmt.Errorf("scenario %s: unknown workload %q (want one of %v)", s.Name, s.Deployment.Workload, workload.Kinds())
+	}
+	if s.Reruns < 1 {
+		return fmt.Errorf("scenario %s: reruns = %d", s.Name, s.Reruns)
+	}
+	if s.Phases.Warmup < 0 || s.Phases.Inject < 0 || s.Phases.Recovery < 0 || s.Phases.Total() == 0 {
+		return fmt.Errorf("scenario %s: phases %+v (want non-negative, at least one epoch)", s.Name, s.Phases)
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if s.Robust && s.Faults.MessageLevel() {
+		// Robust-vs-plain identity is only promised under reliable
+		// delivery; a robust scenario mixing drop/dup would gate on
+		// semantics the tier does not define. Keep the combination out of
+		// the declarative surface.
+		return fmt.Errorf("scenario %s: robust mode cannot be combined with drop/dup fault plans", s.Name)
+	}
+	for _, q := range s.Queries {
+		if _, err := ParseQuery(q); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	if s.ProbeWidth < 0 {
+		return fmt.Errorf("scenario %s: probe_width = %d", s.Name, s.ProbeWidth)
+	}
+	for gate, v := range map[string]*float64{"max_mean_rel_err": s.Gates.MaxMeanRelErr, "max_repair_bits_cv": s.Gates.MaxRepairBitsCV} {
+		if v != nil && (*v < 0 || *v != *v) {
+			return fmt.Errorf("scenario %s: gate %s = %g", s.Name, gate, *v)
+		}
+	}
+	if s.Gates.MinSamples < 0 {
+		return fmt.Errorf("scenario %s: gate min_samples = %d", s.Name, s.Gates.MinSamples)
+	}
+	return nil
+}
+
+// ParseQuery maps one query-mix entry to an engine query.
+func ParseQuery(spec string) (engine.Query, error) {
+	fields := strings.Fields(spec)
+	if len(fields) == 0 {
+		return engine.Query{}, fmt.Errorf("empty query entry")
+	}
+	kind, args := fields[0], fields[1:]
+	noArgs := func() (engine.Query, error) {
+		if len(args) != 0 {
+			return engine.Query{}, fmt.Errorf("query %q: %s takes no arguments", spec, kind)
+		}
+		return engine.Query{Kind: kind}, nil
+	}
+	switch kind {
+	case engine.KindMedian, engine.KindCount, engine.KindSum, engine.KindMin, engine.KindMax, engine.KindAvg, engine.KindFused:
+		return noArgs()
+	case engine.KindOrderStat:
+		if len(args) != 1 {
+			return engine.Query{}, fmt.Errorf("query %q: want `os K`", spec)
+		}
+		k, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil || k == 0 {
+			return engine.Query{}, fmt.Errorf("query %q: bad rank %q", spec, args[0])
+		}
+		return engine.Query{Kind: kind, K: k}, nil
+	case engine.KindQuantile:
+		if len(args) != 1 {
+			return engine.Query{}, fmt.Errorf("query %q: want `quantile PHI`", spec)
+		}
+		phi, err := parsePhi(args[0])
+		if err != nil {
+			return engine.Query{}, fmt.Errorf("query %q: %w", spec, err)
+		}
+		return engine.Query{Kind: kind, Phi: phi}, nil
+	case engine.KindQuantiles:
+		if len(args) == 0 {
+			return engine.Query{}, fmt.Errorf("query %q: want `quantiles PHI...`", spec)
+		}
+		phis := make([]float64, len(args))
+		for i, a := range args {
+			phi, err := parsePhi(a)
+			if err != nil {
+				return engine.Query{}, fmt.Errorf("query %q: %w", spec, err)
+			}
+			phis[i] = phi
+		}
+		return engine.Query{Kind: kind, Phis: phis}, nil
+	default:
+		return engine.Query{}, fmt.Errorf("query %q: unknown kind %q (want median|os|quantile|quantiles|count|sum|min|max|avg|fused)", spec, kind)
+	}
+}
+
+func parsePhi(s string) (float64, error) {
+	phi, err := strconv.ParseFloat(s, 64)
+	if err != nil || phi <= 0 || phi > 1 {
+		return 0, fmt.Errorf("bad quantile %q (want (0,1])", s)
+	}
+	return phi, nil
+}
+
+// Load reads and validates one scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := parseYAML(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	s, err := decodeScenario(doc)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	s.File = filepath.ToSlash(path)
+	s.Defaults()
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// LoadSuite loads every *.yaml/*.yml in dir, sorted by filename so suite
+// order (and therefore artifact bytes) is stable.
+func LoadSuite(dir string) ([]*Scenario, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if ext := filepath.Ext(e.Name()); ext == ".yaml" || ext == ".yml" {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("scenario: no *.yaml scenarios in %s", dir)
+	}
+	suite := make([]*Scenario, 0, len(paths))
+	names := map[string]string{}
+	for _, p := range paths {
+		s, err := Load(p)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := names[s.Name]; dup {
+			return nil, fmt.Errorf("%s: scenario name %q already used by %s", p, s.Name, prev)
+		}
+		names[s.Name] = p
+		suite = append(suite, s)
+	}
+	return suite, nil
+}
+
+// decodeScenario maps the parsed YAML tree onto the schema, rejecting
+// unknown keys so a typo ("recover:" for "recovery:") cannot silently
+// weaken a scenario.
+func decodeScenario(doc map[string]any) (*Scenario, error) {
+	s := &Scenario{}
+	d := newDecoder(doc)
+	s.Name = d.str("name")
+	s.Description = d.str("description")
+	s.Seed = d.uint("seed")
+	s.Reruns = d.int("reruns")
+	s.Robust = d.boolean("robust")
+	s.ProbeWidth = d.int("probe_width")
+	s.Queries = d.strList("queries")
+
+	if dep := d.section("deployment"); dep != nil {
+		s.Deployment.Topology = dep.str("topology")
+		s.Deployment.N = dep.int("n")
+		s.Deployment.Workload = dep.str("workload")
+		s.Deployment.MaxChildren = dep.int("max_children")
+		dep.finish()
+	}
+	if ph := d.section("phases"); ph != nil {
+		s.Phases.Warmup = ph.int("warmup")
+		s.Phases.Inject = ph.int("inject")
+		s.Phases.Recovery = ph.int("recovery")
+		ph.finish()
+	}
+	if f := d.section("faults"); f != nil {
+		s.Faults.Crash = f.float("crash")
+		s.Faults.LinkFail = f.float("linkfail")
+		s.Faults.Drop = f.float("drop")
+		s.Faults.Dup = f.float("dup")
+		s.Faults.Byz = f.float("byz")
+		s.Faults.ByzMode = f.str("byz_mode")
+		s.Faults.Seed = f.uint("seed")
+		f.finish()
+	}
+	if g := d.section("gates"); g != nil {
+		if v, ok := g.optFloat("max_mean_rel_err"); ok {
+			s.Gates.MaxMeanRelErr = &v
+		}
+		if v, ok := g.optFloat("max_repair_bits_cv"); ok {
+			s.Gates.MaxRepairBitsCV = &v
+		}
+		s.Gates.Converge = g.boolean("converge")
+		s.Gates.MinSamples = g.int("min_samples")
+		g.finish()
+	}
+	d.finish()
+	return s, d.err
+}
+
+// decoder consumes keys from one mapping, accumulating the first error
+// and remembering which keys were touched.
+type decoder struct {
+	m        map[string]any
+	used     map[string]bool
+	sections []*decoder
+	err      error
+}
+
+func newDecoder(m map[string]any) *decoder {
+	return &decoder{m: m, used: map[string]bool{}}
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) scalar(key string) (string, bool) {
+	d.used[key] = true
+	v, ok := d.m[key]
+	if !ok {
+		return "", false
+	}
+	s, ok := v.(string)
+	if !ok {
+		d.fail("key %q: expected a scalar", key)
+		return "", false
+	}
+	return s, true
+}
+
+func (d *decoder) str(key string) string {
+	s, _ := d.scalar(key)
+	return s
+}
+
+func (d *decoder) int(key string) int {
+	s, ok := d.scalar(key)
+	if !ok || s == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		d.fail("key %q: %q is not an integer", key, s)
+	}
+	return n
+}
+
+func (d *decoder) uint(key string) uint64 {
+	s, ok := d.scalar(key)
+	if !ok || s == "" {
+		return 0
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		d.fail("key %q: %q is not an unsigned integer", key, s)
+	}
+	return n
+}
+
+func (d *decoder) float(key string) float64 {
+	v, _ := d.optFloat(key)
+	return v
+}
+
+func (d *decoder) optFloat(key string) (float64, bool) {
+	s, ok := d.scalar(key)
+	if !ok || s == "" {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		d.fail("key %q: %q is not a number", key, s)
+		return 0, false
+	}
+	return f, true
+}
+
+func (d *decoder) boolean(key string) bool {
+	s, ok := d.scalar(key)
+	if !ok || s == "" {
+		return false
+	}
+	switch s {
+	case "true", "yes", "on":
+		return true
+	case "false", "no", "off":
+		return false
+	}
+	d.fail("key %q: %q is not a boolean", key, s)
+	return false
+}
+
+func (d *decoder) strList(key string) []string {
+	d.used[key] = true
+	v, ok := d.m[key]
+	if !ok {
+		return nil
+	}
+	seq, ok := v.([]any)
+	if !ok {
+		d.fail("key %q: expected a sequence", key)
+		return nil
+	}
+	out := make([]string, 0, len(seq))
+	for _, item := range seq {
+		s, ok := item.(string)
+		if !ok {
+			d.fail("key %q: expected scalar sequence items", key)
+			return nil
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func (d *decoder) section(key string) *decoder {
+	d.used[key] = true
+	v, ok := d.m[key]
+	if !ok {
+		return nil
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		d.fail("key %q: expected a mapping", key)
+		return nil
+	}
+	sub := newDecoder(m)
+	// Nested errors propagate back up through finish.
+	d.sections = append(d.sections, sub)
+	return sub
+}
+
+// finish reports unknown keys (and pulls up nested errors).
+func (d *decoder) finish() {
+	for _, sub := range d.sections {
+		if d.err == nil && sub.err != nil {
+			d.err = sub.err
+		}
+	}
+	if d.err != nil {
+		return
+	}
+	var unknown []string
+	for k := range d.m {
+		if !d.used[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		d.err = fmt.Errorf("unknown key(s) %v", unknown)
+	}
+}

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeScenario(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const minimalScenario = `
+name: tiny
+deployment:
+  topology: grid
+  n: 16
+faults:
+  crash: 0.1
+gates:
+  converge: true
+`
+
+func TestLoadDefaults(t *testing.T) {
+	path := writeScenario(t, t.TempDir(), "tiny.yaml", minimalScenario)
+	s, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if s.Seed != 42 || s.Reruns != 3 {
+		t.Fatalf("defaults: seed=%d reruns=%d", s.Seed, s.Reruns)
+	}
+	if s.Phases != (Phases{Warmup: 1, Inject: 3, Recovery: 1}) {
+		t.Fatalf("default phases: %+v", s.Phases)
+	}
+	if len(s.Queries) != 1 || s.Queries[0] != "median" {
+		t.Fatalf("default queries: %v", s.Queries)
+	}
+	if s.Faults.Crash != 0.1 {
+		t.Fatalf("faults: %+v", s.Faults)
+	}
+	if !s.Gates.Converge || s.Gates.MaxMeanRelErr != nil {
+		t.Fatalf("gates: %+v", s.Gates)
+	}
+	if s.File != path {
+		t.Fatalf("File: %q", s.File)
+	}
+}
+
+func TestLoadRejectsUnknownKey(t *testing.T) {
+	path := writeScenario(t, t.TempDir(), "bad.yaml", `
+name: bad
+deployment:
+  topology: grid
+  n: 16
+  typo_field: 1
+`)
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "typo_field") {
+		t.Fatalf("want unknown-key error, got %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := func() *Scenario {
+		s := &Scenario{Name: "ok", Deployment: Deployment{Topology: "grid", N: 16, Workload: "uniform"}}
+		s.Defaults()
+		return s
+	}
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"bad name", func(s *Scenario) { s.Name = "Bad Name" }, "kebab-case"},
+		{"bad topology", func(s *Scenario) { s.Deployment.Topology = "moebius" }, "unknown topology"},
+		{"bad workload", func(s *Scenario) { s.Deployment.Workload = "runs" }, "unknown workload"},
+		{"tiny n", func(s *Scenario) { s.Deployment.N = 2 }, "too small"},
+		{"bad query", func(s *Scenario) { s.Queries = []string{"medain"} }, "query"},
+		{"robust drop", func(s *Scenario) { s.Robust = true; s.Faults.Drop = 0.1 }, "robust"},
+		{"robust dup", func(s *Scenario) { s.Robust = true; s.Faults.Dup = 0.1 }, "robust"},
+		{"no epochs", func(s *Scenario) { s.Phases = Phases{} }, "phases"},
+	}
+	for _, tc := range cases {
+		s := base()
+		tc.mut(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base scenario should validate: %v", err)
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	good := []string{"median", "os 10", "quantile 0.9", "quantiles 0.25 0.5 0.75", "count", "sum", "min", "max", "avg", "fused"}
+	for _, spec := range good {
+		if _, err := ParseQuery(spec); err != nil {
+			t.Errorf("ParseQuery(%q): %v", spec, err)
+		}
+	}
+	bad := []string{"", "medain", "os", "os zero", "quantile", "quantile 1.5", "quantiles", "median extra"}
+	for _, spec := range bad {
+		if _, err := ParseQuery(spec); err == nil {
+			t.Errorf("ParseQuery(%q): expected error", spec)
+		}
+	}
+	q, err := ParseQuery("quantile 0.9")
+	if err != nil || q.Phi != 0.9 {
+		t.Fatalf("quantile phi: %+v %v", q, err)
+	}
+}
+
+func TestLoadSuite(t *testing.T) {
+	dir := t.TempDir()
+	writeScenario(t, dir, "b.yaml", strings.Replace(minimalScenario, "tiny", "bbb", 1))
+	writeScenario(t, dir, "a.yaml", strings.Replace(minimalScenario, "tiny", "aaa", 1))
+	writeScenario(t, dir, "notes.txt", "ignored")
+	ss, err := LoadSuite(dir)
+	if err != nil {
+		t.Fatalf("LoadSuite: %v", err)
+	}
+	if len(ss) != 2 || ss[0].Name != "aaa" || ss[1].Name != "bbb" {
+		t.Fatalf("suite order: %v", ss)
+	}
+
+	// Duplicate scenario names across files are rejected.
+	writeScenario(t, dir, "c.yaml", strings.Replace(minimalScenario, "tiny", "aaa", 1))
+	if _, err := LoadSuite(dir); err == nil || !strings.Contains(err.Error(), "already used") {
+		t.Fatalf("want duplicate-name error, got %v", err)
+	}
+}
+
+func TestStarterSuiteLoads(t *testing.T) {
+	// The shipped starter scenarios must always load and validate.
+	ss, err := LoadSuite("../../scenarios")
+	if err != nil {
+		t.Fatalf("starter suite: %v", err)
+	}
+	if len(ss) < 8 {
+		t.Fatalf("starter suite has %d scenarios, want >= 8", len(ss))
+	}
+	for _, s := range ss {
+		if !s.Gates.Declared() {
+			t.Errorf("%s declares no gates", s.Name)
+		}
+		if !s.Faults.Active() {
+			t.Errorf("%s injects no faults", s.Name)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// yaml.go is the scenario lab's declarative-spec loader: a deliberately
+// small YAML subset parser. The module is dependency-free by policy, and
+// scenario specs only need nested mappings, sequences of scalars, and
+// scalar values — so that is exactly what this parser accepts, strictly:
+//
+//   - mappings:   `key: value` and `key:` followed by a deeper-indented
+//     block (indentation defines nesting; tabs are rejected)
+//   - sequences:  `- value` items, scalars only
+//   - scalars:    bare words/numbers/bools, or "double-quoted" strings
+//     (quote a value to keep a literal '#' or ':')
+//   - comments:   `#` to end of line (outside quotes); blank lines ignored
+//
+// Anything outside the subset — anchors, flow style, multi-line scalars,
+// sequences of mappings — is a loud parse error, never a silent guess.
+// Typed decoding (ints, floats, bools) happens in the schema layer.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// yamlLine is one significant line of the document.
+type yamlLine struct {
+	num    int // 1-based source line
+	indent int
+	text   string // content with indentation stripped
+}
+
+// parseYAML parses a document into nested map[string]any / []any / string.
+func parseYAML(data []byte) (map[string]any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("yaml line %d: tabs are not allowed (indent with spaces)", i+1)
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimLeft(text, " ")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		lines = append(lines, yamlLine{num: i + 1, indent: len(text) - len(trimmed), text: strings.TrimRight(trimmed, " ")})
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	v, rest, err := parseBlock(lines, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, fmt.Errorf("yaml line %d: unexpected dedent", rest[0].num)
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("yaml: document root must be a mapping")
+	}
+	return m, nil
+}
+
+// stripComment removes a trailing comment, honoring double quotes.
+func stripComment(s string) string {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case '#':
+			if !inQuote {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses one mapping or sequence block at the given indent and
+// returns the remaining lines (the first line at a shallower indent).
+func parseBlock(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	if len(lines) == 0 {
+		return nil, nil, fmt.Errorf("yaml: empty block")
+	}
+	if strings.HasPrefix(lines[0].text, "- ") || lines[0].text == "-" {
+		return parseSequence(lines, indent)
+	}
+	return parseMapping(lines, indent)
+}
+
+func parseSequence(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	seq := []any{}
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, nil, fmt.Errorf("yaml line %d: unexpected indent inside sequence", ln.num)
+		}
+		if !strings.HasPrefix(ln.text, "- ") {
+			return nil, nil, fmt.Errorf("yaml line %d: expected sequence item, got %q", ln.num, ln.text)
+		}
+		item := strings.TrimSpace(ln.text[2:])
+		if item == "" || strings.HasSuffix(item, ":") || strings.Contains(item, ": ") {
+			return nil, nil, fmt.Errorf("yaml line %d: only scalar sequence items are supported", ln.num)
+		}
+		s, err := unquoteScalar(item, ln.num)
+		if err != nil {
+			return nil, nil, err
+		}
+		seq = append(seq, s)
+		lines = lines[1:]
+	}
+	return seq, lines, nil
+}
+
+func parseMapping(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	m := map[string]any{}
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, nil, fmt.Errorf("yaml line %d: unexpected indent", ln.num)
+		}
+		key, rest, ok := splitKey(ln.text)
+		if !ok {
+			return nil, nil, fmt.Errorf("yaml line %d: expected `key: value`, got %q", ln.num, ln.text)
+		}
+		if _, dup := m[key]; dup {
+			return nil, nil, fmt.Errorf("yaml line %d: duplicate key %q", ln.num, key)
+		}
+		lines = lines[1:]
+		if rest != "" {
+			s, err := unquoteScalar(rest, ln.num)
+			if err != nil {
+				return nil, nil, err
+			}
+			m[key] = s
+			continue
+		}
+		// `key:` introduces a nested block — or an empty value when the
+		// next line is not deeper.
+		if len(lines) == 0 || lines[0].indent <= indent {
+			m[key] = ""
+			continue
+		}
+		var v any
+		var err error
+		v, lines, err = parseBlock(lines, lines[0].indent)
+		if err != nil {
+			return nil, nil, err
+		}
+		m[key] = v
+	}
+	return m, lines, nil
+}
+
+// splitKey splits `key: value` / `key:`; keys are bare words.
+func splitKey(s string) (key, rest string, ok bool) {
+	i := strings.Index(s, ":")
+	if i <= 0 {
+		return "", "", false
+	}
+	key = strings.TrimSpace(s[:i])
+	rest = strings.TrimSpace(s[i+1:])
+	if key == "" || strings.ContainsAny(key, " \"") {
+		return "", "", false
+	}
+	return key, rest, true
+}
+
+// unquoteScalar strips optional double quotes; inner quotes are not
+// escapable (the subset has no escape sequences).
+func unquoteScalar(s string, line int) (string, error) {
+	if strings.HasPrefix(s, `"`) {
+		if len(s) < 2 || !strings.HasSuffix(s, `"`) {
+			return "", fmt.Errorf("yaml line %d: unterminated quote", line)
+		}
+		return s[1 : len(s)-1], nil
+	}
+	if strings.Contains(s, `"`) {
+		return "", fmt.Errorf("yaml line %d: quotes must wrap the whole scalar", line)
+	}
+	return s, nil
+}

@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLNested(t *testing.T) {
+	doc := `
+# header comment
+name: crash-storm
+seed: 42
+deployment:
+  topology: grid
+  n: 256
+queries:
+  - median
+  - "quantile 0.9"
+gates:
+  converge: true   # inline comment
+  max_mean_rel_err: 0.1
+description: "has: colon and # hash"
+`
+	m, err := parseYAML([]byte(doc))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	if m["name"] != "crash-storm" || m["seed"] != "42" {
+		t.Fatalf("scalars: %v / %v", m["name"], m["seed"])
+	}
+	dep, ok := m["deployment"].(map[string]any)
+	if !ok || dep["topology"] != "grid" || dep["n"] != "256" {
+		t.Fatalf("nested mapping: %#v", m["deployment"])
+	}
+	q, ok := m["queries"].([]any)
+	if !ok || len(q) != 2 || q[0] != "median" || q[1] != "quantile 0.9" {
+		t.Fatalf("sequence: %#v", m["queries"])
+	}
+	gates := m["gates"].(map[string]any)
+	if gates["converge"] != "true" || gates["max_mean_rel_err"] != "0.1" {
+		t.Fatalf("gates: %#v", gates)
+	}
+	if m["description"] != "has: colon and # hash" {
+		t.Fatalf("quoted scalar: %q", m["description"])
+	}
+}
+
+func TestParseYAMLEmptyAndRoot(t *testing.T) {
+	m, err := parseYAML([]byte("\n# only comments\n\n"))
+	if err != nil || len(m) != 0 {
+		t.Fatalf("empty doc: %v %v", m, err)
+	}
+	if _, err := parseYAML([]byte("- a\n- b\n")); err == nil {
+		t.Fatal("sequence root should be rejected")
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"tab":          "a:\n\tb: 1\n",
+		"dup key":      "a: 1\na: 2\n",
+		"seq of maps":  "xs:\n  - a: 1\n",
+		"unterminated": `a: "oops` + "\n",
+		"mid quote":    `a: oo"ps` + "\n",
+		"no key":       "just words\n",
+		"bad indent":   "a: 1\n   b: 2\n",
+	}
+	for name, doc := range cases {
+		if _, err := parseYAML([]byte(doc)); err == nil {
+			t.Errorf("%s: expected error for %q", name, doc)
+		}
+	}
+}
+
+func TestParseYAMLEmptyValueKey(t *testing.T) {
+	m, err := parseYAML([]byte("a:\nb: 2\n"))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	if m["a"] != "" || m["b"] != "2" {
+		t.Fatalf("got %#v", m)
+	}
+}
+
+func TestStripCommentQuoted(t *testing.T) {
+	if got := stripComment(`key: "a # b" # real`); !strings.Contains(got, "a # b") || strings.Contains(got, "real") {
+		t.Fatalf("stripComment: %q", got)
+	}
+}

@@ -179,6 +179,68 @@ func Grid(rows, cols int) *Graph {
 	return b.graph(fmt.Sprintf("grid(%dx%d)", rows, cols))
 }
 
+// DenseGrid returns the rows x cols 8-neighbour (Moore) mesh: the
+// 4-neighbour grid plus both diagonals. Interior nodes have degree 8, so
+// the graph is edge-rich — crashes rarely disconnect survivors, which
+// makes it the benign end of the pathological-topology spectrum the
+// scenario lab sweeps (a line is the other end).
+func DenseGrid(rows, cols int) *Graph {
+	b := newBuilder(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.addEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.addEdge(id(r, c), id(r+1, c))
+				if c+1 < cols {
+					b.addEdge(id(r, c), id(r+1, c+1))
+				}
+				if c > 0 {
+					b.addEdge(id(r, c), id(r+1, c-1))
+				}
+			}
+		}
+	}
+	return b.graph(fmt.Sprintf("densegrid(%dx%d)", rows, cols))
+}
+
+// Barbell returns the barbell graph on n nodes: two cliques of k = n/3
+// nodes joined by a path of the remaining n-2k nodes. Every survivor in
+// one bell can only reach the other through the bridge, so a single
+// crash on the path partitions the network — the worst case for the
+// self-healing tree repair, which has no alternate edges to graft
+// through. Node 0 (the root) sits in the first clique. For n < 6 the
+// graph degenerates to a line.
+func Barbell(n int) *Graph {
+	k := n / 3
+	if k < 2 {
+		g := Line(n)
+		g.Name = fmt.Sprintf("barbell(%d)", n)
+		return g
+	}
+	b := newBuilder(n)
+	// First bell: clique on [0, k).
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			b.addEdge(NodeID(i), NodeID(j))
+		}
+	}
+	// Second bell: clique on [n-k, n).
+	for i := n - k; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.addEdge(NodeID(i), NodeID(j))
+		}
+	}
+	// Bridge: path k-1, k, k+1, ..., n-k — the bell boundary nodes are the
+	// path's endpoints, so the middle n-2k nodes all have degree 2.
+	for i := k - 1; i < n-k; i++ {
+		b.addEdge(NodeID(i), NodeID(i+1))
+	}
+	return b.graph(fmt.Sprintf("barbell(%d)", n))
+}
+
 // Torus returns the rows x cols mesh with wraparound edges.
 func Torus(rows, cols int) *Graph {
 	b := newBuilder(rows * cols)
@@ -200,6 +262,44 @@ func BinaryTree(n int) *Graph {
 		b.addEdge(NodeID(i), NodeID((i-1)/2))
 	}
 	return b.graph(fmt.Sprintf("btree(%d)", n))
+}
+
+// Kinds lists the generator names Build accepts, in display order.
+func Kinds() []string {
+	return []string{"line", "ring", "star", "grid", "densegrid", "torus", "complete", "btree", "barbell", "rgg"}
+}
+
+// Build constructs the topology named by kind with ~n nodes (grid, dense
+// grid, and torus round down to a square). The seed only matters for
+// random geometric graphs. This is the single name→generator registry:
+// the query engine, the scenario lab, and the CLIs all resolve topology
+// names here, so a new generator becomes available everywhere at once.
+func Build(kind string, n int, seed uint64) (*Graph, error) {
+	side := int(math.Sqrt(float64(n)))
+	switch kind {
+	case "line":
+		return Line(n), nil
+	case "ring":
+		return Ring(n), nil
+	case "star":
+		return Star(n), nil
+	case "grid":
+		return Grid(side, side), nil
+	case "densegrid":
+		return DenseGrid(side, side), nil
+	case "torus":
+		return Torus(side, side), nil
+	case "complete":
+		return Complete(n), nil
+	case "btree":
+		return BinaryTree(n), nil
+	case "barbell":
+		return Barbell(n), nil
+	case "rgg":
+		return RandomGeometric(n, 0, seed), nil
+	default:
+		return nil, fmt.Errorf("topology: unknown kind %q (want one of %v)", kind, Kinds())
+	}
 }
 
 // RandomGeometric places n nodes uniformly in the unit square and connects

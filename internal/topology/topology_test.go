@@ -178,3 +178,98 @@ func TestDisconnectedGraph(t *testing.T) {
 	}()
 	BFSTree(g, 0)
 }
+
+// TestPathologicalShapes pins the shape invariants of the scenario lab's
+// pathological generators: exact node/edge/degree structure, not just
+// connectivity, so a generator change that silently alters the stress
+// profile (a lost diagonal, a widened bridge) fails here first.
+func TestPathologicalShapes(t *testing.T) {
+	t.Run("barbell", func(t *testing.T) {
+		n := 12
+		g := Barbell(n) // k=4: cliques [0,4) and [8,12), bridge 3-4-5-6-7-8
+		k := n / 3
+		if g.N() != n || !g.Connected() {
+			t.Fatalf("barbell(%d): N=%d connected=%v", n, g.N(), g.Connected())
+		}
+		wantEdges := k*(k-1) + (n - 2*k + 1) // two cliques + bridge path
+		if g.Edges() != wantEdges {
+			t.Fatalf("barbell(%d): %d edges, want %d", n, g.Edges(), wantEdges)
+		}
+		// Both bells are cliques: every pair inside [0,k) and [n-k,n).
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if !hasEdge(g, NodeID(i), NodeID(j)) || !hasEdge(g, NodeID(n-1-i), NodeID(n-1-j)) {
+					t.Fatalf("bell pair (%d,%d) missing", i, j)
+				}
+			}
+		}
+		// The interior bridge nodes have degree exactly 2; the bell
+		// boundary nodes k-1 and n-k carry the clique degree plus one
+		// bridge edge.
+		for u := k; u < n-k; u++ {
+			if g.Degree(NodeID(u)) != 2 {
+				t.Fatalf("bridge node %d degree %d, want 2", u, g.Degree(NodeID(u)))
+			}
+		}
+		if g.Degree(NodeID(k-1)) != k || g.Degree(NodeID(n-k)) != k {
+			t.Fatalf("boundary degrees %d/%d, want %d", g.Degree(NodeID(k-1)), g.Degree(NodeID(n-k)), k)
+		}
+		// Tiny barbells degenerate to a line instead of panicking.
+		if g := Barbell(4); g.N() != 4 || g.Edges() != 3 || !g.Connected() {
+			t.Fatalf("barbell(4) degenerate line broken: %+v", g)
+		}
+	})
+	t.Run("densegrid", func(t *testing.T) {
+		g := DenseGrid(3, 4)
+		if g.N() != 12 || !g.Connected() {
+			t.Fatalf("densegrid(3x4): N=%d connected=%v", g.N(), g.Connected())
+		}
+		// 9 horizontal + 8 vertical + 12 diagonal edges.
+		if g.Edges() != 29 {
+			t.Fatalf("densegrid(3x4): %d edges, want 29", g.Edges())
+		}
+		// Corners see 3 neighbours, edge-midpoints 5, interior nodes 8.
+		if d := g.Degree(0); d != 3 {
+			t.Fatalf("corner degree %d, want 3", d)
+		}
+		if d := g.Degree(1); d != 5 {
+			t.Fatalf("edge-midpoint degree %d, want 5", d)
+		}
+		if d := g.Degree(NodeID(1*4 + 1)); d != 8 {
+			t.Fatalf("interior degree %d, want 8", d)
+		}
+		if g.MaxDegree() != 8 {
+			t.Fatalf("max degree %d, want 8", g.MaxDegree())
+		}
+	})
+}
+
+// TestBuildRegistry: every named kind resolves, is deterministic, and an
+// unknown kind reports the roster.
+func TestBuildRegistry(t *testing.T) {
+	for _, kind := range Kinds() {
+		g, err := Build(kind, 25, 7)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", kind, err)
+		}
+		if g.N() == 0 || !g.Connected() {
+			t.Fatalf("Build(%q): N=%d connected=%v", kind, g.N(), g.Connected())
+		}
+		h, err := Build(kind, 25, 7)
+		if err != nil || h.Edges() != g.Edges() {
+			t.Fatalf("Build(%q) not deterministic: %d vs %d edges (%v)", kind, g.Edges(), h.Edges(), err)
+		}
+	}
+	if _, err := Build("moebius", 25, 7); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func hasEdge(g *Graph, u, v NodeID) bool {
+	for _, w := range g.Adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
