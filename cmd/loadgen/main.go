@@ -58,6 +58,7 @@ func main() {
 	byz := flag.Float64("byz", 0, "fault plan: Byzantine (lying) node probability (root exempt)")
 	byzMode := flag.String("byzmode", "", "Byzantine lie discipline: corrupt|equivocate|collude (default corrupt)")
 	robust := flag.Bool("robust", false, "serve every subscription on the Byzantine-robust tier (audits, quarantine, integrity bounds)")
+	retryBudget := flag.Int("retry-budget", 0, "mid-sweep retry budget: detect → re-heal → resume attempts before an answer degrades to best-known bounds")
 	statement := flag.String("statement", "SELECT median(value)", "the standing statement")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	buffer := flag.Int("buffer", 0, "subscription channel depth (0 = deep enough for the whole run; small values exercise shed-oldest delivery)")
@@ -82,7 +83,8 @@ func main() {
 	}
 
 	spec := engine.Spec{Topology: *topo, N: *n, Workload: *wl, Seed: *seed,
-		Faults: faults.Spec{Byz: *byz, ByzMode: *byzMode}}
+		Faults: faults.Spec{Byz: *byz, ByzMode: *byzMode},
+		Retry:  engine.Retry{Budget: *retryBudget}}
 	rep, err := run(spec, *subscribers, *epochs, *window, *drift, *statement, *buffer, *robust)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -117,6 +119,9 @@ type report struct {
 	Subscribers int         `json:"subscribers"`
 	Epochs      int         `json:"epochs"`
 	Drift       uint64      `json:"drift"`
+	// RetryBudget is the engine's mid-sweep retry budget the run served
+	// under (-retry-budget).
+	RetryBudget int `json:"retry_budget"`
 
 	// Deliveries counts results received on subscription channels; Missing
 	// is how many of the expected subscribers×epochs never arrived, Failed
@@ -349,6 +354,7 @@ func run(spec engine.Spec, subscribers, epochs int, window time.Duration, drift 
 		Subscribers:     subscribers,
 		Epochs:          epochs,
 		Drift:           drift,
+		RetryBudget:     spec.Retry.Budget,
 		Deliveries:      len(deliveries),
 		SoloBitsPerNode: solo.BitsPerNode,
 		Robust:          robust,

@@ -185,6 +185,16 @@ func run(spec engine.Spec) error {
 					}
 					continue
 				}
+				if c.spec.Faults.Phased() {
+					// Mid-sweep fault plans need the engine's detect →
+					// re-heal → resume machinery; the console's direct
+					// net path has none.
+					if err := c.execResilientSolo(stmt, model); err != nil {
+						fmt.Printf("error: %v\n", err)
+						break
+					}
+					continue
+				}
 				res, err := c.exec(stmt)
 				if err != nil {
 					fmt.Printf("error: %v\n", err)
@@ -233,11 +243,16 @@ func (c *console) setCommand(line string) error {
 		} else {
 			fmt.Printf("drift: ±%d per node per epoch\n", c.drift)
 		}
+		if c.spec.Retry.Budget == 0 {
+			fmt.Println("retry: off (a mid-sweep fault degrades the answer to best-known bounds)")
+		} else {
+			fmt.Printf("retry: budget %d\n", c.spec.Retry.Budget)
+		}
 		fmt.Printf("obs: %s\n", onOff(obs.Active() != nil))
 		return nil
 	}
 	if len(fields) != 3 {
-		return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off> | set robust <on|off> | set drift <step|off> | set obs <on|off>")
+		return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off> | set robust <on|off> | set drift <step|off> | set retry <n|off> | set obs <on|off>")
 	}
 	switch {
 	case strings.EqualFold(fields[1], "probewidth"):
@@ -299,6 +314,22 @@ func (c *console) setCommand(line string) error {
 		c.drift = step
 		fmt.Printf("drift: ±%d per node per epoch\n", step)
 		return nil
+	case strings.EqualFold(fields[1], "retry"):
+		if strings.EqualFold(fields[2], "off") {
+			c.spec.Retry = engine.Retry{}
+			// The serving layer bakes the spec in at construction.
+			c.closeService()
+			fmt.Println("retry: off — a mid-sweep fault degrades the answer to best-known bounds")
+			return nil
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 {
+			return fmt.Errorf("retry %q must be a non-negative budget or \"off\"", fields[2])
+		}
+		c.spec.Retry = engine.Retry{Budget: n}
+		c.closeService()
+		fmt.Printf("retry: budget %d — a mid-sweep fault re-heals and resumes up to %d time(s) before degrading\n", n, n)
+		return nil
 	case strings.EqualFold(fields[1], "obs"):
 		switch {
 		case strings.EqualFold(fields[2], "on"):
@@ -316,7 +347,7 @@ func (c *console) setCommand(line string) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off> | set robust <on|off> | set drift <step|off> | set obs <on|off>")
+	return fmt.Errorf("usage: set probewidth <k|default> | set fuse <on|off> | set robust <on|off> | set drift <step|off> | set retry <n|off> | set obs <on|off>")
 }
 
 // execRobustSolo runs one statement on the engine's Byzantine-robust
@@ -340,6 +371,43 @@ func (c *console) execRobustSolo(stmt string, model energy.Model) error {
 		return fmt.Errorf("%s", r.Error)
 	}
 	fmt.Printf("%s   (robust%s)\n", engine.FormatValues(r.Value, r.Values), robustDetail(r))
+	perQuery := float64(r.BitsPerNode)
+	fmt.Printf("cost: %d bits/node (max), %d total bits — ≈ %s on the hottest node\n",
+		r.BitsPerNode, r.TotalBits,
+		energy.FormatJoules(perQuery*(model.TxPerBit+model.RxPerBit)/2))
+	return nil
+}
+
+// execResilientSolo routes one statement through the engine when a
+// phased (mid-sweep) fault plan is armed: the plan fires while the
+// query runs, the engine detects the incomplete sweep, re-heals and
+// resumes within the session's retry budget (SET RETRY), or degrades to
+// best-known bounds when it runs out.
+func (c *console) execResilientSolo(stmt string, model energy.Model) error {
+	q, err := query.Parse(stmt)
+	if err != nil {
+		return err
+	}
+	if _, set := q.Options["probewidth"]; !set && c.probeWidth > 0 {
+		q.Options["probewidth"] = float64(c.probeWidth)
+	}
+	eq, ok := fusedQuery(q)
+	if !ok {
+		return fmt.Errorf("%q cannot run under a mid-sweep fault plan (exact selection/aggregate without WHERE only); `faults off` to run it plain", stmt)
+	}
+	r := c.eng.Submit(context.Background(), []engine.Job{{ID: "resilient", Spec: c.spec, Query: eq}})[0]
+	if r.Failed() {
+		return fmt.Errorf("%s", r.Error)
+	}
+	fmt.Printf("%s   (%s)\n", engine.FormatValues(r.Value, r.Values), r.Detail)
+	if r.SurvivorFrac > 0 && r.SurvivorFrac < 1 {
+		note := ""
+		if r.Degraded {
+			note = " — DEGRADED (best-known bounds, no exactness claim)"
+		}
+		fmt.Printf("resilience: %d retry(ies), answer covers %.1f%% of the deployment%s\n",
+			r.Retries, r.SurvivorFrac*100, note)
+	}
 	perQuery := float64(r.BitsPerNode)
 	fmt.Printf("cost: %d bits/node (max), %d total bits — ≈ %s on the hottest node\n",
 		r.BitsPerNode, r.TotalBits,
@@ -715,6 +783,12 @@ func (c *console) faultsCommand(line string) error {
 	}
 	var fs faults.Spec
 	for _, f := range fields[1:] {
+		if strings.Contains(strings.ToLower(f), "@sweep=") {
+			if err := parseMidFault(&fs, f); err != nil {
+				return err
+			}
+			continue
+		}
 		k, v, ok := strings.Cut(f, "=")
 		if !ok {
 			return fmt.Errorf("want key=value, got %q", f)
@@ -747,7 +821,7 @@ func (c *console) faultsCommand(line string) error {
 		case "byz":
 			fs.Byz = rate
 		default:
-			return fmt.Errorf("unknown fault %q (crash|linkfail|drop|dup|byz|byzmode|seed)", k)
+			return fmt.Errorf("unknown fault %q (crash|linkfail|drop|dup|byz|byzmode|seed, or crash@sweep=K=RATE|linkfail@sweep=K=RATE|rootkill@sweep=K)", k)
 		}
 	}
 	if err := fs.Validate(); err != nil {
@@ -755,6 +829,46 @@ func (c *console) faultsCommand(line string) error {
 	}
 	spec.Faults = fs
 	return c.use(spec)
+}
+
+// parseMidFault parses the phased (mid-sweep) fault tokens —
+// crash@sweep=K=RATE, linkfail@sweep=K=RATE, rootkill@sweep=K — into the
+// spec's Mid fields. One plan fires at one boundary: every token must
+// name the same K.
+func parseMidFault(fs *faults.Spec, tok string) error {
+	kind, rest, _ := strings.Cut(strings.ToLower(tok), "@sweep=")
+	at, rate, hasRate := strings.Cut(rest, "=")
+	k, err := strconv.Atoi(at)
+	if err != nil || k < 1 {
+		return fmt.Errorf("bad sweep boundary %q in %q (want a positive sweep number)", at, tok)
+	}
+	if fs.MidAt != 0 && fs.MidAt != k {
+		return fmt.Errorf("conflicting sweep boundaries %d and %d — one plan fires at one boundary", fs.MidAt, k)
+	}
+	fs.MidAt = k
+	switch kind {
+	case "rootkill":
+		if hasRate {
+			return fmt.Errorf("rootkill@sweep=K takes no rate, got %q", tok)
+		}
+		fs.MidKillRoot = true
+	case "crash", "linkfail":
+		if !hasRate {
+			return fmt.Errorf("want %s@sweep=K=RATE, got %q", kind, tok)
+		}
+		r, err := strconv.ParseFloat(rate, 64)
+		if err != nil {
+			return fmt.Errorf("bad rate %q in %q", rate, tok)
+		}
+		if kind == "crash" {
+			fs.MidCrash = r
+		} else {
+			fs.MidLinkFail = r
+		}
+	default:
+		return fmt.Errorf("unknown mid-sweep fault %q (crash|linkfail|rootkill)", kind)
+	}
+	return nil
 }
 
 // netCommand parses `net [topology [n [workload [seed]]]]` and switches the
@@ -814,6 +928,13 @@ console:
                                          crashes/dead links self-heal the tree;
                                          byz=P makes nodes lie, byzmode M is
                                          corrupt|equivocate|collude
+  faults crash@sweep=K=P | linkfail@sweep=K=P | rootkill@sweep=K
+                                         phased plan: the fault fires at sweep
+                                         boundary K WHILE the query runs; the
+                                         engine detects the lost subtrees,
+                                         re-heals (re-rooting if the root died)
+                                         and resumes within SET RETRY's budget,
+                                         degrading to best-known bounds after
   set probewidth <k|default>             COUNT probes batched per selection sweep
   set fuse <on|off>                      fuse "stmt; stmt; ..." lines into one
                                          shared-sweep batch (one probe plane
@@ -823,6 +944,10 @@ console:
                                          partials, report an integrity bound
   set drift <step|off>                   per-epoch ±step random walk of every
                                          node's reading (the epoch drift model)
+  set retry <n|off>                      mid-sweep retry budget: how many
+                                         detect → re-heal → resume rounds a
+                                         phased fault plan gets before the
+                                         answer degrades
   set obs <on|off>                       record sweep/batch/epoch events and
                                          metrics (zero-cost while off)
   stats                                  print the obs registry snapshot

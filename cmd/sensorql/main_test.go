@@ -467,3 +467,111 @@ func TestStatsShowsByzCounters(t *testing.T) {
 		t.Errorf("quarantined %d but byz_quarantined_total is 0", r.Quarantined)
 	}
 }
+
+// TestSetRetry covers the mid-sweep retry budget knob: numbers, off,
+// and rejection of junk. The budget lands on the console spec's Retry,
+// which every engine-routed statement inherits.
+func TestSetRetry(t *testing.T) {
+	c := testConsole(t)
+	if c.spec.Retry.Budget != 0 {
+		t.Fatalf("fresh console retry budget %d, want 0", c.spec.Retry.Budget)
+	}
+	if err := c.setCommand("set retry 3"); err != nil || c.spec.Retry.Budget != 3 {
+		t.Errorf("set retry 3: budget=%d err=%v", c.spec.Retry.Budget, err)
+	}
+	if err := c.setCommand("SET RETRY OFF"); err != nil || c.spec.Retry.Budget != 0 {
+		t.Errorf("SET RETRY OFF: budget=%d err=%v", c.spec.Retry.Budget, err)
+	}
+	for _, bad := range []string{"set retry -1", "set retry x", "set retry 1.5"} {
+		if err := c.setCommand(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+// TestFaultsMidSweepParsing: the phased fault tokens land on the Mid
+// fields, tokens must agree on one boundary, and malformed tokens are
+// refused with the field named.
+func TestFaultsMidSweepParsing(t *testing.T) {
+	c := testConsole(t)
+	if err := c.faultsCommand("faults crash@sweep=3=0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if fs := c.spec.Faults; fs.MidAt != 3 || fs.MidCrash != 0.1 || !fs.Phased() {
+		t.Fatalf("spec faults %+v", c.spec.Faults)
+	}
+	if err := c.faultsCommand("faults rootkill@sweep=2"); err != nil {
+		t.Fatal(err)
+	}
+	if fs := c.spec.Faults; fs.MidAt != 2 || !fs.MidKillRoot || fs.MidCrash != 0 {
+		t.Fatalf("rootkill plan %+v", c.spec.Faults)
+	}
+	if err := c.faultsCommand("faults CRASH@SWEEP=4=0.05 linkfail@sweep=4=0.2 crash=0.02"); err != nil {
+		t.Fatalf("mixed pre-query + mid-sweep plan refused: %v", err)
+	}
+	if fs := c.spec.Faults; fs.MidAt != 4 || fs.MidCrash != 0.05 || fs.MidLinkFail != 0.2 || fs.Crash != 0.02 {
+		t.Fatalf("mixed plan %+v", c.spec.Faults)
+	}
+	for _, bad := range []string{
+		"faults crash@sweep=3=0.1 rootkill@sweep=2", // conflicting boundaries
+		"faults crash@sweep=3",                      // crash needs a rate
+		"faults rootkill@sweep=2=0.5",               // rootkill takes no rate
+		"faults crash@sweep=0=0.1",                  // boundary must be >= 1
+		"faults crash@sweep=x=0.1",                  // unparsable boundary
+		"faults frob@sweep=3=0.1",                   // unknown mid fault
+		"faults crash@sweep=3=1.5",                  // rate out of range (Validate)
+	} {
+		if err := c.faultsCommand(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	if err := c.faultsCommand("faults off"); err != nil || c.spec.Faults.Active() {
+		t.Fatalf("faults off: %+v err=%v", c.spec.Faults, err)
+	}
+}
+
+// TestExecResilientSolo: with a phased root-kill plan armed and a retry
+// budget, a console statement routes through the engine, survives the
+// mid-sweep fault, and answers exactly over the survivors; with the
+// budget off the same statement degrades but still answers. WHERE
+// clauses are refused under a phased plan with guidance.
+func TestExecResilientSolo(t *testing.T) {
+	c := testConsole(t)
+	model := energy.MoteDefaults()
+	if err := c.setCommand("set retry 2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.faultsCommand("faults rootkill@sweep=2 crash@sweep=2=0.05"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.execResilientSolo("SELECT median(value)", model); err != nil {
+		t.Fatalf("resilient median: %v", err)
+	}
+	r := c.eng.Submit(context.Background(), []engine.Job{{
+		Spec: c.spec, Query: engine.Query{Kind: engine.KindMedian},
+	}})[0]
+	if r.Failed() || !r.Exact || r.Retries < 1 || r.Degraded {
+		t.Fatalf("resilient result %+v", r)
+	}
+	if r.SurvivorFrac <= 0 || r.SurvivorFrac >= 1 {
+		t.Fatalf("survivor fraction %g not in (0,1)", r.SurvivorFrac)
+	}
+
+	if err := c.setCommand("set retry off"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.execResilientSolo("SELECT median(value)", model); err != nil {
+		t.Fatalf("degraded statement should still answer: %v", err)
+	}
+	r = c.eng.Submit(context.Background(), []engine.Job{{
+		Spec: c.spec, Query: engine.Query{Kind: engine.KindMedian},
+	}})[0]
+	if r.Failed() || !r.Degraded || r.TruthKnown {
+		t.Fatalf("budget-0 result %+v", r)
+	}
+
+	if err := c.execResilientSolo("SELECT count(value) WHERE value < 10", model); err == nil ||
+		!strings.Contains(err.Error(), "mid-sweep") {
+		t.Fatalf("WHERE clause should be refused under a phased plan, got %v", err)
+	}
+}

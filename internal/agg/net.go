@@ -192,7 +192,11 @@ func (n *Net) MinMax(d core.Domain) (lo, hi uint64, ok bool) {
 	n.mmcomb = minMaxCombiner{domain: d, width: n.valueWidth(d)}
 	out, err := n.ops.Convergecast(&n.mmcomb)
 	if err != nil {
-		panic(fmt.Sprintf("agg: minmax convergecast: %v", err))
+		// Panic with a wrapped error value, not a string: a mid-flight
+		// fault surfaces here as spantree.ErrSweepIncomplete, and the
+		// engine's recover must errors.As through it to drive the retry
+		// policy.
+		panic(fmt.Errorf("agg: minmax convergecast: %w", err))
 	}
 	p := out.(minMaxPartial)
 	return p.lo, p.hi, p.has
@@ -210,7 +214,7 @@ func (n *Net) Count(d core.Domain, pred wire.Pred) uint64 {
 	n.ccomb = countCombiner{domain: d, pred: pred}
 	out, err := n.ops.Convergecast(&n.ccomb)
 	if err != nil {
-		panic(fmt.Sprintf("agg: count convergecast: %v", err))
+		panic(fmt.Errorf("agg: count convergecast: %w", err))
 	}
 	return out.(uint64)
 }

@@ -25,7 +25,9 @@ func (n *Net) Sum(d core.Domain, pred wire.Pred) uint64 {
 	n.scomb = sumCombiner{domain: d, pred: pred}
 	out, err := n.ops.Convergecast(&n.scomb)
 	if err != nil {
-		panic(fmt.Sprintf("agg: sum convergecast: %v", err))
+		// Wrapped error value, not a string — the engine's recover
+		// errors.As through it for the mid-flight retry policy.
+		panic(fmt.Errorf("agg: sum convergecast: %w", err))
 	}
 	return out.(uint64)
 }
@@ -136,7 +138,7 @@ func (n *Net) runCountVec(d core.Domain, preds []wire.Pred, nested, withSum bool
 	}
 	out, err := n.ops.Convergecast(&n.cvcomb)
 	if err != nil {
-		panic(fmt.Sprintf("agg: countvec convergecast: %v", err))
+		panic(fmt.Errorf("agg: countvec convergecast: %w", err))
 	}
 	return out.([]uint64)
 }
@@ -179,7 +181,7 @@ func (n *Net) MultiAggregate(d core.Domain, pred wire.Pred) (count, sum, lo, hi 
 	n.facomb = fusedCombiner{domain: d, pred: pred, width: vw}
 	out, err := n.ops.Convergecast(&n.facomb)
 	if err != nil {
-		panic(fmt.Sprintf("agg: fused convergecast: %v", err))
+		panic(fmt.Errorf("agg: fused convergecast: %w", err))
 	}
 	p := out.([]uint64)
 	if p[fusedCount] == 0 {

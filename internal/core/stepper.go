@@ -374,6 +374,27 @@ func (s *SelectStepper) Values(dst []uint64) []uint64 {
 	return dst
 }
 
+// Checkpoint appends one SeedWindow per requested rank (input order)
+// capturing the rank's current candidate interval — the search's last
+// consistent count state. A mid-flight fault invalidates the absolute
+// counts the intervals were narrowed with (the surviving population is
+// smaller), so a resumed search cannot reuse them as hard bounds; as seed
+// *hints* on a fresh stepper they bias the re-healed schedule back to
+// where the answer almost certainly still is, costing ~1 extra sweep
+// instead of a from-scratch plane, and never costing correctness (see
+// SeedWindow). Returns dst unchanged before ResolveN — there is no state
+// worth checkpointing yet.
+func (s *SelectStepper) Checkpoint(dst []SeedWindow) []SeedWindow {
+	if !s.resolved {
+		return dst
+	}
+	for _, j := range s.js {
+		iv := s.ivs[s.rankIndex(j)]
+		dst = append(dst, SeedWindow{Lo: iv.lo, Hi: iv.hi})
+	}
+	return dst
+}
+
 // rankIndex locates rank j among the deduplicated ranks (−1 if absent); a
 // linear scan, since rank lists are short.
 func (s *SelectStepper) rankIndex(j uint64) int {

@@ -89,6 +89,8 @@ func (j Job) runSeed() uint64 {
 //     query's seed windows; "seed_hit" reports that every hinted rank's
 //     answer landed inside its window (false on any miss or when no valid
 //     window was attached). Seeding never changes "value".
+//   - Mid-flight fault tolerance: "retries", "degraded", "survivor_frac"
+//     report a phased fault plan's retry outcome (see the field comments).
 //   - "wall_ns" is host-side wall time; "error" is set iff the job failed.
 //
 // Fields marked omitempty vanish at their zero values; absence means the
@@ -157,6 +159,18 @@ type Result struct {
 	// seeded selection query (Query.SeedWindows); see the schema comment.
 	SeededSweeps int  `json:"seeded_sweeps,omitempty"`
 	SeedHit      bool `json:"seed_hit,omitempty"`
+
+	// Mid-flight fault tolerance (phased fault plans, Spec.Retry):
+	// "retries" counts the re-heal/resume attempts the run consumed;
+	// "degraded" marks an answer assembled from best-known bounds after the
+	// retry budget ran out (TruthKnown is false — there is no exact truth
+	// claim to compare against); "survivor_frac" is the fraction of the
+	// deployment's nodes the final answer covers, reported whenever a
+	// phased fault actually fired. A degraded result is not Failed():
+	// graceful degradation returns the best available answer, not an error.
+	Retries      int     `json:"retries,omitempty"`
+	Degraded     bool    `json:"degraded,omitempty"`
+	SurvivorFrac float64 `json:"survivor_frac,omitempty"`
 
 	WallNS int64  `json:"wall_ns"`
 	Error  string `json:"error,omitempty"`
@@ -375,6 +389,9 @@ func resultFrom(spec Spec, q Query, ans answer, d netsim.Delta, wall time.Durati
 		SharedSweeps: ans.sweeps,
 		SeededSweeps: ans.seededSweeps,
 		SeedHit:      ans.seedHit,
+		Retries:      ans.retries,
+		Degraded:     ans.degraded,
+		SurvivorFrac: ans.survivorFrac,
 		WallNS:       wall.Nanoseconds(),
 	}
 	if ans.truthKnown && len(ans.truths) == len(ans.values) && len(ans.values) > 0 {

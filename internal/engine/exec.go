@@ -149,6 +149,11 @@ type answer struct {
 	// selection; surface as Result.SeededSweeps/SeedHit.
 	seededSweeps int
 	seedHit      bool
+	// retries/degraded/survivorFrac report a phased fault plan's mid-flight
+	// retry outcome; surface as Result.Retries/Degraded/SurvivorFrac.
+	retries      int
+	degraded     bool
+	survivorFrac float64
 	// robust carries the byz tier's outcome for a Query.Robust run: the
 	// localization report (nil when no adversary was planned) and the
 	// aggregation plane's integrity accounting.
@@ -183,6 +188,23 @@ func execute(nw *netsim.Network, spec Spec, q Query) (answer, error) {
 	if p := nw.Faults; p != nil && p.Active() {
 		if err := faultSupport(q.Kind, p.Spec()); err != nil {
 			return answer{}, err
+		}
+		if p.Spec().Phased() && q.Robust {
+			return answer{}, fmt.Errorf("engine: robust mode does not support phased fault plans (the byz tier has no mid-flight retry story)")
+		}
+	}
+
+	// A fusable tree query under a phased fault plan runs as a resilient
+	// batch of one: the detect → re-heal → resume loop in retry.go, with
+	// the same degradation contract as a fused batch. The goroutine
+	// reference engine is rejected below (it has no sweep clock), and
+	// unfusable parameters fall through to report their standard errors.
+	if p := nw.Faults; p != nil && p.PhaseArmed() && !q.Robust && fusableKind(q.Kind) {
+		switch spec.TreeEngine {
+		case "", "fast", "fast-serial", "fast-parallel":
+			if ans, ok, err := executeResilientSolo(nw, spec, q); ok {
+				return ans, err
+			}
 		}
 	}
 
@@ -329,6 +351,19 @@ func faultSupport(kind string, fs faults.Spec) error {
 	}
 	if !usesTree(kind) && fs.Structural() {
 		return fmt.Errorf("engine: %s does not support structural faults (crash/linkfail) — only tree queries self-heal; message faults (drop/dup) are fine", kind)
+	}
+	if fs.Phased() {
+		switch {
+		case kind == KindGossip || kind == KindGossipDistinct:
+			// Gossip takes the mid-round fault natively: the epidemic
+			// protocol keeps running over the survivors past the fire and
+			// degrades gracefully without any retry machinery.
+		case fusableKind(kind):
+			// The exact selection/aggregate tree kinds detect the
+			// incomplete sweep, re-heal, and resume (see retry.go).
+		default:
+			return fmt.Errorf("engine: %s does not support phased (mid-sweep) fault plans — only the exact selection/aggregate tree kinds retry, and the gossip kinds degrade natively", kind)
+		}
 	}
 	return nil
 }

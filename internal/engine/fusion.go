@@ -3,7 +3,6 @@ package engine
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"time"
 
 	"sensoragg/internal/agg"
@@ -102,8 +101,19 @@ func RunFused(ctx context.Context, net *agg.Net, members []FusedMember, deadline
 // error is an empty active multiset.
 func runFused(ctx context.Context, net *agg.Net, members []FusedMember, deadline time.Time) (FusedResult, error) {
 	res := FusedResult{Members: make([]FusedMemberResult, len(members))}
-	steppers := make([]*core.SelectStepper, len(members))
-	needSum := false
+	steppers, needSum := buildSteppers(members, &res)
+	err := driveFused(ctx, net, members, steppers, needSum, deadline, &res)
+	return res, err
+}
+
+// buildSteppers constructs each selection member's stepper (seeded from the
+// member's windows) and validates aggregate members, reporting whether any
+// member needs the shared Sum rider. Per-member validation errors land in
+// res.Members. It is split from driveFused so the mid-flight retry loop can
+// keep the steppers across a failed drive: their last consistent intervals
+// are the checkpoints the resumed attempt seeds from.
+func buildSteppers(members []FusedMember, res *FusedResult) (steppers []*core.SelectStepper, needSum bool) {
+	steppers = make([]*core.SelectStepper, len(members))
 	for i, mb := range members {
 		if len(mb.Ranks) > 0 {
 			steppers[i] = core.NewSelectStepper(mb.Ranks, mb.Width)
@@ -120,10 +130,16 @@ func runFused(ctx context.Context, net *agg.Net, members []FusedMember, deadline
 			}
 		}
 	}
+	return steppers, needSum
+}
 
+// driveFused runs the batch's shared probe schedule to completion: one
+// MinMax round, then merged CountVec sweeps until every member resolves,
+// then per-member answer assembly into res.
+func driveFused(ctx context.Context, net *agg.Net, members []FusedMember, steppers []*core.SelectStepper, needSum bool, deadline time.Time, res *FusedResult) error {
 	lo, hi, ok := net.MinMax(core.Linear)
 	if !ok {
-		return res, core.ErrEmpty
+		return core.ErrEmpty
 	}
 	res.Lo, res.Hi = lo, hi
 	for _, st := range steppers {
@@ -196,7 +212,7 @@ func runFused(ctx context.Context, net *agg.Net, members []FusedMember, deadline
 			}
 			if res.N == 0 {
 				res.Sweeps, res.Probes = mux.Sweeps, mux.ProbesShipped
-				return res, core.ErrEmpty
+				return core.ErrEmpty
 			}
 			for i, st := range steppers {
 				if st == nil || res.Members[i].Err != nil {
@@ -251,7 +267,7 @@ func runFused(ctx context.Context, net *agg.Net, members []FusedMember, deadline
 			}
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // fusableKind reports whether a query kind can join a fusion batch: the
@@ -449,14 +465,7 @@ func (e *Engine) runFusedGroup(ctx context.Context, jobs []Job, idxs []int, resu
 		}
 		return solo
 	}
-	switch spec.TreeEngine {
-	case "fast-serial":
-		fe.SetWorkers(1)
-		fe.SetPooled(false)
-	case "fast-parallel":
-		fe.SetWorkers(2 * runtime.GOMAXPROCS(0))
-	}
-	net := agg.NewNet(fe)
+	pinFastEngine(fe, spec.TreeEngine)
 	values := nw.AllItems()
 	if hr != nil {
 		values = survivingItems(nw, hr.View)
@@ -480,7 +489,25 @@ func (e *Engine) runFusedGroup(ctx context.Context, jobs []Job, idxs []int, resu
 		return append(solo, memberIdx...)
 	}
 
-	fres, ferr := runFused(ctx, net, members, deadline)
+	var fres FusedResult
+	var ferr error
+	var rout *resilientOutcome
+	if plan := nw.Faults; plan != nil && plan.PhaseArmed() {
+		// A phased fault plan can kill the batch mid-sweep: drive it
+		// through the detect → re-heal → resume loop instead of the plain
+		// schedule. Members are rebuilt per attempt inside, because the
+		// survivor population (and with it φ-resolved ranks) shrinks.
+		queries := make([]Query, len(memberIdx))
+		for mi, ji := range memberIdx {
+			queries[mi] = jobs[ji].Query.WithDefaults()
+		}
+		rout, ferr = resilientFused(ctx, nw, spec, fe, hr, values, queries, deadline)
+		if ferr == nil {
+			fres, hr, values = rout.res, rout.hr, rout.values
+		}
+	} else {
+		fres, ferr = runFused(ctx, agg.NewNet(fe), members, deadline)
+	}
 	d := nw.Meter.Since(before)
 	wall := time.Since(start)
 	if ferr != nil {
@@ -522,8 +549,18 @@ func (e *Engine) runFusedGroup(ctx context.Context, jobs []Job, idxs []int, resu
 			continue
 		}
 		q := jobs[ji].Query.WithDefaults()
-		ans := fusedAnswer(q, mr, fres, len(members), values, sorted)
+		var ans answer
+		if rout != nil && rout.degraded {
+			ans = degradedAnswer(q, mr, rout.retries)
+		} else {
+			ans = fusedAnswer(q, mr, fres, len(members), values, sorted)
+		}
 		ans.heal = hr
+		if rout != nil {
+			ans.retries = rout.retries
+			ans.degraded = rout.degraded
+			ans.survivorFrac = rout.survivorFrac
+		}
 		r := resultFrom(spec, jobs[ji].Query, ans, d, wall)
 		r.ID = jobs[ji].ID
 		r.Fused = true
@@ -606,5 +643,31 @@ func fusedAnswer(q Query, mr FusedMemberResult, fres FusedResult, batch int, val
 		}
 		ans.value, ans.truth = mr.AggValues[0], want[aggs[0]]
 		return ans
+	}
+}
+
+// degradedAnswer assembles a member's best-effort answer after the retry
+// budget ran out: the checkpointed bounds stand in for the exact values and
+// no truth claim is made (TruthKnown stays false — the population the
+// partial sweeps counted over no longer exists).
+func degradedAnswer(q Query, mr FusedMemberResult, retries int) answer {
+	detail := fmt.Sprintf("degraded: retry budget exhausted after %d attempt(s); best-known bounds", retries+1)
+	switch q.Kind {
+	case KindMedian, KindOrderStat, KindQuantile:
+		return answer{value: float64(mr.Values[0]), detail: detail}
+	case KindQuantiles:
+		ans := answer{detail: detail}
+		for _, v := range mr.Values {
+			ans.values = append(ans.values, float64(v))
+		}
+		ans.value = ans.values[0]
+		return ans
+	case KindFused:
+		ans := answer{detail: detail}
+		ans.values = append(ans.values, mr.AggValues...)
+		ans.value = ans.values[0]
+		return ans
+	default:
+		return answer{value: mr.AggValues[0], detail: detail}
 	}
 }

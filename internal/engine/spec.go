@@ -21,6 +21,8 @@
 package engine
 
 import (
+	"time"
+
 	"sensoragg/internal/faults"
 	"sensoragg/internal/netsim"
 	"sensoragg/internal/topology"
@@ -57,6 +59,28 @@ type Spec struct {
 	// links) trigger a self-healing tree repair before the query executes,
 	// with the repair traffic charged to the run's meter.
 	Faults faults.Spec `json:"faults,omitempty"`
+	// Retry governs mid-flight fault tolerance for phased fault plans
+	// (faults that strike at a sweep boundary while a query is running):
+	// on a detected incomplete sweep the engine re-heals the tree,
+	// recomputes the survivor population, and resumes the selection search
+	// from its checkpointed bounds, up to Budget times. The zero value
+	// means no retries — the first mid-sweep failure degrades the answer
+	// (Result.Degraded) instead of erroring.
+	Retry Retry `json:"retry,omitempty"`
+}
+
+// Retry is the engine's mid-flight retry policy. It is comparable (part of
+// the Spec fusion key) and stripped from the template cache key like
+// Faults: retrying is a run-time behaviour, not a deployment property.
+type Retry struct {
+	// Budget is the number of re-heal/resume attempts allowed per query
+	// (or per fusion batch) after a mid-sweep failure. 0 degrades on the
+	// first failure.
+	Budget int `json:"budget,omitempty"`
+	// Backoff is an optional pause before each re-heal attempt — real
+	// deployments wait out a fault burst before re-probing. Simulated
+	// time; charged as wall time only.
+	Backoff time.Duration `json:"backoff,omitempty"`
 }
 
 // DefaultTopology and friends fill zero-valued Spec fields.
@@ -119,8 +143,10 @@ func (s Spec) graphKey() graphKey {
 // templateKey strips the per-run fault configuration: faults are injected
 // on the forked run networks, never on the cached template, so deployments
 // differing only in fault rates share one template — a fault-rate sweep
-// builds its graph, tree, and workload exactly once.
+// builds its graph, tree, and workload exactly once. The retry policy is
+// likewise a run-time behaviour, not a deployment property.
 func (s Spec) templateKey() Spec {
 	s.Faults = faults.Spec{}
+	s.Retry = Retry{}
 	return s
 }

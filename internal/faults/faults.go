@@ -74,6 +74,25 @@ type Spec struct {
 	// "derive from the run seed", which gives every engine run its own
 	// forked fault state.
 	Seed uint64 `json:"seed,omitempty"`
+
+	// MidAt arms the *phased* (mid-flight) faults: the plan counts protocol
+	// boundaries — convergecast sweeps on the tree engines, rounds on the
+	// netsim round engine — via Tick, and on boundary number MidAt (1-based)
+	// the mid faults below strike all at once. 0 leaves the plan unphased.
+	// Phased faults model a node dying *during* a multi-sweep query, the
+	// regime the engine's retry policy (engine.Retry) recovers from.
+	MidAt int `json:"mid_at,omitempty"`
+	// MidCrash is the probability a surviving non-root node crashes at the
+	// MidAt boundary (an independent decision stream from Crash).
+	MidCrash float64 `json:"mid_crash,omitempty"`
+	// MidLinkFail is the probability an undirected edge dies at the MidAt
+	// boundary, on top of any run-long LinkFail decisions.
+	MidLinkFail float64 `json:"mid_link_fail,omitempty"`
+	// MidKillRoot crashes the root — the querier itself — at the MidAt
+	// boundary. The run-long Crash exempts the root; this is the explicit
+	// root-kill switch, forcing a re-rooted heal (spantree.HealRerooted) or
+	// a degraded answer.
+	MidKillRoot bool `json:"mid_kill_root,omitempty"`
 }
 
 // Byzantine behavior modes.
@@ -85,7 +104,13 @@ const (
 
 // Active reports whether the spec injects any fault at all.
 func (s Spec) Active() bool {
-	return s.Crash > 0 || s.LinkFail > 0 || s.Drop > 0 || s.Dup > 0 || s.Byz > 0
+	return s.Crash > 0 || s.LinkFail > 0 || s.Drop > 0 || s.Dup > 0 || s.Byz > 0 || s.Phased()
+}
+
+// Phased reports whether the spec carries mid-flight faults that strike at
+// a sweep/round boundary instead of before the run starts.
+func (s Spec) Phased() bool {
+	return s.MidAt > 0 && (s.MidCrash > 0 || s.MidLinkFail > 0 || s.MidKillRoot)
 }
 
 // Adversarial reports whether the spec includes Byzantine (lying) nodes —
@@ -121,6 +146,23 @@ func (s Spec) Validate() error {
 	if s.ByzMode != "" && s.Byz <= 0 {
 		return fmt.Errorf("faults: byzmode %q without byz rate", s.ByzMode)
 	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"mid_crash", s.MidCrash}, {"mid_linkfail", s.MidLinkFail}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s rate %g out of [0,1]", p.name, p.v)
+		}
+	}
+	if s.MidAt < 0 {
+		return fmt.Errorf("faults: mid_at %d must be ≥ 0", s.MidAt)
+	}
+	if (s.MidCrash > 0 || s.MidLinkFail > 0 || s.MidKillRoot) && s.MidAt == 0 {
+		return fmt.Errorf("faults: mid-flight faults need mid_at ≥ 1 (the sweep/round boundary they strike at)")
+	}
+	if s.MidAt > 0 && !s.Phased() {
+		return fmt.Errorf("faults: mid_at=%d without any mid-flight fault (mid_crash, mid_linkfail, or kill_root)", s.MidAt)
+	}
 	return nil
 }
 
@@ -140,6 +182,17 @@ func (s Spec) String() string {
 	add("byz", s.Byz)
 	if s.Byz > 0 && s.ByzMode != "" && s.ByzMode != ByzCorrupt {
 		parts = append(parts, fmt.Sprintf("byzmode=%s", s.ByzMode))
+	}
+	if s.Phased() {
+		if s.MidCrash > 0 {
+			parts = append(parts, fmt.Sprintf("crash@sweep=%d=%g", s.MidAt, s.MidCrash))
+		}
+		if s.MidLinkFail > 0 {
+			parts = append(parts, fmt.Sprintf("linkfail@sweep=%d=%g", s.MidAt, s.MidLinkFail))
+		}
+		if s.MidKillRoot {
+			parts = append(parts, fmt.Sprintf("rootkill@sweep=%d", s.MidAt))
+		}
 	}
 	if len(parts) == 0 {
 		return "none"
@@ -170,16 +223,23 @@ type Plan struct {
 	lieSeq      []uint64 // per-node equivocation counters
 	quarantined []bool   // lazily allocated by the first Quarantine
 	nQuar       int
+
+	// Phased state: the boundary clock advanced by Tick, and whether the
+	// mid-flight faults already struck. Both stay zero for unphased plans.
+	clock int
+	fired bool
 }
 
 // Decision streams keep crash, link, message, membership, and lie hashes
 // independent.
 const (
-	streamCrash = 0x9e3779b97f4a7c15
-	streamLink  = 0xbf58476d1ce4e5b9
-	streamMsg   = 0x94d049bb133111eb
-	streamByz   = 0xd6e8feb86659fd93
-	streamLie   = 0xa0761d6478bd642f
+	streamCrash    = 0x9e3779b97f4a7c15
+	streamLink     = 0xbf58476d1ce4e5b9
+	streamMsg      = 0x94d049bb133111eb
+	streamByz      = 0xd6e8feb86659fd93
+	streamLie      = 0xa0761d6478bd642f
+	streamMidCrash = 0x8ebc6af09c88c6e3
+	streamMidLink  = 0x589965cc75374cc3
 )
 
 // New instantiates the plan for an n-node network rooted at root. The
@@ -239,16 +299,22 @@ func (p *Plan) Crashed(u topology.NodeID) bool { return p.crashed[u] }
 // CrashedCount returns the number of crashed nodes.
 func (p *Plan) CrashedCount() int { return p.nCrashed }
 
-// LinkAlive reports whether the undirected edge (u, v) carries traffic.
-// It is symmetric and stable for the whole run.
+// LinkAlive reports whether the undirected edge (u, v) currently carries
+// traffic. It is symmetric; run-long decisions (LinkFail) are stable for
+// the whole run, and once the phased faults have fired the mid-flight
+// link decisions (MidLinkFail, an independent stream) apply on top.
 func (p *Plan) LinkAlive(u, v topology.NodeID) bool {
-	if p.spec.LinkFail <= 0 {
+	midDead := p.fired && p.spec.MidLinkFail > 0
+	if p.spec.LinkFail <= 0 && !midDead {
 		return true
 	}
 	if u > v {
 		u, v = v, u
 	}
-	return p.uniform(streamLink, uint64(u), uint64(v)) >= p.spec.LinkFail
+	if p.spec.LinkFail > 0 && p.uniform(streamLink, uint64(u), uint64(v)) < p.spec.LinkFail {
+		return false
+	}
+	return !midDead || p.uniform(streamMidLink, uint64(u), uint64(v)) >= p.spec.MidLinkFail
 }
 
 // Deliveries decides the fate of the next message on the directed edge
@@ -342,6 +408,51 @@ func (p *Plan) Excluded(u topology.NodeID) bool {
 // ExcludedCount returns the number of excluded (crashed or quarantined)
 // nodes.
 func (p *Plan) ExcludedCount() int { return p.nCrashed + p.nQuar }
+
+// PhaseArmed reports whether the plan carries mid-flight faults at all —
+// fired or not. Protocol drivers guard every per-boundary Tick (and the
+// completeness checks that only matter once faults can strike mid-run) on
+// this, so unphased plans never pay for the boundary clock.
+func (p *Plan) PhaseArmed() bool { return p.spec.Phased() }
+
+// PhaseFired reports whether the mid-flight faults have struck.
+func (p *Plan) PhaseFired() bool { return p.fired }
+
+// Tick advances the boundary clock by one sweep/round and fires the
+// phased faults when the clock reaches Spec.MidAt; it returns true exactly
+// once, on the boundary where the faults strike. Like Deliveries, Tick
+// mutates plan state and must be called from the sequential protocol
+// driver (the convergecast entry point or the round loop), never from
+// worker goroutines. Decisions are pure hashes of (seed, identity) on
+// streams independent from the run-long faults, so two plans built from
+// the same inputs fire identically — the bit-identity contract the
+// parallel engine relies on.
+func (p *Plan) Tick() bool {
+	if p.fired || !p.spec.Phased() {
+		return false
+	}
+	p.clock++
+	if p.clock < p.spec.MidAt {
+		return false
+	}
+	p.fired = true
+	if p.spec.MidCrash > 0 {
+		for u := range p.crashed {
+			if topology.NodeID(u) == p.root || p.crashed[u] {
+				continue
+			}
+			if p.uniform(streamMidCrash, uint64(u), 0) < p.spec.MidCrash {
+				p.crashed[u] = true
+				p.nCrashed++
+			}
+		}
+	}
+	if p.spec.MidKillRoot && !p.crashed[p.root] {
+		p.crashed[p.root] = true
+		p.nCrashed++
+	}
+	return true
+}
 
 // CorruptValue maps a lie word onto an honest value, producing the
 // corrupted value a Byzantine node reports instead. The low bits of the

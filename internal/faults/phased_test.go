@@ -1,0 +1,157 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"sensoragg/internal/topology"
+)
+
+// TestPhasedTickFiresOnceDeterministically: the phased clock fires exactly
+// at the MidAt boundary, exactly once, and two plans built from the same
+// arguments make identical crash decisions.
+func TestPhasedTickFiresOnceDeterministically(t *testing.T) {
+	spec := Spec{MidAt: 3, MidCrash: 0.2}
+	const n = 200
+	a := New(spec, n, 0, 42)
+	b := New(spec, n, 0, 42)
+
+	for boundary := 1; boundary < 3; boundary++ {
+		if a.Tick() {
+			t.Fatalf("plan fired at boundary %d, want %d", boundary, spec.MidAt)
+		}
+		if a.PhaseFired() {
+			t.Fatal("PhaseFired before the boundary")
+		}
+	}
+	if !a.Tick() {
+		t.Fatal("plan did not fire at its boundary")
+	}
+	if !a.PhaseFired() {
+		t.Fatal("PhaseFired false after firing")
+	}
+	if a.CrashedCount() == 0 {
+		t.Fatal("20% mid crash over 200 nodes killed nobody")
+	}
+	crashed := a.CrashedCount()
+	if a.Tick() {
+		t.Fatal("plan fired twice")
+	}
+	if a.CrashedCount() != crashed {
+		t.Fatal("post-fire tick changed the crash set")
+	}
+
+	for i := 0; i < 3; i++ {
+		b.Tick()
+	}
+	for u := 0; u < n; u++ {
+		if a.Crashed(topology.NodeID(u)) != b.Crashed(topology.NodeID(u)) {
+			t.Fatalf("plans diverge at node %d", u)
+		}
+	}
+}
+
+// TestPhasedRootExemptUnlessKilled: MidCrash never takes the root (the
+// querier), but MidKillRoot does — that is the root-kill scenario.
+func TestPhasedRootExemptUnlessKilled(t *testing.T) {
+	const root = 5
+	for seed := uint64(1); seed <= 20; seed++ {
+		p := New(Spec{MidAt: 1, MidCrash: 0.9}, 64, root, seed)
+		p.Tick()
+		if p.Crashed(root) {
+			t.Fatalf("seed %d: mid crash took the root", seed)
+		}
+	}
+	p := New(Spec{MidAt: 1, MidKillRoot: true}, 64, root, 1)
+	p.Tick()
+	if !p.Crashed(root) {
+		t.Fatal("MidKillRoot left the root alive")
+	}
+	if p.CrashedCount() != 1 {
+		t.Fatalf("root kill crashed %d nodes, want 1", p.CrashedCount())
+	}
+}
+
+// TestPhasedLinkFailOnlyAfterFire: mid link failures must not exist before
+// the boundary and must be deterministic after it.
+func TestPhasedLinkFailOnlyAfterFire(t *testing.T) {
+	spec := Spec{MidAt: 2, MidLinkFail: 0.5}
+	p := New(spec, 100, 0, 9)
+	deadBefore := 0
+	for u := 0; u < 99; u++ {
+		if !p.LinkAlive(topology.NodeID(u), topology.NodeID(u+1)) {
+			deadBefore++
+		}
+	}
+	if deadBefore != 0 {
+		t.Fatalf("%d links dead before the boundary", deadBefore)
+	}
+	p.Tick()
+	p.Tick()
+	deadAfter := 0
+	for u := 0; u < 99; u++ {
+		if !p.LinkAlive(topology.NodeID(u), topology.NodeID(u+1)) {
+			deadAfter++
+		}
+	}
+	if deadAfter == 0 {
+		t.Fatal("50% mid link failure killed no links after the fire")
+	}
+	q := New(spec, 100, 0, 9)
+	q.Tick()
+	q.Tick()
+	for u := 0; u < 99; u++ {
+		if p.LinkAlive(topology.NodeID(u), topology.NodeID(u+1)) !=
+			q.LinkAlive(topology.NodeID(u), topology.NodeID(u+1)) {
+			t.Fatalf("link %d-%d decision diverges across identical plans", u, u+1)
+		}
+	}
+}
+
+// TestPhasedValidate: mid-fault fields validate like their pre-query
+// counterparts, and a boundary without a fault (or vice versa) is a
+// configuration error.
+func TestPhasedValidate(t *testing.T) {
+	valid := []Spec{
+		{MidAt: 1, MidCrash: 0.1},
+		{MidAt: 3, MidLinkFail: 0.5},
+		{MidAt: 2, MidKillRoot: true},
+		{MidAt: 1, MidCrash: 0.1, MidLinkFail: 0.1, MidKillRoot: true, Crash: 0.05},
+		{}, // zero plan
+	}
+	for _, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", s, err)
+		}
+	}
+	invalid := []Spec{
+		{MidAt: 1, MidCrash: 1.5},
+		{MidAt: 1, MidLinkFail: -0.1},
+		{MidAt: -1, MidCrash: 0.1},
+		{MidCrash: 0.1}, // fault without a boundary
+		{MidAt: 2},      // boundary without a fault
+		{MidKillRoot: true},
+	}
+	for _, s := range invalid {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%+v accepted", s)
+		}
+	}
+}
+
+// TestPhasedActiveAndString: a phased-only spec is Active (plans must
+// attach) but not Structural (no pre-query heal), and String names the
+// boundary.
+func TestPhasedActiveAndString(t *testing.T) {
+	s := Spec{MidAt: 3, MidCrash: 0.05, MidKillRoot: true}
+	if !s.Phased() || !s.Active() {
+		t.Error("phased spec not active")
+	}
+	if s.Structural() {
+		t.Error("phased-only spec reported structural — it would trigger a needless pre-query heal")
+	}
+	str := s.String()
+	if !strings.Contains(str, "crash@sweep=3") || !strings.Contains(str, "rootkill@sweep=3") {
+		t.Errorf("String %q does not render the phased faults", str)
+	}
+}

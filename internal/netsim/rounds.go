@@ -107,6 +107,13 @@ func RunRounds(nw *Network, handler RoundHandler, rounds int) RoundsResult {
 
 	for round := 0; round < rounds; round++ {
 		executed = round + 1
+		if faulty && plan.PhaseArmed() {
+			// Phased faults strike at this round boundary: nodes crashed
+			// mid-run stop stepping from this round on, and mid-dead links
+			// drop every later delivery. Gossip-style protocols degrade
+			// natively past the fire; no retry machinery applies here.
+			plan.Tick()
+		}
 		runParallel(n, workers, func(i int) {
 			if faulty && plan.Crashed(topology.NodeID(i)) {
 				outboxes[i] = nil

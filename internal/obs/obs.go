@@ -57,6 +57,13 @@ type Sink struct {
 	ByzSuspected   *Counter // byz_suspected_total: subtree roots suspected by audits or trims
 	ByzQuarantined *Counter // byz_quarantined_total: nodes convicted and quarantined
 	IntegrityBound *Gauge   // integrity_bound: last robust answer's residual bound (items)
+
+	// Mid-flight fault tolerance (engine retry + serve degradation).
+	Retries          *Counter // retries_total: mid-sweep re-heal/resume attempts
+	SweepsIncomplete *Counter // sweeps_incomplete_total: convergecasts that failed the completeness check
+	DegradedAnswers  *Counter // degraded_answers_total: answers served from best-known bounds
+	LKGServed        *Counter // lkg_served_total: subscription deliveries served from the last-known-good cache
+	BreakerState     *Gauge   // breaker_state: serve circuit breaker (0 closed, 1 half-open, 2 open)
 }
 
 // NewSink builds a sink with a fresh tracer and registry and every
@@ -94,6 +101,12 @@ func NewSink() *Sink {
 		ByzSuspected:   reg.Counter("byz_suspected_total", "Subtree roots suspected by challenge audits or partial trims."),
 		ByzQuarantined: reg.Counter("byz_quarantined_total", "Nodes convicted by audit descent and quarantined."),
 		IntegrityBound: reg.Gauge("integrity_bound", "Residual integrity bound of the last robust answer, in items."),
+
+		Retries:          reg.Counter("retries_total", "Mid-sweep re-heal/resume attempts by the engine retry policy."),
+		SweepsIncomplete: reg.Counter("sweeps_incomplete_total", "Convergecast sweeps that failed the completeness check."),
+		DegradedAnswers:  reg.Counter("degraded_answers_total", "Answers served degraded from best-known bounds."),
+		LKGServed:        reg.Counter("lkg_served_total", "Subscription deliveries served from the last-known-good cache."),
+		BreakerState:     reg.Gauge("breaker_state", "Serve circuit breaker state: 0 closed, 1 half-open, 2 open."),
 	}
 }
 

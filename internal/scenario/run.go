@@ -41,6 +41,14 @@ type Sample struct {
 	SharedSweeps int   `json:"shared_sweeps"`
 	Fused        bool  `json:"fused"`
 
+	// Mid-sweep resilience accounting: how many detect → re-heal →
+	// resume rounds the answer took, whether the retry budget ran out
+	// (best-known bounds, no truth claim), and the surviving fraction of
+	// the deployment the answer covers.
+	Retries      int     `json:"retries,omitempty"`
+	Degraded     bool    `json:"degraded,omitempty"`
+	SurvivorFrac float64 `json:"survivor_frac,omitempty"`
+
 	Robust         bool   `json:"robust,omitempty"`
 	Suspected      int    `json:"suspected,omitempty"`
 	Quarantined    int    `json:"quarantined,omitempty"`
@@ -95,16 +103,17 @@ type RerunStats struct {
 // Summary aggregates one scenario across its reruns; this is what the
 // release gates evaluate and what benchdiff -scenario consumes.
 type Summary struct {
-	Name       string      `json:"name"`
-	File       string      `json:"file,omitempty"`
-	Seed       uint64      `json:"seed"`
-	Reruns     int         `json:"reruns"`
-	Queries    []string    `json:"queries"`
-	Deployment Deployment  `json:"deployment"`
-	Phases     Phases      `json:"phases"`
-	Faults     faults.Spec `json:"faults"`
-	Robust     bool        `json:"robust,omitempty"`
-	Gates      Gates       `json:"gates"`
+	Name        string      `json:"name"`
+	File        string      `json:"file,omitempty"`
+	Seed        uint64      `json:"seed"`
+	Reruns      int         `json:"reruns"`
+	Queries     []string    `json:"queries"`
+	Deployment  Deployment  `json:"deployment"`
+	Phases      Phases      `json:"phases"`
+	Faults      faults.Spec `json:"faults"`
+	Robust      bool        `json:"robust,omitempty"`
+	RetryBudget int         `json:"retry_budget,omitempty"`
+	Gates       Gates       `json:"gates"`
 
 	Samples          int     `json:"samples"`
 	Errors           int     `json:"errors"`
@@ -197,16 +206,17 @@ func (r *Runner) Run(ctx context.Context, s *Scenario) (*RunResult, error) {
 	eng := engine.New(engine.Options{Workers: r.opts.Workers})
 	reruns := r.Reruns(s)
 	res := &RunResult{Summary: Summary{
-		Name:       s.Name,
-		File:       s.File,
-		Seed:       s.Seed,
-		Reruns:     reruns,
-		Queries:    s.Queries,
-		Deployment: s.Deployment,
-		Phases:     s.Phases,
-		Faults:     s.Faults,
-		Robust:     s.Robust,
-		Gates:      s.Gates,
+		Name:        s.Name,
+		File:        s.File,
+		Seed:        s.Seed,
+		Reruns:      reruns,
+		Queries:     s.Queries,
+		Deployment:  s.Deployment,
+		Phases:      s.Phases,
+		Faults:      s.Faults,
+		Robust:      s.Robust,
+		RetryBudget: s.RetryBudget,
+		Gates:       s.Gates,
 	}}
 
 	var latencySum float64
@@ -241,6 +251,7 @@ func (r *Runner) runRerun(ctx context.Context, eng *engine.Engine, sink *obs.Sin
 		Workload:    s.Deployment.Workload,
 		MaxChildren: s.Deployment.MaxChildren,
 		Seed:        rseed,
+		Retry:       engine.Retry{Budget: s.RetryBudget},
 	}
 	stats := RerunStats{Rerun: rerun, RecoveryExact: true}
 	var relSum, injectRelSum float64
@@ -380,6 +391,10 @@ func sampleFrom(s *Scenario, rerun, epoch int, phase, query string, qr engine.Re
 		Unreachable:  qr.Unreachable,
 		SharedSweeps: qr.SharedSweeps,
 		Fused:        qr.Fused,
+
+		Retries:      qr.Retries,
+		Degraded:     qr.Degraded,
+		SurvivorFrac: qr.SurvivorFrac,
 
 		Robust:         qr.Robust,
 		Suspected:      qr.Suspected,

@@ -120,6 +120,10 @@ type Scenario struct {
 	Queries []string `json:"queries"`
 	// Robust runs the mix on the Byzantine-robust tier.
 	Robust bool `json:"robust,omitempty"`
+	// RetryBudget is the engine's mid-sweep retry budget (engine.Retry):
+	// how many detect → re-heal → resume attempts a phased fault plan is
+	// allowed before the answer degrades to best-known bounds.
+	RetryBudget int `json:"retry_budget,omitempty"`
 	// ProbeWidth overrides the k-ary probe width (0 = engine default).
 	ProbeWidth int   `json:"probe_width,omitempty"`
 	Gates      Gates `json:"gates"`
@@ -188,6 +192,14 @@ func (s *Scenario) Validate() error {
 	}
 	if err := s.Faults.Validate(); err != nil {
 		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if s.RetryBudget < 0 {
+		return fmt.Errorf("scenario %s: retry_budget = %d", s.Name, s.RetryBudget)
+	}
+	if s.Robust && s.Faults.Phased() {
+		// The byz tier has no mid-flight retry story; the engine rejects
+		// the combination, so the declarative surface does too.
+		return fmt.Errorf("scenario %s: robust mode cannot be combined with phased (mid-sweep) fault plans", s.Name)
 	}
 	if s.Robust && s.Faults.MessageLevel() {
 		// Robust-vs-plain identity is only promised under reliable
@@ -344,6 +356,7 @@ func decodeScenario(doc map[string]any) (*Scenario, error) {
 	s.Seed = d.uint("seed")
 	s.Reruns = d.int("reruns")
 	s.Robust = d.boolean("robust")
+	s.RetryBudget = d.int("retry_budget")
 	s.ProbeWidth = d.int("probe_width")
 	s.Queries = d.strList("queries")
 
@@ -367,6 +380,10 @@ func decodeScenario(doc map[string]any) (*Scenario, error) {
 		s.Faults.Dup = f.float("dup")
 		s.Faults.Byz = f.float("byz")
 		s.Faults.ByzMode = f.str("byz_mode")
+		s.Faults.MidAt = f.int("mid_at")
+		s.Faults.MidCrash = f.float("mid_crash")
+		s.Faults.MidLinkFail = f.float("mid_linkfail")
+		s.Faults.MidKillRoot = f.boolean("kill_root")
 		s.Faults.Seed = f.uint("seed")
 		f.finish()
 	}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"sensoragg/internal/engine"
+	"sensoragg/internal/faults"
+	"sensoragg/internal/obs"
+)
+
+// breakSpec injects a deterministic mid-sweep root kill with no retry
+// budget into the service's spec: every subsequent epoch degrades, which
+// is the serving layer's "unusable fresh answer" trigger. White-box
+// mutation under s.mu — the engine's template cache is keyed with Faults
+// and Retry stripped, so flipping them costs nothing.
+func (s *Service) breakSpec() {
+	s.mu.Lock()
+	s.spec.Faults = faults.Spec{MidAt: 1, MidKillRoot: true}
+	s.spec.Retry = engine.Retry{Budget: 0}
+	s.mu.Unlock()
+}
+
+func (s *Service) healSpec() {
+	s.mu.Lock()
+	s.spec.Faults = faults.Spec{}
+	s.spec.Retry = engine.Retry{}
+	s.mu.Unlock()
+}
+
+func (s *Service) breakerState() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.breaker
+}
+
+// TestServeLKGOnDegradedEpoch: a degraded epoch (root killed mid-sweep,
+// no retry budget) must serve the subscription its last-known-good
+// answer, stamped with its age, instead of the degraded fresh one.
+func TestServeLKGOnDegradedEpoch(t *testing.T) {
+	svc, err := New(Options{Spec: testSpec(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	sub, err := svc.Subscribe(context.Background(), "SELECT median(value)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out1 := svc.AdvanceEpoch(context.Background())
+	if out1[0].Failed() || out1[0].Degraded || !out1[0].Exact {
+		t.Fatalf("healthy epoch not usable: %+v", out1[0])
+	}
+	if out1[0].LKG || out1[0].StaleEpochs != 0 {
+		t.Fatalf("fresh answer carries LKG markers: %+v", out1[0])
+	}
+
+	svc.breakSpec()
+	out2 := svc.AdvanceEpoch(context.Background())
+	r := out2[0]
+	if !r.LKG {
+		t.Fatalf("degraded epoch did not serve last-known-good: %+v", r)
+	}
+	if r.StaleEpochs != 1 {
+		t.Errorf("StaleEpochs = %d, want 1", r.StaleEpochs)
+	}
+	if r.Epoch != 2 {
+		t.Errorf("LKG result tagged epoch %d, want 2", r.Epoch)
+	}
+	if r.Degraded || r.Failed() {
+		t.Errorf("LKG substitute is not the cached good answer: %+v", r)
+	}
+	if r.Value != out1[0].Value {
+		t.Errorf("LKG value %g != cached epoch-1 value %g", r.Value, out1[0].Value)
+	}
+	// The channel sees the same substituted result.
+	got := <-sub.Results() // epoch 1
+	got = <-sub.Results()  // epoch 2
+	if !got.LKG || got.StaleEpochs != 1 {
+		t.Errorf("delivered result lost the LKG stamp: %+v", got)
+	}
+	// One degraded epoch is below the default threshold: breaker closed.
+	if st := svc.breakerState(); st != breakerClosed {
+		t.Errorf("breaker state %d after one failed epoch, want closed", st)
+	}
+}
+
+// TestServeBreakerOpensAndRecovers: consecutive failed epochs trip the
+// breaker into LKG-serving; a half-open probe against a healed
+// deployment closes it and the same epoch delivers fresh answers again.
+func TestServeBreakerOpensAndRecovers(t *testing.T) {
+	sk := obs.Active()
+	if sk == nil {
+		sk = obs.Enable()
+	}
+	lkgBefore := sk.LKGServed.Value()
+
+	svc, err := New(Options{Spec: testSpec(5), BreakerThreshold: 2, MaxStale: -1, Buffer: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for _, stmt := range []string{"SELECT median(value)", "SELECT count(value)"} {
+		if _, err := svc.Subscribe(context.Background(), stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	svc.AdvanceEpoch(context.Background()) // epoch 1: healthy, caches LKG
+	svc.breakSpec()
+
+	svc.AdvanceEpoch(context.Background()) // epoch 2: fail #1
+	if st := svc.breakerState(); st != breakerClosed {
+		t.Fatalf("breaker opened after %d < threshold failures", 1)
+	}
+	out3 := svc.AdvanceEpoch(context.Background()) // epoch 3: fail #2 → open
+	if st := svc.breakerState(); st != breakerOpen {
+		t.Fatalf("breaker state %d after threshold failures, want open", st)
+	}
+	for i, r := range out3 {
+		if !r.LKG || r.StaleEpochs != 2 {
+			t.Errorf("sub %d epoch 3: want LKG 2 epochs stale, got %+v", i, r)
+		}
+	}
+
+	// Open: the epoch serves the cache and only a probe hits the engine.
+	out4 := svc.AdvanceEpoch(context.Background())
+	if st := svc.breakerState(); st != breakerOpen {
+		t.Fatalf("breaker state %d while deployment still broken, want open", st)
+	}
+	for i, r := range out4 {
+		if !r.LKG || r.StaleEpochs != 3 {
+			t.Errorf("sub %d epoch 4: want LKG 3 epochs stale, got %+v", i, r)
+		}
+	}
+	if sk.BreakerState.Value() != breakerOpen {
+		t.Errorf("breaker_state gauge = %g, want %d", sk.BreakerState.Value(), breakerOpen)
+	}
+
+	// Heal. The next advance probes, closes, and runs the full batch in
+	// the SAME epoch — recovery adds no extra stale epoch.
+	svc.healSpec()
+	out5 := svc.AdvanceEpoch(context.Background())
+	if st := svc.breakerState(); st != breakerClosed {
+		t.Fatalf("breaker state %d after healed probe, want closed", st)
+	}
+	for i, r := range out5 {
+		if r.LKG || r.StaleEpochs != 0 || r.Failed() || r.Degraded {
+			t.Errorf("sub %d epoch 5: want fresh usable answer, got %+v", i, r)
+		}
+		if r.Epoch != 5 {
+			t.Errorf("sub %d: recovery epoch %d, want 5", i, r.Epoch)
+		}
+	}
+	if served := sk.LKGServed.Value() - lkgBefore; served < 6 {
+		t.Errorf("lkg_served_total grew by %d, want >= 6 (2 subs x 3 epochs)", served)
+	}
+}
+
+// TestServeMaxStaleBound: beyond Options.MaxStale the cache is dead —
+// the caller gets the real degraded answer, not arbitrarily old data.
+func TestServeMaxStaleBound(t *testing.T) {
+	svc, err := New(Options{Spec: testSpec(7), MaxStale: 1, BreakerThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Subscribe(context.Background(), "SELECT median(value)"); err != nil {
+		t.Fatal(err)
+	}
+
+	svc.AdvanceEpoch(context.Background()) // epoch 1: healthy
+	svc.breakSpec()
+
+	out2 := svc.AdvanceEpoch(context.Background())
+	if !out2[0].LKG || out2[0].StaleEpochs != 1 {
+		t.Fatalf("epoch 2: want LKG 1 epoch stale, got %+v", out2[0])
+	}
+	out3 := svc.AdvanceEpoch(context.Background())
+	r := out3[0]
+	if r.LKG {
+		t.Fatalf("epoch 3 served a %d-epoch-stale answer past MaxStale=1: %+v", r.StaleEpochs, r)
+	}
+	if !r.Degraded {
+		t.Errorf("past the staleness bound the real degraded answer must surface: %+v", r)
+	}
+	if r.SurvivorFrac >= 1 || r.SurvivorFrac <= 0 {
+		t.Errorf("degraded answer survivor fraction %g not in (0,1)", r.SurvivorFrac)
+	}
+	// Breaker disabled: still closed after three failures.
+	if st := svc.breakerState(); st != breakerClosed {
+		t.Errorf("disabled breaker moved to state %d", st)
+	}
+}

@@ -52,6 +52,15 @@ const DefaultFuseWindow = 2 * time.Millisecond
 // a too-tight window turns estimator jitter into seed misses.
 const SeedMarginFloor = 32
 
+// DefaultBreakerThreshold is how many consecutive failed epochs (no
+// subscription produced a usable answer) trip the circuit breaker into
+// last-known-good serving.
+const DefaultBreakerThreshold = 3
+
+// DefaultMaxStale bounds how many epochs old a last-known-good answer
+// may be and still be served in place of a failed fresh one.
+const DefaultMaxStale = 8
+
 // Options configures a Service.
 type Options struct {
 	// Spec is the deployment every subscription and ad-hoc query runs
@@ -81,6 +90,20 @@ type Options struct {
 	// localized and quarantined before answering. Statement-fallback
 	// queries (WHERE clauses) cannot run robust and keep the plain path.
 	Robust bool
+	// BreakerThreshold is the number of consecutive failed epochs — no
+	// subscription produced a usable (non-failed, non-degraded) answer —
+	// after which the circuit breaker opens and the service serves
+	// last-known-good answers instead of executing full batches. While
+	// open, each epoch advance issues one half-open probe (the first
+	// subscription's query, solo); a usable probe closes the breaker and
+	// the full batch runs in the same epoch. 0 means
+	// DefaultBreakerThreshold; negative disables the breaker.
+	BreakerThreshold int
+	// MaxStale bounds how many epochs old a last-known-good answer may be
+	// and still be served when a fresh epoch fails or degrades
+	// (Result.StaleEpochs carries the age). 0 means DefaultMaxStale;
+	// negative removes the bound.
+	MaxStale int
 	// ObsAddr, when non-empty, enables the global observability sink
 	// (obs.Enable, unless one is already active) and serves the
 	// introspection endpoint — /metrics, /healthz, /debug/trace,
@@ -97,6 +120,11 @@ type Options struct {
 type Result struct {
 	Epoch int `json:"epoch"`
 	SubID int `json:"sub_id,omitempty"`
+	// StaleEpochs is how many epochs old a served last-known-good answer
+	// is (0 on fresh answers); LKG marks that the embedded result is a
+	// cached substitute for a failed or degraded fresh epoch.
+	StaleEpochs int  `json:"stale_epochs,omitempty"`
+	LKG         bool `json:"lkg,omitempty"`
 	engine.Result
 }
 
@@ -111,16 +139,21 @@ type Service struct {
 	maxX   uint64
 	robust bool
 
-	mu      sync.Mutex
-	closed  bool
-	epoch   int
-	values  []uint64        // current epoch's multiset, node order
-	overlay *engine.Overlay // shared by every job of the current epoch; nil before the first advance
-	subs    []*Subscription // ordered by ID: deterministic batch layout
-	nextID  int
-	pending []pendingQuery
-	adhocID int
-	timer   *time.Timer
+	threshold int // consecutive failed epochs that open the breaker; <=0 disables
+	maxStale  int // LKG staleness bound in epochs; <0 removes the bound
+
+	mu          sync.Mutex
+	closed      bool
+	breaker     int // breakerClosed / breakerHalfOpen / breakerOpen
+	consecFails int // failed epochs since the last usable one
+	epoch       int
+	values      []uint64        // current epoch's multiset, node order
+	overlay     *engine.Overlay // shared by every job of the current epoch; nil before the first advance
+	subs        []*Subscription // ordered by ID: deterministic batch layout
+	nextID      int
+	pending     []pendingQuery
+	adhocID     int
+	timer       *time.Timer
 
 	tickStop chan struct{}
 	tickDone chan struct{}
@@ -157,15 +190,25 @@ func New(opts Options) (*Service, error) {
 	if buffer <= 0 {
 		buffer = 4
 	}
+	threshold := opts.BreakerThreshold
+	if threshold == 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	maxStale := opts.MaxStale
+	if maxStale == 0 {
+		maxStale = DefaultMaxStale
+	}
 	s := &Service{
-		spec:   spec,
-		eng:    eng,
-		window: window,
-		update: opts.Update,
-		buffer: buffer,
-		maxX:   maxX,
-		robust: opts.Robust,
-		values: values,
+		spec:      spec,
+		eng:       eng,
+		window:    window,
+		update:    opts.Update,
+		buffer:    buffer,
+		maxX:      maxX,
+		robust:    opts.Robust,
+		threshold: threshold,
+		maxStale:  maxStale,
+		values:    values,
 	}
 	if opts.ObsAddr != "" {
 		if err := s.startObs(opts.ObsAddr); err != nil {
@@ -222,6 +265,13 @@ type Subscription struct {
 	move    []int64
 	seen    int
 	dropped int64
+
+	// Last-known-good cache, guarded by svc.mu: the most recent usable
+	// answer and the epoch that produced it. Served with a staleness
+	// stamp when a fresh epoch fails or degrades (Options.MaxStale).
+	lkg      engine.Result
+	lkgEpoch int
+	hasLKG   bool
 }
 
 // Results is the channel of per-epoch answers.
@@ -406,6 +456,14 @@ func (sub *Subscription) observeLocked(r engine.Result) {
 // subscriptions' results in subscription order (ad-hoc results go to
 // their callers). Concurrent AdvanceEpoch calls serialize on the state
 // evolution but execute their batches independently.
+//
+// Resilience: a subscription whose fresh answer failed or degraded is
+// served its last-known-good answer instead (stamped Result.LKG with
+// StaleEpochs), as long as it is within Options.MaxStale. After
+// Options.BreakerThreshold consecutive epochs with no usable answer the
+// circuit breaker opens: subsequent epochs skip the full batch, serve
+// last-known-good directly, and issue one half-open probe whose success
+// closes the breaker and re-runs the full batch in the same epoch.
 func (s *Service) AdvanceEpoch(ctx context.Context) []Result {
 	start := time.Now()
 	s.mu.Lock()
@@ -426,8 +484,35 @@ func (s *Service) AdvanceEpoch(ctx context.Context) []Result {
 	}
 	ov := &engine.Overlay{Epoch: e, Values: slices.Clone(s.values)}
 	s.overlay = ov
-
 	subs := slices.Clone(s.subs)
+
+	if s.breaker == breakerOpen && len(subs) > 0 {
+		s.setBreakerLocked(breakerHalfOpen)
+		probe := engine.Job{
+			ID:      fmt.Sprintf("probe-%d@%d", subs[0].ID, e),
+			Spec:    s.spec,
+			Query:   subs[0].q,
+			Overlay: ov,
+		}
+		s.mu.Unlock()
+		pr := s.eng.Submit(ctx, []engine.Job{probe}, engine.WithFusion())
+		s.mu.Lock()
+		if !usable(pr[0]) {
+			// The deployment is still broken: stay open and serve every
+			// subscription its cached answer without touching the engine.
+			s.setBreakerLocked(breakerOpen)
+			out, drops := s.serveLKGLocked(e, subs)
+			s.mu.Unlock()
+			if sk := obs.Active(); sk != nil {
+				s.obsEpoch(sk, e, len(subs), 0, 0, 0, drops, time.Since(start))
+			}
+			return out
+		}
+		// Healed: close the breaker and run the full batch this epoch.
+		s.setBreakerLocked(breakerClosed)
+		s.consecFails = 0
+	}
+
 	jobs := make([]engine.Job, 0, len(subs))
 	for _, sub := range subs {
 		q := sub.q
@@ -451,41 +536,45 @@ func (s *Service) AdvanceEpoch(ctx context.Context) []Result {
 
 	out := make([]Result, len(subs))
 	var seedAttempts, seedHits, drops int64
+	usableCount := 0
+	sk := obs.Active()
 	s.mu.Lock()
 	for i, sub := range subs {
+		fresh := results[i]
 		if len(jobs[i].Query.SeedWindows) > 0 {
 			seedAttempts++
-			if results[i].SeedHit {
+			if fresh.SeedHit {
 				seedHits++
 			}
 		}
-		sub.observeLocked(results[i])
-		r := Result{Epoch: e, SubID: sub.ID, Result: results[i]}
+		r := Result{Epoch: e, SubID: sub.ID, Result: fresh}
+		if usable(fresh) {
+			usableCount++
+			sub.observeLocked(fresh)
+			sub.lkg = fresh
+			sub.lkgEpoch = e
+			sub.hasLKG = true
+		} else {
+			// Don't extrapolate delta-narrowing seeds across a failed or
+			// degraded epoch, and don't let a degraded answer poison the
+			// last-known-good cache.
+			sub.seen = 0
+			if lkg, ok := s.lkgLocked(e, sub); ok {
+				r = lkg
+				if sk != nil {
+					sk.LKGServed.Add(1)
+				}
+			}
+		}
 		out[i] = r
 		if !slices.Contains(s.subs, sub) {
 			continue // unsubscribed while the batch ran
 		}
-		select {
-		case sub.ch <- r:
-		default:
-			// The subscriber is more than a buffer behind: shed the oldest
-			// undelivered epoch so the stream never blocks the scheduler.
-			select {
-			case <-sub.ch:
-				sub.dropped++
-				drops++
-			default:
-			}
-			select {
-			case sub.ch <- r:
-			default:
-				sub.dropped++
-				drops++
-			}
-		}
+		s.pushLocked(sub, r, &drops)
 	}
+	s.noteEpochLocked(len(subs), usableCount)
 	s.mu.Unlock()
-	if sk := obs.Active(); sk != nil {
+	if sk != nil {
 		s.obsEpoch(sk, e, len(subs), len(pend), seedAttempts, seedHits, drops, time.Since(start))
 	}
 	for i, p := range pend {

@@ -98,12 +98,22 @@ func Heal(nw *netsim.Network) (*HealResult, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("spantree: Heal requires a fault plan on the network")
 	}
-	tree, g := nw.Tree, nw.Graph
-	n := nw.N()
-	root := tree.Root
+	root := nw.Tree.Root
 	if plan.Crashed(root) {
 		return nil, fmt.Errorf("spantree: root %d crashed — no querier to heal toward", root)
 	}
+	return healToward(nw, root)
+}
+
+// healToward is the healing protocol body, parameterized over the querier
+// to heal toward: Heal passes the spanning-tree root, HealRerooted may pass
+// any surviving node (root-kill recovery — the attachFragment re-rooting
+// already makes any fragment member a valid attachment point, so an
+// arbitrary acting root is just "attach its fragment first").
+func healToward(nw *netsim.Network, root topology.NodeID) (*HealResult, error) {
+	plan := nw.Faults
+	tree, g := nw.Tree, nw.Graph
+	n := nw.N()
 	before := nw.Meter.Snapshot()
 	// Quarantined nodes (the byz tier's containment of convicted liars)
 	// are treated exactly like crashed ones: their heartbeats go silent
@@ -170,8 +180,10 @@ func Heal(nw *netsim.Network) (*HealResult, error) {
 		return sub
 	}
 
-	// The initially attached region: the root's fragment (no re-rooting
-	// happens there — the root is already its shallowest node).
+	// The initially attached region: the acting root's fragment. When the
+	// acting root is the tree root, no pointers flip (it is already the
+	// fragment's shallowest node); a re-rooted heal flips the fragment
+	// under the new querier like any other graft.
 	wave := attachFragment(root, -1, 0)
 
 	// Phase 2 — each orphan root floods a detached marker down its
@@ -180,7 +192,10 @@ func Heal(nw *netsim.Network) (*HealResult, error) {
 	var detached []topology.NodeID
 	for u := 0; u < n; u++ {
 		uid := topology.NodeID(u)
-		if uid == root || !alive(uid) || heard[u] {
+		// attached[u] skips members of the acting root's fragment: under a
+		// re-rooted heal its old orphan root is already attached and must
+		// not flood a second time.
+		if uid == root || !alive(uid) || heard[u] || attached[u] {
 			continue
 		}
 		orphanRoots = append(orphanRoots, uid)

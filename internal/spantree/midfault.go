@@ -1,0 +1,113 @@
+package spantree
+
+import (
+	"errors"
+	"fmt"
+
+	"sensoragg/internal/faults"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/topology"
+)
+
+// ErrSweepIncomplete is the sentinel for a convergecast that cannot
+// aggregate every included node: a phased fault struck mid-run and part of
+// the tree view is dead. Callers match it with errors.Is and extract the
+// dead-subtree accounting with errors.As on *IncompleteSweepError.
+var ErrSweepIncomplete = errors.New("spantree: sweep incomplete — dead subtree under the live tree view")
+
+// IncompleteSweepError reports which part of the tree view a convergecast
+// would silently miss: the frontier of dead subtrees (each frontier node is
+// dead — crashed, or cut off by a dead link to its parent — while every
+// ancestor above it is live) and the total node count those subtrees hide.
+// Surfacing this instead of aggregating a partial count is what lets the
+// engine's retry policy re-heal and resume rather than return a wrong
+// answer that looks exact.
+type IncompleteSweepError struct {
+	// Root is the view root the sweep was aggregating toward.
+	Root topology.NodeID
+	// RootDead marks the worst case: the querier itself died (root-kill),
+	// so nothing can be aggregated toward it and healing must re-root.
+	RootDead bool
+	// Frontier lists the shallowest dead node of each dead subtree, in BFS
+	// order of the view.
+	Frontier []topology.NodeID
+	// Missing is the total number of view nodes inside dead subtrees — the
+	// population a silent aggregation would have dropped.
+	Missing int
+}
+
+// Error implements error.
+func (e *IncompleteSweepError) Error() string {
+	if e.RootDead {
+		return fmt.Sprintf("spantree: sweep incomplete — root %d dead, %d of the view's nodes unreachable", e.Root, e.Missing)
+	}
+	return fmt.Sprintf("spantree: sweep incomplete — %d dead subtree(s) hiding %d node(s) under root %d", len(e.Frontier), e.Missing, e.Root)
+}
+
+// Is matches the ErrSweepIncomplete sentinel.
+func (e *IncompleteSweepError) Is(target error) bool { return target == ErrSweepIncomplete }
+
+// checkComplete verifies the current tree view against the (fired) fault
+// plan before a sweep runs: every included node must still be alive and
+// reachable from the root over live links. It returns nil when the view is
+// whole and an *IncompleteSweepError otherwise. Called only on phased
+// plans after they fire — the zero-fault and run-long-fault paths never
+// reach it.
+func (e *FastEngine) checkComplete(plan *faults.Plan) error {
+	v := e.view
+	if plan.Excluded(v.Root) {
+		return &IncompleteSweepError{Root: v.Root, RootDead: true, Missing: v.N()}
+	}
+	dead := make([]bool, len(v.Parent))
+	var frontier []topology.NodeID
+	missing := 0
+	for _, u := range v.Order {
+		if u == v.Root {
+			continue
+		}
+		p := v.Parent[u]
+		switch {
+		case dead[p]:
+			dead[u] = true
+			missing++
+		case plan.Excluded(u) || !plan.LinkAlive(p, u):
+			dead[u] = true
+			frontier = append(frontier, u)
+			missing++
+		}
+	}
+	if missing == 0 {
+		return nil
+	}
+	return &IncompleteSweepError{Root: v.Root, Frontier: frontier, Missing: missing}
+}
+
+// HealRerooted repairs the tree after a mid-flight fault, choosing the
+// querier to heal toward: the original root when it survived, else the
+// lowest-ID surviving node (the deterministic leader the survivors would
+// elect — root-kill recovery). It returns the acting root alongside the
+// repair result. Like Heal, it requires a fault plan on the network.
+func HealRerooted(nw *netsim.Network) (*HealResult, topology.NodeID, error) {
+	plan := nw.Faults
+	if plan == nil {
+		return nil, -1, fmt.Errorf("spantree: HealRerooted requires a fault plan on the network")
+	}
+	root := nw.Tree.Root
+	if plan.Excluded(root) {
+		root = -1
+		for u := 0; u < nw.N(); u++ {
+			if !plan.Excluded(topology.NodeID(u)) {
+				root = topology.NodeID(u)
+				break
+			}
+		}
+		if root < 0 {
+			return nil, -1, fmt.Errorf("spantree: every node excluded — no survivor to re-root at")
+		}
+	}
+	hr, err := healToward(nw, root)
+	if err != nil {
+		return nil, -1, err
+	}
+	return hr, root, nil
+}

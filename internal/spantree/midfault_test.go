@@ -1,0 +1,179 @@
+package spantree
+
+import (
+	"errors"
+	"testing"
+
+	"sensoragg/internal/faults"
+	"sensoragg/internal/netsim"
+	"sensoragg/internal/topology"
+)
+
+// midNetwork builds a grid network with a phased plan and fires it,
+// returning the network ready for completeness checks.
+func midNetwork(t *testing.T, n int, spec faults.Spec, seed uint64) *netsim.Network {
+	t.Helper()
+	g, err := topology.Build("grid", n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]uint64, g.N())
+	for i := range values {
+		values[i] = uint64(i)
+	}
+	nw := netsim.New(g, values, uint64(g.N()), netsim.WithSeed(seed))
+	nw.Faults = faults.New(spec, nw.N(), nw.Root(), seed)
+	for !nw.Faults.PhaseFired() {
+		nw.Faults.Tick()
+	}
+	return nw
+}
+
+// TestCheckCompleteDetectsDeadSubtrees: after a mid-flight crash, the
+// completeness check must report exactly the dead subtree accounting — a
+// frontier of shallowest dead nodes and the total missing count — through
+// the ErrSweepIncomplete sentinel.
+func TestCheckCompleteDetectsDeadSubtrees(t *testing.T) {
+	nw := midNetwork(t, 144, faults.Spec{MidAt: 1, MidCrash: 0.1}, 3)
+	plan := nw.Faults
+	if plan.CrashedCount() == 0 {
+		t.Fatal("mid crash killed nobody at this seed; pick another")
+	}
+	fe := NewFast(nw)
+	err := fe.checkComplete(plan)
+	if err == nil {
+		t.Fatal("completeness check passed over dead subtrees")
+	}
+	if !errors.Is(err, ErrSweepIncomplete) {
+		t.Fatalf("error %v does not match ErrSweepIncomplete", err)
+	}
+	var ise *IncompleteSweepError
+	if !errors.As(err, &ise) {
+		t.Fatalf("error %T is not an IncompleteSweepError", err)
+	}
+	if ise.RootDead {
+		t.Error("root reported dead; the plan never kills it with MidCrash alone")
+	}
+	if len(ise.Frontier) == 0 || ise.Missing < len(ise.Frontier) {
+		t.Errorf("frontier %d, missing %d: missing must cover every frontier subtree",
+			len(ise.Frontier), ise.Missing)
+	}
+	// Every frontier node is dead-or-cut and its parent is not: the
+	// shallowest point of each lost subtree.
+	v := fe.View()
+	for _, u := range ise.Frontier {
+		p := v.Parent[u]
+		if !plan.Excluded(u) && plan.LinkAlive(p, u) {
+			t.Errorf("frontier node %d is alive and connected", u)
+		}
+		if p != v.Root && plan.Excluded(p) {
+			t.Errorf("frontier node %d hangs under a dead parent %d — not shallowest", u, p)
+		}
+	}
+	// Missing equals the number of view nodes that cannot reach the root
+	// over live edges.
+	missing := 0
+	dead := make(map[topology.NodeID]bool)
+	for _, u := range v.Order {
+		if u == v.Root {
+			continue
+		}
+		p := v.Parent[u]
+		if dead[p] || plan.Excluded(u) || !plan.LinkAlive(p, u) {
+			dead[u] = true
+			missing++
+		}
+	}
+	if missing != ise.Missing {
+		t.Errorf("missing %d != recomputed %d", ise.Missing, missing)
+	}
+}
+
+// TestCheckCompleteRootDead: a root kill is total loss — the error reports
+// RootDead with the whole view missing.
+func TestCheckCompleteRootDead(t *testing.T) {
+	nw := midNetwork(t, 64, faults.Spec{MidAt: 1, MidKillRoot: true}, 1)
+	fe := NewFast(nw)
+	err := fe.checkComplete(nw.Faults)
+	var ise *IncompleteSweepError
+	if !errors.As(err, &ise) {
+		t.Fatalf("expected IncompleteSweepError, got %v", err)
+	}
+	if !ise.RootDead {
+		t.Error("root kill not reported as RootDead")
+	}
+	if ise.Missing != fe.View().N() {
+		t.Errorf("missing %d != whole view %d", ise.Missing, fe.View().N())
+	}
+}
+
+// TestCheckCompleteWholeTree: an armed-but-unfired plan (and a fired plan
+// that killed nobody) must pass the completeness check.
+func TestCheckCompleteWholeTree(t *testing.T) {
+	g, err := topology.Build("grid", 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]uint64, g.N())
+	nw := netsim.New(g, values, 64, netsim.WithSeed(1))
+	nw.Faults = faults.New(faults.Spec{MidAt: 3, MidCrash: 0.5}, nw.N(), nw.Root(), 1)
+	fe := NewFast(nw)
+	if err := fe.checkComplete(nw.Faults); err != nil {
+		t.Errorf("unfired plan failed the completeness check: %v", err)
+	}
+}
+
+// TestHealRerootedAfterRootKill: with the root dead, the re-rooted heal
+// must pick the lowest-ID survivor as acting root and produce a valid view
+// over every reachable survivor.
+func TestHealRerootedAfterRootKill(t *testing.T) {
+	nw := midNetwork(t, 144, faults.Spec{MidAt: 1, MidKillRoot: true, MidCrash: 0.05}, 5)
+	plan := nw.Faults
+	hr, root, err := HealRerooted(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root == nw.Tree.Root {
+		t.Fatal("re-rooted heal kept the dead root")
+	}
+	for u := 0; u < int(root); u++ {
+		if !plan.Excluded(topology.NodeID(u)) {
+			t.Fatalf("acting root %d is not the lowest-ID survivor (%d lives)", root, u)
+		}
+	}
+	if hr.View.Root != root {
+		t.Errorf("view rooted at %d, want %d", hr.View.Root, root)
+	}
+	validateView(t, nw, hr)
+	if hr.Repair.TotalBits <= 0 {
+		t.Error("re-rooted heal charged no repair traffic")
+	}
+}
+
+// TestHealRerootedLiveRootMatchesHeal: with the root alive, HealRerooted
+// must behave exactly like Heal — same root, same view shape.
+func TestHealRerootedLiveRootMatchesHeal(t *testing.T) {
+	spec := faults.Spec{MidAt: 1, MidCrash: 0.08}
+	a := midNetwork(t, 144, spec, 7)
+	b := midNetwork(t, 144, spec, 7)
+	hra, root, err := HealRerooted(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hrb, err := Heal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != b.Tree.Root {
+		t.Errorf("live-root reheal moved the root to %d", root)
+	}
+	if hra.View.N() != hrb.View.N() || hra.Reattached != hrb.Reattached {
+		t.Errorf("re-rooted heal (%d nodes, %d reattached) != Heal (%d nodes, %d reattached)",
+			hra.View.N(), hra.Reattached, hrb.View.N(), hrb.Reattached)
+	}
+	for u := range hra.View.Parent {
+		if hra.View.Parent[u] != hrb.View.Parent[u] {
+			t.Fatalf("parent[%d]: %d != %d", u, hra.View.Parent[u], hrb.View.Parent[u])
+		}
+	}
+}

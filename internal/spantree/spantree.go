@@ -350,6 +350,19 @@ func (e *FastEngine) broadcastRange(p wire.Payload, apply Applier, lo, hi int) {
 // convergecast allocates nothing.
 func (e *FastEngine) Convergecast(c Combiner) (any, error) {
 	e.watching = e.nw.Meter.Watching()
+	if plan := e.nw.Faults; plan != nil && plan.PhaseArmed() {
+		// Each convergecast is one boundary of the phased fault clock. Once
+		// the mid-flight faults strike, the view is checked for completeness
+		// before the sweep runs: a dead subtree surfaces as
+		// ErrSweepIncomplete instead of silently vanishing from the counts.
+		// Unphased plans skip all of this, and a nil plan costs one branch.
+		plan.Tick()
+		if plan.PhaseFired() {
+			if err := e.checkComplete(plan); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if sk := obs.Active(); sk != nil {
 		e.obsConvergecast(sk, c)
 	}
